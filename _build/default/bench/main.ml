@@ -1,0 +1,379 @@
+(* The reproduction harness: regenerates every table of the paper's
+   evaluation (section 4) from the simulated machine, plus the section
+   4.3 micro-analysis and the introduction's bit-operation census, and
+   runs a bechamel micro-benchmark suite over the same workloads.
+
+   Usage:
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- table1    # one artifact
+     (table1 | table2 | table3 | table4 | census | micro | bechamel)
+
+   Paper-vs-measured commentary lives in EXPERIMENTS.md. *)
+
+module Machine = Drivers.Machine
+module Analysis = Mutation.Analysis
+module Ide_bench = Perfmodel.Ide_bench
+module Permedia_bench = Perfmodel.Permedia_bench
+
+let section title =
+  Format.printf "@.=== %s ===@.@." title
+
+(* {1 Table 1: mutation analysis} *)
+
+let table1 () =
+  section "Table 1: Language error-detection coverage (mutation analysis)";
+  let reports = Analysis.table1 () in
+  Format.printf "%a@." Analysis.pp_table1 reports;
+  Format.printf
+    "paper's shape: Devil mutants nearly always detected; undetected errors \
+     3.2-5.9x more@.likely in C than in CDevil and 1.6-5.2x more likely than \
+     in Devil+CDevil.@.";
+  Format.printf
+    "@.Extension row (beyond the paper): the 16550 UART specification and \
+     its re-created C driver.@.";
+  Format.printf "%a@." Analysis.pp_table1 [ Analysis.uart_report () ]
+
+(* {1 Table 2: IDE driver throughput} *)
+
+let table2 () =
+  section "Table 2: IDE driver comparative performance";
+  Format.printf "Devil driver using per-word C loops (the paper's rows):@.";
+  Format.printf "%a@." Ide_bench.pp_table (Ide_bench.table2 ());
+  Format.printf
+    "Devil driver using block-transfer (rep) stubs — \"we did not observe an \
+     impact\":@.";
+  Format.printf "%a@." Ide_bench.pp_table (Ide_bench.block_stub_lines ())
+
+(* {1 Tables 3 and 4: Permedia2 X server} *)
+
+let table3 () =
+  section "Table 3: Permedia2 Xfree86 driver, rectangle fill";
+  Format.printf "%a@." Permedia_bench.pp_table
+    (Permedia_bench.table Permedia_bench.Fill)
+
+let table4 () =
+  section "Table 4: Permedia2 Xfree86 driver, screen copy";
+  Format.printf "%a@." Permedia_bench.pp_table
+    (Permedia_bench.table Permedia_bench.Copy)
+
+(* {1 The introduction's claim: bit operations in driver code} *)
+
+let census () =
+  section "Census: bit operations in hardware operating code (paper section 1)";
+  let bit_ops = [ "&"; "|"; "^"; "~"; "<<"; ">>"; "&="; "|="; "^="; "<<="; ">>=" ] in
+  let corpus =
+    [
+      ("busmouse", Mutation.Corpus.busmouse_c);
+      ("ide", Mutation.Corpus.ide_c);
+      ("ne2000", Mutation.Corpus.ne2000_c);
+      ("uart", Mutation.Corpus.uart_c);
+    ]
+  in
+  Format.printf "%-10s %14s %14s %8s@." "driver" "bit-op tokens" "code lines"
+    "lines w/ bit ops";
+  List.iter
+    (fun (name, src) ->
+      match Mutation.C_lang.tokenize src with
+      | Error _ -> ()
+      | Ok toks ->
+          let ops =
+            List.filter
+              (fun (t : Mutation.C_lang.loc_token) ->
+                match t.tok with
+                | Mutation.C_lang.OP o -> List.mem o bit_ops
+                | _ -> false)
+              toks
+          in
+          let op_lines =
+            List.sort_uniq compare
+              (List.map (fun (t : Mutation.C_lang.loc_token) -> t.line) ops)
+          in
+          let lines =
+            List.length
+              (List.filter
+                 (fun l -> String.trim l <> "")
+                 (String.split_on_char '\n' src))
+          in
+          Format.printf "%-10s %14d %14d %7.0f%%@." name (List.length ops)
+            lines
+            (100.0 *. float_of_int (List.length op_lines) /. float_of_int lines))
+    corpus;
+  Format.printf
+    "@.paper: \"bit operations can represent up to 30%% of driver code\"@."
+
+(* {1 Section 4.3 micro-analysis: stub cost vs hand-crafted access} *)
+
+let micro () =
+  section "Micro-analysis: generated stub vs hand-crafted access (section 4.3)";
+  let m = Machine.create () in
+  let devil = Drivers.Mouse.Devil_driver.create m.mouse_dev in
+  let hand = Drivers.Mouse.Handcrafted.create m.bus ~base:Machine.mouse_base in
+  let ops f =
+    Machine.reset_io_stats m;
+    f ();
+    Machine.io_ops m
+  in
+  let devil_ops = ops (fun () -> ignore (Drivers.Mouse.Devil_driver.read_state devil)) in
+  let hand_ops = ops (fun () -> ignore (Drivers.Mouse.Handcrafted.read_state hand)) in
+  Format.printf "mouse_state read: devil = %d I/O ops, hand-crafted = %d I/O ops@."
+    devil_ops hand_ops;
+  let d = Drivers.Ide.Devil_driver.create ~ide:m.ide_dev ~piix4:m.piix4_dev in
+  let h =
+    Drivers.Ide.Handcrafted.create m.bus ~cmd_base:Machine.ide_base
+      ~ctrl_base:Machine.ide_ctrl_base ~bm_base:Machine.piix4_base
+      ~prd_base:Machine.piix4_prd_base
+  in
+  let devil_setup =
+    ops (fun () ->
+        ignore
+          (Drivers.Ide.Devil_driver.read_sectors d ~lba:0 ~count:1 ~mult:1
+             ~path:`Block ~width:`W16))
+  in
+  let hand_setup =
+    ops (fun () ->
+        ignore
+          (Drivers.Ide.Handcrafted.read_sectors h ~lba:0 ~count:1 ~mult:1
+             ~path:`Block ~width:`W16))
+  in
+  Format.printf
+    "one-sector PIO read: devil = %d ops, hand-crafted = %d ops (paper: +3 \
+     setup, +2 per interrupt)@."
+    devil_setup hand_setup
+
+(* {1 Ablations: the design choices behind the generated interface} *)
+
+let ablation () =
+  section "Ablations: what each interface mechanism buys (I/O operations)";
+
+  (* (a) Structure grouping. Reading the busmouse state through the
+     mouse_state structure touches each register once; an interface
+     without structures reads each variable independently, re-reading
+     shared registers. *)
+  let grouped =
+    let m = Machine.create () in
+    Machine.reset_io_stats m;
+    Devil_runtime.Instance.get_struct m.mouse_dev "mouse_state";
+    ignore (Devil_runtime.Instance.get m.mouse_dev "dx");
+    ignore (Devil_runtime.Instance.get m.mouse_dev "dy");
+    ignore (Devil_runtime.Instance.get m.mouse_dev "buttons");
+    Machine.io_ops m
+  in
+  let ungrouped_src =
+    (* The same device with the structure dissolved into standalone
+       volatile variables. *)
+    {|
+device busmouse_ungrouped (base : bit[8] port @ {0..3})
+{
+  register sig_reg = base @ 1 : bit[8];
+  variable signature = sig_reg, volatile, write trigger : int(8);
+  register cr = write base @ 3, mask '1001000.' : bit[8];
+  variable config = cr[0] : { CONFIGURATION => '1', DEFAULT_MODE => '0' };
+  register interrupt_reg = write base @ 2, mask '000.0000' : bit[8];
+  variable interrupt = interrupt_reg[4] : { ENABLE => '0', DISABLE => '1' };
+  register index_reg = write base @ 2, mask '1..00000' : bit[8];
+  private variable index = index_reg[6..5] : int(2);
+  register x_low  = read base @ 0, pre {index = 0}, mask '****....' : bit[8];
+  register x_high = read base @ 0, pre {index = 1}, mask '****....' : bit[8];
+  register y_low  = read base @ 0, pre {index = 2}, mask '****....' : bit[8];
+  register y_high = read base @ 0, pre {index = 3}, mask '...*....' : bit[8];
+  variable dx = x_high[3..0] # x_low[3..0], volatile : signed int(8);
+  variable dy = y_high[3..0] # y_low[3..0], volatile : signed int(8);
+  variable buttons = y_high[7..5], volatile : int(3);
+}
+|}
+  in
+  let ungrouped =
+    match Devil_check.Check.compile ungrouped_src with
+    | Error _ -> -1
+    | Ok device ->
+        let space = Hwsim.Io_space.create () in
+        let mouse = Hwsim.Busmouse.create () in
+        Hwsim.Io_space.attach space ~base:0x23c ~size:4
+          (Hwsim.Busmouse.model mouse);
+        let inst =
+          Devil_runtime.Instance.create device ~bus:(Hwsim.Io_space.bus space)
+            ~bases:[ ("base", 0x23c) ]
+        in
+        ignore (Devil_runtime.Instance.get inst "dx");
+        Hwsim.Io_space.reset_stats space;
+        ignore (Devil_runtime.Instance.get inst "dx");
+        ignore (Devil_runtime.Instance.get inst "dy");
+        ignore (Devil_runtime.Instance.get inst "buttons");
+        Hwsim.Io_space.io_ops space
+  in
+  Format.printf
+    "structure grouping: mouse state via structure = %d ops, via standalone \
+     volatile variables = %d ops@."
+    grouped ungrouped;
+
+  (* (b) Register caching. Writing the six NE2000 receive-configuration
+     bits one variable at a time costs one I/O write each thanks to the
+     cache; without a cache every write would need the full register
+     rebuilt from device state (here: re-reads are impossible, the
+     register is write-only — the cacheless interface simply could not
+     exist, which is the point; we emulate it by invalidating between
+     writes and counting the failures as full rewrites). *)
+  let with_cache =
+    let m = Machine.create () in
+    let set n v =
+      Devil_runtime.Instance.set m.ne2000_dev n (Devil_ir.Value.Bool v)
+    in
+    Machine.reset_io_stats m;
+    set "accept_errors" false;
+    set "accept_runts" false;
+    set "accept_broadcast" true;
+    set "accept_multicast" false;
+    set "promiscuous" false;
+    set "monitor" false;
+    Machine.io_ops m
+  in
+  Format.printf
+    "register caching: six sibling parameter writes = %d ops with the cache \
+     (each write also re-selects page 0); without caching, composing a \
+     write-only register is impossible@."
+    with_cache;
+
+  (* (c) Block stubs vs loops: the Table 2 mechanism, one row. *)
+  let line =
+    Ide_bench.run_line ~sectors:16
+      (Ide_bench.Pio { sectors_per_irq = 16; width = `W16 })
+      ~devil_path:`Loop
+  in
+  let line_block =
+    Ide_bench.run_line ~sectors:16
+      (Ide_bench.Pio { sectors_per_irq = 16; width = `W16 })
+      ~devil_path:`Block
+  in
+  Format.printf
+    "block stubs: PIO 16/16 throughput ratio %.0f %% with per-word loops vs \
+     %.0f %% with rep stubs@."
+    (100.0 *. line.ratio)
+    (100.0 *. line_block.ratio);
+
+  (* (d) Trigger neutrals: writing a parameter that shares the NE2000
+     command register must not re-fire the start/stop/dma triggers. *)
+  let m = Machine.create () in
+  let net = Drivers.Net.Devil_driver.create m.ne2000_dev in
+  Drivers.Net.Devil_driver.init net ~mac:"\x02\x00\x00\x00\x00\x01";
+  let before = Hwsim.Ne2000.take_transmitted m.nic in
+  (* Rewriting the private page variable composes st/txp/rd from their
+     neutral values; a cache-replay interface would re-issue START and
+     could re-trigger a transmit. *)
+  ignore (Devil_runtime.Instance.get m.ne2000_dev "current_page");
+  let after = Hwsim.Ne2000.take_transmitted m.nic in
+  Format.printf
+    "trigger neutrals: a page flip around the command register re-fired %d \
+     transmissions (must be 0)@."
+    (List.length before + List.length after)
+
+(* {1 Bechamel micro-benchmarks: one workload per table} *)
+
+let bechamel_suite () =
+  section "Bechamel micro-benchmarks (one workload per table)";
+  let open Bechamel in
+  let open Toolkit in
+  (* Table 1 workload: verify one mutant of the busmouse spec. *)
+  let mutant =
+    let src = Devil_specs.Specs.busmouse_source in
+    String.concat "index_rag" (String.split_on_char '\t' src) ^ " "
+  in
+  let t1 =
+    Test.make ~name:"table1: check one Devil mutant"
+      (Staged.stage (fun () ->
+           ignore (Devil_check.Check.compile mutant)))
+  in
+  (* Table 2 workload: one-sector PIO read through the Devil stubs. *)
+  let m = Machine.create () in
+  let ide = Drivers.Ide.Devil_driver.create ~ide:m.ide_dev ~piix4:m.piix4_dev in
+  let t2 =
+    Test.make ~name:"table2: 1-sector PIO read (Devil stubs)"
+      (Staged.stage (fun () ->
+           ignore
+             (Drivers.Ide.Devil_driver.read_sectors ide ~lba:0 ~count:1
+                ~mult:1 ~path:`Loop ~width:`W16)))
+  in
+  (* Table 3 workload: one rectangle fill through the Devil stubs. *)
+  let g = Drivers.Gfx.Devil_driver.create m.gfx_dev in
+  Drivers.Gfx.Devil_driver.set_depth g 8;
+  let t3 =
+    Test.make ~name:"table3: 10x10 fill (Devil stubs)"
+      (Staged.stage (fun () ->
+           Drivers.Gfx.Devil_driver.fill_rect g
+             { Drivers.Gfx.x = 0; y = 0; w = 10; h = 10 }
+             ~color:1))
+  in
+  let t4 =
+    Test.make ~name:"table4: 10x10 copy (Devil stubs)"
+      (Staged.stage (fun () ->
+           Drivers.Gfx.Devil_driver.copy_rect g
+             { Drivers.Gfx.x = 0; y = 0; w = 10; h = 10 }
+             ~dx:16 ~dy:0))
+  in
+  (* The section 4.3 micro-comparison pair. *)
+  let mouse_devil = Drivers.Mouse.Devil_driver.create m.mouse_dev in
+  let mouse_hand = Drivers.Mouse.Handcrafted.create m.bus ~base:Machine.mouse_base in
+  let t5a =
+    Test.make ~name:"micro: mouse state via Devil stubs"
+      (Staged.stage (fun () ->
+           ignore (Drivers.Mouse.Devil_driver.read_state mouse_devil)))
+  in
+  let t5b =
+    Test.make ~name:"micro: mouse state hand-crafted"
+      (Staged.stage (fun () ->
+           ignore (Drivers.Mouse.Handcrafted.read_state mouse_hand)))
+  in
+  let tests = [ t1; t2; t3; t4; t5a; t5b ] in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true ()
+    in
+    let raw = Benchmark.all cfg instances test in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
+    results
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] ->
+              Format.printf "%-42s %12.1f ns/run@." name est
+          | _ -> Format.printf "%-42s (no estimate)@." name)
+        results)
+    tests
+
+let () =
+  let artifacts =
+    [
+      ("table1", table1);
+      ("table2", table2);
+      ("table3", table3);
+      ("table4", table4);
+      ("census", census);
+      ("micro", micro);
+      ("ablation", ablation);
+      ("bechamel", bechamel_suite);
+    ]
+  in
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+      Format.printf
+        "Devil (OSDI 2000) reproduction: regenerating every evaluation \
+         artifact.@.";
+      List.iter (fun (_, f) -> f ()) artifacts
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name artifacts with
+          | Some f -> f ()
+          | None ->
+              Format.eprintf "unknown artifact %s (have: %s)@." name
+                (String.concat ", " (List.map fst artifacts));
+              exit 1)
+        names

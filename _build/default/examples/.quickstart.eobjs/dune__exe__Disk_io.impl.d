@@ -1,0 +1,1 @@
+examples/disk_io.ml: Bytes Drivers Format Hwsim List Printf String

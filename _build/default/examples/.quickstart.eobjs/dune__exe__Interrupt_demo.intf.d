@@ -1,0 +1,1 @@
+examples/interrupt_demo.mli:

@@ -1,0 +1,1 @@
+examples/mini_os.ml: Bytes Devil_runtime Drivers Format Hwsim List Printf String

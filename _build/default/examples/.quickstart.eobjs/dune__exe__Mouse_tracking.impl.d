@@ -1,0 +1,1 @@
+examples/mouse_tracking.ml: Drivers Format Hwsim List

@@ -1,0 +1,1 @@
+examples/mouse_tracking.mli:

@@ -1,0 +1,1 @@
+examples/network_echo.ml: Char Drivers Format Hwsim List Printf String

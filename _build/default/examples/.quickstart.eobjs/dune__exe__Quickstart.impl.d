@@ -1,0 +1,1 @@
+examples/quickstart.ml: Devil_check Devil_codegen Devil_ir Devil_runtime Devil_specs Devil_syntax Format Hwsim List String

@@ -1,0 +1,1 @@
+examples/serial_console.mli:

@@ -1,0 +1,1 @@
+examples/sound_mixer.mli:

@@ -1,0 +1,1 @@
+examples/xserver_2d.ml: Char Drivers Format Hwsim

@@ -1,0 +1,1 @@
+examples/xserver_2d.mli:

@@ -1,0 +1,72 @@
+(* Disk I/O: store and retrieve a document on the simulated IDE disk
+   through the Devil-generated interface, in every transfer mode of
+   the paper's Table 2, verifying integrity each time.
+
+   Run with: dune exec examples/disk_io.exe *)
+
+module Machine = Drivers.Machine
+module Ide = Drivers.Ide
+
+let document =
+  String.concat "\n"
+    (List.init 40 (fun i ->
+         Printf.sprintf
+           "%03d | Devil is an IDL for hardware programming (OSDI 2000)." i))
+
+let sectors = 8
+let bytes = sectors * 512
+
+let pad s =
+  let b = Bytes.make bytes '\000' in
+  Bytes.blit_string s 0 b 0 (min (String.length s) bytes);
+  b
+
+let () =
+  let m = Machine.create () in
+  let drv = Ide.Devil_driver.create ~ide:m.ide_dev ~piix4:m.piix4_dev in
+  Format.printf "disk model: %s@." (Ide.Devil_driver.identify drv);
+
+  let payload = pad document in
+
+  (* Write with per-word loops, 16-bit I/O. *)
+  Machine.reset_io_stats m;
+  Ide.Devil_driver.write_sectors drv ~lba:100 ~count:sectors ~mult:1
+    ~path:`Loop ~width:`W16 payload;
+  Format.printf "PIO write (loop, 16-bit):   %6d I/O operations@."
+    (Machine.io_ops m);
+
+  (* Read back in each mode and verify. *)
+  let check name read =
+    Machine.reset_io_stats m;
+    let data = read () in
+    assert (Bytes.equal data payload);
+    Format.printf "%-28s%6d I/O operations (verified)@." name
+      (Machine.io_ops m)
+  in
+  Hwsim.Ide_disk.set_multiple m.disk 8;
+  check "PIO read (loop, 16-bit):" (fun () ->
+      Ide.Devil_driver.read_sectors drv ~lba:100 ~count:sectors ~mult:8
+        ~path:`Loop ~width:`W16);
+  check "PIO read (block, 16-bit):" (fun () ->
+      Ide.Devil_driver.read_sectors drv ~lba:100 ~count:sectors ~mult:8
+        ~path:`Block ~width:`W16);
+  check "PIO read (block, 32-bit):" (fun () ->
+      Ide.Devil_driver.read_sectors drv ~lba:100 ~count:sectors ~mult:8
+        ~path:`Block ~width:`W32);
+  check "DMA read:" (fun () ->
+      Ide.Devil_driver.read_dma drv
+        ~memory:(Hwsim.Piix4.memory m.busmaster)
+        ~lba:100 ~count:sectors);
+
+  let recovered =
+    Ide.Devil_driver.read_dma drv
+      ~memory:(Hwsim.Piix4.memory m.busmaster)
+      ~lba:100 ~count:sectors
+  in
+  let text = Bytes.to_string recovered in
+  let printable_prefix =
+    match String.index_opt text '\n' with
+    | Some i -> String.sub text 0 i
+    | None -> String.sub text 0 60
+  in
+  Format.printf "first recovered line: %s@." (String.escaped printable_prefix)

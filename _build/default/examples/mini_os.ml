@@ -1,0 +1,170 @@
+(* A miniature operating system over the simulated PC: every device of
+   the paper driven through its Devil-generated interface at once.
+
+   Boot: program the 8259A, probe the mouse, identify the disk, bring
+   up the NIC, the UART console and the RTC. Then run an event loop:
+   the RTC ticks, the mouse moves a cursor that paints on the
+   Permedia2 framebuffer, incoming network frames are appended to a
+   log file on the IDE disk, and everything is reported on the serial
+   console with timestamps.
+
+   Run with: dune exec examples/mini_os.exe *)
+
+module Machine = Drivers.Machine
+module Pic = Drivers.Pic_driver
+
+let irq_rtc = 0
+let irq_net = 3
+let irq_disk = 6
+
+let () =
+  let m = Machine.create ~debug:true () in
+
+  (* --- boot --- *)
+  let pic = Pic.Devil_driver.create m.pic_dev in
+  Pic.Devil_driver.init pic ~vector_base:0x20 ~single:false ~with_icw4:true
+    ~cascade_map:0x04;
+  Pic.Devil_driver.set_mask pic 0x00;
+
+  let console = Drivers.Serial.Devil_driver.create m.uart_dev in
+  Drivers.Serial.Devil_driver.init console ~baud:115200;
+  let clock = Drivers.Rtc.Devil_driver.create m.rtc_dev in
+  Drivers.Rtc.Devil_driver.set_time clock
+    { Drivers.Rtc.hours = 12; minutes = 0; seconds = 0 };
+  let log msg =
+    let t = Drivers.Rtc.Devil_driver.read_time clock in
+    Drivers.Serial.Devil_driver.send console
+      (Printf.sprintf "[%02d:%02d:%02d] %s\n" t.Drivers.Rtc.hours
+         t.Drivers.Rtc.minutes t.Drivers.Rtc.seconds msg)
+  in
+
+  let mouse = Drivers.Mouse.Devil_driver.create m.mouse_dev in
+  assert (Drivers.Mouse.Devil_driver.probe mouse);
+  Drivers.Mouse.Devil_driver.init mouse;
+  log "busmouse: probed and enabled";
+
+  let disk = Drivers.Ide.Devil_driver.create ~ide:m.ide_dev ~piix4:m.piix4_dev in
+  log (Printf.sprintf "ide: %s" (Drivers.Ide.Devil_driver.identify disk));
+
+  let nic = Drivers.Net.Devil_driver.create m.ne2000_dev in
+  Drivers.Net.Devil_driver.init nic ~mac:"\x02\x00\x5e\x10\x00\x01";
+  log "ne2000: up";
+
+  let gfx = Drivers.Gfx.Devil_driver.create m.gfx_dev in
+  Drivers.Gfx.Devil_driver.set_depth gfx 8;
+  Drivers.Gfx.Devil_driver.fill_rect gfx { Drivers.Gfx.x = 0; y = 0; w = 80; h = 24 }
+    ~color:0;
+  log "permedia2: desktop cleared";
+
+  let kbd = Drivers.Keyboard.Devil_driver.create m.kbd_dev in
+  assert (Drivers.Keyboard.Devil_driver.init kbd);
+  ignore (Drivers.Keyboard.Devil_driver.set_leds kbd 0b010);
+  log "i8042: keyboard self-test passed, caps-lock LED on";
+
+  let audio = Drivers.Sound.Devil_driver.create m.sound_dev in
+  Drivers.Sound.Devil_driver.set_volume audio ~left:8 ~right:8;
+  log
+    (Printf.sprintf "cs4236b: version %#x, volume set"
+       (Drivers.Sound.Devil_driver.chip_version audio));
+
+  (* --- the world acts --- *)
+  let moves = [ (3, 1); (4, 2); (2, 0); (5, 3); (1, 1) ] in
+  List.iteri
+    (fun i (dx, dy) ->
+      Hwsim.Busmouse.move m.mouse ~dx ~dy;
+      if i mod 2 = 0 then
+        assert (Hwsim.Ne2000.inject_frame m.nic (Printf.sprintf "packet-%d" i)))
+    moves;
+  Hwsim.Mc146818.tick_seconds m.rtc 2;
+  List.iter (fun c -> ignore (Hwsim.I8042.press m.kbd c)) [ 0x26; 0x1f ];
+
+  (* --- the event loop --- *)
+  let cursor_x = ref 2 and cursor_y = ref 2 in
+  let disk_log_lba = ref 200 in
+  let service_pending () =
+    if Hwsim.Ne2000.irq_asserted m.nic then
+      Hwsim.Pic8259.raise_irq m.pic ~line:irq_net;
+    if Hwsim.Ide_disk.irq_pending m.disk then
+      Hwsim.Pic8259.raise_irq m.pic ~line:irq_disk;
+    if Hwsim.Mc146818.irq_asserted m.rtc then
+      Hwsim.Pic8259.raise_irq m.pic ~line:irq_rtc;
+    let rec drain () =
+      match Hwsim.Pic8259.inta m.pic with
+      | Some vector ->
+          (match vector - 0x20 with
+          | l when l = irq_net ->
+              (* Drain the whole receive ring before acknowledging, as
+                 real handlers must: the ISR bit covers all of it. *)
+              let rec drain_ring () =
+                match Drivers.Net.Devil_driver.receive nic with
+                | Some frame ->
+                    log (Printf.sprintf "net rx: %S -> disk @ lba %d" frame
+                           !disk_log_lba);
+                    let sector = Bytes.make 512 '\000' in
+                    Bytes.blit_string frame 0 sector 0
+                      (min (String.length frame) 512);
+                    Drivers.Ide.Devil_driver.write_sectors disk
+                      ~lba:!disk_log_lba ~count:1 ~mult:1 ~path:`Block
+                      ~width:`W16 sector;
+                    incr disk_log_lba;
+                    drain_ring ()
+                | None -> Drivers.Net.Devil_driver.ack_interrupts nic
+              in
+              drain_ring ()
+          | l when l = irq_disk ->
+              (* Reading the status register acknowledges the drive. *)
+              Devil_runtime.Instance.get_struct m.ide_dev "ide_status";
+              log "disk: write completed"
+          | l when l = irq_rtc ->
+              ignore (Drivers.Rtc.Devil_driver.pending_interrupts clock)
+          | l -> log (Printf.sprintf "spurious irq %d" l));
+          Pic.Devil_driver.eoi pic;
+          drain ()
+      | None -> ()
+    in
+    drain ()
+  in
+  (* keystrokes arrive by polling, like the mouse *)
+  let rec drain_keys () =
+    match Drivers.Keyboard.Devil_driver.poll_scancode kbd with
+    | Some code ->
+        log (Printf.sprintf "key: scancode %#04x" code);
+        drain_keys ()
+    | None -> ()
+  in
+  drain_keys ();
+  for _ = 1 to 6 do
+    (* mouse polling paints the cursor trail *)
+    let st = Drivers.Mouse.Devil_driver.read_state mouse in
+    cursor_x := !cursor_x + st.Drivers.Mouse.dx;
+    cursor_y := !cursor_y + st.Drivers.Mouse.dy;
+    Drivers.Gfx.Devil_driver.fill_rect gfx
+      { Drivers.Gfx.x = !cursor_x; y = !cursor_y; w = 2; h = 1 }
+      ~color:7;
+    service_pending ()
+  done;
+  Drivers.Gfx.Devil_driver.sync gfx;
+  log (Printf.sprintf "cursor parked at (%d, %d)" !cursor_x !cursor_y);
+
+  (* --- what actually happened --- *)
+  print_string (Hwsim.Uart16550.take_transmitted m.uart);
+  Format.printf "--- frame log recovered from disk ---@.";
+  for lba = 200 to !disk_log_lba - 1 do
+    let data =
+      Drivers.Ide.Devil_driver.read_sectors disk ~lba ~count:1 ~mult:1
+        ~path:`Block ~width:`W16
+    in
+    let text =
+      match Bytes.index_opt data '\000' with
+      | Some i -> Bytes.sub_string data 0 i
+      | None -> Bytes.to_string data
+    in
+    Format.printf "lba %d: %s@." lba text
+  done;
+  Format.printf "--- framebuffer trail at row %d ---@." !cursor_y;
+  for x = 0 to 30 do
+    print_char (if Hwsim.Permedia2.pixel m.gfx ~x ~y:!cursor_y = 7 then '#' else '.')
+  done;
+  print_newline ();
+  assert (Hwsim.Permedia2.overflows m.gfx = 0);
+  Format.printf "mini-os: all devices served through Devil interfaces@."

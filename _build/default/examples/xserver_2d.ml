@@ -1,0 +1,41 @@
+(* A miniature X server frame: the two hardware-accelerated primitives
+   the paper's modified Xfree86 server used (fill rectangle and screen
+   copy) draw a small desktop scene on the Permedia2, which is then
+   rendered as ASCII art from the simulated framebuffer.
+
+   Run with: dune exec examples/xserver_2d.exe *)
+
+module Machine = Drivers.Machine
+module Gfx = Drivers.Gfx
+
+let glyph = function
+  | 0 -> ' '  (* desktop background *)
+  | 1 -> '.'  (* window background *)
+  | 2 -> '#'  (* title bar *)
+  | 3 -> '+'  (* button *)
+  | v -> Char.chr (Char.code 'a' + (v mod 26))
+
+let () =
+  let m = Machine.create () in
+  let d = Gfx.Devil_driver.create m.gfx_dev in
+  Gfx.Devil_driver.set_depth d 8;
+
+  (* Desktop, a window with a title bar, and two buttons. *)
+  Gfx.Devil_driver.fill_rect d { x = 0; y = 0; w = 72; h = 20 } ~color:0;
+  Gfx.Devil_driver.fill_rect d { x = 6; y = 3; w = 40; h = 12 } ~color:1;
+  Gfx.Devil_driver.fill_rect d { x = 6; y = 3; w = 40; h = 2 } ~color:2;
+  Gfx.Devil_driver.fill_rect d { x = 9; y = 8; w = 6; h = 3 } ~color:3;
+  (* Copy the button 10 pixels to the right: the screen-copy path. *)
+  Gfx.Devil_driver.copy_rect d { x = 19; y = 8; w = 6; h = 3 } ~dx:10 ~dy:0;
+  Gfx.Devil_driver.sync d;
+
+  for y = 0 to 19 do
+    for x = 0 to 71 do
+      print_char (glyph (Hwsim.Permedia2.pixel m.gfx ~x ~y))
+    done;
+    print_newline ()
+  done;
+
+  assert (Hwsim.Permedia2.overflows m.gfx = 0);
+  Format.printf "drawn with %d I/O operations, no FIFO overflows@."
+    (Machine.io_ops m)

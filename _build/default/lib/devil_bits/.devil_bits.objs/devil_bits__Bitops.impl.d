@@ -1,0 +1,1 @@
+lib/devil_bits/bitops.ml: Format

@@ -1,0 +1,1 @@
+lib/devil_bits/bitpat.ml: Array Format List Printf String

@@ -1,0 +1,1 @@
+lib/devil_bits/bitpat.mli: Format

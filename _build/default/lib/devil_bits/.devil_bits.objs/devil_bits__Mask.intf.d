@@ -1,0 +1,1 @@
+lib/devil_bits/mask.mli: Format

@@ -1,0 +1,35 @@
+let width_mask w =
+  if w < 0 || w > 56 then invalid_arg "Bitops.width_mask"
+  else (1 lsl w) - 1
+
+let fits ~width v = v >= 0 && v land lnot (width_mask width) = 0
+
+let extract ~hi ~lo v =
+  if hi < lo || lo < 0 then invalid_arg "Bitops.extract"
+  else (v lsr lo) land width_mask (hi - lo + 1)
+
+let insert ~hi ~lo ~field v =
+  if hi < lo || lo < 0 then invalid_arg "Bitops.insert"
+  else
+    let m = width_mask (hi - lo + 1) in
+    v land lnot (m lsl lo) lor ((field land m) lsl lo)
+
+let get_bit v ~pos = (v lsr pos) land 1 = 1
+
+let set_bit v ~pos b =
+  if b then v lor (1 lsl pos) else v land lnot (1 lsl pos)
+
+let sign_extend ~width v =
+  let v = v land width_mask width in
+  if get_bit v ~pos:(width - 1) then v - (1 lsl width) else v
+
+let to_unsigned ~width v = v land width_mask width
+
+let popcount v =
+  let rec go acc v = if v = 0 then acc else go (acc + (v land 1)) (v lsr 1) in
+  go 0 v
+
+let pp_binary ~width fmt v =
+  for i = width - 1 downto 0 do
+    Format.pp_print_char fmt (if get_bit v ~pos:i then '1' else '0')
+  done

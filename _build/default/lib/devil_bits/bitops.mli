@@ -1,0 +1,35 @@
+(** Bit-level operations on register values.
+
+    Register values are represented as non-negative OCaml [int]s;
+    registers are at most 32 bits wide, so the native 63-bit integer is
+    always sufficient. Bit 0 is the least significant bit. *)
+
+val width_mask : int -> int
+(** [width_mask w] is [2^w - 1]. Raises [Invalid_argument] unless
+    [0 <= w <= 56]. *)
+
+val fits : width:int -> int -> bool
+(** [fits ~width v] holds when [0 <= v < 2^width]. *)
+
+val extract : hi:int -> lo:int -> int -> int
+(** [extract ~hi ~lo v] is bits [hi..lo] of [v], shifted down to bit 0.
+    Requires [hi >= lo >= 0]. *)
+
+val insert : hi:int -> lo:int -> field:int -> int -> int
+(** [insert ~hi ~lo ~field v] replaces bits [hi..lo] of [v] with the low
+    bits of [field]. Bits of [field] above the range width are ignored. *)
+
+val get_bit : int -> pos:int -> bool
+val set_bit : int -> pos:int -> bool -> int
+
+val sign_extend : width:int -> int -> int
+(** Interprets the low [width] bits as a two's-complement value. *)
+
+val to_unsigned : width:int -> int -> int
+(** Inverse of {!sign_extend}: encodes a (possibly negative) value into
+    its low-[width]-bits two's complement representation. *)
+
+val popcount : int -> int
+
+val pp_binary : width:int -> Format.formatter -> int -> unit
+(** Prints exactly [width] binary digits, most significant first. *)

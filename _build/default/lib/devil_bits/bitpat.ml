@@ -1,0 +1,73 @@
+type elt = P0 | P1 | Pwild
+
+type t = { elts : elt array }
+(* [elts.(i)] constrains bit [i]; index 0 is the least significant bit. *)
+
+let of_string text =
+  let n = String.length text in
+  if n = 0 then Error "empty bit pattern"
+  else
+    let elts = Array.make n Pwild in
+    let rec fill i =
+      if i >= n then Ok { elts }
+      else
+        match text.[i] with
+        | '0' ->
+            elts.(n - 1 - i) <- P0;
+            fill (i + 1)
+        | '1' ->
+            elts.(n - 1 - i) <- P1;
+            fill (i + 1)
+        | '*' | '.' | '-' ->
+            elts.(n - 1 - i) <- Pwild;
+            fill (i + 1)
+        | c -> Error (Printf.sprintf "invalid pattern character %C" c)
+    in
+    fill 0
+
+let of_string_exn text =
+  match of_string text with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Bitpat.of_string_exn: " ^ msg)
+
+let width t = Array.length t.elts
+
+let is_exact t =
+  Array.for_all (function P0 | P1 -> true | Pwild -> false) t.elts
+
+let value t =
+  if not (is_exact t) then None
+  else
+    Some
+      (Array.to_list t.elts
+      |> List.mapi (fun i e -> match e with P1 -> 1 lsl i | P0 | Pwild -> 0)
+      |> List.fold_left ( lor ) 0)
+
+let matches t v =
+  let ok = ref true in
+  Array.iteri
+    (fun i e ->
+      let bit = (v lsr i) land 1 in
+      match e with
+      | P0 when bit <> 0 -> ok := false
+      | P1 when bit <> 1 -> ok := false
+      | P0 | P1 | Pwild -> ())
+    t.elts;
+  !ok && v lsr width t = 0
+
+let char_of_elt = function P0 -> '0' | P1 -> '1' | Pwild -> '*'
+
+let to_string t =
+  String.init (width t) (fun i -> char_of_elt t.elts.(width t - 1 - i))
+
+let pp fmt t = Format.fprintf fmt "'%s'" (to_string t)
+let equal a b = a.elts = b.elts
+
+let overlap a b =
+  width a = width b
+  && Array.for_all2
+       (fun x y ->
+         match (x, y) with
+         | P0, P1 | P1, P0 -> false
+         | (P0 | P1 | Pwild), (P0 | P1 | Pwild) -> true)
+       a.elts b.elts

@@ -1,0 +1,33 @@
+(** Bit patterns of enumerated-type cases.
+
+    An enum case associates a symbolic name with a bit pattern, e.g.
+    [ENABLE => '0']. Patterns consist of ['0'], ['1'] and ['*']
+    (wildcard); wildcards are only meaningful for read mappings, where
+    several concrete values may map to the same symbol. *)
+
+type t
+
+val of_string : string -> (t, string) result
+(** Parses pattern text (without quotes); leftmost character is the most
+    significant bit. *)
+
+val of_string_exn : string -> t
+
+val width : t -> int
+
+val is_exact : t -> bool
+(** True when the pattern contains no wildcard. *)
+
+val value : t -> int option
+(** The concrete value of an exact pattern. *)
+
+val matches : t -> int -> bool
+(** [matches p v] holds when [v] agrees with every non-wildcard bit. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val overlap : t -> t -> bool
+(** Two patterns overlap when some concrete value matches both; used by
+    the double-definition check on enumerated types. *)

@@ -1,0 +1,1 @@
+lib/devil_check/check.ml: Array Devil_bits Devil_ir Devil_syntax List Option Printf String

@@ -1,0 +1,1 @@
+lib/devil_check/check.mli: Devil_ir Devil_syntax

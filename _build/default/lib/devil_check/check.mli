@@ -1,0 +1,41 @@
+(** Static verification of Devil specifications (paper §3.1).
+
+    Four property families are checked on the resolved IR:
+
+    - {b Strong typing}: widths of variables against their chunks,
+      enumerated-type well-formedness, read/write usage constraints,
+      action and serialization value typing, register/port access
+      sizes.
+    - {b No omission}: every port, port offset, register and coverable
+      register bit must be used; readable enumerated types must be
+      read-exhaustive.
+    - {b No double definition}: entity names and enumeration symbols
+      are unique (name clashes are caught during elaboration; the
+      checks here cover enumeration internals).
+    - {b No overlapping definitions}: an access point (port, offset,
+      direction) belongs to at most one register unless the registers
+      are distinguished by disjoint pre-actions or masks, or ordered by
+      a common serialization; a register bit belongs to at most one
+      variable.
+
+    The checker also enforces the trigger-sharing rule of §2.1:
+    multiple write-trigger variables cannot share a register unless
+    neutral values are provided. *)
+
+module Diagnostics = Devil_syntax.Diagnostics
+module Ir = Devil_ir.Ir
+module Value = Devil_ir.Value
+
+val check : Ir.device -> Diagnostics.t
+(** Runs every check; the result carries errors and warnings. *)
+
+val check_ok : Ir.device -> bool
+(** [check_ok d] is true when {!check} reports no error. *)
+
+val compile :
+  ?config:(string * Value.t) list ->
+  ?file:string ->
+  string ->
+  (Ir.device, Diagnostics.t) result
+(** Full front-end pipeline: lex, parse, elaborate, check. The device
+    is returned only when no pass reports an error. *)

@@ -1,0 +1,1 @@
+lib/devil_codegen/c_backend.mli: Devil_ir

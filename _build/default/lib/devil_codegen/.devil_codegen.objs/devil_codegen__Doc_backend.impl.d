@@ -1,0 +1,1 @@
+lib/devil_codegen/doc_backend.ml: Buffer Devil_bits Devil_ir Format List Printf String

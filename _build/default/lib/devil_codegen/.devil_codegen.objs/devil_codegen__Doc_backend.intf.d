@@ -1,0 +1,1 @@
+lib/devil_codegen/doc_backend.mli: Devil_ir

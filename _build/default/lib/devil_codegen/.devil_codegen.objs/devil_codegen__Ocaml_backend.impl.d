@@ -1,0 +1,1 @@
+lib/devil_codegen/ocaml_backend.ml: Buffer Devil_bits Devil_ir Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/devil_codegen/ocaml_backend.mli: Devil_ir

@@ -1,0 +1,724 @@
+module Ir = Devil_ir.Ir
+module Dtype = Devil_ir.Dtype
+module Value = Devil_ir.Value
+module Mask = Devil_bits.Mask
+module Bitpat = Devil_bits.Bitpat
+
+type ctx = {
+  buf : Buffer.t;
+  device : Ir.device;
+  prefix : string;
+}
+
+let add ctx fmt = Printf.ksprintf (Buffer.add_string ctx.buf) fmt
+
+let upper = String.uppercase_ascii
+
+let cache_name ctx = Printf.sprintf "%s_cache" ctx.prefix
+
+(* {1 Naming} *)
+
+let port_field (p : string) = Printf.sprintf "__dil_%s__" p
+let reg_cache (r : string) = Printf.sprintf "cache_%s" r
+let reg_valid (r : string) = Printf.sprintf "cache_%s_valid" r
+let mem_field (v : string) = Printf.sprintf "mem_%s" v
+let struct_cache (s : string) = Printf.sprintf "cache_%s" s
+
+let io_in = function
+  | 8 -> "inb"
+  | 16 -> "inw"
+  | 32 -> "inl"
+  | w -> Printf.sprintf "in%d" w
+
+let io_out = function
+  | 8 -> "outb"
+  | 16 -> "outw"
+  | 32 -> "outl"
+  | w -> Printf.sprintf "out%d" w
+
+let port_width ctx (lp : Ir.located_port) =
+  match Ir.find_port ctx.device lp.lp_port with
+  | Some p -> p.p_width
+  | None -> 8
+
+let addr_expr ctx (lp : Ir.located_port) =
+  if lp.lp_offset = 0 then
+    Printf.sprintf "%s.%s" (cache_name ctx) (port_field lp.lp_port)
+  else
+    Printf.sprintf "%s.%s + %d" (cache_name ctx) (port_field lp.lp_port)
+      lp.lp_offset
+
+(* {1 Enum case macros} *)
+
+let case_macro ctx (v : Ir.var) (c : Dtype.enum_case) =
+  Printf.sprintf "%s_%s_%s" (upper ctx.prefix) (upper v.v_name)
+    (upper c.case_name)
+
+let emit_enum_macros ctx =
+  List.iter
+    (fun (v : Ir.var) ->
+      match v.v_type with
+      | Dtype.Enum cases ->
+          List.iter
+            (fun (c : Dtype.enum_case) ->
+              match Bitpat.value c.pattern with
+              | Some raw -> add ctx "#define %s 0x%xu\n" (case_macro ctx v c) raw
+              | None ->
+                  add ctx "/* %s: wildcard pattern %s (read match only) */\n"
+                    (case_macro ctx v c)
+                    (Bitpat.to_string c.pattern))
+            cases
+      | Dtype.Bool | Dtype.Int _ | Dtype.Int_set _ -> ())
+    ctx.device.d_vars
+
+(* {1 Value rendering} *)
+
+let render_const ctx (target : Ir.var) (value : Value.t) =
+  match (value, target.v_type) with
+  | Value.Int n, _ -> Printf.sprintf "0x%xu" n
+  | Value.Bool b, _ -> if b then "1u" else "0u"
+  | Value.Enum name, ty -> (
+      match Dtype.find_case ty name with
+      | Some c -> Printf.sprintf "%s" (case_macro ctx target c)
+      | None -> "0u /* unknown case */")
+
+let render_operand ctx (target : Ir.var) (o : Ir.operand) =
+  match o with
+  | Ir.O_int n -> Printf.sprintf "0x%xu" n
+  | Ir.O_bool b -> if b then "1u" else "0u"
+  | Ir.O_enum name -> render_const ctx target (Value.Enum name)
+  | Ir.O_any -> "0u /* any */"
+  | Ir.O_var src -> Printf.sprintf "%s_get_%s()" ctx.prefix src
+  | Ir.O_param p -> Printf.sprintf "(%s)" p
+
+(* {1 Actions} *)
+
+let emit_action ctx ~indent (a : Ir.action) =
+  List.iter
+    (fun (assignment : Ir.assignment) ->
+      match assignment with
+      | Ir.Set_var { target; value } -> (
+          match Ir.find_var ctx.device target with
+          | Some tv ->
+              add ctx "%s%s_set_%s(%s);\n" indent ctx.prefix target
+                (render_operand ctx tv value)
+          | None -> add ctx "%s/* unknown target %s */\n" indent target)
+      | Ir.Set_struct { target; fields } -> (
+          match Ir.find_struct ctx.device target with
+          | Some s ->
+              let args =
+                List.map
+                  (fun fname ->
+                    match List.assoc_opt fname fields with
+                    | Some o -> (
+                        match Ir.find_var ctx.device fname with
+                        | Some fv -> render_operand ctx fv o
+                        | None -> "0u")
+                    | None ->
+                        Printf.sprintf "%s_get_%s()" ctx.prefix fname)
+                  s.s_fields
+              in
+              add ctx "%s%s_set_%s(%s);\n" indent ctx.prefix target
+                (String.concat ", " args)
+          | None -> add ctx "%s/* unknown structure %s */\n" indent target))
+    a
+
+(* {1 Register raw accessors} *)
+
+let covered_mask (m : Mask.t) =
+  List.fold_left (fun acc b -> acc lor (1 lsl b)) 0 (Mask.covered_bits m)
+
+let emit_reg_writer ctx (r : Ir.reg) =
+  match r.r_write with
+  | None -> ()
+  | Some lp ->
+      let w = port_width ctx lp in
+      add ctx "static inline void %s_write_%s(unsigned int raw)\n{\n"
+        ctx.prefix r.r_name;
+      emit_action ctx ~indent:"  " r.r_pre;
+      let cm = covered_mask r.r_mask in
+      let forced = Mask.forced_value r.r_mask in
+      add ctx "  %s((raw & 0x%xu) | 0x%xu, %s);\n" (io_out w) cm forced
+        (addr_expr ctx lp);
+      emit_action ctx ~indent:"  " r.r_post;
+      emit_action ctx ~indent:"  " r.r_set;
+      add ctx "  %s.%s = raw;\n" (cache_name ctx) (reg_cache r.r_name);
+      add ctx "  %s.%s = 1;\n" (cache_name ctx) (reg_valid r.r_name);
+      add ctx "}\n\n"
+
+let emit_reg_reader ctx (r : Ir.reg) =
+  match r.r_read with
+  | None -> ()
+  | Some lp ->
+      let w = port_width ctx lp in
+      add ctx "static inline unsigned int %s_read_%s(void)\n{\n" ctx.prefix
+        r.r_name;
+      emit_action ctx ~indent:"  " r.r_pre;
+      add ctx "  unsigned int raw = %s(%s);\n" (io_in w) (addr_expr ctx lp);
+      emit_action ctx ~indent:"  " r.r_post;
+      add ctx "  %s.%s = raw;\n" (cache_name ctx) (reg_cache r.r_name);
+      add ctx "  %s.%s = 1;\n" (cache_name ctx) (reg_valid r.r_name);
+      add ctx "  return raw;\n}\n\n"
+
+(* {1 Bit plumbing expressions} *)
+
+(* Expression extracting variable bits from per-register raw
+   expressions (MSB-first). *)
+let gather_expr (v : Ir.var) ~(reg_expr : string -> string) =
+  let parts = ref [] in
+  let shift = ref (Ir.var_width v) in
+  List.iter
+    (fun (c : Ir.chunk) ->
+      List.iter
+        (fun (hi, lo) ->
+          let w = hi - lo + 1 in
+          shift := !shift - w;
+          let m = (1 lsl w) - 1 in
+          let part =
+            Printf.sprintf "(((%s >> %d) & 0x%xu) << %d)" (reg_expr c.c_reg)
+              lo m !shift
+          in
+          parts := part :: !parts)
+        c.c_ranges)
+    v.v_chunks;
+  String.concat " | " (List.rev !parts)
+
+(* Statements inserting variable bits into a register image variable
+   named [img_of reg]. *)
+let emit_scatter ctx ~indent (v : Ir.var) ~value_expr ~img_of =
+  let total = Ir.var_width v in
+  let consumed = ref 0 in
+  List.iter
+    (fun (c : Ir.chunk) ->
+      List.iter
+        (fun (hi, lo) ->
+          let w = hi - lo + 1 in
+          let m = (1 lsl w) - 1 in
+          let src_shift = total - !consumed - w in
+          add ctx "%s%s = (%s & ~0x%xu) | ((((%s) >> %d) & 0x%xu) << %d);\n"
+            indent (img_of c.c_reg) (img_of c.c_reg) (m lsl lo) value_expr
+            src_shift m lo;
+          consumed := !consumed + w)
+        c.c_ranges)
+    v.v_chunks
+
+let neutral_const ctx (v : Ir.var) =
+  match v.v_behaviour.b_trigger with
+  | Some { tr_write = true; tr_exempt = Some (Ir.Neutral value); _ } -> (
+      match Dtype.encode v.v_type value with Ok raw -> Some raw | Error _ -> None)
+  | Some { tr_write = true; tr_exempt = Some (Ir.Only value); _ } -> (
+      match Dtype.encode v.v_type value with
+      | Ok raw -> Some (if raw = 0 then 1 else 0)
+      | Error _ -> Some 0)
+  | Some _ | None ->
+      ignore ctx;
+      None
+
+(* The compose-base expression for rewriting register [r]: cached bits
+   if valid, with every write-trigger sibling forced to its neutral. *)
+let compose_base_expr ctx (r : Ir.reg) =
+  let base =
+    Printf.sprintf "(%s.%s ? %s.%s : 0u)" (cache_name ctx)
+      (reg_valid r.r_name) (cache_name ctx) (reg_cache r.r_name)
+  in
+  let vars = Ir.vars_of_reg ctx.device r.r_name in
+  List.fold_left
+    (fun expr (v : Ir.var) ->
+      match neutral_const ctx v with
+      | None -> expr
+      | Some raw ->
+          (* Clear the sibling's bits, then set the neutral pattern. *)
+          let clear = ref 0 and setv = ref 0 in
+          let total = Ir.var_width v in
+          let consumed = ref 0 in
+          List.iter
+            (fun (c : Ir.chunk) ->
+              List.iter
+                (fun (hi, lo) ->
+                  let w = hi - lo + 1 in
+                  if String.equal c.c_reg r.r_name then begin
+                    let m = ((1 lsl w) - 1) lsl lo in
+                    clear := !clear lor m;
+                    let field = (raw lsr (total - !consumed - w)) land ((1 lsl w) - 1) in
+                    setv := !setv lor (field lsl lo)
+                  end;
+                  consumed := !consumed + w)
+                c.c_ranges)
+            v.v_chunks;
+          Printf.sprintf "((%s & ~0x%xu) | 0x%xu)" expr !clear !setv)
+    base vars
+
+(* {1 Dynamic checks} *)
+
+let emit_write_check ctx ~indent (v : Ir.var) =
+  let fail msg =
+    add ctx "%s#ifdef DEVIL_DEBUG\n" indent;
+    add ctx "%sif (%s) devil_check_failed(\"%s\");\n" indent msg v.v_name;
+    add ctx "%s#endif\n" indent
+  in
+  match v.v_type with
+  | Dtype.Bool -> fail "(v & ~1u) != 0u"
+  | Dtype.Int { signed = false; bits } ->
+      fail (Printf.sprintf "(v & ~0x%xu) != 0u" ((1 lsl bits) - 1))
+  | Dtype.Int { signed = true; bits } ->
+      fail
+        (Printf.sprintf "(int)(v) < -%d || (int)(v) >= %d" (1 lsl (bits - 1))
+           (1 lsl (bits - 1)))
+  | Dtype.Int_set { values; _ } ->
+      let tests =
+        List.map (fun x -> Printf.sprintf "v != 0x%xu" x) values
+      in
+      if List.length tests <= 16 then fail (String.concat " && " tests)
+  | Dtype.Enum cases ->
+      let writable =
+        List.filter_map
+          (fun (c : Dtype.enum_case) ->
+            if Dtype.writable_case c.dir then Bitpat.value c.pattern else None)
+          cases
+      in
+      let tests = List.map (fun x -> Printf.sprintf "v != 0x%xu" x) writable in
+      if tests <> [] then fail (String.concat " && " tests)
+
+(* {1 Variable accessors} *)
+
+let c_type_of (v : Ir.var) =
+  match v.v_type with
+  | Dtype.Int { signed = true; _ } -> "int"
+  | Dtype.Bool | Dtype.Int _ | Dtype.Int_set _ | Dtype.Enum _ -> "unsigned int"
+
+let sign_adjust (v : Ir.var) expr =
+  match v.v_type with
+  | Dtype.Int { signed = true; bits } ->
+      Printf.sprintf "(((int)((%s) << %d)) >> %d)" expr (32 - bits) (32 - bits)
+  | _ -> expr
+
+let emit_var_setter ctx (v : Ir.var) =
+  let regs =
+    List.filter_map
+      (fun (c : Ir.chunk) -> Ir.find_reg ctx.device c.c_reg)
+      v.v_chunks
+  in
+  let seen = Hashtbl.create 4 in
+  let regs =
+    List.filter
+      (fun (r : Ir.reg) ->
+        if Hashtbl.mem seen r.r_name then false
+        else begin
+          Hashtbl.add seen r.r_name ();
+          true
+        end)
+      regs
+  in
+  if v.v_chunks = [] then begin
+    (* Memory cell. *)
+    add ctx "static inline void %s_set_%s(unsigned int v)\n{\n" ctx.prefix
+      v.v_name;
+    add ctx "  %s.%s = v;\n}\n\n" (cache_name ctx) (mem_field v.v_name)
+  end
+  else if List.for_all (fun (r : Ir.reg) -> not (Ir.reg_writable r)) regs then
+    ()
+  else begin
+    add ctx "static inline void %s_set_%s(unsigned int v)\n{\n" ctx.prefix
+      v.v_name;
+    emit_write_check ctx ~indent:"  " v;
+    emit_action ctx ~indent:"  " v.v_pre;
+    List.iter
+      (fun (r : Ir.reg) ->
+        add ctx "  unsigned int img_%s = %s;\n" r.r_name
+          (compose_base_expr ctx r))
+      regs;
+    emit_scatter ctx ~indent:"  " v ~value_expr:"v" ~img_of:(fun reg ->
+        Printf.sprintf "img_%s" reg);
+    let order =
+      match v.v_serial with
+      | None -> List.map (fun (r : Ir.reg) -> (None, r)) regs
+      | Some items ->
+          List.filter_map
+            (fun (i : Ir.serial_item) ->
+              Option.map
+                (fun r -> (i.si_cond, r))
+                (Ir.find_reg ctx.device i.si_reg))
+            items
+    in
+    List.iter
+      (fun ((cond : Ir.serial_cond option), (r : Ir.reg)) ->
+        match cond with
+        | None -> add ctx "  %s_write_%s(img_%s);\n" ctx.prefix r.r_name r.r_name
+        | Some c ->
+            let actual =
+              if String.equal c.sc_var v.v_name then "v"
+              else Printf.sprintf "%s_get_%s()" ctx.prefix c.sc_var
+            in
+            let expected =
+              match Ir.find_var ctx.device c.sc_var with
+              | Some cv -> render_operand ctx cv c.sc_value
+              | None -> "0u"
+            in
+            add ctx "  if (%s %s %s) %s_write_%s(img_%s);\n" actual
+              (if c.sc_negated then "!=" else "==")
+              expected ctx.prefix r.r_name r.r_name)
+      order;
+    emit_action ctx ~indent:"  " v.v_set;
+    emit_action ctx ~indent:"  " v.v_post;
+    add ctx "}\n\n"
+  end
+
+let emit_var_getter ctx (v : Ir.var) =
+  if v.v_chunks = [] then begin
+    add ctx "static inline unsigned int %s_get_%s(void)\n{\n" ctx.prefix
+      v.v_name;
+    add ctx "  return %s.%s;\n}\n\n" (cache_name ctx) (mem_field v.v_name)
+  end
+  else begin
+    let fresh =
+      v.v_behaviour.b_volatile
+      || match v.v_behaviour.b_trigger with
+         | Some { tr_read = true; _ } -> true
+         | Some _ | None -> false
+    in
+    add ctx "static inline %s %s_get_%s(void)\n{\n" (c_type_of v) ctx.prefix
+      v.v_name;
+    (match v.v_struct with
+    | Some sname ->
+        (* Field stub: the structure read filled the cache. *)
+        let reg_expr reg =
+          Printf.sprintf "%s.%s.%s" (cache_name ctx) (struct_cache sname)
+            (reg_cache reg)
+        in
+        add ctx "  return %s;\n" (sign_adjust v (gather_expr v ~reg_expr))
+    | None ->
+        let reg_expr reg =
+          match Ir.find_reg ctx.device reg with
+          | Some r when fresh && Ir.reg_readable r ->
+              Printf.sprintf "%s_read_%s()" ctx.prefix reg
+          | Some r when Ir.reg_readable r ->
+              Printf.sprintf "(%s.%s ? %s.%s : %s_read_%s())" (cache_name ctx)
+                (reg_valid reg) (cache_name ctx) (reg_cache reg) ctx.prefix reg
+          | _ ->
+              Printf.sprintf "%s.%s" (cache_name ctx) (reg_cache reg)
+        in
+        (* Evaluate register reads once, in chunk order. *)
+        let seen = Hashtbl.create 4 in
+        List.iter
+          (fun (c : Ir.chunk) ->
+            if not (Hashtbl.mem seen c.c_reg) then begin
+              Hashtbl.add seen c.c_reg ();
+              add ctx "  unsigned int raw_%s = %s;\n" c.c_reg
+                (reg_expr c.c_reg)
+            end)
+          v.v_chunks;
+        add ctx "  return %s;\n"
+          (sign_adjust v
+             (gather_expr v ~reg_expr:(fun reg -> "raw_" ^ reg))));
+    add ctx "}\n\n"
+  end
+
+(* {1 Structures} *)
+
+let struct_regs ctx (s : Ir.strct) =
+  let seen = Hashtbl.create 8 in
+  List.concat_map
+    (fun fname ->
+      match Ir.find_var ctx.device fname with
+      | None -> []
+      | Some v ->
+          List.filter_map
+            (fun (c : Ir.chunk) ->
+              if Hashtbl.mem seen c.c_reg then None
+              else begin
+                Hashtbl.add seen c.c_reg ();
+                Ir.find_reg ctx.device c.c_reg
+              end)
+            v.v_chunks)
+    s.s_fields
+
+let emit_struct_getter ctx (s : Ir.strct) =
+  let regs = struct_regs ctx s in
+  if List.for_all (fun (r : Ir.reg) -> Ir.reg_readable r) regs then begin
+    add ctx "static inline void %s_get_%s(void)\n{\n" ctx.prefix s.s_name;
+    List.iter
+      (fun (r : Ir.reg) ->
+        add ctx "  %s.%s.%s = %s_read_%s();\n" (cache_name ctx)
+          (struct_cache s.s_name) (reg_cache r.r_name) ctx.prefix r.r_name)
+      regs;
+    add ctx "}\n\n"
+  end
+
+let emit_struct_setter ctx (s : Ir.strct) =
+  let regs = struct_regs ctx s in
+  if List.exists (fun (r : Ir.reg) -> Ir.reg_writable r) regs then begin
+    let params =
+      String.concat ", "
+        (List.map (fun f -> Printf.sprintf "unsigned int %s" f) s.s_fields)
+    in
+    add ctx "static inline void %s_set_%s(%s)\n{\n" ctx.prefix s.s_name params;
+    List.iter
+      (fun (r : Ir.reg) ->
+        add ctx "  unsigned int img_%s = %s;\n" r.r_name
+          (compose_base_expr ctx r))
+      regs;
+    List.iter
+      (fun fname ->
+        match Ir.find_var ctx.device fname with
+        | Some v ->
+            emit_scatter ctx ~indent:"  " v ~value_expr:fname
+              ~img_of:(fun reg -> Printf.sprintf "img_%s" reg)
+        | None -> ())
+      s.s_fields;
+    let order =
+      match s.s_serial with
+      | None -> List.map (fun (r : Ir.reg) -> (None, r)) regs
+      | Some items ->
+          List.filter_map
+            (fun (i : Ir.serial_item) ->
+              Option.map
+                (fun r -> (i.si_cond, r))
+                (Ir.find_reg ctx.device i.si_reg))
+            items
+    in
+    List.iter
+      (fun ((cond : Ir.serial_cond option), (r : Ir.reg)) ->
+        let write =
+          Printf.sprintf "%s_write_%s(img_%s);" ctx.prefix r.r_name r.r_name
+        in
+        match cond with
+        | None -> add ctx "  %s\n" write
+        | Some c ->
+            let actual =
+              if List.mem c.sc_var s.s_fields then c.sc_var
+              else Printf.sprintf "%s_get_%s()" ctx.prefix c.sc_var
+            in
+            let expected =
+              match Ir.find_var ctx.device c.sc_var with
+              | Some cv -> render_operand ctx cv c.sc_value
+              | None -> "0u"
+            in
+            add ctx "  if (%s %s %s) %s\n" actual
+              (if c.sc_negated then "!=" else "==")
+              expected write)
+      order;
+    (* Per-field set actions, with the new values in scope. *)
+    List.iter
+      (fun fname ->
+        match Ir.find_var ctx.device fname with
+        | Some v when v.v_set <> [] ->
+            List.iter
+              (fun (assignment : Ir.assignment) ->
+                match assignment with
+                | Ir.Set_var { target; value } ->
+                    let expr =
+                      match value with
+                      | Ir.O_var src when String.equal src fname -> fname
+                      | o -> (
+                          match Ir.find_var ctx.device target with
+                          | Some tv -> render_operand ctx tv o
+                          | None -> "0u")
+                    in
+                    add ctx "  %s_set_%s(%s);\n" ctx.prefix target expr
+                | Ir.Set_struct _ -> ())
+              v.v_set
+        | Some _ | None -> ())
+      s.s_fields;
+    add ctx "}\n\n"
+  end
+
+(* {1 Block transfer stubs} *)
+
+let emit_block_stubs ctx (v : Ir.var) =
+  match v.v_chunks with
+  | [ { c_reg; c_ranges = [ (hi, lo) ] } ] when v.v_behaviour.b_block -> (
+      match Ir.find_reg ctx.device c_reg with
+      | Some r when lo = 0 && hi = r.r_size - 1 ->
+          let emit_one dir (lp : Ir.located_port) =
+            let w = port_width ctx lp in
+            if dir = `Read then begin
+              add ctx
+                "static inline void %s_read_%s_block(unsigned int *buf, \
+                 unsigned int count)\n{\n"
+                ctx.prefix v.v_name;
+              emit_action ctx ~indent:"  " r.r_pre;
+              add ctx "  __devil_ins%d(%s, buf, count);\n" w (addr_expr ctx lp);
+              emit_action ctx ~indent:"  " r.r_post;
+              add ctx "}\n\n"
+            end
+            else begin
+              add ctx
+                "static inline void %s_write_%s_block(const unsigned int \
+                 *buf, unsigned int count)\n{\n"
+                ctx.prefix v.v_name;
+              emit_action ctx ~indent:"  " r.r_pre;
+              add ctx "  __devil_outs%d(%s, buf, count);\n" w
+                (addr_expr ctx lp);
+              emit_action ctx ~indent:"  " r.r_post;
+              add ctx "}\n\n"
+            end
+          in
+          Option.iter (emit_one `Read) r.r_read;
+          Option.iter (emit_one `Write) r.r_write
+      | Some _ | None -> ())
+  | _ -> ()
+
+(* {1 Templates: indexed register stubs} *)
+
+let emit_template_stubs ctx (t : Ir.template) =
+  let params =
+    String.concat ", "
+      (List.map (fun (p, _) -> Printf.sprintf "unsigned int %s" p) t.t_params)
+  in
+  (match t.t_read with
+  | Some lp ->
+      let w = port_width ctx lp in
+      add ctx "static inline unsigned int %s_read_%s(%s)\n{\n" ctx.prefix
+        t.t_name params;
+      emit_action ctx ~indent:"  " t.t_pre;
+      add ctx "  return %s(%s);\n" (io_in w) (addr_expr ctx lp);
+      add ctx "}\n\n"
+  | None -> ());
+  match t.t_write with
+  | Some lp ->
+      let w = port_width ctx lp in
+      let params' = if params = "" then "unsigned int raw" else params ^ ", unsigned int raw" in
+      add ctx "static inline void %s_write_%s(%s)\n{\n" ctx.prefix t.t_name
+        params';
+      emit_action ctx ~indent:"  " t.t_pre;
+      let cm = covered_mask t.t_mask in
+      let forced = Mask.forced_value t.t_mask in
+      add ctx "  %s((raw & 0x%xu) | 0x%xu, %s);\n" (io_out w) cm forced
+        (addr_expr ctx lp);
+      emit_action ctx ~indent:"  " t.t_post;
+      add ctx "}\n\n"
+  | None -> ()
+
+(* {1 Top level} *)
+
+let emit_cache_struct ctx =
+  add ctx "struct %s_devil_cache {\n" ctx.prefix;
+  List.iter
+    (fun (p : Ir.port) ->
+      add ctx "  unsigned long %s;\n" (port_field p.p_name))
+    ctx.device.d_ports;
+  List.iter
+    (fun (r : Ir.reg) ->
+      add ctx "  unsigned int %s;\n  unsigned char %s;\n" (reg_cache r.r_name)
+        (reg_valid r.r_name))
+    ctx.device.d_regs;
+  List.iter
+    (fun (s : Ir.strct) ->
+      add ctx "  struct {\n";
+      List.iter
+        (fun (r : Ir.reg) -> add ctx "    unsigned int %s;\n" (reg_cache r.r_name))
+        (struct_regs ctx s);
+      add ctx "  } %s;\n" (struct_cache s.s_name))
+    ctx.device.d_structs;
+  List.iter
+    (fun (v : Ir.var) ->
+      if v.v_chunks = [] then
+        add ctx "  unsigned int %s;\n" (mem_field v.v_name))
+    ctx.device.d_vars;
+  add ctx "};\n";
+  add ctx "static struct %s_devil_cache %s;\n\n" ctx.prefix (cache_name ctx)
+
+let emit_init ctx =
+  let params =
+    String.concat ", "
+      (List.map
+         (fun (p : Ir.port) -> Printf.sprintf "unsigned long %s" p.p_name)
+         ctx.device.d_ports)
+  in
+  add ctx "static inline void %s_init(%s)\n{\n" ctx.prefix params;
+  List.iter
+    (fun (p : Ir.port) ->
+      add ctx "  %s.%s = %s;\n" (cache_name ctx) (port_field p.p_name) p.p_name)
+    ctx.device.d_ports;
+  add ctx "}\n\n"
+
+let prologue ctx =
+  add ctx "/* Generated by devilc from device '%s'. Do not edit. */\n"
+    ctx.device.d_name;
+  add ctx "#ifndef DEVIL_%s_H\n#define DEVIL_%s_H\n\n"
+    (upper ctx.device.d_name) (upper ctx.device.d_name);
+  add ctx "/* I/O primitives (inb/outb/inw/outw/inl/outl) and the string\n";
+  add ctx " * variants come from the environment, e.g. <asm/io.h>. */\n";
+  add ctx "#ifndef __devil_ins8\n";
+  add ctx "#define __devil_ins8(port, buf, n) insb((port), (buf), (n))\n";
+  add ctx "#define __devil_ins16(port, buf, n) insw((port), (buf), (n))\n";
+  add ctx "#define __devil_ins32(port, buf, n) insl((port), (buf), (n))\n";
+  add ctx "#define __devil_outs8(port, buf, n) outsb((port), (buf), (n))\n";
+  add ctx "#define __devil_outs16(port, buf, n) outsw((port), (buf), (n))\n";
+  add ctx "#define __devil_outs32(port, buf, n) outsl((port), (buf), (n))\n";
+  add ctx "#endif\n";
+  add ctx "#ifdef DEVIL_DEBUG\n";
+  add ctx "extern void devil_check_failed(const char *what);\n";
+  add ctx "#endif\n\n"
+
+let epilogue ctx =
+  add ctx "#endif /* DEVIL_%s_H */\n" (upper ctx.device.d_name)
+
+(* Emission order must respect dependencies: pre-actions of a register
+   call the setters of the variables they assign, which themselves call
+   register writers. Variables and registers appear in declaration
+   order, which the elaborator guarantees to be define-before-use, so a
+   forward declaration pass keeps C happy. *)
+let emit_forward_decls ctx =
+  List.iter
+    (fun (v : Ir.var) ->
+      if v.v_chunks = [] then
+        add ctx "static inline void %s_set_%s(unsigned int v);\n" ctx.prefix
+          v.v_name
+      else begin
+        let regs =
+          List.filter_map
+            (fun (c : Ir.chunk) -> Ir.find_reg ctx.device c.c_reg)
+            v.v_chunks
+        in
+        if List.exists Ir.reg_writable regs then
+          add ctx "static inline void %s_set_%s(unsigned int v);\n" ctx.prefix
+            v.v_name
+      end;
+      add ctx "static inline %s %s_get_%s(void);\n" (c_type_of v) ctx.prefix
+        v.v_name)
+    ctx.device.d_vars;
+  List.iter
+    (fun (s : Ir.strct) ->
+      let regs = struct_regs ctx s in
+      if List.for_all Ir.reg_readable regs && regs <> [] then
+        add ctx "static inline void %s_get_%s(void);\n" ctx.prefix s.s_name;
+      if List.exists Ir.reg_writable regs then begin
+        let params =
+          String.concat ", "
+            (List.map (fun f -> Printf.sprintf "unsigned int %s" f) s.s_fields)
+        in
+        add ctx "static inline void %s_set_%s(%s);\n" ctx.prefix s.s_name
+          params
+      end)
+    ctx.device.d_structs;
+  add ctx "\n"
+
+let generate ?prefix (device : Ir.device) =
+  let prefix = Option.value prefix ~default:device.d_name in
+  let ctx = { buf = Buffer.create 8192; device; prefix } in
+  prologue ctx;
+  emit_cache_struct ctx;
+  emit_init ctx;
+  emit_enum_macros ctx;
+  add ctx "\n";
+  emit_forward_decls ctx;
+  List.iter
+    (fun r ->
+      emit_reg_writer ctx r;
+      emit_reg_reader ctx r)
+    device.d_regs;
+  List.iter (emit_template_stubs ctx) device.d_templates;
+  List.iter
+    (fun v ->
+      emit_var_setter ctx v;
+      emit_var_getter ctx v;
+      emit_block_stubs ctx v)
+    device.d_vars;
+  List.iter
+    (fun s ->
+      emit_struct_getter ctx s;
+      emit_struct_setter ctx s)
+    device.d_structs;
+  epilogue ctx;
+  Buffer.contents ctx.buf

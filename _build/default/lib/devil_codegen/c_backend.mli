@@ -1,0 +1,21 @@
+(** C stub generation: the output the paper's Devil compiler produced
+    (Figure 3c). For a verified device the backend emits a header with
+
+    - a cache structure holding the port bases, one slot per register
+      and per structure, and the memory-cell variables;
+    - [<dev>_get_<var>()] / [<dev>_set_<var>(v)] accessors performing
+      the masked, shifted I/O, running pre/post/set actions inline;
+    - [<dev>_get_<struct>()] / [<dev>_set_<struct>(...)] stubs that
+      touch each register once and honour the serialization order
+      (conditional items become C conditionals on the written values);
+    - block-transfer stubs ([rep insw]-style string operations) for
+      [block] variables;
+    - optional dynamic checks under [DEVIL_DEBUG] (paper §3.2).
+
+    The generated text is deterministic and golden-tested. *)
+
+module Ir = Devil_ir.Ir
+
+val generate : ?prefix:string -> Ir.device -> string
+(** [generate device] returns the full header text. [prefix] overrides
+    the accessor prefix (default: the device name). *)

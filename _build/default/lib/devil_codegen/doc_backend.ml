@@ -1,0 +1,241 @@
+module Ir = Devil_ir.Ir
+module Dtype = Devil_ir.Dtype
+module Mask = Devil_bits.Mask
+module Bitpat = Devil_bits.Bitpat
+
+let buf_add = Buffer.add_string
+
+(* Who owns each bit of a register: variable name, forced value, or
+   "-" for irrelevant bits. *)
+let bit_owner (device : Ir.device) (r : Ir.reg) bit =
+  match Mask.bit r.r_mask bit with
+  | Mask.Forced b -> if b then "=1" else "=0"
+  | Mask.Irrelevant -> "-"
+  | Mask.Covered -> (
+      let owner =
+        List.find_opt
+          (fun (v : Ir.var) ->
+            List.exists
+              (fun (c : Ir.chunk) ->
+                String.equal c.c_reg r.r_name
+                && List.exists (fun (hi, lo) -> bit <= hi && bit >= lo)
+                     c.c_ranges)
+              v.v_chunks)
+          device.d_vars
+      in
+      match owner with Some v -> v.v_name | None -> "?")
+
+let access_string (r : Ir.reg) =
+  match (r.r_read, r.r_write) with
+  | Some _, Some _ -> "rw"
+  | Some _, None -> "r "
+  | None, Some _ -> " w"
+  | None, None -> "--"
+
+let point_string = function
+  | Some (lp : Ir.located_port) ->
+      Printf.sprintf "%s+%d" lp.lp_port lp.lp_offset
+  | None -> "-"
+
+let behaviour_string (v : Ir.var) =
+  let b = v.v_behaviour in
+  let parts =
+    (if b.b_volatile then [ "volatile" ] else [])
+    @ (match b.b_trigger with
+      | Some { tr_read = true; tr_write = true; _ } -> [ "trigger" ]
+      | Some { tr_read = true; _ } -> [ "read trigger" ]
+      | Some { tr_write = true; tr_exempt; _ } ->
+          [
+            (match tr_exempt with
+            | Some (Ir.Neutral value) ->
+                Printf.sprintf "write trigger (neutral %s)"
+                  (Devil_ir.Value.to_string value)
+            | Some (Ir.Only value) ->
+                Printf.sprintf "write trigger (for %s)"
+                  (Devil_ir.Value.to_string value)
+            | None -> "write trigger");
+          ]
+      | Some _ | None -> [])
+    @ if b.b_block then [ "block" ] else []
+  in
+  match parts with [] -> "parameter (cached)" | _ -> String.concat ", " parts
+
+let type_string (v : Ir.var) =
+  Format.asprintf "%a" Dtype.pp v.v_type
+
+let chunks_string (v : Ir.var) =
+  match v.v_chunks with
+  | [] -> "(memory cell)"
+  | chunks ->
+      String.concat " # "
+        (List.map
+           (fun (c : Ir.chunk) ->
+             let ranges =
+               String.concat ","
+                 (List.map
+                    (fun (hi, lo) ->
+                      if hi = lo then string_of_int hi
+                      else Printf.sprintf "%d..%d" hi lo)
+                    c.c_ranges)
+             in
+             Printf.sprintf "%s[%s]" c.c_reg ranges)
+           chunks)
+
+type style = Text | Markdown
+
+let render style (device : Ir.device) =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> buf_add b s; buf_add b "\n") fmt in
+  let h1 s = match style with
+    | Text ->
+        line "%s" s;
+        line "%s" (String.make (String.length s) '=')
+    | Markdown -> line "# %s" s
+  in
+  let h2 s = match style with
+    | Text ->
+        line "";
+        line "%s" s;
+        line "%s" (String.make (String.length s) '-')
+    | Markdown ->
+        line "";
+        line "## %s" s
+  in
+  h1 (Printf.sprintf "Device %s" device.d_name);
+  line "";
+  line "Generated from the Devil specification; the specification is the";
+  line "authoritative reference (paper section 4.1).";
+
+  h2 "Ports";
+  (match style with
+  | Markdown ->
+      line "| port | width | offsets |";
+      line "|---|---|---|"
+  | Text -> ());
+  List.iter
+    (fun (p : Ir.port) ->
+      let offsets =
+        String.concat "," (List.map string_of_int p.p_offsets)
+      in
+      match style with
+      | Text -> line "  %-10s %2d-bit  offsets {%s}" p.p_name p.p_width offsets
+      | Markdown ->
+          line "| `%s` | %d-bit | {%s} |" p.p_name p.p_width offsets)
+    device.d_ports;
+  List.iter
+    (fun (name, ty) ->
+      line "  configuration parameter %s : %s" name
+        (Format.asprintf "%a" Dtype.pp ty))
+    device.d_consts;
+
+  h2 "Register map";
+  (match style with
+  | Markdown ->
+      line "| register | acc | read at | write at | bit 7..0 |";
+      line "|---|---|---|---|---|"
+  | Text -> ());
+  List.iter
+    (fun (r : Ir.reg) ->
+      let bits =
+        String.concat " | "
+          (List.init r.r_size (fun i -> bit_owner device r (r.r_size - 1 - i)))
+      in
+      match style with
+      | Text ->
+          line "  %-16s %s  r:%-8s w:%-8s" r.r_name (access_string r)
+            (point_string r.r_read) (point_string r.r_write);
+          if r.r_size <= 8 then line "      [%s]" bits;
+          if r.r_pre <> [] then line "      pre-actions: %d" (List.length r.r_pre)
+      | Markdown ->
+          line "| `%s` | %s | %s | %s | %s |" r.r_name
+            (String.trim (access_string r))
+            (point_string r.r_read) (point_string r.r_write)
+            (if r.r_size <= 8 then bits else Printf.sprintf "%d bits" r.r_size))
+    device.d_regs;
+  List.iter
+    (fun (t : Ir.template) ->
+      let params =
+        String.concat ", "
+          (List.map
+             (fun (n, vs) -> Printf.sprintf "%s in {%d values}" n (List.length vs))
+             t.t_params)
+      in
+      match style with
+      | Text -> line "  %-16s parameterized (%s)" (t.t_name ^ "(...)") params
+      | Markdown ->
+          line "| `%s(...)` | %s | %s | %s | parameterized: %s |" t.t_name
+            "rw" (point_string t.t_read) (point_string t.t_write) params)
+    device.d_templates;
+
+  h2 "Functional interface (public device variables)";
+  (match style with
+  | Markdown ->
+      line "| variable | bits | type | behaviour |";
+      line "|---|---|---|---|"
+  | Text -> ());
+  let serial_string (items : Ir.serial_item list) =
+    String.concat "; "
+      (List.map
+         (fun (i : Ir.serial_item) ->
+           match i.si_cond with
+           | None -> i.si_reg
+           | Some c ->
+               Printf.sprintf "[if %s %s ...] %s" c.sc_var
+                 (if c.sc_negated then "!=" else "==")
+                 i.si_reg)
+         items)
+  in
+  List.iter
+    (fun (v : Ir.var) ->
+      match style with
+      | Text ->
+          line "  %-20s %-24s : %s" v.v_name (chunks_string v) (type_string v);
+          line "      %s" (behaviour_string v);
+          (match v.v_serial with
+          | Some items -> line "      serialized as: %s" (serial_string items)
+          | None -> ())
+      | Markdown ->
+          let serial =
+            match v.v_serial with
+            | Some items -> " — serialized as: " ^ serial_string items
+            | None -> ""
+          in
+          line "| `%s` | `%s` | `%s` | %s%s |" v.v_name (chunks_string v)
+            (type_string v) (behaviour_string v) serial)
+    (Ir.public_vars device);
+
+  let privates =
+    List.filter (fun (v : Ir.var) -> v.v_private) device.d_vars
+  in
+  if privates <> [] then begin
+    h2 "Private state (not part of the interface)";
+    List.iter
+      (fun (v : Ir.var) ->
+        line "  %s = %s : %s" v.v_name (chunks_string v) (type_string v))
+      privates
+  end;
+
+  if device.d_structs <> [] then begin
+    h2 "Structures";
+    List.iter
+      (fun (s : Ir.strct) ->
+        line "  %s { %s }" s.s_name (String.concat ", " s.s_fields);
+        match s.s_serial with
+        | None -> ()
+        | Some items ->
+            let item_str (i : Ir.serial_item) =
+              match i.si_cond with
+              | None -> i.si_reg
+              | Some c ->
+                  Printf.sprintf "[if %s %s ...] %s" c.sc_var
+                    (if c.sc_negated then "!=" else "==")
+                    i.si_reg
+            in
+            line "      serialized as: %s"
+              (String.concat "; " (List.map item_str items)))
+      device.d_structs
+  end;
+  Buffer.contents b
+
+let generate device = render Text device
+let generate_markdown device = render Markdown device

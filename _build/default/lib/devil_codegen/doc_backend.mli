@@ -1,0 +1,15 @@
+(** Documentation generation: the paper argues a Devil specification
+    "is so close to a device description that it can be used for
+    documentation purposes" (§4.1). This backend renders a verified
+    specification as a human-readable data sheet: the port map, a
+    register map with per-bit ownership, the functional interface
+    (public variables with types and behaviours), and the structures
+    with their serialization orders. *)
+
+module Ir = Devil_ir.Ir
+
+val generate : Ir.device -> string
+(** Plain-text data sheet. *)
+
+val generate_markdown : Ir.device -> string
+(** The same content as Markdown (tables for the register map). *)

@@ -1,0 +1,613 @@
+module Ir = Devil_ir.Ir
+module Dtype = Devil_ir.Dtype
+module Value = Devil_ir.Value
+module Mask = Devil_bits.Mask
+module Bitpat = Devil_bits.Bitpat
+
+type ctx = { buf : Buffer.t; device : Ir.device }
+
+let add ctx fmt = Printf.ksprintf (Buffer.add_string ctx.buf) fmt
+
+let reg_cache r = Printf.sprintf "cache_%s" r
+let reg_valid r = Printf.sprintf "valid_%s" r
+let mem_cell v = Printf.sprintf "mem_%s" v
+let scache s r = Printf.sprintf "scache_%s_%s" s r
+let svalid s = Printf.sprintf "svalid_%s" s
+
+let const_name (v : Ir.var) case =
+  Printf.sprintf "const_%s_%s" (String.lowercase_ascii v.v_name)
+    (String.lowercase_ascii case)
+
+let port_width ctx (lp : Ir.located_port) =
+  match Ir.find_port ctx.device lp.lp_port with
+  | Some p -> p.p_width
+  | None -> 8
+
+let addr_expr (lp : Ir.located_port) =
+  if lp.lp_offset = 0 then Printf.sprintf "base_%s" lp.lp_port
+  else Printf.sprintf "base_%s + %d" lp.lp_port lp.lp_offset
+
+let covered_mask (m : Mask.t) =
+  List.fold_left (fun acc b -> acc lor (1 lsl b)) 0 (Mask.covered_bits m)
+
+(* {1 Value rendering} *)
+
+let render_const ctx (target : Ir.var) (value : Value.t) =
+  ignore ctx;
+  match (value, target.v_type) with
+  | Value.Int n, _ -> string_of_int n
+  | Value.Bool b, _ -> if b then "1" else "0"
+  | Value.Enum name, ty -> (
+      match Dtype.find_case ty name with
+      | Some c -> (
+          match Bitpat.value c.pattern with
+          | Some raw -> string_of_int raw
+          | None -> "0")
+      | None -> "0")
+
+let render_operand ctx (target : Ir.var) (o : Ir.operand) =
+  match o with
+  | Ir.O_int n -> string_of_int n
+  | Ir.O_bool b -> if b then "1" else "0"
+  | Ir.O_enum name -> render_const ctx target (Value.Enum name)
+  | Ir.O_any -> "0"
+  | Ir.O_var src -> Printf.sprintf "(get_%s ())" src
+  | Ir.O_param p -> Printf.sprintf "%s" p
+
+let label f = String.lowercase_ascii f
+
+let emit_action ctx ~indent (a : Ir.action) =
+  List.iter
+    (fun (assignment : Ir.assignment) ->
+      match assignment with
+      | Ir.Set_var { target; value } -> (
+          match Ir.find_var ctx.device target with
+          | Some tv ->
+              add ctx "%sset_%s %s;\n" indent target
+                (render_operand ctx tv value)
+          | None -> ())
+      | Ir.Set_struct { target; fields } -> (
+          match Ir.find_struct ctx.device target with
+          | Some s ->
+              let args =
+                String.concat " "
+                  (List.map
+                     (fun fname ->
+                       match List.assoc_opt fname fields with
+                       | Some o -> (
+                           match Ir.find_var ctx.device fname with
+                           | Some fv ->
+                               Printf.sprintf "~%s:(%s)" (label fname)
+                                 (render_operand ctx fv o)
+                           | None -> Printf.sprintf "~%s:0" (label fname))
+                       | None ->
+                           Printf.sprintf "~%s:(get_%s ())" (label fname) fname)
+                     s.s_fields)
+              in
+              add ctx "%sset_%s %s;\n" indent target args
+          | None -> ()))
+    a
+
+(* {1 Register accessors} *)
+
+let emit_reg ctx (r : Ir.reg) =
+  (match r.r_write with
+  | Some lp ->
+      add ctx "  and write_%s raw =\n" r.r_name;
+      emit_action ctx ~indent:"    " r.r_pre;
+      add ctx "    Env.write ~width:%d ~addr:(%s) ~value:((raw land %d) lor %d);\n"
+        (port_width ctx lp) (addr_expr lp) (covered_mask r.r_mask)
+        (Mask.forced_value r.r_mask);
+      emit_action ctx ~indent:"    " r.r_post;
+      emit_action ctx ~indent:"    " r.r_set;
+      add ctx "    %s := raw;\n" (reg_cache r.r_name);
+      add ctx "    %s := true\n" (reg_valid r.r_name)
+  | None -> ());
+  match r.r_read with
+  | Some lp ->
+      add ctx "  and read_%s () =\n" r.r_name;
+      emit_action ctx ~indent:"    " r.r_pre;
+      add ctx "    let raw = Env.read ~width:%d ~addr:(%s) in\n"
+        (port_width ctx lp) (addr_expr lp);
+      emit_action ctx ~indent:"    " r.r_post;
+      add ctx "    %s := raw;\n" (reg_cache r.r_name);
+      add ctx "    %s := true;\n" (reg_valid r.r_name);
+      add ctx "    raw\n"
+  | None -> ()
+
+(* {1 Bit plumbing} *)
+
+let gather_expr (v : Ir.var) ~(reg_expr : string -> string) =
+  let parts = ref [] in
+  let shift = ref (Ir.var_width v) in
+  List.iter
+    (fun (c : Ir.chunk) ->
+      List.iter
+        (fun (hi, lo) ->
+          let w = hi - lo + 1 in
+          shift := !shift - w;
+          parts :=
+            Printf.sprintf "(((%s lsr %d) land %d) lsl %d)" (reg_expr c.c_reg)
+              lo
+              ((1 lsl w) - 1)
+              !shift
+            :: !parts)
+        c.c_ranges)
+    v.v_chunks;
+  String.concat " lor " (List.rev !parts)
+
+let emit_scatter ctx ~indent (v : Ir.var) ~value_expr ~img_of =
+  let total = Ir.var_width v in
+  let consumed = ref 0 in
+  List.iter
+    (fun (c : Ir.chunk) ->
+      List.iter
+        (fun (hi, lo) ->
+          let w = hi - lo + 1 in
+          let m = (1 lsl w) - 1 in
+          add ctx
+            "%s%s := (!(%s) land (lnot %d)) lor ((((%s) lsr %d) land %d) lsl \
+             %d);\n"
+            indent (img_of c.c_reg) (img_of c.c_reg) (m lsl lo) value_expr
+            (total - !consumed - w)
+            m lo;
+          consumed := !consumed + w)
+        c.c_ranges)
+    v.v_chunks
+
+let neutral_const (v : Ir.var) =
+  match v.v_behaviour.b_trigger with
+  | Some { tr_write = true; tr_exempt = Some (Ir.Neutral value); _ } -> (
+      match Dtype.encode v.v_type value with Ok raw -> Some raw | Error _ -> None)
+  | Some { tr_write = true; tr_exempt = Some (Ir.Only value); _ } -> (
+      match Dtype.encode v.v_type value with
+      | Ok raw -> Some (if raw = 0 then 1 else 0)
+      | Error _ -> Some 0)
+  | Some _ | None -> None
+
+let compose_base_expr ctx (r : Ir.reg) =
+  let base =
+    Printf.sprintf "(if !(%s) then !(%s) else 0)" (reg_valid r.r_name)
+      (reg_cache r.r_name)
+  in
+  List.fold_left
+    (fun expr (v : Ir.var) ->
+      match neutral_const v with
+      | None -> expr
+      | Some raw ->
+          let clear = ref 0 and setv = ref 0 in
+          let total = Ir.var_width v in
+          let consumed = ref 0 in
+          List.iter
+            (fun (c : Ir.chunk) ->
+              List.iter
+                (fun (hi, lo) ->
+                  let w = hi - lo + 1 in
+                  if String.equal c.c_reg r.r_name then begin
+                    clear := !clear lor (((1 lsl w) - 1) lsl lo);
+                    let field =
+                      (raw lsr (total - !consumed - w)) land ((1 lsl w) - 1)
+                    in
+                    setv := !setv lor (field lsl lo)
+                  end;
+                  consumed := !consumed + w)
+                c.c_ranges)
+            v.v_chunks;
+          Printf.sprintf "(((%s) land (lnot %d)) lor %d)" expr !clear !setv)
+    base
+    (Ir.vars_of_reg ctx.device r.r_name)
+
+(* {1 Range checks (always on)} *)
+
+let emit_check ctx ~indent (v : Ir.var) =
+  let fail cond =
+    add ctx "%sif %s then failwith \"%s: value out of range\";\n" indent cond
+      v.v_name
+  in
+  match v.v_type with
+  | Dtype.Bool -> fail "v land (lnot 1) <> 0"
+  | Dtype.Int { signed = false; bits } ->
+      fail (Printf.sprintf "v land (lnot %d) <> 0" ((1 lsl bits) - 1))
+  | Dtype.Int { signed = true; bits } ->
+      fail
+        (Printf.sprintf "v < %d || v > %d"
+           (-(1 lsl (bits - 1)))
+           ((1 lsl (bits - 1)) - 1))
+  | Dtype.Int_set { values; _ } ->
+      if List.length values <= 40 then
+        fail
+          (Printf.sprintf "not (List.mem v [%s])"
+             (String.concat "; " (List.map string_of_int values)))
+  | Dtype.Enum cases ->
+      let writable =
+        List.filter_map
+          (fun (c : Dtype.enum_case) ->
+            if Dtype.writable_case c.dir then Bitpat.value c.pattern else None)
+          cases
+      in
+      if writable <> [] then
+        fail
+          (Printf.sprintf "not (List.mem v [%s])"
+             (String.concat "; " (List.map string_of_int writable)))
+
+(* {1 Variable accessors} *)
+
+let sign_adjust (v : Ir.var) expr =
+  match v.v_type with
+  | Dtype.Int { signed = true; bits } ->
+      Printf.sprintf "(((%s) lsl %d) asr %d)" expr (63 - bits) (63 - bits)
+  | _ -> expr
+
+let regs_of ctx (v : Ir.var) =
+  let seen = Hashtbl.create 4 in
+  List.filter_map
+    (fun (c : Ir.chunk) ->
+      if Hashtbl.mem seen c.c_reg then None
+      else begin
+        Hashtbl.add seen c.c_reg ();
+        Ir.find_reg ctx.device c.c_reg
+      end)
+    v.v_chunks
+
+let emit_var_setter ctx (v : Ir.var) =
+  if v.v_chunks = [] then begin
+    add ctx "  and set_%s v =\n" v.v_name;
+    emit_check ctx ~indent:"    " v;
+    add ctx "    %s := v\n" (mem_cell v.v_name)
+  end
+  else begin
+    let regs = regs_of ctx v in
+    if List.exists Ir.reg_writable regs then begin
+      add ctx "  and set_%s v =\n" v.v_name;
+      emit_check ctx ~indent:"    " v;
+      (match v.v_type with
+      | Dtype.Int { signed = true; bits } ->
+          add ctx "    let v = v land %d in\n" ((1 lsl bits) - 1)
+      | _ -> ());
+      emit_action ctx ~indent:"    " v.v_pre;
+      List.iter
+        (fun (r : Ir.reg) ->
+          add ctx "    let img_%s = ref (%s) in\n" r.r_name
+            (compose_base_expr ctx r))
+        regs;
+      emit_scatter ctx ~indent:"    " v ~value_expr:"v" ~img_of:(fun reg ->
+          "img_" ^ reg);
+      let order =
+        match v.v_serial with
+        | None -> List.map (fun (r : Ir.reg) -> (None, r)) regs
+        | Some items ->
+            List.filter_map
+              (fun (i : Ir.serial_item) ->
+                Option.map
+                  (fun r -> (i.si_cond, r))
+                  (Ir.find_reg ctx.device i.si_reg))
+              items
+      in
+      List.iter
+        (fun ((cond : Ir.serial_cond option), (r : Ir.reg)) ->
+          match cond with
+          | None -> add ctx "    write_%s !(img_%s);\n" r.r_name r.r_name
+          | Some c ->
+              let actual =
+                if String.equal c.sc_var v.v_name then "v"
+                else Printf.sprintf "(get_%s ())" c.sc_var
+              in
+              let expected =
+                match Ir.find_var ctx.device c.sc_var with
+                | Some cv -> render_operand ctx cv c.sc_value
+                | None -> "0"
+              in
+              add ctx "    if %s %s %s then write_%s !(img_%s);\n" actual
+                (if c.sc_negated then "<>" else "=")
+                expected r.r_name r.r_name)
+        order;
+      (* Keep the owning structure's cache coherent, like the runtime. *)
+      (match v.v_struct with
+      | Some sname ->
+          add ctx "    if !(%s) then begin\n" (svalid sname);
+          List.iter
+            (fun (r : Ir.reg) ->
+              add ctx "      %s := !(img_%s);\n" (scache sname r.r_name)
+                r.r_name)
+            regs;
+          add ctx "    end;\n"
+      | None -> ());
+      (* Self-referencing set actions see the value just written. *)
+      List.iter
+        (fun (assignment : Ir.assignment) ->
+          match assignment with
+          | Ir.Set_var { target; value } ->
+              let expr =
+                match value with
+                | Ir.O_var src when String.equal src v.v_name -> "v"
+                | o -> (
+                    match Ir.find_var ctx.device target with
+                    | Some tv -> render_operand ctx tv o
+                    | None -> "0")
+              in
+              add ctx "    set_%s %s;\n" target expr
+          | Ir.Set_struct _ -> ())
+        v.v_set;
+      emit_action ctx ~indent:"    " v.v_post;
+      add ctx "    ()\n"
+    end
+  end
+
+let emit_var_getter ctx (v : Ir.var) =
+  add ctx "  and get_%s () =\n" v.v_name;
+  if v.v_chunks = [] then add ctx "    !(%s)\n" (mem_cell v.v_name)
+  else begin
+    let fresh =
+      v.v_behaviour.b_volatile
+      || match v.v_behaviour.b_trigger with
+         | Some { tr_read = true; _ } -> true
+         | Some _ | None -> false
+    in
+    (match v.v_struct with
+    | Some sname ->
+        (* Field stub: structure cache first, then register cache. *)
+        let seen = Hashtbl.create 4 in
+        List.iter
+          (fun (c : Ir.chunk) ->
+            if not (Hashtbl.mem seen c.c_reg) then begin
+              Hashtbl.add seen c.c_reg ();
+              add ctx
+                "    let raw_%s = if !(%s) then !(%s) else if !(%s) then \
+                 !(%s) else failwith \"%s: structure not read\" in\n"
+                c.c_reg (svalid sname) (scache sname c.c_reg)
+                (reg_valid c.c_reg) (reg_cache c.c_reg) v.v_name
+            end)
+          v.v_chunks
+    | None ->
+        let seen = Hashtbl.create 4 in
+        List.iter
+          (fun (c : Ir.chunk) ->
+            if not (Hashtbl.mem seen c.c_reg) then begin
+              Hashtbl.add seen c.c_reg ();
+              match Ir.find_reg ctx.device c.c_reg with
+              | Some r when fresh && Ir.reg_readable r ->
+                  add ctx "    let raw_%s = read_%s () in\n" c.c_reg c.c_reg
+              | Some r when Ir.reg_readable r ->
+                  add ctx
+                    "    let raw_%s = if !(%s) then !(%s) else read_%s () in\n"
+                    c.c_reg (reg_valid c.c_reg) (reg_cache c.c_reg) c.c_reg
+              | _ ->
+                  add ctx
+                    "    let raw_%s = if !(%s) then !(%s) else failwith \
+                     \"%s: write-only and not cached\" in\n"
+                    c.c_reg (reg_valid c.c_reg) (reg_cache c.c_reg) v.v_name
+            end)
+          v.v_chunks);
+    add ctx "    %s\n"
+      (sign_adjust v (gather_expr v ~reg_expr:(fun reg -> "raw_" ^ reg)))
+  end
+
+(* {1 Structures} *)
+
+let struct_regs ctx (s : Ir.strct) =
+  let seen = Hashtbl.create 8 in
+  List.concat_map
+    (fun fname ->
+      match Ir.find_var ctx.device fname with
+      | None -> []
+      | Some v ->
+          List.filter_map
+            (fun (c : Ir.chunk) ->
+              if Hashtbl.mem seen c.c_reg then None
+              else begin
+                Hashtbl.add seen c.c_reg ();
+                Ir.find_reg ctx.device c.c_reg
+              end)
+            v.v_chunks)
+    s.s_fields
+
+let emit_struct ctx (s : Ir.strct) =
+  let regs = struct_regs ctx s in
+  if List.for_all Ir.reg_readable regs && regs <> [] then begin
+    add ctx "  and get_%s () =\n" s.s_name;
+    List.iter
+      (fun (r : Ir.reg) ->
+        add ctx "    %s := read_%s ();\n" (scache s.s_name r.r_name) r.r_name)
+      regs;
+    add ctx "    %s := true\n" (svalid s.s_name)
+  end;
+  if List.exists Ir.reg_writable regs then begin
+    let params =
+      String.concat " " (List.map (fun f -> "~" ^ label f) s.s_fields)
+    in
+    add ctx "  and set_%s %s =\n" s.s_name params;
+    List.iter
+      (fun (r : Ir.reg) ->
+        add ctx "    let img_%s = ref (%s) in\n" r.r_name
+          (compose_base_expr ctx r))
+      regs;
+    List.iter
+      (fun fname ->
+        match Ir.find_var ctx.device fname with
+        | Some v ->
+            emit_scatter ctx ~indent:"    " v ~value_expr:(label fname)
+              ~img_of:(fun reg -> "img_" ^ reg)
+        | None -> ())
+      s.s_fields;
+    let order =
+      match s.s_serial with
+      | None -> List.map (fun (r : Ir.reg) -> (None, r)) regs
+      | Some items ->
+          List.filter_map
+            (fun (i : Ir.serial_item) ->
+              Option.map
+                (fun r -> (i.si_cond, r))
+                (Ir.find_reg ctx.device i.si_reg))
+            items
+    in
+    List.iter
+      (fun ((cond : Ir.serial_cond option), (r : Ir.reg)) ->
+        match cond with
+        | None -> add ctx "    write_%s !(img_%s);\n" r.r_name r.r_name
+        | Some c ->
+            let actual =
+              if List.mem c.sc_var s.s_fields then label c.sc_var
+              else Printf.sprintf "(get_%s ())" c.sc_var
+            in
+            let expected =
+              match Ir.find_var ctx.device c.sc_var with
+              | Some cv -> render_operand ctx cv c.sc_value
+              | None -> "0"
+            in
+            add ctx "    if %s %s %s then write_%s !(img_%s);\n" actual
+              (if c.sc_negated then "<>" else "=")
+              expected r.r_name r.r_name)
+      order;
+    (* Per-field set actions with the new values in scope. *)
+    List.iter
+      (fun fname ->
+        match Ir.find_var ctx.device fname with
+        | Some v ->
+            List.iter
+              (fun (assignment : Ir.assignment) ->
+                match assignment with
+                | Ir.Set_var { target; value } ->
+                    let expr =
+                      match value with
+                      | Ir.O_var src when String.equal src fname -> label fname
+                      | o -> (
+                          match Ir.find_var ctx.device target with
+                          | Some tv -> render_operand ctx tv o
+                          | None -> "0")
+                    in
+                    add ctx "    set_%s %s;\n" target expr
+                | Ir.Set_struct _ -> ())
+              v.v_set
+        | None -> ())
+      s.s_fields;
+    List.iter
+      (fun (r : Ir.reg) ->
+        add ctx "    %s := !(img_%s);\n" (scache s.s_name r.r_name) r.r_name)
+      regs;
+    add ctx "    %s := true\n" (svalid s.s_name)
+  end
+
+(* {1 Block and template stubs} *)
+
+let emit_block ctx (v : Ir.var) =
+  match v.v_chunks with
+  | [ { c_reg; c_ranges = [ (hi, lo) ] } ] when v.v_behaviour.b_block -> (
+      match Ir.find_reg ctx.device c_reg with
+      | Some r when lo = 0 && hi = r.r_size - 1 ->
+          (match r.r_read with
+          | Some lp ->
+              add ctx "  and read_%s_block count =\n" v.v_name;
+              emit_action ctx ~indent:"    " r.r_pre;
+              add ctx "    let into = Array.make count 0 in\n";
+              add ctx "    Env.read_block ~width:%d ~addr:(%s) ~into;\n"
+                (port_width ctx lp) (addr_expr lp);
+              emit_action ctx ~indent:"    " r.r_post;
+              add ctx "    into\n"
+          | None -> ());
+          (match r.r_write with
+          | Some lp ->
+              add ctx "  and write_%s_block from =\n" v.v_name;
+              emit_action ctx ~indent:"    " r.r_pre;
+              add ctx "    Env.write_block ~width:%d ~addr:(%s) ~from;\n"
+                (port_width ctx lp) (addr_expr lp);
+              emit_action ctx ~indent:"    " r.r_post;
+              emit_action ctx ~indent:"    " r.r_set;
+              add ctx "    ()\n"
+          | None -> ())
+      | Some _ | None -> ())
+  | _ -> ()
+
+let emit_template ctx (t : Ir.template) =
+  let params = String.concat " " (List.map fst t.t_params) in
+  let range_checks indent =
+    List.iter
+      (fun (p, values) ->
+        if List.length values <= 64 then
+          add ctx "%sif not (List.mem %s [%s]) then failwith \"%s: %s out of range\";\n"
+            indent p
+            (String.concat "; " (List.map string_of_int values))
+            t.t_name p)
+      t.t_params
+  in
+  (match t.t_read with
+  | Some lp ->
+      add ctx "  and read_%s %s =\n" t.t_name params;
+      range_checks "    ";
+      emit_action ctx ~indent:"    " t.t_pre;
+      add ctx "    let raw = Env.read ~width:%d ~addr:(%s) in\n"
+        (port_width ctx lp) (addr_expr lp);
+      emit_action ctx ~indent:"    " t.t_post;
+      add ctx "    raw\n"
+  | None -> ());
+  match t.t_write with
+  | Some lp ->
+      add ctx "  and write_%s %s raw =\n" t.t_name params;
+      range_checks "    ";
+      emit_action ctx ~indent:"    " t.t_pre;
+      add ctx "    Env.write ~width:%d ~addr:(%s) ~value:((raw land %d) lor %d)\n"
+        (port_width ctx lp) (addr_expr lp) (covered_mask t.t_mask)
+        (Mask.forced_value t.t_mask)
+  | None -> ()
+
+(* {1 Top level} *)
+
+let generate (device : Ir.device) =
+  let ctx = { buf = Buffer.create 16384; device } in
+  add ctx "(* Generated by devilc from device '%s'. Do not edit. *)\n\n"
+    device.d_name;
+  add ctx "[@@@warning \"-32-26-27-33-39\"]\n\n";
+  add ctx "module type DEVIL_ENV = sig\n";
+  add ctx "  val read : width:int -> addr:int -> int\n";
+  add ctx "  val write : width:int -> addr:int -> value:int -> unit\n";
+  add ctx "  val read_block : width:int -> addr:int -> into:int array -> unit\n";
+  add ctx "  val write_block : width:int -> addr:int -> from:int array -> unit\n";
+  add ctx "  val base : string -> int\n";
+  add ctx "end\n\n";
+  add ctx "module Make (Env : DEVIL_ENV) = struct\n";
+  List.iter
+    (fun (p : Ir.port) ->
+      add ctx "  let base_%s = Env.base \"%s\"\n" p.p_name p.p_name)
+    device.d_ports;
+  List.iter
+    (fun (r : Ir.reg) ->
+      add ctx "  let %s = ref 0\n  let %s = ref false\n" (reg_cache r.r_name)
+        (reg_valid r.r_name))
+    device.d_regs;
+  List.iter
+    (fun (s : Ir.strct) ->
+      List.iter
+        (fun (r : Ir.reg) ->
+          add ctx "  let %s = ref 0\n" (scache s.s_name r.r_name))
+        (struct_regs ctx s);
+      add ctx "  let %s = ref false\n" (svalid s.s_name))
+    device.d_structs;
+  List.iter
+    (fun (v : Ir.var) ->
+      if v.v_chunks = [] then add ctx "  let %s = ref 0\n" (mem_cell v.v_name))
+    device.d_vars;
+  (* Enum case constants. *)
+  List.iter
+    (fun (v : Ir.var) ->
+      match v.v_type with
+      | Dtype.Enum cases ->
+          List.iter
+            (fun (c : Dtype.enum_case) ->
+              match Bitpat.value c.pattern with
+              | Some raw ->
+                  add ctx "  let %s = %d\n" (const_name v c.case_name) raw
+              | None -> ())
+            cases
+      | Dtype.Bool | Dtype.Int _ | Dtype.Int_set _ -> ())
+    device.d_vars;
+  add ctx "\n  let rec __devil_nop () = ()\n";
+  List.iter (emit_reg ctx) device.d_regs;
+  List.iter
+    (fun v ->
+      emit_var_setter ctx v;
+      emit_var_getter ctx v;
+      emit_block ctx v)
+    device.d_vars;
+  List.iter (emit_struct ctx) device.d_structs;
+  List.iter (emit_template ctx) device.d_templates;
+  add ctx "end\n";
+  Buffer.contents ctx.buf

@@ -1,0 +1,1 @@
+lib/devil_ir/dtype.ml: Devil_bits Format List Printf String Value

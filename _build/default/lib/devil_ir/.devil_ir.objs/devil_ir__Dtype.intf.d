@@ -1,0 +1,1 @@
+lib/devil_ir/dtype.mli: Devil_bits Format Value

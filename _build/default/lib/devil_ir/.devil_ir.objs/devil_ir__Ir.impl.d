@@ -1,0 +1,1 @@
+lib/devil_ir/ir.ml: Devil_bits Devil_syntax Dtype List Option String Value

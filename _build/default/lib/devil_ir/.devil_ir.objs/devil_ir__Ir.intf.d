@@ -1,0 +1,1 @@
+lib/devil_ir/ir.mli: Devil_bits Devil_syntax Dtype Value

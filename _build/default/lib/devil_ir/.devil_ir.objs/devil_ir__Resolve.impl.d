@@ -1,0 +1,1 @@
+lib/devil_ir/resolve.ml: Devil_bits Devil_syntax Dtype Ir List Option String Value

@@ -1,0 +1,1 @@
+lib/devil_ir/resolve.mli: Devil_syntax Ir Value

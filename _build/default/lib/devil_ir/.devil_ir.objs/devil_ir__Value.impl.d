@@ -1,0 +1,1 @@
+lib/devil_ir/value.ml: Format String

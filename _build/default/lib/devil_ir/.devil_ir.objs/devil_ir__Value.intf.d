@@ -1,0 +1,1 @@
+lib/devil_ir/value.mli: Format

@@ -1,0 +1,137 @@
+module Loc = Devil_syntax.Loc
+
+type access = Read | Write
+
+type port = {
+  p_name : string;
+  p_width : int;
+  p_offsets : int list;
+  p_index : int;
+  p_loc : Loc.t;
+}
+
+type located_port = { lp_port : string; lp_offset : int }
+
+type operand =
+  | O_int of int
+  | O_bool of bool
+  | O_enum of string
+  | O_any
+  | O_var of string
+  | O_param of string
+
+type assignment =
+  | Set_var of { target : string; value : operand }
+  | Set_struct of { target : string; fields : (string * operand) list }
+
+type action = assignment list
+
+type reg = {
+  r_name : string;
+  r_size : int;
+  r_read : located_port option;
+  r_write : located_port option;
+  r_mask : Devil_bits.Mask.t;
+  r_pre : action;
+  r_post : action;
+  r_set : action;
+  r_from_template : (string * int list) option;
+  r_loc : Loc.t;
+}
+
+type template = {
+  t_name : string;
+  t_params : (string * int list) list;
+  t_size : int;
+  t_read : located_port option;
+  t_write : located_port option;
+  t_mask : Devil_bits.Mask.t;
+  t_pre : action;
+  t_post : action;
+  t_set : action;
+  t_loc : Loc.t;
+}
+
+type trigger = { tr_read : bool; tr_write : bool; tr_exempt : exempt option }
+and exempt = Neutral of Value.t | Only of Value.t
+
+type behaviour = {
+  b_volatile : bool;
+  b_trigger : trigger option;
+  b_block : bool;
+}
+
+type chunk = { c_reg : string; c_ranges : (int * int) list }
+
+let chunk_width c =
+  List.fold_left (fun acc (hi, lo) -> acc + hi - lo + 1) 0 c.c_ranges
+
+type serial_cond = { sc_var : string; sc_negated : bool; sc_value : operand }
+type serial_item = { si_cond : serial_cond option; si_reg : string }
+
+type var = {
+  v_name : string;
+  v_private : bool;
+  v_chunks : chunk list;
+  v_type : Dtype.t;
+  v_behaviour : behaviour;
+  v_pre : action;
+  v_post : action;
+  v_set : action;
+  v_serial : serial_item list option;
+  v_struct : string option;
+  v_loc : Loc.t;
+}
+
+let var_width v =
+  match v.v_chunks with
+  | [] -> Dtype.width v.v_type
+  | chunks -> List.fold_left (fun acc c -> acc + chunk_width c) 0 chunks
+
+type strct = {
+  s_name : string;
+  s_private : bool;
+  s_fields : string list;
+  s_serial : serial_item list option;
+  s_loc : Loc.t;
+}
+
+type device = {
+  d_name : string;
+  d_ports : port list;
+  d_consts : (string * Dtype.t) list;
+  d_regs : reg list;
+  d_templates : template list;
+  d_vars : var list;
+  d_structs : strct list;
+  d_loc : Loc.t;
+}
+
+let find_by name proj list =
+  List.find_opt (fun x -> String.equal (proj x) name) list
+
+let find_port d name = find_by name (fun p -> p.p_name) d.d_ports
+let find_reg d name = find_by name (fun r -> r.r_name) d.d_regs
+let find_template d name = find_by name (fun t -> t.t_name) d.d_templates
+let find_var d name = find_by name (fun v -> v.v_name) d.d_vars
+let find_struct d name = find_by name (fun s -> s.s_name) d.d_structs
+
+let reg_readable r = Option.is_some r.r_read
+let reg_writable r = Option.is_some r.r_write
+
+let public_vars d = List.filter (fun v -> not v.v_private) d.d_vars
+let public_structs d = List.filter (fun s -> not s.s_private) d.d_structs
+
+let vars_of_reg d reg_name =
+  List.filter
+    (fun v ->
+      List.exists (fun c -> String.equal c.c_reg reg_name) v.v_chunks)
+    d.d_vars
+
+let regs_of_var d v =
+  let add acc name =
+    if List.exists (fun r -> String.equal r.r_name name) acc then acc
+    else
+      match find_reg d name with Some r -> r :: acc | None -> acc
+  in
+  List.rev (List.fold_left (fun acc c -> add acc c.c_reg) [] v.v_chunks)

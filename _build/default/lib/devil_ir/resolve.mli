@@ -1,0 +1,29 @@
+(** Elaboration of the surface AST into the resolved IR.
+
+    Elaboration resolves every name (ports, registers, templates,
+    variables, enumeration symbols, register parameters), parses masks,
+    instantiates declared register instances, evaluates conditional
+    declarations against a device configuration, and assembles variable
+    behaviours. Name-resolution and well-formedness errors are
+    accumulated; the deeper consistency properties of paper §3.1 are
+    the province of [Devil_check].
+
+    @param config values for the device's configuration (non-port)
+    parameters, needed when the specification contains conditional
+    declarations. *)
+
+module Ast = Devil_syntax.Ast
+module Diagnostics = Devil_syntax.Diagnostics
+
+val elaborate :
+  ?config:(string * Value.t) list ->
+  Ast.device ->
+  (Ir.device, Diagnostics.t) result
+
+val elaborate_string :
+  ?config:(string * Value.t) list ->
+  ?file:string ->
+  string ->
+  (Ir.device, Diagnostics.t) result
+(** Lex + parse + elaborate. Syntax errors are converted into a
+    single-item diagnostic bag. *)

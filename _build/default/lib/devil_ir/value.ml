@@ -1,0 +1,15 @@
+type t = Int of int | Bool of bool | Enum of string
+
+let pp fmt = function
+  | Int n -> Format.fprintf fmt "%d" n
+  | Bool b -> Format.fprintf fmt "%b" b
+  | Enum s -> Format.pp_print_string fmt s
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Bool x, Bool y -> x = y
+  | Enum x, Enum y -> String.equal x y
+  | (Int _ | Bool _ | Enum _), _ -> false
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,14 @@
+(** Abstract values of Devil device variables.
+
+    These are the values the driver programmer manipulates through the
+    generated interface — integers, booleans and enumeration symbols —
+    as opposed to the raw register bits they encode to. *)
+
+type t =
+  | Int of int
+  | Bool of bool
+  | Enum of string  (** an enumeration case name, e.g. ["CONFIGURATION"] *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val to_string : t -> string

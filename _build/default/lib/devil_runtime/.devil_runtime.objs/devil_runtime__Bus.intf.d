@@ -1,0 +1,1 @@
+lib/devil_runtime/bus.mli:

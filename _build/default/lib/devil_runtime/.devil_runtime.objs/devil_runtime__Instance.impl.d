@@ -1,0 +1,1 @@
+lib/devil_runtime/instance.ml: Array Bus Devil_bits Devil_ir Format Fun Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/devil_runtime/instance.mli: Bus Devil_ir

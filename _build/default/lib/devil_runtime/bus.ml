@@ -1,0 +1,43 @@
+type t = {
+  read : width:int -> addr:int -> int;
+  write : width:int -> addr:int -> value:int -> unit;
+  read_block : width:int -> addr:int -> into:int array -> unit;
+  write_block : width:int -> addr:int -> from:int array -> unit;
+}
+
+let memory ?(size = 65536) () =
+  let cells = Array.make size 0 in
+  let clip ~width v = v land Devil_bits.Bitops.width_mask width in
+  let read ~width ~addr = clip ~width cells.(addr) in
+  let write ~width ~addr ~value = cells.(addr) <- clip ~width value in
+  let read_block ~width ~addr ~into =
+    Array.iteri (fun i _ -> into.(i) <- read ~width ~addr) into
+  in
+  let write_block ~width ~addr ~from =
+    Array.iter (fun value -> write ~width ~addr ~value) from
+  in
+  { read; write; read_block; write_block }
+
+let counting bus =
+  let count = ref 0 in
+  let wrapped =
+    {
+      read =
+        (fun ~width ~addr ->
+          incr count;
+          bus.read ~width ~addr);
+      write =
+        (fun ~width ~addr ~value ->
+          incr count;
+          bus.write ~width ~addr ~value);
+      read_block =
+        (fun ~width ~addr ~into ->
+          count := !count + Array.length into;
+          bus.read_block ~width ~addr ~into);
+      write_block =
+        (fun ~width ~addr ~from ->
+          count := !count + Array.length from;
+          bus.write_block ~width ~addr ~from);
+    }
+  in
+  (wrapped, fun () -> !count)

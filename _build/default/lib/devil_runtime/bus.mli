@@ -1,0 +1,26 @@
+(** The abstract bus the generated accessors drive.
+
+    A bus knows how to perform single I/O transfers of a given width at
+    an absolute address, and block (string / [rep]-style) transfers
+    that repeat a transfer at one address. The hardware simulator
+    provides the real implementation; {!memory} provides a trivial
+    RAM-backed bus for unit tests. *)
+
+type t = {
+  read : width:int -> addr:int -> int;
+  write : width:int -> addr:int -> value:int -> unit;
+  read_block : width:int -> addr:int -> into:int array -> unit;
+      (** Repeated input from one address, filling [into] in order —
+          the Pentium [rep insw] idiom of paper §2.2. *)
+  write_block : width:int -> addr:int -> from:int array -> unit;
+}
+
+val memory : ?size:int -> unit -> t
+(** A bus backed by a flat array of 32-bit cells, one cell per address;
+    widths only clip the stored value. Reads of untouched cells return
+    0. Block transfers loop over the single-transfer operations. *)
+
+val counting : t -> t * (unit -> int)
+(** [counting bus] wraps a bus so that every single transfer and every
+    block {e element} increments a counter; returns the wrapped bus and
+    a function reading the count. *)

@@ -1,0 +1,85 @@
+(** Executable device interface compiled from a verified specification.
+
+    An instance binds a device's IR to a {!Bus.t} and absolute base
+    addresses, and provides the operations the Devil compiler would
+    generate as C stubs: per-variable get/set, structure read/write,
+    block transfers, and indexed access to parameterized registers.
+
+    Semantics (paper §2.1):
+    - idempotent (default) variables are cached per register; writing
+      one variable of a shared register re-uses the cached bits of its
+      siblings, or a trigger sibling's neutral value;
+    - [volatile] variables are re-read on every access;
+    - structure reads perform the I/O once per distinct register and
+      fill a cache that field accesses then consult;
+    - serialization clauses order multi-register writes, evaluating
+      their conditions against the values being written;
+    - [pre]/[post]/[set] actions run around each register access;
+      [set] runs after writes and updates memory-cell variables.
+
+    Dynamic checks (paper §3.2): value/range validation on writes is
+    always performed (it is needed to encode the value); with
+    [~debug:true], read results are additionally validated against the
+    variable's type, and reading a structure field without a prior
+    structure read is an error. *)
+
+module Ir = Devil_ir.Ir
+module Value = Devil_ir.Value
+
+type t
+
+exception Device_error of string
+(** Raised by every usage error and failed dynamic check. *)
+
+val create :
+  ?debug:bool -> Ir.device -> bus:Bus.t -> bases:(string * int) list -> t
+(** [create device ~bus ~bases] binds each port parameter to an
+    absolute base address. Every port of the device must be bound. *)
+
+val device : t -> Ir.device
+
+val get : t -> string -> Value.t
+(** Reads a public device variable. *)
+
+val set : t -> string -> Value.t -> unit
+(** Writes a public device variable. *)
+
+val get_struct : t -> string -> unit
+(** Reads all registers of a structure (each once) into the structure
+    cache; field variables are then read with {!get}. *)
+
+val set_struct : t -> string -> (string * Value.t) list -> unit
+(** Writes a structure. Fields omitted from the list keep their cached
+    value; it is an error to omit a field that was never written. *)
+
+val read_block : t -> string -> count:int -> int array
+(** Block input through a [block] variable: raw values, one bus block
+    transfer. *)
+
+val write_block : t -> string -> int array -> unit
+
+val read_wide : t -> string -> scale:int -> int
+(** Single transfer on a [block] variable's port at [scale] times the
+    port width — the processor-specific wide access stub backing
+    hdparm-style 32-bit I/O over a 16-bit data register. *)
+
+val write_wide : t -> string -> scale:int -> int -> unit
+
+val read_block_wide : t -> string -> scale:int -> count:int -> int array
+(** Block transfer at [scale] times the port width; [count] is in wide
+    units. *)
+
+val write_block_wide : t -> string -> scale:int -> int array -> unit
+
+val read_indexed : t -> template:string -> args:int list -> int
+(** Raw read of an instance of a parameterized register (e.g. the
+    CS4236B's [I(i)]); runs the instantiated pre/post actions. *)
+
+val write_indexed : t -> template:string -> args:int list -> int -> unit
+
+val invalidate_cache : t -> unit
+(** Drops every cached register and structure value (e.g. after a
+    device reset performed behind the interface's back). *)
+
+val cached_raw : t -> string -> int option
+(** Last known raw value of a register, for tests and debugging. *)

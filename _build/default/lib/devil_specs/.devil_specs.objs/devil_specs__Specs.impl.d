@@ -1,0 +1,1 @@
+lib/devil_specs/specs.ml: Devil_check Devil_ir Devil_syntax Format

@@ -1,0 +1,1 @@
+lib/devil_specs/specs.mli: Devil_ir

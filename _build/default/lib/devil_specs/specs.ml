@@ -1,0 +1,815 @@
+module Ir = Devil_ir.Ir
+module Value = Devil_ir.Value
+module Check = Devil_check.Check
+module Diagnostics = Devil_syntax.Diagnostics
+
+(* {1 Logitech busmouse} — the paper's Figure 1, verbatim up to layout. *)
+
+let busmouse_source =
+  {|
+device logitech_busmouse (base : bit[8] port @ {0..3})
+{
+  // Signature register (SR)
+  register sig_reg = base @ 1 : bit[8];
+  variable signature = sig_reg, volatile, write trigger : int(8);
+
+  // Configuration register (CR)
+  register cr = write base @ 3, mask '1001000.' : bit[8];
+  variable config = cr[0] : { CONFIGURATION => '1', DEFAULT_MODE => '0' };
+
+  // Interrupt register
+  register interrupt_reg = write base @ 2, mask '000.0000' : bit[8];
+  variable interrupt = interrupt_reg[4] : { ENABLE => '0', DISABLE => '1' };
+
+  // Index register
+  register index_reg = write base @ 2, mask '1..00000' : bit[8];
+  private variable index = index_reg[6..5] : int(2);
+
+  register x_low  = read base @ 0, pre {index = 0}, mask '****....' : bit[8];
+  register x_high = read base @ 0, pre {index = 1}, mask '****....' : bit[8];
+  register y_low  = read base @ 0, pre {index = 2}, mask '****....' : bit[8];
+  register y_high = read base @ 0, pre {index = 3}, mask '...*....' : bit[8];
+
+  structure mouse_state = {
+    variable dx = x_high[3..0] # x_low[3..0], volatile : signed int(8);
+    variable dy = y_high[3..0] # y_low[3..0], volatile : signed int(8);
+    variable buttons = y_high[7..5], volatile : int(3);
+  };
+}
+|}
+
+(* {1 NE2000 Ethernet} — DP8390 core: the paper's command-register
+   fragment (§2.1), completed with the page-0/page-1 register set, the
+   remote-DMA data port and the reset port. *)
+
+let ne2000_source =
+  {|
+device ne2000 (base : bit[8] port @ {0..16,31})
+{
+  // Command register, shared by all pages.
+  register cmd = base @ 0 : bit[8];
+  variable st = cmd[1..0], write trigger except NEUTRAL : {
+    NEUTRAL <=> '00', STOP <=> '01', START <=> '10', INVALID <= '11' };
+  variable txp = cmd[2], write trigger except NOP : {
+    NOP <=> '0', TRANSMIT => '1', TRANSMITTING <= '1' };
+  variable rd = cmd[5..3], write trigger except NODMA : {
+    NODMA <=> '100', IDLE <= '000', REMOTE_READ <=> '001',
+    REMOTE_WRITE <=> '010', SEND_PACKET <=> '011', DONE <= '1*1',
+    COMPLETE <= '110' };
+  private variable page = cmd[7..6] : int(2);
+
+  // Page 0, write side.
+  register pstart_reg = write base @ 1, pre {page = 0} : bit[8];
+  variable page_start = pstart_reg : int(8);
+  register pstop_reg = write base @ 2, pre {page = 0} : bit[8];
+  variable page_stop = pstop_reg : int(8);
+  register bnry_reg = base @ 3, pre {page = 0} : bit[8];
+  variable boundary = bnry_reg : int(8);
+  register tpsr_reg = write base @ 4, pre {page = 0} : bit[8];
+  variable tx_page_start = tpsr_reg : int(8);
+  register tbcr0 = write base @ 5, pre {page = 0} : bit[8];
+  register tbcr1 = write base @ 6, pre {page = 0} : bit[8];
+  variable tx_byte_count = tbcr1 # tbcr0 : int(16);
+
+  // Interrupt status: writing 1 acknowledges, writing 0 keeps.
+  register isr_reg = base @ 7, pre {page = 0} : bit[8];
+  structure interrupt_status = {
+    variable prx = isr_reg[0], volatile, write trigger except KEEP_PRX : {
+      CLEAR_PRX => '1', KEEP_PRX => '0', RAISED_PRX <= '1', CLEAR0_PRX <= '0' };
+    variable ptx = isr_reg[1], volatile, write trigger except KEEP_PTX : {
+      CLEAR_PTX => '1', KEEP_PTX => '0', RAISED_PTX <= '1', CLEAR0_PTX <= '0' };
+    variable rxe = isr_reg[2], volatile, write trigger except KEEP_RXE : {
+      CLEAR_RXE => '1', KEEP_RXE => '0', RAISED_RXE <= '1', CLEAR0_RXE <= '0' };
+    variable txe = isr_reg[3], volatile, write trigger except KEEP_TXE : {
+      CLEAR_TXE => '1', KEEP_TXE => '0', RAISED_TXE <= '1', CLEAR0_TXE <= '0' };
+    variable ovw = isr_reg[4], volatile, write trigger except KEEP_OVW : {
+      CLEAR_OVW => '1', KEEP_OVW => '0', RAISED_OVW <= '1', CLEAR0_OVW <= '0' };
+    variable cnt = isr_reg[5], volatile, write trigger except KEEP_CNT : {
+      CLEAR_CNT => '1', KEEP_CNT => '0', RAISED_CNT <= '1', CLEAR0_CNT <= '0' };
+    variable rdc = isr_reg[6], volatile, write trigger except KEEP_RDC : {
+      CLEAR_RDC => '1', KEEP_RDC => '0', RAISED_RDC <= '1', CLEAR0_RDC <= '0' };
+    variable rst = isr_reg[7], volatile, write trigger except KEEP_RST : {
+      CLEAR_RST => '1', KEEP_RST => '0', RAISED_RST <= '1', CLEAR0_RST <= '0' };
+  };
+
+  // Remote DMA set-up.
+  register rsar0 = write base @ 8, pre {page = 0} : bit[8];
+  register rsar1 = write base @ 9, pre {page = 0} : bit[8];
+  variable remote_start = rsar1 # rsar0 : int(16);
+  register rbcr0 = write base @ 10, pre {page = 0} : bit[8];
+  register rbcr1 = write base @ 11, pre {page = 0} : bit[8];
+  variable remote_count = rbcr1 # rbcr0 : int(16);
+
+  // Receive / transmit configuration and status.
+  register rcr_reg = write base @ 12, pre {page = 0}, mask '00......' : bit[8];
+  variable accept_errors = rcr_reg[0] : bool;
+  variable accept_runts = rcr_reg[1] : bool;
+  variable accept_broadcast = rcr_reg[2] : bool;
+  variable accept_multicast = rcr_reg[3] : bool;
+  variable promiscuous = rcr_reg[4] : bool;
+  variable monitor = rcr_reg[5] : bool;
+  register rsr_reg = read base @ 12, pre {page = 0} : bit[8];
+  variable rx_status = rsr_reg, volatile : int(8);
+
+  register tcr_reg = write base @ 13, pre {page = 0}, mask '000.....' : bit[8];
+  variable inhibit_crc = tcr_reg[0] : bool;
+  variable loopback_mode = tcr_reg[2..1] : int(2);
+  variable auto_transmit = tcr_reg[3] : bool;
+  variable collision_offset = tcr_reg[4] : bool;
+  register tsr_reg = read base @ 13, pre {page = 0} : bit[8];
+  variable tx_status = tsr_reg, volatile : int(8);
+
+  register dcr_reg = write base @ 14, pre {page = 0}, mask '0.......' : bit[8];
+  variable word_transfer = dcr_reg[0] : { WORD_WIDE => '1', BYTE_WIDE => '0' };
+  variable byte_order = dcr_reg[1] : bool;
+  variable long_address = dcr_reg[2] : bool;
+  variable loopback_select = dcr_reg[3] : { NORMAL_OP => '1', LOOPBACK => '0' };
+  variable auto_init = dcr_reg[4] : bool;
+  variable fifo_threshold = dcr_reg[6..5] : int(2);
+  register cntr1_reg = read base @ 14, pre {page = 0} : bit[8];
+  variable frame_error_count = cntr1_reg, volatile : int(8);
+
+  register imr_reg = write base @ 15, pre {page = 0}, mask '0.......' : bit[8];
+  variable irq_mask = imr_reg[6..0] : int(7);
+  register cntr2_reg = read base @ 15, pre {page = 0} : bit[8];
+  variable missed_count = cntr2_reg, volatile : int(8);
+
+  // Page 1: station address and current receive page.
+  register par0 = base @ 1, pre {page = 1} : bit[8];
+  variable mac0 = par0 : int(8);
+  register par1 = base @ 2, pre {page = 1} : bit[8];
+  variable mac1 = par1 : int(8);
+  register par2 = base @ 3, pre {page = 1} : bit[8];
+  variable mac2 = par2 : int(8);
+  register par3 = base @ 4, pre {page = 1} : bit[8];
+  variable mac3 = par3 : int(8);
+  register par4 = base @ 5, pre {page = 1} : bit[8];
+  variable mac4 = par4 : int(8);
+  register par5 = base @ 6, pre {page = 1} : bit[8];
+  variable mac5 = par5 : int(8);
+  register curr_reg = base @ 7, pre {page = 1} : bit[8];
+  variable current_page = curr_reg, volatile : int(8);
+
+  // Remote DMA data port and reset port.
+  register data_reg = base @ 16 : bit[8];
+  variable remote_data = data_reg, trigger, volatile, block : int(8);
+  register reset_reg = base @ 31 : bit[8];
+  variable reset = reset_reg, volatile, write trigger : int(8);
+}
+|}
+
+(* {1 IDE disk controller} — task file (command block + control block),
+   including the paper's block-transfer data variable (§2.2). *)
+
+let ide_source =
+  {|
+device ide (data : bit[16] port @ {0},
+            cmd : bit[8] port @ {1..7},
+            ctrl : bit[8] port @ {0})
+{
+  // 16-bit data window; a sector is 256 transfers.
+  register ide_data = data @ 0 : bit[16];
+  variable Ide_data = ide_data, trigger, volatile, block : int(16);
+
+  // Error (read) / features (write) share offset 1.
+  register error_reg = read cmd @ 1 : bit[8];
+  variable error_flags = error_reg, volatile : int(8);
+  register features_reg = write cmd @ 1 : bit[8];
+  variable features = features_reg : int(8);
+
+  register sector_count_reg = cmd @ 2 : bit[8];
+  variable sector_count = sector_count_reg : int(8);
+  register lba_low_reg = cmd @ 3 : bit[8];
+  variable lba_low = lba_low_reg : int(8);
+  register lba_mid_reg = cmd @ 4 : bit[8];
+  variable lba_mid = lba_mid_reg : int(8);
+  register lba_high_reg = cmd @ 5 : bit[8];
+  variable lba_high = lba_high_reg : int(8);
+
+  // Drive/head: bits 7 and 5 wired to 1.
+  register drive_head_reg = cmd @ 6, mask '1.1.....' : bit[8];
+  variable lba_enable = drive_head_reg[6] : { LBA_MODE => '1', CHS_MODE => '0' };
+  variable drive_select = drive_head_reg[4] : { MASTER <=> '0', SLAVE <=> '1' };
+  variable head = drive_head_reg[3..0] : int(4);
+
+  // Status (read) / command (write) share offset 7.
+  register status_reg = read cmd @ 7 : bit[8];
+  structure ide_status = {
+    variable err = status_reg[0], volatile : bool;
+    variable idx = status_reg[1], volatile : bool;
+    variable corr = status_reg[2], volatile : bool;
+    variable drq = status_reg[3], volatile : bool;
+    variable dsc = status_reg[4], volatile : bool;
+    variable df = status_reg[5], volatile : bool;
+    variable drdy = status_reg[6], volatile : bool;
+    variable bsy = status_reg[7], volatile : bool;
+  };
+  register command_reg = write cmd @ 7 : bit[8];
+  variable command = command_reg, write trigger : {
+    READ_SECTORS => '00100000', WRITE_SECTORS => '00110000',
+    READ_DMA => '11001000', WRITE_DMA => '11001010',
+    IDENTIFY => '11101100', FLUSH_CACHE => '11100111' };
+
+  // Control block: device control (write) / alternate status (read).
+  register dev_ctl_reg = write ctrl @ 0, mask '00000..0' : bit[8];
+  variable soft_reset = dev_ctl_reg[2], write trigger except RUN : {
+    RESET => '1', RUN => '0' };
+  variable irq_enable = dev_ctl_reg[1] : { IRQ_OFF => '1', IRQ_ON => '0' };
+  register alt_status_reg = read ctrl @ 0 : bit[8];
+  variable alt_status = alt_status_reg, volatile : int(8);
+}
+|}
+
+(* {1 Intel PIIX4 busmaster IDE} — the PCI busmaster function the paper
+   specified alongside the IDE controller for the DMA experiments. *)
+
+let piix4_ide_source =
+  {|
+device piix4_ide (bm : bit[8] port @ {0,2}, prd : bit[32] port @ {0})
+{
+  // Busmaster command: bit 0 start/stop, bit 3 direction.
+  register bmic = bm @ 0, mask '0000.00.' : bit[8];
+  variable bm_engine = bmic[0], write trigger except BM_STOP : {
+    BM_START => '1', BM_STOP => '0', BM_RUNNING <= '1', BM_IDLE <= '0' };
+  variable bm_direction = bmic[3] : {
+    BM_TO_MEMORY <=> '1', BM_FROM_MEMORY <=> '0' };
+
+  // Busmaster status: bit 0 active (read-only), bits 1-2 write-1-clear.
+  register bmis = bm @ 2, mask '00000...' : bit[8];
+  variable bm_active = bmis[0], volatile, write trigger except KEEP_ACT : {
+    KEEP_ACT => '0', ACTIVE <= '1', INACTIVE <= '0' };
+  variable bm_error = bmis[1], volatile, write trigger except KEEP_ERR : {
+    CLEAR_ERR => '1', KEEP_ERR => '0', FAULT <= '1', OK <= '0' };
+  variable bm_irq = bmis[2], volatile, write trigger except KEEP_IRQ : {
+    CLEAR_IRQ => '1', KEEP_IRQ => '0', RAISED <= '1', QUIET <= '0' };
+
+  // Physical-region-descriptor table base address.
+  register prd_reg = prd @ 0 : bit[32];
+  variable prd_address = prd_reg : int(32);
+}
+|}
+
+(* {1 Intel 8237A DMA controller} — the paper's register-serialization
+   example (§2.2): 16-bit counters behind a single 8-bit port with a
+   flip-flop-reset pre-action. *)
+
+let dma8237_source =
+  {|
+device dma8237 (base : bit[8] port @ {0..15})
+{
+  // Writing any value to the flip-flop port resets the byte pointer.
+  register ff_reg = write base @ 12 : bit[8];
+  private variable flip_flop = ff_reg, write trigger : int(8);
+
+  // Channel 0..3 base address and count, low byte then high byte.
+  register addr0_low = base @ 0, pre {flip_flop = *} : bit[8];
+  register addr0_high = base @ 0 : bit[8];
+  variable address0 = addr0_high # addr0_low : int(16)
+    serialized as { addr0_low; addr0_high };
+  register cnt0_low = base @ 1, pre {flip_flop = *} : bit[8];
+  register cnt0_high = base @ 1 : bit[8];
+  variable count0 = cnt0_high # cnt0_low : int(16)
+    serialized as { cnt0_low; cnt0_high };
+
+  register addr1_low = base @ 2, pre {flip_flop = *} : bit[8];
+  register addr1_high = base @ 2 : bit[8];
+  variable address1 = addr1_high # addr1_low : int(16)
+    serialized as { addr1_low; addr1_high };
+  register cnt1_low = base @ 3, pre {flip_flop = *} : bit[8];
+  register cnt1_high = base @ 3 : bit[8];
+  variable count1 = cnt1_high # cnt1_low : int(16)
+    serialized as { cnt1_low; cnt1_high };
+
+  register addr2_low = base @ 4, pre {flip_flop = *} : bit[8];
+  register addr2_high = base @ 4 : bit[8];
+  variable address2 = addr2_high # addr2_low : int(16)
+    serialized as { addr2_low; addr2_high };
+  register cnt2_low = base @ 5, pre {flip_flop = *} : bit[8];
+  register cnt2_high = base @ 5 : bit[8];
+  variable count2 = cnt2_high # cnt2_low : int(16)
+    serialized as { cnt2_low; cnt2_high };
+
+  register addr3_low = base @ 6, pre {flip_flop = *} : bit[8];
+  register addr3_high = base @ 6 : bit[8];
+  variable address3 = addr3_high # addr3_low : int(16)
+    serialized as { addr3_low; addr3_high };
+  register cnt3_low = base @ 7, pre {flip_flop = *} : bit[8];
+  register cnt3_high = base @ 7 : bit[8];
+  variable count3 = cnt3_high # cnt3_low : int(16)
+    serialized as { cnt3_low; cnt3_high };
+
+  // Command (write) / status (read) at offset 8.
+  register command_reg = write base @ 8, mask '00000.00' : bit[8];
+  variable controller_enable = command_reg[2] : {
+    CTRL_DISABLE => '1', CTRL_ENABLE => '0' };
+  register status_reg = read base @ 8 : bit[8];
+  structure dma_status = {
+    variable terminal_count = status_reg[3..0], volatile : int(4);
+    variable request_pending = status_reg[7..4], volatile : int(4);
+  };
+
+  // Request register.
+  register request_reg = write base @ 9, mask '00000...' : bit[8];
+  structure software_request = {
+    variable req_channel = request_reg[1..0] : int(2);
+    variable req_state = request_reg[2] : { REQ_SET => '1', REQ_RESET => '0' };
+  };
+
+  // Single-channel mask register.
+  register single_mask_reg = write base @ 10, mask '00000...' : bit[8];
+  structure channel_mask = {
+    variable mask_channel = single_mask_reg[1..0] : int(2);
+    variable mask_state = single_mask_reg[2] : {
+      MASK_SET => '1', MASK_CLEAR => '0' };
+  };
+
+  // Mode register.
+  register mode_reg = write base @ 11 : bit[8];
+  structure channel_mode = {
+    variable mode_channel = mode_reg[1..0] : int(2);
+    variable transfer_type = mode_reg[3..2] : {
+      VERIFY => '00', WRITE_MEM => '01', READ_MEM => '10', ILLEGAL_TT => '11' };
+    variable auto_init = mode_reg[4] : bool;
+    variable down = mode_reg[5] : bool;
+    variable transfer_mode = mode_reg[7..6] : {
+      DEMAND => '00', SINGLE => '01', BLOCK_MODE => '10', CASCADE => '11' };
+  };
+
+  // Master clear (any write resets the controller).
+  register master_clear_reg = write base @ 13 : bit[8];
+  variable master_clear = master_clear_reg, write trigger : int(8);
+
+  // Clear mask register (any write unmasks all channels).
+  register clear_mask_reg = write base @ 14 : bit[8];
+  variable clear_all_masks = clear_mask_reg, write trigger : int(8);
+
+  // Write-all-mask-bits register.
+  register all_mask_reg = write base @ 15, mask '0000....' : bit[8];
+  variable mask_bits = all_mask_reg[3..0] : int(4);
+}
+|}
+
+(* {1 Intel 8259A interrupt controller} — the paper's control-flow
+   serialization example (§2.2). The init structure is written through
+   an order that depends on the configured values; ICW3's meaning is
+   selected by the is_master configuration parameter. *)
+
+let pic8259_source =
+  {|
+device pic8259 (base : bit[8] port @ {0..1}, is_master : bool)
+{
+  // Initialization mode marker: a memory cell distinguishing the ICW
+  // sequence from OCW accesses on the shared ports.
+  private variable init_mode : bool;
+
+  // ICW1 is told apart from OCW2/OCW3 by bit 4 = 1.
+  register icw1 = write base @ 0, mask '0001....', set {init_mode = true}
+    : bit[8];
+  register icw2 = write base @ 1, pre {init_mode = true}, mask '.....000'
+    : bit[8];
+  register icw4 = write base @ 1, pre {init_mode = true}, mask '000.....',
+    set {init_mode = false} : bit[8];
+
+  // ICW3 carries a cascade bit map on the master and the slave identity
+  // on a slave; the whole initialization structure is selected by the
+  // is_master configuration parameter.
+  if (is_master == true) {
+    register icw3 = write base @ 1, pre {init_mode = true} : bit[8];
+    structure init = {
+      variable ic4 = icw1[0] : bool;
+      variable sngl = icw1[1] : { SINGLE => '1', CASCADED => '0' };
+      variable adi = icw1[2] : bool;
+      variable ltim = icw1[3] : { LEVEL => '1', EDGE => '0' };
+      variable vector_base = icw2[7..3] : int(5);
+      variable cascade_map = icw3 : int(8);
+      variable microprocessor = icw4[0] : { X8086 => '1', MCS80_85 => '0' };
+      variable auto_eoi = icw4[1] : bool;
+      variable buffer_master = icw4[2] : bool;
+      variable buffered = icw4[3] : bool;
+      variable nested = icw4[4] : bool;
+    } serialized as {
+      icw1;
+      icw2;
+      if (sngl == CASCADED) icw3;
+      if (ic4 == true) icw4;
+    };
+  } else {
+    register icw3 = write base @ 1, pre {init_mode = true}, mask '00000...'
+      : bit[8];
+    structure init = {
+      variable ic4 = icw1[0] : bool;
+      variable sngl = icw1[1] : { SINGLE => '1', CASCADED => '0' };
+      variable adi = icw1[2] : bool;
+      variable ltim = icw1[3] : { LEVEL => '1', EDGE => '0' };
+      variable vector_base = icw2[7..3] : int(5);
+      variable slave_id = icw3[2..0] : int(3);
+      variable microprocessor = icw4[0] : { X8086 => '1', MCS80_85 => '0' };
+      variable auto_eoi = icw4[1] : bool;
+      variable buffer_master = icw4[2] : bool;
+      variable buffered = icw4[3] : bool;
+      variable nested = icw4[4] : bool;
+    } serialized as {
+      icw1;
+      icw2;
+      if (sngl == CASCADED) icw3;
+      if (ic4 == true) icw4;
+    };
+  }
+
+  // OCW1: the interrupt mask register, freely read and written.
+  register ocw1 = base @ 1, pre {init_mode = false} : bit[8];
+  variable irq_mask = ocw1 : int(8);
+
+  // OCW2: EOI and priority commands (bit 4 = 0, bit 3 = 0).
+  register ocw2 = write base @ 0, mask '...00...' : bit[8];
+  variable eoi_command = ocw2[7..5], write trigger except EOI_NOP : {
+    NON_SPECIFIC_EOI => '001', SPECIFIC_EOI => '011',
+    ROTATE_NON_SPECIFIC => '101', ROTATE_AUTO_SET => '100',
+    ROTATE_AUTO_CLEAR => '000', ROTATE_SPECIFIC => '111',
+    SET_PRIORITY => '110', EOI_NOP => '010' };
+  variable eoi_level = ocw2[2..0] : int(3);
+
+  // OCW3: read-register selection and special mask mode
+  // (bit 4 = 0, bit 3 = 1 distinguish it from ICW1 and OCW2).
+  register ocw3 = write base @ 0, mask '0..01...' : bit[8];
+  variable read_select = ocw3[1..0] : {
+    READ_NOP => '00', READ_IRR => '10', READ_ISR => '11' };
+  variable poll_command = ocw3[2], write trigger for true : bool;
+  variable special_mask = ocw3[6..5] : {
+    SMM_NOP => '00', RESET_SMM => '10', SET_SMM => '11' };
+
+  // Status reads at offset 0, addressed by the OCW3 read selection.
+  register irr_reg = read base @ 0, pre {read_select = READ_IRR} : bit[8];
+  variable irq_request = irr_reg, volatile : int(8);
+  register isr_reg = read base @ 0, pre {read_select = READ_ISR} : bit[8];
+  variable in_service = isr_reg, volatile : int(8);
+}
+|}
+
+(* {1 Crystal CS4236B} — the paper's automata-based addressing example
+   (§2.2): extended registers reached through the I23 state machine. *)
+
+let cs4236b_source =
+  {|
+device cs4236b (base : bit[8] port @ {0..3})
+{
+  // Extended-mode marker: true while I23 acts as an extended data
+  // register rather than an extended address register.
+  private variable xm : bool;
+
+  // Writing the control register always leaves extended mode.
+  register control = base @ 0, set {xm = false} : bit[8];
+  variable IA = control : int{0..31};
+
+  // Indexed registers I0 - I31.
+  register I(i : int{0..31}) = base @ 1, pre {IA = i} : bit[8];
+
+  // I6/I7: DAC attenuation (bit 6 unused on this part).
+  register I6 = I(6), mask '.-......';
+  variable left_mute = I6[7] : bool;
+  variable left_attenuation = I6[5..0] : int(6);
+  register I7 = I(7), mask '.-......';
+  variable right_mute = I7[7] : bool;
+  variable right_attenuation = I7[5..0] : int(6);
+
+  // I23: the gateway to the extended registers.
+  register I23 = I(23), mask '......0.';
+  variable ACF = I23[0] : bool;
+  structure XS = {
+    variable XA = I23[2,7..4] : int(5);
+    variable XRAE = I23[3], set {xm = XRAE}, write trigger for true : bool;
+  };
+
+  // Extended registers X0-X17, X25.
+  register X(j : int{0..17,25}) = base @ 1,
+    pre {XS = {XA => j; XRAE => true}} : bit[8];
+
+  register X2 = X(2);
+  variable line_left_gain = X2[5..0] : int(6);
+  variable line_left_mute = X2[7] : bool;
+  variable line_left_boost = X2[6] : bool;
+  register X25 = X(25);
+  variable chip_version = X25, volatile : int(8);
+
+  // WSS status and PCM data ports.
+  register wss_status = read base @ 2 : bit[8];
+  variable status_flags = wss_status, volatile : int(8);
+  register ack_reg = write base @ 2 : bit[8];
+  variable irq_ack = ack_reg, write trigger : int(8);
+  register pcm_reg = base @ 3 : bit[8];
+  variable pcm_data = pcm_reg, trigger, volatile, block : int(8);
+}
+|}
+
+(* {1 3Dlabs Permedia2} — the memory-mapped 2D engine subset driven by
+   the accelerated X11 server (fill rectangle and screen copy), plus the
+   input FIFO flow control the driver's wait loops poll. *)
+
+let permedia2_source =
+  {|
+device permedia2 (mmio : bit[32] port @ {0..10}, fb : bit[32] port @ {0})
+{
+  // Input FIFO: number of free entries (low 16 bits).
+  register fifo_space = read mmio @ 0,
+    mask '****************................' : bit[32];
+  variable free_entries = fifo_space[15..0], volatile : int(16);
+
+  // Block color used by fill operations.
+  register color_reg = write mmio @ 1 : bit[32];
+  variable fill_color = color_reg : int(32);
+
+  // Rectangle position and size (packed x/y pairs). The fields are
+  // independent parameters; grouping them in structures additionally
+  // gives the driver one-transfer grouped stubs.
+  register rect_pos_reg = write mmio @ 2 : bit[32];
+  structure rect_position = {
+    variable rect_y = rect_pos_reg[31..16] : int(16);
+    variable rect_x = rect_pos_reg[15..0] : int(16);
+  };
+  register rect_size_reg = write mmio @ 3 : bit[32];
+  structure rect_size = {
+    variable rect_height = rect_size_reg[31..16] : int(16);
+    variable rect_width = rect_size_reg[15..0] : int(16);
+  };
+
+  // Copy source offset (packed dx/dy, two's complement).
+  register copy_offset_reg = write mmio @ 4 : bit[32];
+  structure copy_vector = {
+    variable copy_dy = copy_offset_reg[31..16] : signed int(16);
+    variable copy_dx = copy_offset_reg[15..0] : signed int(16);
+  };
+
+  // Render command: kicks the engine.
+  register render_reg = write mmio @ 5,
+    mask '00000000000000000000000000000...' : bit[32];
+  variable render_op = render_reg[1..0], write trigger except OP_NOP : {
+    OP_NOP => '00', OP_FILL => '01', OP_COPY => '10' };
+  variable render_sync = render_reg[2] : bool;
+
+  // Framebuffer configuration: bits per pixel.
+  register fb_depth_reg = write mmio @ 6,
+    mask '00000000000000000000000000......' : bit[32];
+  variable pixel_depth = fb_depth_reg[5..0] : int{8,16,24,32};
+
+  // Engine status: bit 0 = busy.
+  register engine_status = read mmio @ 7,
+    mask '0000000000000000000000000000000.' : bit[32];
+  variable engine_busy = engine_status[0], volatile : bool;
+
+  // Per-operation raster state the server re-sends with every
+  // primitive: clip rectangle, framebuffer window base, raster op.
+  register scissor_reg = write mmio @ 8 : bit[32];
+  variable clip_rect = scissor_reg : int(32);
+  register window_base_reg = write mmio @ 9 : bit[32];
+  variable window_base = window_base_reg : int(32);
+  register logical_op_reg = write mmio @ 10,
+    mask '0000000000000000000000000000....' : bit[32];
+  variable raster_op = logical_op_reg[3..0] : int(4);
+
+  // Direct framebuffer aperture (block transfers for software fills).
+  register fb_port = fb @ 0 : bit[32];
+  variable fb_data = fb_port, trigger, volatile, block : int(32);
+}
+|}
+
+(* {1 16550 UART} — an extension beyond the paper's seven devices,
+   exercising the same machinery: the DLAB bit of the line-control
+   register overlays the divisor latch on the data/interrupt registers,
+   expressed with disjoint pre-actions. *)
+
+let uart16550_source =
+  {|
+device uart16550 (base : bit[8] port @ {0..7})
+{
+  // Line control; bit 7 (DLAB) selects the divisor-latch overlay.
+  register lcr = base @ 3 : bit[8];
+  private variable dlab = lcr[7] : {
+    DIVISOR_ACCESS <=> '1', NORMAL_ACCESS <=> '0' };
+  variable word_length = lcr[1..0] : {
+    BITS5 <=> '00', BITS6 <=> '01', BITS7 <=> '10', BITS8 <=> '11' };
+  variable two_stop_bits = lcr[2] : bool;
+  variable parity_mode = lcr[5..3] : int(3);
+  variable break_control = lcr[6] : bool;
+
+  // Receive / transmit data (DLAB = 0); reads pop the FIFO.
+  register rbr = read base @ 0, pre {dlab = NORMAL_ACCESS} : bit[8];
+  variable rx_data = rbr, read trigger, volatile, block : int(8);
+  register thr = write base @ 0, pre {dlab = NORMAL_ACCESS} : bit[8];
+  variable tx_data = thr, write trigger, block : int(8);
+
+  // Divisor latch (DLAB = 1), a 16-bit value over two ports.
+  register dll = base @ 0, pre {dlab = DIVISOR_ACCESS} : bit[8];
+  register dlm = base @ 1, pre {dlab = DIVISOR_ACCESS} : bit[8];
+  variable divisor = dlm # dll : int(16) serialized as { dll; dlm };
+
+  // Interrupt enable (DLAB = 0).
+  register ier = base @ 1, pre {dlab = NORMAL_ACCESS}, mask '0000....'
+    : bit[8];
+  variable irq_rx_available = ier[0] : bool;
+  variable irq_tx_empty = ier[1] : bool;
+  variable irq_line_status = ier[2] : bool;
+  variable irq_modem_status = ier[3] : bool;
+
+  // Interrupt identification (read) / FIFO control (write).
+  register iir = read base @ 2, mask '..**....' : bit[8];
+  variable irq_id = iir[3..0], volatile : int(4);
+  variable fifo_status = iir[7..6], volatile : int(2);
+  register fcr = write base @ 2, mask '..00....' : bit[8];
+  variable fifo_enable = fcr[0] : bool;
+  variable rx_fifo_reset = fcr[1], write trigger for true : bool;
+  variable tx_fifo_reset = fcr[2], write trigger for true : bool;
+  variable dma_mode = fcr[3] : bool;
+  variable rx_trigger_level = fcr[7..6] : int(2);
+
+  // Modem control.
+  register mcr = base @ 4, mask '000.....' : bit[8];
+  variable dtr = mcr[0] : bool;
+  variable rts = mcr[1] : bool;
+  variable out1 = mcr[2] : bool;
+  variable out2 = mcr[3] : bool;
+  variable loopback = mcr[4] : bool;
+
+  // Line status.
+  register lsr = read base @ 5 : bit[8];
+  structure line_status = {
+    variable data_ready = lsr[0], volatile : bool;
+    variable overrun_error = lsr[1], volatile : bool;
+    variable parity_error = lsr[2], volatile : bool;
+    variable framing_error = lsr[3], volatile : bool;
+    variable break_interrupt = lsr[4], volatile : bool;
+    variable thr_empty = lsr[5], volatile : bool;
+    variable transmitter_idle = lsr[6], volatile : bool;
+    variable rx_fifo_error = lsr[7], volatile : bool;
+  };
+
+  // Modem status and the scratch register.
+  register msr = read base @ 6 : bit[8];
+  variable modem_status = msr, volatile : int(8);
+  register scratch_reg = base @ 7 : bit[8];
+  variable scratch = scratch_reg : int(8);
+}
+|}
+
+(* {1 MC146818 RTC} — a second extension device: the classic
+   index/data pair at ports 0x70/0x71, a parameterized register over
+   the index pre-action, and a read-clears status register. *)
+
+let mc146818_source =
+  {|
+device mc146818 (idx : bit[8] port @ {0}, data : bit[8] port @ {0})
+{
+  // NMI-disable lives in bit 7; the CMOS index in bits 6..0.
+  register index_reg = write idx, mask '0.......' : bit[8];
+  private variable index = index_reg[6..0] : int(7);
+
+  // The indexed CMOS/RTC register window.
+  register R(i : int{0..13}) = data, pre {index = i} : bit[8];
+
+  register seconds_reg = R(0);
+  variable seconds = seconds_reg, volatile : int(8);
+  register seconds_alarm_reg = R(1);
+  variable seconds_alarm = seconds_alarm_reg : int(8);
+  register minutes_reg = R(2);
+  variable minutes = minutes_reg, volatile : int(8);
+  register minutes_alarm_reg = R(3);
+  variable minutes_alarm = minutes_alarm_reg : int(8);
+  register hours_reg = R(4);
+  variable hours = hours_reg, volatile : int(8);
+  register hours_alarm_reg = R(5);
+  variable hours_alarm = hours_alarm_reg : int(8);
+  register weekday_reg = R(6);
+  variable weekday = weekday_reg, volatile : int(8);
+  register day_reg = R(7);
+  variable day = day_reg, volatile : int(8);
+  register month_reg = R(8);
+  variable month = month_reg, volatile : int(8);
+  register year_reg = R(9);
+  variable year = year_reg, volatile : int(8);
+
+  // Status A: bit 7 = update in progress (read-only), rate selection.
+  register status_a = R(10), mask '.0......';
+  variable update_in_progress = status_a[7], volatile : bool;
+  variable divider = status_a[5..4] : int(2);
+  variable rate = status_a[3..0] : int(4);
+
+  // Status B: update control and format bits.
+  register status_b = R(11);
+  variable set_mode = status_b[7] : { HALT_UPDATES => '1', RUN => '0',
+                                      HALTED <= '1', RUNNING <= '0' };
+  variable periodic_irq = status_b[6] : bool;
+  variable alarm_irq = status_b[5] : bool;
+  variable update_irq = status_b[4] : bool;
+  variable square_wave = status_b[3] : bool;
+  variable binary_mode = status_b[2] : { BINARY <=> '1', BCD <=> '0' };
+  variable format_24h = status_b[1] : bool;
+  variable daylight_saving = status_b[0] : bool;
+
+  // Status C: interrupt flags; the read acknowledges them.
+  register status_c = R(12), mask '....0000';
+  variable irq_flags = status_c[7..4], read trigger, volatile : int(4);
+
+  // Status D: bit 7 = battery/data valid.
+  register status_d = R(13), mask '.0000000';
+  variable data_valid = status_d[7], volatile : bool;
+}
+|}
+
+
+(* {1 i8042 keyboard controller} — a third extension device: the
+   command/data pair at 0x64/0x60, a write-triggered command register
+   and a volatile status structure. *)
+
+let i8042_source =
+  {|
+device i8042 (data : bit[8] port @ {0}, ctl : bit[8] port @ {0})
+{
+  // Status register (read side of 0x64).
+  register status_reg = read ctl : bit[8];
+  structure kbd_status = {
+    variable output_full = status_reg[0], volatile : bool;
+    variable input_full = status_reg[1], volatile : bool;
+    variable system_flag = status_reg[2], volatile : bool;
+    variable command_last = status_reg[3], volatile : bool;
+    variable keylock_open = status_reg[4], volatile : bool;
+    variable aux_full = status_reg[5], volatile : bool;
+    variable timeout_error = status_reg[6], volatile : bool;
+    variable parity_error = status_reg[7], volatile : bool;
+  };
+
+  // Controller command register (write side of 0x64).
+  register command_reg = write ctl : bit[8];
+  variable controller_command = command_reg, write trigger : {
+    READ_CONFIG => '00100000', WRITE_CONFIG => '01100000',
+    SELF_TEST => '10101010', IFACE_TEST => '10101011',
+    DISABLE_KBD => '10101101', ENABLE_KBD => '10101110' };
+
+  // Data port (0x60): scancodes and command parameters/responses.
+  register data_reg = data : bit[8];
+  variable kbd_data = data_reg, trigger, volatile : int(8);
+}
+|}
+
+let all =
+  [
+    ("logitech_busmouse", busmouse_source);
+    ("ne2000", ne2000_source);
+    ("ide", ide_source);
+    ("piix4_ide", piix4_ide_source);
+    ("dma8237", dma8237_source);
+    ("pic8259", pic8259_source);
+    ("cs4236b", cs4236b_source);
+    ("permedia2", permedia2_source);
+    ("uart16550", uart16550_source);
+    ("mc146818", mc146818_source);
+    ("i8042", i8042_source);
+  ]
+
+let compile_exn ?config ~name src =
+  match Check.compile ?config ~file:(name ^ ".dil") src with
+  | Ok device -> device
+  | Error diags ->
+      failwith
+        (Format.asprintf "specification %s failed verification:@.%a" name
+           Diagnostics.pp diags)
+
+let memo f =
+  let cache = ref None in
+  fun () ->
+    match !cache with
+    | Some v -> v
+    | None ->
+        let v = f () in
+        cache := Some v;
+        v
+
+let busmouse =
+  memo (fun () -> compile_exn ~name:"logitech_busmouse" busmouse_source)
+
+let ne2000 = memo (fun () -> compile_exn ~name:"ne2000" ne2000_source)
+let ide = memo (fun () -> compile_exn ~name:"ide" ide_source)
+
+let piix4_ide =
+  memo (fun () -> compile_exn ~name:"piix4_ide" piix4_ide_source)
+
+let dma8237 = memo (fun () -> compile_exn ~name:"dma8237" dma8237_source)
+
+let pic_master =
+  memo (fun () ->
+      compile_exn
+        ~config:[ ("is_master", Value.Bool true) ]
+        ~name:"pic8259" pic8259_source)
+
+let pic_slave =
+  memo (fun () ->
+      compile_exn
+        ~config:[ ("is_master", Value.Bool false) ]
+        ~name:"pic8259" pic8259_source)
+
+let pic8259 ?(master = true) () =
+  if master then pic_master () else pic_slave ()
+
+let cs4236b = memo (fun () -> compile_exn ~name:"cs4236b" cs4236b_source)
+let uart16550 = memo (fun () -> compile_exn ~name:"uart16550" uart16550_source)
+let mc146818 = memo (fun () -> compile_exn ~name:"mc146818" mc146818_source)
+let i8042 = memo (fun () -> compile_exn ~name:"i8042" i8042_source)
+let permedia2 = memo (fun () -> compile_exn ~name:"permedia2" permedia2_source)

@@ -1,0 +1,1 @@
+lib/devil_syntax/ast.mli: Loc

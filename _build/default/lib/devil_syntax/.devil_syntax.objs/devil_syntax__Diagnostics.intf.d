@@ -1,0 +1,1 @@
+lib/devil_syntax/diagnostics.mli: Format Loc

@@ -1,0 +1,1 @@
+lib/devil_syntax/lexer.ml: Diagnostics List Loc String Token

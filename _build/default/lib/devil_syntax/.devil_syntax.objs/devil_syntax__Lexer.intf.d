@@ -1,0 +1,1 @@
+lib/devil_syntax/lexer.mli: Diagnostics Token

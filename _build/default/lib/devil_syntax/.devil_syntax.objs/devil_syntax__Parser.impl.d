@@ -1,0 +1,1 @@
+lib/devil_syntax/parser.ml: Array Ast Diagnostics Lexer List Loc Token

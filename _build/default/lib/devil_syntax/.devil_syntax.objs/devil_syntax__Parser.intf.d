@@ -1,0 +1,1 @@
+lib/devil_syntax/parser.mli: Ast Diagnostics Token

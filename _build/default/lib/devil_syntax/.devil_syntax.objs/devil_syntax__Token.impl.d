@@ -1,0 +1,1 @@
+lib/devil_syntax/token.ml: Format List Loc

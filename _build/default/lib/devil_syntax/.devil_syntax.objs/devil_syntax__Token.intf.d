@@ -1,0 +1,1 @@
+lib/devil_syntax/token.mli: Format Loc

@@ -1,0 +1,158 @@
+type ident = { name : string; loc : Loc.t }
+
+type int_set_item = Single of int | Range of int * int
+type int_set = { items : int_set_item list; set_loc : Loc.t }
+
+type enum_dir = Dir_read | Dir_write | Dir_both
+
+type enum_case = {
+  case_name : ident;
+  dir : enum_dir;
+  pattern : string;
+  pattern_loc : Loc.t;
+}
+
+type dtype =
+  | T_bool
+  | T_int of { signed : bool; bits : int }
+  | T_int_set of int_set
+  | T_enum of enum_case list
+
+type dtype_loc = { ty : dtype; ty_loc : Loc.t }
+
+type action_value =
+  | AV_int of int
+  | AV_bool of bool
+  | AV_any
+  | AV_sym of ident
+
+type assignment =
+  | Assign of ident * action_value
+  | Assign_struct of ident * (ident * action_value) list
+
+type action = { assignments : assignment list; action_loc : Loc.t }
+
+type port_expr = {
+  port_name : ident;
+  port_offset : int option;
+  port_loc : Loc.t;
+}
+
+type access = Acc_read | Acc_write | Acc_read_write
+
+type reg_attr =
+  | RA_mask of { mask_text : string; mask_loc : Loc.t }
+  | RA_pre of action
+  | RA_post of action
+  | RA_set of action
+
+type reg_param = { param_name : ident; param_set : int_set }
+
+type reg_body =
+  | RB_ports of (access * port_expr) list
+  | RB_instance of { template : ident; args : int list; args_loc : Loc.t }
+
+type reg_decl = {
+  reg_name : ident;
+  reg_params : reg_param list;
+  reg_body : reg_body;
+  reg_attrs : reg_attr list;
+  reg_size : int option;
+  reg_loc : Loc.t;
+}
+
+type chunk = {
+  chunk_reg : ident;
+  chunk_ranges : int_set_item list;
+  chunk_loc : Loc.t;
+}
+
+type trigger_dir = Trig_read | Trig_write | Trig_both
+
+type var_attr =
+  | VA_volatile
+  | VA_trigger of { t_dir : trigger_dir; t_exempt : exempt option }
+  | VA_block
+  | VA_set of action
+  | VA_pre of action
+  | VA_post of action
+
+and exempt = Exempt_except of ident | Exempt_for of action_value
+
+type serial_item = { si_cond : serial_cond option; si_reg : ident }
+
+and serial_cond = {
+  sc_var : ident;
+  sc_negated : bool;
+  sc_value : action_value;
+}
+
+type var_decl = {
+  var_name : ident;
+  var_private : bool;
+  var_chunks : chunk list;
+  var_attrs : var_attr list;
+  var_type : dtype_loc option;
+  var_serial : serial_item list option;
+  var_loc : Loc.t;
+}
+
+type struct_decl = {
+  struct_name : ident;
+  struct_private : bool;
+  struct_fields : var_decl list;
+  struct_serial : serial_item list option;
+  struct_loc : Loc.t;
+}
+
+type device_param = { dp_name : ident; dp_kind : dp_kind; dp_loc : Loc.t }
+
+and dp_kind =
+  | DP_port of { width : int; offsets : int_set }
+  | DP_const of dtype_loc
+
+type decl =
+  | D_register of reg_decl
+  | D_variable of var_decl
+  | D_structure of struct_decl
+  | D_conditional of cond_decl
+
+and cond_decl = {
+  cd_cond : serial_cond;
+  cd_then : decl list;
+  cd_else : decl list;
+  cd_loc : Loc.t;
+}
+
+type device = {
+  dev_name : ident;
+  dev_params : device_param list;
+  dev_decls : decl list;
+  dev_loc : Loc.t;
+}
+
+let ident_name (i : ident) = i.name
+
+let int_set_mem v { items; _ } =
+  List.exists
+    (function Single x -> x = v | Range (a, b) -> v >= a && v <= b)
+    items
+
+let int_set_values { items; _ } =
+  let values =
+    List.concat_map
+      (function
+        | Single x -> [ x ]
+        | Range (a, b) -> List.init (max 0 (b - a + 1)) (fun i -> a + i))
+      items
+  in
+  List.sort_uniq compare values
+
+let int_set_cardinal set = List.length (int_set_values set)
+
+let int_set_span { items; _ } =
+  List.fold_left
+    (fun acc item ->
+      acc
+      + match item with Single _ -> 1 | Range (a, b) -> max 0 (b - a + 1))
+    0 items

@@ -1,0 +1,195 @@
+(** Surface abstract syntax of Devil specifications.
+
+    The grammar follows the OSDI 2000 paper: a device declaration
+    parameterized by ranged ports, containing register, variable and
+    structure declarations, with masks, pre/set/post actions,
+    parameterized registers, behaviours and serialization clauses. *)
+
+type ident = { name : string; loc : Loc.t }
+
+(** {1 Integer sets}
+
+    [int{0..31}], [int{0..17,25}]: unions of inclusive ranges and
+    singletons, as used for ranged types and register parameters. *)
+
+type int_set_item = Single of int | Range of int * int
+type int_set = { items : int_set_item list; set_loc : Loc.t }
+
+(** {1 Types} *)
+
+type enum_dir =
+  | Dir_read  (** [<=]: value legible when reading *)
+  | Dir_write  (** [=>]: value writable *)
+  | Dir_both  (** [<=>] *)
+
+type enum_case = {
+  case_name : ident;
+  dir : enum_dir;
+  pattern : string;  (** bit literal text; may contain '*' wildcards *)
+  pattern_loc : Loc.t;
+}
+
+type dtype =
+  | T_bool
+  | T_int of { signed : bool; bits : int }
+  | T_int_set of int_set
+  | T_enum of enum_case list
+
+type dtype_loc = { ty : dtype; ty_loc : Loc.t }
+
+(** {1 Actions}
+
+    Actions appear in [pre { ... }], [post { ... }] and [set { ... }]
+    clauses. An assignment target is a (private) variable or structure;
+    values are literals, the wildcard [*] ("any value"), enumeration
+    symbols, register parameters, or — for structure targets — a brace
+    list of per-field values. *)
+
+type action_value =
+  | AV_int of int
+  | AV_bool of bool
+  | AV_any  (** [*]: any value is acceptable *)
+  | AV_sym of ident  (** enum symbol, variable or register parameter *)
+
+type assignment =
+  | Assign of ident * action_value
+  | Assign_struct of ident * (ident * action_value) list
+      (** [XS = {XA => j; XRAE => true}] *)
+
+type action = { assignments : assignment list; action_loc : Loc.t }
+
+(** {1 Ports and registers} *)
+
+type port_expr = {
+  port_name : ident;
+  port_offset : int option;  (** [base @ 2]; [None] when the port is bare *)
+  port_loc : Loc.t;
+}
+
+type access = Acc_read | Acc_write | Acc_read_write
+
+type reg_attr =
+  | RA_mask of { mask_text : string; mask_loc : Loc.t }
+  | RA_pre of action
+  | RA_post of action
+  | RA_set of action
+
+type reg_param = { param_name : ident; param_set : int_set }
+
+type reg_body =
+  | RB_ports of (access * port_expr) list
+      (** port bindings, e.g. [read base@0] or [base@1] (read-write) *)
+  | RB_instance of { template : ident; args : int list; args_loc : Loc.t }
+      (** instantiation of a parameterized register, e.g. [I(23)] *)
+
+type reg_decl = {
+  reg_name : ident;
+  reg_params : reg_param list;  (** non-empty for [register I(i : ...)] *)
+  reg_body : reg_body;
+  reg_attrs : reg_attr list;
+  reg_size : int option;  (** [: bit\[8\]]; [None] for instances *)
+  reg_loc : Loc.t;
+}
+
+(** {1 Variables} *)
+
+type chunk = {
+  chunk_reg : ident;
+  chunk_ranges : int_set_item list;
+      (** bit ranges, MSB fragment first, e.g. [\[2,7..4\]]; empty list
+          means the whole register *)
+  chunk_loc : Loc.t;
+}
+
+type trigger_dir = Trig_read | Trig_write | Trig_both
+
+type var_attr =
+  | VA_volatile
+  | VA_trigger of {
+      t_dir : trigger_dir;
+      t_exempt : exempt option;
+    }
+  | VA_block
+  | VA_set of action
+  | VA_pre of action
+  | VA_post of action
+
+and exempt =
+  | Exempt_except of ident  (** [trigger except NODMA]: neutral value *)
+  | Exempt_for of action_value  (** [trigger for true]: only this value fires *)
+
+type serial_item = {
+  si_cond : serial_cond option;
+  si_reg : ident;
+}
+
+and serial_cond = {
+  sc_var : ident;
+  sc_negated : bool;  (** [!=] when true *)
+  sc_value : action_value;
+}
+
+type var_decl = {
+  var_name : ident;
+  var_private : bool;
+  var_chunks : chunk list;  (** MSB-first concatenation; [] = pure memory cell *)
+  var_attrs : var_attr list;
+  var_type : dtype_loc option;
+  var_serial : serial_item list option;  (** [serialized as { ... }] *)
+  var_loc : Loc.t;
+}
+
+(** {1 Structures} *)
+
+type struct_decl = {
+  struct_name : ident;
+  struct_private : bool;
+  struct_fields : var_decl list;
+  struct_serial : serial_item list option;
+  struct_loc : Loc.t;
+}
+
+(** {1 Devices} *)
+
+type device_param = {
+  dp_name : ident;
+  dp_kind : dp_kind;
+  dp_loc : Loc.t;
+}
+
+and dp_kind =
+  | DP_port of { width : int; offsets : int_set }
+      (** [base : bit\[8\] port @ {0..3}] *)
+  | DP_const of dtype_loc  (** configuration constant, for conditional decls *)
+
+type decl =
+  | D_register of reg_decl
+  | D_variable of var_decl
+  | D_structure of struct_decl
+  | D_conditional of cond_decl
+      (** [if (param == v) { decls } \[else { decls }\]] *)
+
+and cond_decl = {
+  cd_cond : serial_cond;
+  cd_then : decl list;
+  cd_else : decl list;
+  cd_loc : Loc.t;
+}
+
+type device = {
+  dev_name : ident;
+  dev_params : device_param list;
+  dev_decls : decl list;
+  dev_loc : Loc.t;
+}
+
+val ident_name : ident -> string
+val int_set_mem : int -> int_set -> bool
+val int_set_values : int_set -> int list
+(** Enumerates the member values in ascending order, without duplicates. *)
+
+val int_set_cardinal : int_set -> int
+
+val int_set_span : int_set -> int
+(** Upper bound on the cardinality, computed without materializing the
+    member list — guards against pathological ranges. *)

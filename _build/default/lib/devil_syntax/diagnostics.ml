@@ -1,0 +1,41 @@
+type severity = Error | Warning
+
+type item = { severity : severity; loc : Loc.t; message : string }
+
+type t = { mutable rev_items : item list; mutable errors : int }
+
+exception Error of item
+
+let create () = { rev_items = []; errors = 0 }
+
+let add t item =
+  t.rev_items <- item :: t.rev_items;
+  match item.severity with Error -> t.errors <- t.errors + 1 | Warning -> ()
+
+let error t loc fmt =
+  Format.kasprintf (fun message -> add t { severity = Error; loc; message }) fmt
+
+let warning t loc fmt =
+  Format.kasprintf (fun message -> add t { severity = Warning; loc; message }) fmt
+
+let fail loc fmt =
+  Format.kasprintf
+    (fun message -> raise (Error { severity = Error; loc; message }))
+    fmt
+
+let items t = List.rev t.rev_items
+let error_count t = t.errors
+let has_errors t = t.errors > 0
+
+let pp_severity fmt (s : severity) =
+  match s with
+  | Error -> Format.pp_print_string fmt "error"
+  | Warning -> Format.pp_print_string fmt "warning"
+
+let pp_item fmt { severity; loc; message } =
+  Format.fprintf fmt "%a: %a: %s" Loc.pp loc pp_severity severity message
+
+let pp fmt t =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_item fmt (items t)
+
+let merge_into ~dst src = List.iter (add dst) (items src)

@@ -1,0 +1,34 @@
+(** Diagnostic accumulation and reporting for the Devil compiler.
+
+    Every pass (lexing, parsing, elaboration, checking) reports problems
+    through a [t]; the driver decides whether to abort. Fatal syntax
+    errors still raise {!Error} because recovery is not attempted. *)
+
+type severity = Error | Warning
+
+type item = { severity : severity; loc : Loc.t; message : string }
+
+type t
+
+exception Error of item
+(** Raised for unrecoverable (syntax) errors. *)
+
+val create : unit -> t
+
+val error : t -> Loc.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val warning : t -> Loc.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val fail : Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Formats a message and raises {!Error}. *)
+
+val items : t -> item list
+(** All reported items, in report order. *)
+
+val error_count : t -> int
+val has_errors : t -> bool
+
+val pp_item : Format.formatter -> item -> unit
+val pp : Format.formatter -> t -> unit
+
+val merge_into : dst:t -> t -> unit
+(** Appends every item of the second argument into [dst]. *)

@@ -1,0 +1,14 @@
+(** Hand-written lexer for Devil.
+
+    Supports [//] line comments and [/* ... */] block comments, decimal
+    and [0x] hexadecimal integer literals, and bit literals written
+    between single quotes (e.g. ['1001000.']). *)
+
+val tokenize : ?file:string -> string -> Token.loc_token list
+(** Lexes a whole source string into tokens, ending with {!Token.EOF}.
+    Raises {!Diagnostics.Error} on a lexical error. *)
+
+val tokenize_result :
+  ?file:string -> string -> (Token.loc_token list, Diagnostics.item) result
+(** Exception-free variant of {!tokenize}, used by the mutation engine
+    where most mutants are expected to be ill-formed. *)

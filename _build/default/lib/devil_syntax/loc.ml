@@ -1,0 +1,21 @@
+type pos = { line : int; col : int; offset : int }
+
+type t = { file : string; start_pos : pos; end_pos : pos }
+
+let dummy_pos = { line = 0; col = 0; offset = -1 }
+let dummy = { file = "<none>"; start_pos = dummy_pos; end_pos = dummy_pos }
+let is_dummy t = t.start_pos.offset < 0
+let make ~file ~start_pos ~end_pos = { file; start_pos; end_pos }
+
+let merge a b =
+  if is_dummy a then b
+  else if is_dummy b then a
+  else { file = a.file; start_pos = a.start_pos; end_pos = b.end_pos }
+
+let pp fmt t =
+  if is_dummy t then Format.fprintf fmt "<builtin>"
+  else if t.start_pos.line = t.end_pos.line then
+    Format.fprintf fmt "%s:%d:%d" t.file t.start_pos.line t.start_pos.col
+  else
+    Format.fprintf fmt "%s:%d:%d-%d:%d" t.file t.start_pos.line t.start_pos.col
+      t.end_pos.line t.end_pos.col

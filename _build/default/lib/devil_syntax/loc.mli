@@ -1,0 +1,24 @@
+(** Source locations for Devil specifications. *)
+
+type pos = {
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column number *)
+  offset : int;  (** 0-based byte offset in the source *)
+}
+
+type t = { file : string; start_pos : pos; end_pos : pos }
+
+val dummy : t
+(** A location standing for "no position" (built-in entities). *)
+
+val make : file:string -> start_pos:pos -> end_pos:pos -> t
+
+val merge : t -> t -> t
+(** [merge a b] spans from the start of [a] to the end of [b]. Dummy
+    locations are absorbed by the other argument. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints ["file:line:col"] (or ["file:l1:c1-l2:c2"] for multi-point
+    spans on the same line group). *)
+
+val is_dummy : t -> bool

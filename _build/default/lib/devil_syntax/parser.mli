@@ -1,0 +1,14 @@
+(** Recursive-descent parser for Devil.
+
+    Produces the surface AST of {!Ast}. Syntax errors raise
+    {!Diagnostics.Error}; an exception-free entry point is provided for
+    the mutation engine. *)
+
+val parse_device : ?file:string -> string -> Ast.device
+(** Parses a complete [device ... { ... }] specification. *)
+
+val parse_device_result :
+  ?file:string -> string -> (Ast.device, Diagnostics.item) result
+
+val parse_tokens : Token.loc_token list -> Ast.device
+(** Parses a pre-lexed token stream (must end with [EOF]). *)

@@ -1,0 +1,190 @@
+open Ast
+
+let pp_sep_str s fmt () = Format.fprintf fmt "%s" s
+
+let pp_int_set_item fmt = function
+  | Single n -> Format.fprintf fmt "%d" n
+  | Range (a, b) -> Format.fprintf fmt "%d..%d" a b
+
+let pp_int_set fmt { items; _ } =
+  Format.pp_print_list ~pp_sep:(pp_sep_str ",") pp_int_set_item fmt items
+
+let pp_enum_dir fmt = function
+  | Dir_read -> Format.pp_print_string fmt "<="
+  | Dir_write -> Format.pp_print_string fmt "=>"
+  | Dir_both -> Format.pp_print_string fmt "<=>"
+
+let pp_enum_case fmt { case_name; dir; pattern; _ } =
+  Format.fprintf fmt "%s %a '%s'" case_name.name pp_enum_dir dir pattern
+
+let pp_dtype fmt = function
+  | T_bool -> Format.pp_print_string fmt "bool"
+  | T_int { signed; bits } ->
+      Format.fprintf fmt "%sint(%d)" (if signed then "signed " else "") bits
+  | T_int_set set -> Format.fprintf fmt "int{%a}" pp_int_set set
+  | T_enum cases ->
+      Format.fprintf fmt "{ %a }"
+        (Format.pp_print_list ~pp_sep:(pp_sep_str ", ") pp_enum_case)
+        cases
+
+let pp_action_value fmt = function
+  | AV_int n -> Format.fprintf fmt "%d" n
+  | AV_bool b -> Format.fprintf fmt "%b" b
+  | AV_any -> Format.pp_print_string fmt "*"
+  | AV_sym id -> Format.pp_print_string fmt id.name
+
+let pp_assignment fmt = function
+  | Assign (target, v) ->
+      Format.fprintf fmt "%s = %a" target.name pp_action_value v
+  | Assign_struct (target, fields) ->
+      let pp_field fmt (f, v) =
+        Format.fprintf fmt "%s => %a" f.name pp_action_value v
+      in
+      Format.fprintf fmt "%s = {%a}" target.name
+        (Format.pp_print_list ~pp_sep:(pp_sep_str "; ") pp_field)
+        fields
+
+let pp_action fmt { assignments; _ } =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list ~pp_sep:(pp_sep_str "; ") pp_assignment)
+    assignments
+
+let pp_port_expr fmt { port_name; port_offset; _ } =
+  match port_offset with
+  | None -> Format.pp_print_string fmt port_name.name
+  | Some off -> Format.fprintf fmt "%s @@ %d" port_name.name off
+
+let pp_reg_attr fmt = function
+  | RA_mask { mask_text; _ } -> Format.fprintf fmt "mask '%s'" mask_text
+  | RA_pre a -> Format.fprintf fmt "pre %a" pp_action a
+  | RA_post a -> Format.fprintf fmt "post %a" pp_action a
+  | RA_set a -> Format.fprintf fmt "set %a" pp_action a
+
+let pp_binding fmt (acc, port) =
+  match acc with
+  | Acc_read -> Format.fprintf fmt "read %a" pp_port_expr port
+  | Acc_write -> Format.fprintf fmt "write %a" pp_port_expr port
+  | Acc_read_write -> pp_port_expr fmt port
+
+let pp_reg_body fmt = function
+  | RB_ports bindings ->
+      Format.pp_print_list ~pp_sep:(pp_sep_str " ") pp_binding fmt bindings
+  | RB_instance { template; args; _ } ->
+      Format.fprintf fmt "%s(%a)" template.name
+        (Format.pp_print_list ~pp_sep:(pp_sep_str ", ") Format.pp_print_int)
+        args
+
+let pp_reg_params fmt = function
+  | [] -> ()
+  | params ->
+      let pp_param fmt { param_name; param_set } =
+        Format.fprintf fmt "%s : int{%a}" param_name.name pp_int_set param_set
+      in
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list ~pp_sep:(pp_sep_str ", ") pp_param)
+        params
+
+let pp_reg_decl fmt r =
+  Format.fprintf fmt "register %s%a = %a" r.reg_name.name pp_reg_params
+    r.reg_params pp_reg_body r.reg_body;
+  List.iter (fun a -> Format.fprintf fmt ", %a" pp_reg_attr a) r.reg_attrs;
+  (match r.reg_size with
+  | Some n -> Format.fprintf fmt " : bit[%d]" n
+  | None -> ());
+  Format.pp_print_string fmt ";"
+
+let pp_chunk fmt { chunk_reg; chunk_ranges; _ } =
+  match chunk_ranges with
+  | [] -> Format.pp_print_string fmt chunk_reg.name
+  | ranges ->
+      Format.fprintf fmt "%s[%a]" chunk_reg.name
+        (Format.pp_print_list ~pp_sep:(pp_sep_str ",") pp_int_set_item)
+        ranges
+
+let pp_trigger_dir fmt = function
+  | Trig_read -> Format.pp_print_string fmt "read "
+  | Trig_write -> Format.pp_print_string fmt "write "
+  | Trig_both -> ()
+
+let pp_var_attr fmt = function
+  | VA_volatile -> Format.pp_print_string fmt "volatile"
+  | VA_block -> Format.pp_print_string fmt "block"
+  | VA_set a -> Format.fprintf fmt "set %a" pp_action a
+  | VA_pre a -> Format.fprintf fmt "pre %a" pp_action a
+  | VA_post a -> Format.fprintf fmt "post %a" pp_action a
+  | VA_trigger { t_dir; t_exempt } -> (
+      Format.fprintf fmt "%atrigger" pp_trigger_dir t_dir;
+      match t_exempt with
+      | None -> ()
+      | Some (Exempt_except id) -> Format.fprintf fmt " except %s" id.name
+      | Some (Exempt_for v) ->
+          Format.fprintf fmt " for %a" pp_action_value v)
+
+let pp_serial_cond fmt { sc_var; sc_negated; sc_value } =
+  Format.fprintf fmt "%s %s %a" sc_var.name
+    (if sc_negated then "!=" else "==")
+    pp_action_value sc_value
+
+let pp_serial_item fmt { si_cond; si_reg } =
+  match si_cond with
+  | None -> Format.pp_print_string fmt si_reg.name
+  | Some c -> Format.fprintf fmt "if (%a) %s" pp_serial_cond c si_reg.name
+
+let pp_serial_clause fmt = function
+  | None -> ()
+  | Some items ->
+      Format.fprintf fmt " serialized as { %a; }"
+        (Format.pp_print_list ~pp_sep:(pp_sep_str "; ") pp_serial_item)
+        items
+
+let pp_var_decl fmt v =
+  if v.var_private then Format.pp_print_string fmt "private ";
+  Format.fprintf fmt "variable %s" v.var_name.name;
+  (match v.var_chunks with
+  | [] -> ()
+  | chunks ->
+      Format.fprintf fmt " = %a"
+        (Format.pp_print_list ~pp_sep:(pp_sep_str " # ") pp_chunk)
+        chunks);
+  List.iter (fun a -> Format.fprintf fmt ", %a" pp_var_attr a) v.var_attrs;
+  (match v.var_type with
+  | Some { ty; _ } -> Format.fprintf fmt " : %a" pp_dtype ty
+  | None -> ());
+  pp_serial_clause fmt v.var_serial;
+  Format.pp_print_string fmt ";"
+
+let rec pp_decl fmt = function
+  | D_register r -> pp_reg_decl fmt r
+  | D_variable v -> pp_var_decl fmt v
+  | D_structure s ->
+      if s.struct_private then Format.pp_print_string fmt "private ";
+      Format.fprintf fmt "@[<v 2>structure %s = {@,%a@]@,}" s.struct_name.name
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_var_decl)
+        s.struct_fields;
+      pp_serial_clause fmt s.struct_serial;
+      Format.pp_print_string fmt ";"
+  | D_conditional { cd_cond; cd_then; cd_else; _ } ->
+      Format.fprintf fmt "@[<v 2>if (%a) {@,%a@]@,}" pp_serial_cond cd_cond
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_decl)
+        cd_then;
+      if cd_else <> [] then
+        Format.fprintf fmt "@[<v 2> else {@,%a@]@,}"
+          (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_decl)
+          cd_else
+
+let pp_device_param fmt { dp_name; dp_kind; _ } =
+  match dp_kind with
+  | DP_port { width; offsets } ->
+      Format.fprintf fmt "%s : bit[%d] port @@ {%a}" dp_name.name width
+        pp_int_set offsets
+  | DP_const { ty; _ } ->
+      Format.fprintf fmt "%s : %a" dp_name.name pp_dtype ty
+
+let pp_device fmt d =
+  Format.fprintf fmt "@[<v>@[<v 2>device %s(%a)@,{@,%a@]@,}@]" d.dev_name.name
+    (Format.pp_print_list ~pp_sep:(pp_sep_str ", ") pp_device_param)
+    d.dev_params
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_decl)
+    d.dev_decls
+
+let device_to_string d = Format.asprintf "%a" pp_device d

@@ -1,0 +1,16 @@
+(** Pretty-printer for Devil surface syntax.
+
+    The output is valid Devil source: [parse (print ast)] yields a
+    structurally equal AST (up to locations), which round-trip tests
+    rely on. *)
+
+val pp_dtype : Format.formatter -> Ast.dtype -> unit
+val pp_action_value : Format.formatter -> Ast.action_value -> unit
+val pp_action : Format.formatter -> Ast.action -> unit
+val pp_chunk : Format.formatter -> Ast.chunk -> unit
+val pp_reg_decl : Format.formatter -> Ast.reg_decl -> unit
+val pp_var_decl : Format.formatter -> Ast.var_decl -> unit
+val pp_decl : Format.formatter -> Ast.decl -> unit
+val pp_device : Format.formatter -> Ast.device -> unit
+
+val device_to_string : Ast.device -> string

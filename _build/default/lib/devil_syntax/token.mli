@@ -1,0 +1,73 @@
+(** Lexical tokens of the Devil language.
+
+    The token type is shared between the compiler front-end and the
+    mutation-analysis engine (which mutates token text and re-lexes). *)
+
+type keyword =
+  | Kdevice
+  | Kregister
+  | Kvariable
+  | Kstructure
+  | Kprivate
+  | Kread
+  | Kwrite
+  | Kmask
+  | Kpre
+  | Kpost
+  | Kset
+  | Kvolatile
+  | Ktrigger
+  | Kexcept
+  | Kfor
+  | Kblock
+  | Kserialized
+  | Kas
+  | Kif
+  | Kelse
+  | Kint
+  | Ksigned
+  | Kbool
+  | Kport
+  | Kbit
+  | Ktrue
+  | Kfalse
+
+type t =
+  | IDENT of string  (** identifier starting with a lowercase letter or [_] *)
+  | UIDENT of string  (** identifier starting with an uppercase letter *)
+  | INT of int  (** decimal or 0x-hexadecimal literal *)
+  | BITLIT of string  (** bit literal: the characters between single quotes *)
+  | KW of keyword
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | AT  (** [@] *)
+  | COLON
+  | SEMI
+  | COMMA
+  | HASH  (** [#], register concatenation *)
+  | EQ  (** [=] *)
+  | EQEQ  (** [==] *)
+  | NEQ  (** [!=] *)
+  | MAPSTO  (** [=>], write mapping *)
+  | MAPSFROM  (** [<=], read mapping *)
+  | MAPSBOTH  (** [<=>], read-write mapping *)
+  | DOTDOT  (** [..] *)
+  | STAR  (** [*], the "any value" token *)
+  | EOF
+
+type loc_token = { token : t; loc : Loc.t; text : string }
+(** A token together with its location and original source text. *)
+
+val keyword_of_string : string -> keyword option
+val string_of_keyword : keyword -> string
+
+val to_string : t -> string
+(** Canonical source text of a token. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/drivers/dma_driver.ml: Devil_ir Devil_runtime Printf

@@ -1,0 +1,1 @@
+lib/drivers/dma_driver.mli: Devil_runtime

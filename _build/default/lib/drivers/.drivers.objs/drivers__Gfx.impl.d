@@ -1,0 +1,1 @@
+lib/drivers/gfx.ml: Devil_ir Devil_runtime

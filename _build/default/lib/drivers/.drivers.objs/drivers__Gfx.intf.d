@@ -1,0 +1,1 @@
+lib/drivers/gfx.mli: Devil_runtime

@@ -1,0 +1,1 @@
+lib/drivers/ide.ml: Array Buffer Bytes Char Devil_ir Devil_runtime Printf String

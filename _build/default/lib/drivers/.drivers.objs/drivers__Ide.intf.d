@@ -1,0 +1,1 @@
+lib/drivers/ide.mli: Bytes Devil_runtime

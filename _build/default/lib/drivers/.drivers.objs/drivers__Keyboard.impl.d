@@ -1,0 +1,1 @@
+lib/drivers/keyboard.ml: Devil_ir Devil_runtime Option

@@ -1,0 +1,1 @@
+lib/drivers/keyboard.mli: Devil_runtime

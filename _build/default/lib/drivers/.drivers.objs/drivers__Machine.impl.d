@@ -1,0 +1,1 @@
+lib/drivers/machine.ml: Devil_runtime Devil_specs Hwsim

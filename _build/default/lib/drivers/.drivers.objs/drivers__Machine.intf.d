@@ -1,0 +1,1 @@
+lib/drivers/machine.mli: Devil_runtime Hwsim

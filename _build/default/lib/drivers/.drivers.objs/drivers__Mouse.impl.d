@@ -1,0 +1,1 @@
+lib/drivers/mouse.ml: Devil_ir Devil_runtime

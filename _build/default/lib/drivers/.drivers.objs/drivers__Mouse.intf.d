@@ -1,0 +1,1 @@
+lib/drivers/mouse.mli: Devil_runtime

@@ -1,0 +1,1 @@
+lib/drivers/net.ml: Array Bytes Char Devil_ir Devil_runtime Printf String

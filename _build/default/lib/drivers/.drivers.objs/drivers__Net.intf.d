@@ -1,0 +1,1 @@
+lib/drivers/net.mli: Devil_runtime

@@ -1,0 +1,1 @@
+lib/drivers/pic_driver.ml: Devil_ir Devil_runtime

@@ -1,0 +1,1 @@
+lib/drivers/pic_driver.mli: Devil_runtime

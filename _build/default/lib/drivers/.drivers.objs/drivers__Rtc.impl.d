@@ -1,0 +1,1 @@
+lib/drivers/rtc.ml: Devil_ir Devil_runtime

@@ -1,0 +1,1 @@
+lib/drivers/rtc.mli: Devil_runtime

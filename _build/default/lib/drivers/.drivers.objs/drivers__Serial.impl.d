@@ -1,0 +1,1 @@
+lib/drivers/serial.ml: Array Buffer Char Devil_ir Devil_runtime String

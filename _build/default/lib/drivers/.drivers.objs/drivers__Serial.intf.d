@@ -1,0 +1,1 @@
+lib/drivers/serial.mli: Devil_runtime

@@ -1,0 +1,1 @@
+lib/drivers/sound.ml: Array Devil_ir Devil_runtime List

@@ -1,0 +1,1 @@
+lib/drivers/sound.mli: Devil_runtime

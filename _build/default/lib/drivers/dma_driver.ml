@@ -1,0 +1,103 @@
+module Instance = Devil_runtime.Instance
+module Value = Devil_ir.Value
+
+type transfer = Read_memory | Write_memory | Verify
+type mode = Demand | Single | Block | Cascade
+
+let transfer_bits = function Verify -> 0 | Write_memory -> 1 | Read_memory -> 2
+let mode_bits = function Demand -> 0 | Single -> 1 | Block -> 2 | Cascade -> 3
+
+let transfer_sym = function
+  | Verify -> "VERIFY"
+  | Write_memory -> "WRITE_MEM"
+  | Read_memory -> "READ_MEM"
+
+let mode_sym = function
+  | Demand -> "DEMAND"
+  | Single -> "SINGLE"
+  | Block -> "BLOCK_MODE"
+  | Cascade -> "CASCADE"
+
+module Devil_driver = struct
+  type t = Instance.t
+
+  let create inst = inst
+
+  let master_clear t = Instance.set t "master_clear" (Value.Int 0)
+
+  let set_mask t channel state =
+    Instance.set_struct t "channel_mask"
+      [
+        ("mask_channel", Value.Int channel);
+        ("mask_state", Value.Enum (if state then "MASK_SET" else "MASK_CLEAR"));
+      ]
+
+  let mask_channel t channel = set_mask t channel true
+  let unmask_channel t channel = set_mask t channel false
+
+  let program_channel t ~channel ~address ~count ~transfer ~mode ~auto_init =
+    set_mask t channel true;
+    Instance.set_struct t "channel_mode"
+      [
+        ("mode_channel", Value.Int channel);
+        ("transfer_type", Value.Enum (transfer_sym transfer));
+        ("auto_init", Value.Bool auto_init);
+        ("down", Value.Bool false);
+        ("transfer_mode", Value.Enum (mode_sym mode));
+      ];
+    (* The serialized 16-bit writes: flip-flop reset, low, high. *)
+    Instance.set t (Printf.sprintf "address%d" channel) (Value.Int address);
+    Instance.set t (Printf.sprintf "count%d" channel) (Value.Int count);
+    set_mask t channel false
+
+  let terminal_count_reached t channel =
+    Instance.get_struct t "dma_status";
+    match Instance.get t "terminal_count" with
+    | Value.Int tc -> tc land (1 lsl channel) <> 0
+    | _ -> false
+
+  let readback_address t channel =
+    match Instance.get t (Printf.sprintf "address%d" channel) with
+    | Value.Int v -> v
+    | _ -> 0
+end
+
+module Handcrafted = struct
+  type t = { bus : Devil_runtime.Bus.t; base : int }
+
+  let create bus ~base = { bus; base }
+
+  let outb t off v =
+    t.bus.Devil_runtime.Bus.write ~width:8 ~addr:(t.base + off) ~value:v
+
+  let inb t off = t.bus.Devil_runtime.Bus.read ~width:8 ~addr:(t.base + off)
+
+  let master_clear t = outb t 13 0
+
+  let mask_channel t channel = outb t 10 (0x4 lor channel)
+  let unmask_channel t channel = outb t 10 channel
+
+  let program_channel t ~channel ~address ~count ~transfer ~mode ~auto_init =
+    mask_channel t channel;
+    outb t 11
+      (channel
+      lor (transfer_bits transfer lsl 2)
+      lor (if auto_init then 0x10 else 0)
+      lor (mode_bits mode lsl 6));
+    outb t 12 0;  (* clear flip-flop *)
+    outb t (2 * channel) (address land 0xff);
+    outb t (2 * channel) ((address lsr 8) land 0xff);
+    outb t 12 0;
+    outb t ((2 * channel) + 1) (count land 0xff);
+    outb t ((2 * channel) + 1) ((count lsr 8) land 0xff);
+    unmask_channel t channel
+
+  let terminal_count_reached t channel =
+    inb t 8 land (1 lsl channel) <> 0
+
+  let readback_address t channel =
+    outb t 12 0;
+    let lo = inb t (2 * channel) in
+    let hi = inb t (2 * channel) in
+    lo lor (hi lsl 8)
+end

@@ -1,0 +1,54 @@
+(** 8237A DMA controller drivers. Programming a channel exercises the
+    paper's register-serialization example: the 16-bit address and
+    count variables are written low-byte-then-high-byte through one
+    port, behind a flip-flop-reset pre-action. *)
+
+type transfer = Read_memory | Write_memory | Verify
+type mode = Demand | Single | Block | Cascade
+
+module Devil_driver : sig
+  type t
+
+  val create : Devil_runtime.Instance.t -> t
+  val master_clear : t -> unit
+
+  val program_channel :
+    t ->
+    channel:int ->
+    address:int ->
+    count:int ->
+    transfer:transfer ->
+    mode:mode ->
+    auto_init:bool ->
+    unit
+  (** Masks the channel, sets its mode, writes address and count (the
+      serialized 16-bit variables), then unmasks. [count] follows the
+      8237 convention: bytes - 1. *)
+
+  val mask_channel : t -> int -> unit
+  val unmask_channel : t -> int -> unit
+  val terminal_count_reached : t -> int -> bool
+  val readback_address : t -> int -> int
+end
+
+module Handcrafted : sig
+  type t
+
+  val create : Devil_runtime.Bus.t -> base:int -> t
+  val master_clear : t -> unit
+
+  val program_channel :
+    t ->
+    channel:int ->
+    address:int ->
+    count:int ->
+    transfer:transfer ->
+    mode:mode ->
+    auto_init:bool ->
+    unit
+
+  val mask_channel : t -> int -> unit
+  val unmask_channel : t -> int -> unit
+  val terminal_count_reached : t -> int -> bool
+  val readback_address : t -> int -> int
+end

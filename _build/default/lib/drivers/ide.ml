@@ -1,0 +1,324 @@
+module Instance = Devil_runtime.Instance
+module Value = Devil_ir.Value
+
+type data_path = [ `Loop | `Block ]
+type io_width = [ `W16 | `W32 ]
+
+let sector_bytes = 512
+let words_per_sector = sector_bytes / 2
+
+let words_to_bytes words =
+  let b = Bytes.create (2 * Array.length words) in
+  Array.iteri
+    (fun i w ->
+      Bytes.set b (2 * i) (Char.chr (w land 0xff));
+      Bytes.set b ((2 * i) + 1) (Char.chr ((w lsr 8) land 0xff)))
+    words;
+  b
+
+let bytes_to_words b =
+  Array.init
+    (Bytes.length b / 2)
+    (fun i ->
+      Char.code (Bytes.get b (2 * i))
+      lor (Char.code (Bytes.get b ((2 * i) + 1)) lsl 8))
+
+let dwords_of_words words =
+  Array.init
+    (Array.length words / 2)
+    (fun i -> words.(2 * i) lor (words.((2 * i) + 1) lsl 16))
+
+let words_of_dwords dwords =
+  Array.init
+    (2 * Array.length dwords)
+    (fun i ->
+      let d = dwords.(i / 2) in
+      if i mod 2 = 0 then d land 0xffff else (d lsr 16) land 0xffff)
+
+module Devil_driver = struct
+  type t = { ide : Instance.t; piix4 : Instance.t }
+
+  let create ~ide ~piix4 = { ide; piix4 }
+
+  let get_bool t name =
+    match Instance.get t.ide name with
+    | Value.Bool b -> b
+    | v -> failwith (name ^ ": expected bool, got " ^ Value.to_string v)
+
+  (* One status poll through the generated struct interface. *)
+  let poll_status t =
+    Instance.get_struct t.ide "ide_status";
+    (get_bool t "bsy", get_bool t "drq")
+
+  let wait_not_busy t =
+    let rec go n =
+      if n = 0 then failwith "ide: timeout waiting for BSY to clear";
+      let bsy, _ = poll_status t in
+      if bsy then go (n - 1)
+    in
+    go 1_000_000
+
+  let wait_drq t =
+    (* The per-interrupt service path of the Devil driver: the status
+       structure, the error variable and the alternate status are
+       distinct interface entities, each costing one I/O operation
+       (paper §4.3: "2 additional operations for each interrupt"). *)
+    let rec go n =
+      if n = 0 then failwith "ide: timeout waiting for DRQ";
+      let bsy, drq = poll_status t in
+      if bsy || not drq then go (n - 1)
+    in
+    go 1_000_000;
+    (match Instance.get t.ide "error_flags" with
+    | Value.Int 0 -> ()
+    | Value.Int e -> failwith (Printf.sprintf "ide: device error %#x" e)
+    | _ -> ());
+    ignore (Instance.get t.ide "alt_status")
+
+  let setup_command t ~lba ~count ~cmd =
+    wait_not_busy t;
+    Instance.set t.ide "sector_count" (Value.Int (count land 0xff));
+    Instance.set t.ide "lba_low" (Value.Int (lba land 0xff));
+    Instance.set t.ide "lba_mid" (Value.Int ((lba lsr 8) land 0xff));
+    Instance.set t.ide "lba_high" (Value.Int ((lba lsr 16) land 0xff));
+    Instance.set t.ide "lba_enable" (Value.Enum "LBA_MODE");
+    Instance.set t.ide "drive_select" (Value.Enum "MASTER");
+    Instance.set t.ide "head" (Value.Int ((lba lsr 24) land 0xf));
+    Instance.set t.ide "irq_enable" (Value.Enum "IRQ_ON");
+    Instance.set t.ide "command" (Value.Enum cmd)
+
+  let read_data_words t ~path ~width ~words =
+    match (path, width) with
+    | `Block, `W16 -> Instance.read_block t.ide "Ide_data" ~count:words
+    | `Block, `W32 ->
+        words_of_dwords
+          (Instance.read_block_wide t.ide "Ide_data" ~scale:2
+             ~count:(words / 2))
+    | `Loop, `W16 ->
+        Array.init words (fun _ ->
+            match Instance.get t.ide "Ide_data" with
+            | Value.Int w -> w
+            | _ -> 0)
+    | `Loop, `W32 ->
+        words_of_dwords
+          (Array.init (words / 2) (fun _ ->
+               Instance.read_wide t.ide "Ide_data" ~scale:2))
+
+  let write_data_words t ~path ~width words =
+    match (path, width) with
+    | `Block, `W16 -> Instance.write_block t.ide "Ide_data" words
+    | `Block, `W32 ->
+        Instance.write_block_wide t.ide "Ide_data" ~scale:2
+          (dwords_of_words words)
+    | `Loop, `W16 ->
+        Array.iter
+          (fun w -> Instance.set t.ide "Ide_data" (Value.Int w))
+          words
+    | `Loop, `W32 ->
+        Array.iter
+          (fun d -> Instance.write_wide t.ide "Ide_data" ~scale:2 d)
+          (dwords_of_words words)
+
+  let identify t =
+    wait_not_busy t;
+    Instance.set t.ide "command" (Value.Enum "IDENTIFY");
+    wait_drq t;
+    let words = read_data_words t ~path:`Block ~width:`W16 ~words:words_per_sector in
+    let b = Buffer.create 40 in
+    for w = 27 to 46 do
+      let add c = if c >= 0x20 && c < 0x7f then Buffer.add_char b (Char.chr c) in
+      add ((words.(w) lsr 8) land 0xff);
+      add (words.(w) land 0xff)
+    done;
+    String.trim (Buffer.contents b)
+
+  (* Sectors arrive in DRQ blocks of [mult] sectors (hdparm -m); the
+     driver services one interrupt per block. *)
+  let read_sectors t ~lba ~count ~mult ~path ~width =
+    setup_command t ~lba ~count ~cmd:"READ_SECTORS";
+    let out = Buffer.create (count * sector_bytes) in
+    let remaining = ref count in
+    while !remaining > 0 do
+      let n = min mult !remaining in
+      wait_drq t;
+      let words = read_data_words t ~path ~width ~words:(n * words_per_sector) in
+      Buffer.add_bytes out (words_to_bytes words);
+      remaining := !remaining - n
+    done;
+    Buffer.to_bytes out
+
+  let write_sectors t ~lba ~count ~mult ~path ~width data =
+    if Bytes.length data <> count * sector_bytes then
+      invalid_arg "ide write: data size mismatch";
+    setup_command t ~lba ~count ~cmd:"WRITE_SECTORS";
+    let remaining = ref count and s = ref 0 in
+    while !remaining > 0 do
+      let n = min mult !remaining in
+      wait_drq t;
+      let chunk = Bytes.sub data (!s * sector_bytes) (n * sector_bytes) in
+      write_data_words t ~path ~width (bytes_to_words chunk);
+      remaining := !remaining - n;
+      s := !s + n
+    done
+
+  let bm_wait_irq t =
+    let rec go n =
+      if n = 0 then failwith "ide dma: timeout";
+      match Instance.get t.piix4 "bm_irq" with
+      | Value.Enum "RAISED" -> ()
+      | _ -> go (n - 1)
+    in
+    go 1_000_000
+
+  let dma_common t ~lba ~count ~to_memory ~cmd =
+    setup_command t ~lba ~count ~cmd;
+    Instance.set t.piix4 "prd_address" (Value.Int 0);
+    Instance.set t.piix4 "bm_direction"
+      (Value.Enum (if to_memory then "BM_TO_MEMORY" else "BM_FROM_MEMORY"));
+    Instance.set t.piix4 "bm_engine" (Value.Enum "BM_START");
+    bm_wait_irq t;
+    Instance.set t.piix4 "bm_irq" (Value.Enum "CLEAR_IRQ");
+    Instance.set t.piix4 "bm_engine" (Value.Enum "BM_STOP")
+
+  let read_dma t ~memory ~lba ~count =
+    dma_common t ~lba ~count ~to_memory:true ~cmd:"READ_DMA";
+    Bytes.sub memory 0 (count * sector_bytes)
+
+  let write_dma t ~memory ~lba ~count data =
+    if Bytes.length data <> count * sector_bytes then
+      invalid_arg "ide dma write: data size mismatch";
+    Bytes.blit data 0 memory 0 (Bytes.length data);
+    dma_common t ~lba ~count ~to_memory:false ~cmd:"WRITE_DMA"
+end
+
+module Handcrafted = struct
+  type t = {
+    bus : Devil_runtime.Bus.t;
+    cmd_base : int;
+    ctrl_base : int;
+    bm_base : int;
+    prd_base : int;
+  }
+
+  let create bus ~cmd_base ~ctrl_base ~bm_base ~prd_base =
+    { bus; cmd_base; ctrl_base; bm_base; prd_base }
+
+  let outb t base off v =
+    t.bus.Devil_runtime.Bus.write ~width:8 ~addr:(base + off) ~value:v
+
+  let inb t base off = t.bus.Devil_runtime.Bus.read ~width:8 ~addr:(base + off)
+
+  let wait_not_busy t =
+    let rec go n =
+      if n = 0 then failwith "ide: timeout waiting for BSY";
+      if inb t t.cmd_base 7 land 0x80 <> 0 then go (n - 1)
+    in
+    go 1_000_000
+
+  (* The original driver's interrupt service: one status read. *)
+  let wait_drq t =
+    let rec go n =
+      if n = 0 then failwith "ide: timeout waiting for DRQ";
+      let st = inb t t.cmd_base 7 in
+      if st land 0x01 <> 0 then failwith "ide: device error";
+      if st land 0x88 <> 0x08 then go (n - 1)
+    in
+    go 1_000_000
+
+  let setup_command t ~lba ~count ~cmd =
+    wait_not_busy t;
+    outb t t.cmd_base 2 (count land 0xff);
+    outb t t.cmd_base 3 (lba land 0xff);
+    outb t t.cmd_base 4 ((lba lsr 8) land 0xff);
+    outb t t.cmd_base 5 ((lba lsr 16) land 0xff);
+    outb t t.cmd_base 6 (0xe0 lor ((lba lsr 24) land 0xf));
+    outb t t.cmd_base 7 cmd
+
+  let read_data_words t ~path ~width ~words =
+    let addr = t.cmd_base in
+    match (path, width) with
+    | `Block, `W16 ->
+        let into = Array.make words 0 in
+        t.bus.Devil_runtime.Bus.read_block ~width:16 ~addr ~into;
+        into
+    | `Block, `W32 ->
+        let into = Array.make (words / 2) 0 in
+        t.bus.Devil_runtime.Bus.read_block ~width:32 ~addr ~into;
+        words_of_dwords into
+    | `Loop, `W16 ->
+        Array.init words (fun _ ->
+            t.bus.Devil_runtime.Bus.read ~width:16 ~addr)
+    | `Loop, `W32 ->
+        words_of_dwords
+          (Array.init (words / 2) (fun _ ->
+               t.bus.Devil_runtime.Bus.read ~width:32 ~addr))
+
+  let write_data_words t ~path ~width words =
+    let addr = t.cmd_base in
+    match (path, width) with
+    | `Block, `W16 -> t.bus.Devil_runtime.Bus.write_block ~width:16 ~addr ~from:words
+    | `Block, `W32 ->
+        t.bus.Devil_runtime.Bus.write_block ~width:32 ~addr
+          ~from:(dwords_of_words words)
+    | `Loop, `W16 ->
+        Array.iter
+          (fun value -> t.bus.Devil_runtime.Bus.write ~width:16 ~addr ~value)
+          words
+    | `Loop, `W32 ->
+        Array.iter
+          (fun value -> t.bus.Devil_runtime.Bus.write ~width:32 ~addr ~value)
+          (dwords_of_words words)
+
+  let read_sectors t ~lba ~count ~mult ~path ~width =
+    setup_command t ~lba ~count ~cmd:0x20;
+    let out = Buffer.create (count * sector_bytes) in
+    let remaining = ref count in
+    while !remaining > 0 do
+      let n = min mult !remaining in
+      wait_drq t;
+      let words = read_data_words t ~path ~width ~words:(n * words_per_sector) in
+      Buffer.add_bytes out (words_to_bytes words);
+      remaining := !remaining - n
+    done;
+    Buffer.to_bytes out
+
+  let write_sectors t ~lba ~count ~mult ~path ~width data =
+    if Bytes.length data <> count * sector_bytes then
+      invalid_arg "ide write: data size mismatch";
+    setup_command t ~lba ~count ~cmd:0x30;
+    let remaining = ref count and s = ref 0 in
+    while !remaining > 0 do
+      let n = min mult !remaining in
+      wait_drq t;
+      write_data_words t ~path ~width
+        (bytes_to_words (Bytes.sub data (!s * sector_bytes) (n * sector_bytes)));
+      remaining := !remaining - n;
+      s := !s + n
+    done
+
+  let bm_wait_irq t =
+    let rec go n =
+      if n = 0 then failwith "ide dma: timeout";
+      if inb t t.bm_base 2 land 0x04 = 0 then go (n - 1)
+    in
+    go 1_000_000
+
+  let dma_common t ~lba ~count ~to_memory ~cmd =
+    setup_command t ~lba ~count ~cmd;
+    t.bus.Devil_runtime.Bus.write ~width:32 ~addr:t.prd_base ~value:0;
+    outb t t.bm_base 0 (if to_memory then 0x08 else 0x00);
+    outb t t.bm_base 0 (if to_memory then 0x09 else 0x01);
+    bm_wait_irq t;
+    outb t t.bm_base 2 0x04;
+    outb t t.bm_base 0 0x00
+
+  let read_dma t ~memory ~lba ~count =
+    dma_common t ~lba ~count ~to_memory:true ~cmd:0xc8;
+    Bytes.sub memory 0 (count * sector_bytes)
+
+  let write_dma t ~memory ~lba ~count data =
+    if Bytes.length data <> count * sector_bytes then
+      invalid_arg "ide dma write: data size mismatch";
+    Bytes.blit data 0 memory 0 (Bytes.length data);
+    dma_common t ~lba ~count ~to_memory:false ~cmd:0xca
+end

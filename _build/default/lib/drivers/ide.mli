@@ -1,0 +1,81 @@
+(** IDE disk drivers over the task file and the PIIX4 busmaster.
+
+    Transfer modes mirror the paper's Table 2 matrix:
+    - PIO with per-word C loops ([`Loop]) or [rep]-style block stubs
+      ([`Block]), at 16-bit or 32-bit I/O width;
+    - Ultra-DMA through the busmaster engine.
+
+    The hand-crafted driver always moves data with block (string)
+    instructions, like the original Linux driver; the Devil driver can
+    do either, which is exactly the comparison of paper §4.3. *)
+
+type data_path = [ `Loop | `Block ]
+type io_width = [ `W16 | `W32 ]
+
+module Devil_driver : sig
+  type t
+
+  val create :
+    ide:Devil_runtime.Instance.t -> piix4:Devil_runtime.Instance.t -> t
+
+  val identify : t -> string
+  (** Model name from the IDENTIFY data. *)
+
+  val read_sectors :
+    t ->
+    lba:int ->
+    count:int ->
+    mult:int ->
+    path:data_path ->
+    width:io_width ->
+    Bytes.t
+  (** [mult] is the device's sectors-per-interrupt setting (hdparm -m);
+      the driver services one interrupt per DRQ block of [mult]
+      sectors. The caller must have configured the device model with
+      the same multiple. *)
+
+  val write_sectors :
+    t ->
+    lba:int ->
+    count:int ->
+    mult:int ->
+    path:data_path ->
+    width:io_width ->
+    Bytes.t ->
+    unit
+
+  val read_dma : t -> memory:Bytes.t -> lba:int -> count:int -> Bytes.t
+  (** [memory] is the busmaster's system memory (the DMA target). *)
+
+  val write_dma : t -> memory:Bytes.t -> lba:int -> count:int -> Bytes.t -> unit
+end
+
+module Handcrafted : sig
+  type t
+
+  val create :
+    Devil_runtime.Bus.t -> cmd_base:int -> ctrl_base:int -> bm_base:int ->
+    prd_base:int -> t
+
+  val read_sectors :
+    t ->
+    lba:int ->
+    count:int ->
+    mult:int ->
+    path:data_path ->
+    width:io_width ->
+    Bytes.t
+
+  val write_sectors :
+    t ->
+    lba:int ->
+    count:int ->
+    mult:int ->
+    path:data_path ->
+    width:io_width ->
+    Bytes.t ->
+    unit
+
+  val read_dma : t -> memory:Bytes.t -> lba:int -> count:int -> Bytes.t
+  val write_dma : t -> memory:Bytes.t -> lba:int -> count:int -> Bytes.t -> unit
+end

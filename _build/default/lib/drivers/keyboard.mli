@@ -1,0 +1,31 @@
+(** i8042 keyboard drivers: controller bring-up (self-test, interface
+    test), scancode polling and LED control. *)
+
+module Devil_driver : sig
+  type t
+
+  val create : Devil_runtime.Instance.t -> t
+
+  val init : t -> bool
+  (** Self-test + interface test + enable; true when both tests pass. *)
+
+  val poll_scancode : t -> int option
+  (** The next scancode, if the output buffer holds one. *)
+
+  val set_leds : t -> int -> bool
+  (** Sends 0xED + the LED mask; true when the keyboard ACKs both. *)
+
+  val read_config : t -> int
+  val write_config : t -> int -> unit
+end
+
+module Handcrafted : sig
+  type t
+
+  val create : Devil_runtime.Bus.t -> data_base:int -> ctl_base:int -> t
+  val init : t -> bool
+  val poll_scancode : t -> int option
+  val set_leds : t -> int -> bool
+  val read_config : t -> int
+  val write_config : t -> int -> unit
+end

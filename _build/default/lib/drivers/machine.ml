@@ -1,0 +1,132 @@
+module Instance = Devil_runtime.Instance
+module Io_space = Hwsim.Io_space
+
+type t = {
+  space : Io_space.t;
+  bus : Devil_runtime.Bus.t;
+  mouse : Hwsim.Busmouse.t;
+  disk : Hwsim.Ide_disk.t;
+  busmaster : Hwsim.Piix4.t;
+  nic : Hwsim.Ne2000.t;
+  dma : Hwsim.Dma8237.t;
+  pic : Hwsim.Pic8259.t;
+  sound : Hwsim.Cs4236b.t;
+  gfx : Hwsim.Permedia2.t;
+  uart : Hwsim.Uart16550.t;
+  rtc : Hwsim.Mc146818.t;
+  kbd : Hwsim.I8042.t;
+  mouse_dev : Instance.t;
+  ide_dev : Instance.t;
+  piix4_dev : Instance.t;
+  ne2000_dev : Instance.t;
+  dma_dev : Instance.t;
+  pic_dev : Instance.t;
+  sound_dev : Instance.t;
+  gfx_dev : Instance.t;
+  uart_dev : Instance.t;
+  rtc_dev : Instance.t;
+  kbd_dev : Instance.t;
+}
+
+let mouse_base = 0x23c
+let ide_base = 0x1f0
+let ide_ctrl_base = 0x3f6
+let piix4_base = 0xc000
+let piix4_prd_base = 0xc004
+let ne2000_base = 0x300
+let dma_base = 0x00
+let pic_base = 0x20
+let sound_base = 0x530
+let gfx_mmio_base = 0xd000_0000
+let gfx_fb_base = 0xd100_0000
+let uart_base = 0x3f8
+let rtc_index_base = 0x70
+let rtc_data_base = 0x71
+let kbd_data_base = 0x60
+let kbd_ctl_base = 0x64
+
+let create ?(debug = false) () =
+  let space = Io_space.create () in
+  let mouse = Hwsim.Busmouse.create () in
+  let disk = Hwsim.Ide_disk.create () in
+  let busmaster = Hwsim.Piix4.create ~disk ~memory_size:(1 lsl 20) in
+  let nic = Hwsim.Ne2000.create () in
+  let dma = Hwsim.Dma8237.create ~memory_size:(1 lsl 16) in
+  let pic = Hwsim.Pic8259.create () in
+  let sound = Hwsim.Cs4236b.create () in
+  let gfx = Hwsim.Permedia2.create () in
+  let uart = Hwsim.Uart16550.create () in
+  let rtc = Hwsim.Mc146818.create () in
+  let kbd = Hwsim.I8042.create () in
+  Io_space.attach space ~base:mouse_base ~size:4 (Hwsim.Busmouse.model mouse);
+  Io_space.attach space ~base:ide_base ~size:8
+    (Hwsim.Ide_disk.command_model disk);
+  Io_space.attach space ~base:ide_ctrl_base ~size:1
+    (Hwsim.Ide_disk.control_model disk);
+  Io_space.attach space ~base:piix4_base ~size:4
+    (Hwsim.Piix4.bm_model busmaster);
+  Io_space.attach space ~base:piix4_prd_base ~size:1
+    (Hwsim.Piix4.prd_model busmaster);
+  Io_space.attach space ~base:ne2000_base ~size:32 (Hwsim.Ne2000.model nic);
+  Io_space.attach space ~base:dma_base ~size:16 (Hwsim.Dma8237.model dma);
+  Io_space.attach space ~base:pic_base ~size:2 (Hwsim.Pic8259.model pic);
+  Io_space.attach space ~base:sound_base ~size:4 (Hwsim.Cs4236b.model sound);
+  Io_space.attach space ~base:gfx_mmio_base ~size:16
+    (Hwsim.Permedia2.mmio_model gfx);
+  Io_space.attach space ~base:gfx_fb_base ~size:1
+    (Hwsim.Permedia2.fb_model gfx);
+  Io_space.attach space ~base:uart_base ~size:8 (Hwsim.Uart16550.model uart);
+  Io_space.attach space ~base:rtc_index_base ~size:1
+    (Hwsim.Mc146818.index_model rtc);
+  Io_space.attach space ~base:rtc_data_base ~size:1
+    (Hwsim.Mc146818.data_model rtc);
+  Io_space.attach space ~base:kbd_data_base ~size:1
+    (Hwsim.I8042.data_model kbd);
+  Io_space.attach space ~base:kbd_ctl_base ~size:1
+    (Hwsim.I8042.control_model kbd);
+  let bus = Io_space.bus space in
+  let mk device bases = Instance.create ~debug device ~bus ~bases in
+  {
+    space;
+    bus;
+    mouse;
+    disk;
+    busmaster;
+    nic;
+    dma;
+    pic;
+    sound;
+    gfx;
+    uart;
+    rtc;
+    kbd;
+    mouse_dev =
+      mk (Devil_specs.Specs.busmouse ()) [ ("base", mouse_base) ];
+    ide_dev =
+      mk (Devil_specs.Specs.ide ())
+        [ ("data", ide_base); ("cmd", ide_base); ("ctrl", ide_ctrl_base) ];
+    piix4_dev =
+      mk (Devil_specs.Specs.piix4_ide ())
+        [ ("bm", piix4_base); ("prd", piix4_prd_base) ];
+    ne2000_dev =
+      mk (Devil_specs.Specs.ne2000 ()) [ ("base", ne2000_base) ];
+    dma_dev = mk (Devil_specs.Specs.dma8237 ()) [ ("base", dma_base) ];
+    pic_dev =
+      mk (Devil_specs.Specs.pic8259 ~master:true ()) [ ("base", pic_base) ];
+    sound_dev = mk (Devil_specs.Specs.cs4236b ()) [ ("base", sound_base) ];
+    gfx_dev =
+      mk (Devil_specs.Specs.permedia2 ())
+        [ ("mmio", gfx_mmio_base); ("fb", gfx_fb_base) ];
+    uart_dev = mk (Devil_specs.Specs.uart16550 ()) [ ("base", uart_base) ];
+    rtc_dev =
+      mk (Devil_specs.Specs.mc146818 ())
+        [ ("idx", rtc_index_base); ("data", rtc_data_base) ];
+    kbd_dev =
+      mk (Devil_specs.Specs.i8042 ())
+        [ ("data", kbd_data_base); ("ctl", kbd_ctl_base) ];
+  }
+
+let reset_io_stats t = Io_space.reset_stats t.space
+let io_ops t = Io_space.io_ops t.space
+let single_ops t = Io_space.single_ops t.space
+let stats t = Io_space.stats t.space

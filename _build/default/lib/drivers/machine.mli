@@ -1,0 +1,75 @@
+(** A simulated PC: every modelled device attached to one I/O space at
+    its conventional address, with a verified Devil instance bound to
+    each. Drivers, examples, tests and benchmarks all start here. *)
+
+module Instance = Devil_runtime.Instance
+
+type t = {
+  space : Hwsim.Io_space.t;
+  bus : Devil_runtime.Bus.t;
+  (* device models *)
+  mouse : Hwsim.Busmouse.t;
+  disk : Hwsim.Ide_disk.t;
+  busmaster : Hwsim.Piix4.t;
+  nic : Hwsim.Ne2000.t;
+  dma : Hwsim.Dma8237.t;
+  pic : Hwsim.Pic8259.t;
+  sound : Hwsim.Cs4236b.t;
+  gfx : Hwsim.Permedia2.t;
+  uart : Hwsim.Uart16550.t;
+  rtc : Hwsim.Mc146818.t;
+  kbd : Hwsim.I8042.t;
+  (* Devil instances over the same bus *)
+  mouse_dev : Instance.t;
+  ide_dev : Instance.t;
+  piix4_dev : Instance.t;
+  ne2000_dev : Instance.t;
+  dma_dev : Instance.t;
+  pic_dev : Instance.t;
+  sound_dev : Instance.t;
+  gfx_dev : Instance.t;
+  uart_dev : Instance.t;
+  rtc_dev : Instance.t;
+  kbd_dev : Instance.t;
+}
+
+val mouse_base : int  (** 0x23c *)
+
+val ide_base : int  (** 0x1f0 *)
+
+val ide_ctrl_base : int  (** 0x3f6 *)
+
+val piix4_base : int  (** 0xc000 *)
+
+val piix4_prd_base : int  (** 0xc004 *)
+
+val ne2000_base : int  (** 0x300 *)
+
+val dma_base : int  (** 0x00 *)
+
+val pic_base : int  (** 0x20 *)
+
+val sound_base : int  (** 0x530 *)
+
+val gfx_mmio_base : int  (** 0xd000_0000 *)
+
+val gfx_fb_base : int  (** 0xd100_0000 *)
+
+val uart_base : int  (** 0x3f8 *)
+
+val rtc_index_base : int  (** 0x70 *)
+
+val rtc_data_base : int  (** 0x71 *)
+
+val kbd_data_base : int  (** 0x60 *)
+
+val kbd_ctl_base : int  (** 0x64 *)
+
+val create : ?debug:bool -> unit -> t
+(** Builds the machine. [debug] enables the §3.2 dynamic checks in
+    every Devil instance. *)
+
+val reset_io_stats : t -> unit
+val io_ops : t -> int
+val single_ops : t -> int
+val stats : t -> Hwsim.Io_space.stats

@@ -1,0 +1,83 @@
+module Instance = Devil_runtime.Instance
+module Value = Devil_ir.Value
+
+type state = { dx : int; dy : int; buttons : int }
+
+module Devil_driver = struct
+  type t = Instance.t
+
+  let create inst = inst
+
+  let probe t =
+    Instance.set t "signature" (Value.Int 0xa5);
+    match Instance.get t "signature" with
+    | Value.Int v -> v = 0xa5
+    | _ -> false
+
+  let init t =
+    Instance.set t "config" (Value.Enum "DEFAULT_MODE");
+    Instance.set t "interrupt" (Value.Enum "ENABLE")
+
+  let set_interrupts t on =
+    Instance.set t "interrupt"
+      (Value.Enum (if on then "ENABLE" else "DISABLE"))
+
+  let read_state t =
+    Instance.get_struct t "mouse_state";
+    let int_of name =
+      match Instance.get t name with
+      | Value.Int v -> v
+      | v -> failwith ("unexpected value for " ^ name ^ ": " ^ Value.to_string v)
+    in
+    { dx = int_of "dx"; dy = int_of "dy"; buttons = int_of "buttons" }
+end
+
+module Handcrafted = struct
+  (* Mirrors the original driver's macro bank (paper Figure 2). *)
+  let mse_data_port = 0
+  let mse_control_port = 2
+  let mse_config_port = 3
+  let mse_signature_port = 1
+  let mse_read_x_low = 0x80
+  let mse_read_x_high = 0xa0
+  let mse_read_y_low = 0xc0
+  let mse_read_y_high = 0xe0
+  let mse_int_on = 0x00
+  let mse_int_off = 0x10
+  let mse_default_mode = 0x90
+
+  type t = { bus : Devil_runtime.Bus.t; base : int }
+
+  let create bus ~base = { bus; base }
+
+  let outb t v port =
+    t.bus.Devil_runtime.Bus.write ~width:8 ~addr:(t.base + port) ~value:v
+
+  let inb t port = t.bus.Devil_runtime.Bus.read ~width:8 ~addr:(t.base + port)
+
+  let probe t =
+    outb t 0x5a mse_signature_port;
+    inb t mse_signature_port = 0x5a
+
+  let init t =
+    outb t mse_default_mode mse_config_port;
+    outb t mse_int_on mse_control_port
+
+  let set_interrupts t on =
+    outb t (if on then mse_int_on else mse_int_off) mse_control_port
+
+  let sign_extend_8 v = if v land 0x80 <> 0 then v - 256 else v
+
+  let read_state t =
+    outb t mse_read_x_high mse_control_port;
+    let dx = (inb t mse_data_port land 0xf) lsl 4 in
+    outb t mse_read_x_low mse_control_port;
+    let dx = dx lor (inb t mse_data_port land 0xf) in
+    outb t mse_read_y_high mse_control_port;
+    let buttons = inb t mse_data_port in
+    let dy = (buttons land 0xf) lsl 4 in
+    outb t mse_read_y_low mse_control_port;
+    let dy = dy lor (inb t mse_data_port land 0xf) in
+    let buttons = (buttons lsr 5) land 0x07 in
+    { dx = sign_extend_8 dx; dy = sign_extend_8 dy; buttons }
+end

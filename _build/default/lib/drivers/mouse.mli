@@ -1,0 +1,33 @@
+(** Logitech busmouse drivers: the Devil-based driver programs the
+    generated interface (paper Figure 3); the hand-crafted driver
+    mirrors the original Linux 2.2 code with its magic constants
+    (paper Figure 2). *)
+
+type state = { dx : int; dy : int; buttons : int }
+
+module Devil_driver : sig
+  type t
+
+  val create : Devil_runtime.Instance.t -> t
+
+  val probe : t -> bool
+  (** Writes a probe pattern through the signature variable and checks
+      it reads back. *)
+
+  val init : t -> unit
+  (** Selects default mode and enables interrupts. *)
+
+  val read_state : t -> state
+
+  val set_interrupts : t -> bool -> unit
+end
+
+module Handcrafted : sig
+  type t
+
+  val create : Devil_runtime.Bus.t -> base:int -> t
+  val probe : t -> bool
+  val init : t -> unit
+  val read_state : t -> state
+  val set_interrupts : t -> bool -> unit
+end

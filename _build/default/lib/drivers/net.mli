@@ -1,0 +1,41 @@
+(** NE2000 Ethernet drivers: initialization, packet transmission and
+    receive-ring service through the remote-DMA engine. *)
+
+module Devil_driver : sig
+  type t
+
+  val create : Devil_runtime.Instance.t -> t
+
+  val init : t -> mac:string -> unit
+  (** Full DP8390 bring-up: stop, configure DCR/RCR/TCR, program the
+      receive ring, load the station address, clear and unmask
+      interrupts, start. [mac] is 6 bytes. *)
+
+  val init_loopback : t -> mac:string -> unit
+  (** Same, but leaves the transmitter in internal-loopback mode. *)
+
+  val station_address : t -> string
+  (** Reads back the 6-byte station address (page 1). *)
+
+  val send : t -> string -> unit
+  (** Copies the frame into transmit memory via remote DMA and fires
+      the transmit command. *)
+
+  val receive : t -> string option
+  (** Services the receive ring: returns the next frame, advancing
+      BNRY, or [None] when the ring is empty. *)
+
+  val ack_interrupts : t -> unit
+  (** Acknowledges all pending ISR bits through the structure stubs. *)
+end
+
+module Handcrafted : sig
+  type t
+
+  val create : Devil_runtime.Bus.t -> base:int -> t
+  val init : t -> mac:string -> unit
+  val init_loopback : t -> mac:string -> unit
+  val station_address : t -> string
+  val send : t -> string -> unit
+  val receive : t -> string option
+end

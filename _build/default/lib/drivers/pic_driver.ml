@@ -1,0 +1,83 @@
+module Instance = Devil_runtime.Instance
+module Value = Devil_ir.Value
+
+module Devil_driver = struct
+  type t = Instance.t
+
+  let create inst = inst
+
+  (* One structure write: the serialization clause emits ICW1, ICW2,
+     then ICW3/ICW4 only when the configured values require them. *)
+  let init t ~vector_base ~single ~with_icw4 ~cascade_map =
+    Instance.set_struct t "init"
+      [
+        ("ic4", Value.Bool with_icw4);
+        ("sngl", Value.Enum (if single then "SINGLE" else "CASCADED"));
+        ("adi", Value.Bool false);
+        ("ltim", Value.Enum "EDGE");
+        ("vector_base", Value.Int ((vector_base lsr 3) land 0x1f));
+        ("cascade_map", Value.Int cascade_map);
+        ("microprocessor", Value.Enum "X8086");
+        ("auto_eoi", Value.Bool false);
+        ("buffer_master", Value.Bool false);
+        ("buffered", Value.Bool false);
+        ("nested", Value.Bool false);
+      ]
+
+  let set_mask t mask = Instance.set t "irq_mask" (Value.Int (mask land 0xff))
+
+  let read_mask t =
+    match Instance.get t "irq_mask" with Value.Int v -> v | _ -> 0
+
+  let mask_line t line = set_mask t (read_mask t lor (1 lsl line))
+  let unmask_line t line = set_mask t (read_mask t land lnot (1 lsl line))
+
+  let pending_requests t =
+    Instance.set t "read_select" (Value.Enum "READ_IRR");
+    match Instance.get t "irq_request" with Value.Int v -> v | _ -> 0
+
+  let in_service t =
+    Instance.set t "read_select" (Value.Enum "READ_ISR");
+    match Instance.get t "in_service" with Value.Int v -> v | _ -> 0
+
+  let eoi t = Instance.set t "eoi_command" (Value.Enum "NON_SPECIFIC_EOI")
+
+  let specific_eoi t ~line =
+    Instance.set t "eoi_level" (Value.Int (line land 0x7));
+    Instance.set t "eoi_command" (Value.Enum "SPECIFIC_EOI")
+end
+
+module Handcrafted = struct
+  type t = { bus : Devil_runtime.Bus.t; base : int }
+
+  let create bus ~base = { bus; base }
+
+  let outb t off v =
+    t.bus.Devil_runtime.Bus.write ~width:8 ~addr:(t.base + off) ~value:v
+
+  let inb t off = t.bus.Devil_runtime.Bus.read ~width:8 ~addr:(t.base + off)
+
+  let init t ~vector_base ~single ~with_icw4 ~cascade_map =
+    let icw1 =
+      0x10 lor (if single then 0x02 else 0x00)
+      lor if with_icw4 then 0x01 else 0x00
+    in
+    outb t 0 icw1;
+    outb t 1 (vector_base land 0xf8);
+    if not single then outb t 1 cascade_map;
+    if with_icw4 then outb t 1 0x01 (* 8086 mode *)
+
+  let set_mask t mask = outb t 1 (mask land 0xff)
+  let read_mask t = inb t 1
+
+  let pending_requests t =
+    outb t 0 0x0a;  (* OCW3: read IRR *)
+    inb t 0
+
+  let in_service t =
+    outb t 0 0x0b;  (* OCW3: read ISR *)
+    inb t 0
+
+  let eoi t = outb t 0 0x20
+  let specific_eoi t ~line = outb t 0 (0x60 lor (line land 0x7))
+end

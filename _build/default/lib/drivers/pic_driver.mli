@@ -1,0 +1,51 @@
+(** 8259A interrupt-controller drivers. The initialization sequence is
+    the paper's control-flow-serialization showcase: the generated
+    structure stub writes ICW1..ICW4 in the order (and number) the
+    configured values demand. *)
+
+module Devil_driver : sig
+  type t
+
+  val create : Devil_runtime.Instance.t -> t
+
+  val init :
+    t ->
+    vector_base:int ->
+    single:bool ->
+    with_icw4:bool ->
+    cascade_map:int ->
+    unit
+
+  val set_mask : t -> int -> unit
+  val mask_line : t -> int -> unit
+  val unmask_line : t -> int -> unit
+  val read_mask : t -> int
+  val pending_requests : t -> int  (** IRR via the OCW3 selection *)
+
+  val in_service : t -> int  (** ISR via the OCW3 selection *)
+
+  val eoi : t -> unit  (** non-specific EOI *)
+
+  val specific_eoi : t -> line:int -> unit
+end
+
+module Handcrafted : sig
+  type t
+
+  val create : Devil_runtime.Bus.t -> base:int -> t
+
+  val init :
+    t ->
+    vector_base:int ->
+    single:bool ->
+    with_icw4:bool ->
+    cascade_map:int ->
+    unit
+
+  val set_mask : t -> int -> unit
+  val read_mask : t -> int
+  val pending_requests : t -> int
+  val in_service : t -> int
+  val eoi : t -> unit
+  val specific_eoi : t -> line:int -> unit
+end

@@ -1,0 +1,34 @@
+(** MC146818 RTC drivers: reading a torn-free wall-clock time around the
+    update-in-progress window, setting the clock under SET mode, alarms
+    and the read-to-acknowledge interrupt flags. *)
+
+type time = { hours : int; minutes : int; seconds : int }
+
+module Devil_driver : sig
+  type t
+
+  val create : Devil_runtime.Instance.t -> t
+
+  val read_time : t -> time
+  (** Waits out the update-in-progress bit, then double-reads until
+      stable, as real kernels do. *)
+
+  val set_time : t -> time -> unit
+  (** Halts updates (SET mode), writes the fields, resumes. *)
+
+  val set_alarm : t -> time -> unit
+  val enable_alarm_irq : t -> bool -> unit
+  val pending_interrupts : t -> int
+  (** Reads (and thereby acknowledges) the status-C flags. *)
+end
+
+module Handcrafted : sig
+  type t
+
+  val create : Devil_runtime.Bus.t -> index_base:int -> data_base:int -> t
+  val read_time : t -> time
+  val set_time : t -> time -> unit
+  val set_alarm : t -> time -> unit
+  val enable_alarm_irq : t -> bool -> unit
+  val pending_interrupts : t -> int
+end

@@ -1,0 +1,33 @@
+(** 16550 UART drivers: line configuration through the DLAB overlay,
+    polled transmit/receive, and the modem loopback self-test. *)
+
+module Devil_driver : sig
+  type t
+
+  val create : Devil_runtime.Instance.t -> t
+
+  val init : t -> baud:int -> unit
+  (** 8N1 at the given rate: programs the divisor through the DLAB
+      overlay, restores normal access, enables the FIFOs. *)
+
+  val configured_baud : t -> int
+
+  val send : t -> string -> unit
+  val recv : t -> max:int -> string
+  val data_ready : t -> bool
+  val set_loopback : t -> bool -> unit
+  val self_test : t -> bool
+  (** Loopback self-test: a pattern written comes back verbatim. *)
+end
+
+module Handcrafted : sig
+  type t
+
+  val create : Devil_runtime.Bus.t -> base:int -> t
+  val init : t -> baud:int -> unit
+  val send : t -> string -> unit
+  val recv : t -> max:int -> string
+  val data_ready : t -> bool
+  val set_loopback : t -> bool -> unit
+  val self_test : t -> bool
+end

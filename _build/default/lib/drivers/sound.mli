@@ -1,0 +1,35 @@
+(** CS4236B sound drivers. Volume control goes through the indexed
+    registers; reading the chip version exercises the paper's
+    automata-based extended-register addressing (§2.2). *)
+
+module Devil_driver : sig
+  type t
+
+  val create : Devil_runtime.Instance.t -> t
+
+  val set_volume : t -> left:int -> right:int -> unit
+  (** Attenuation 0..63, 0 loudest; unmutes both channels. *)
+
+  val mute : t -> bool -> unit
+
+  val chip_version : t -> int
+  (** Reads X25 through the I23 access automaton. *)
+
+  val line_gain : t -> int -> unit
+  (** Programs the extended line-input gain register X2. *)
+
+  val play : t -> int list -> unit
+  val record : t -> int -> int list
+end
+
+module Handcrafted : sig
+  type t
+
+  val create : Devil_runtime.Bus.t -> base:int -> t
+  val set_volume : t -> left:int -> right:int -> unit
+  val mute : t -> bool -> unit
+  val chip_version : t -> int
+  val line_gain : t -> int -> unit
+  val play : t -> int list -> unit
+  val record : t -> int -> int list
+end

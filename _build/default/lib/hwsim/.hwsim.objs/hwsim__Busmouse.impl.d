@@ -1,0 +1,1 @@
+lib/hwsim/busmouse.ml: Devil_bits Model

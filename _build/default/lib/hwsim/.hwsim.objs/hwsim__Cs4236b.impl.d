@@ -1,0 +1,1 @@
+lib/hwsim/cs4236b.ml: Array List Model Queue

@@ -1,0 +1,1 @@
+lib/hwsim/cs4236b.mli: Model

@@ -1,0 +1,1 @@
+lib/hwsim/dma8237.mli: Bytes Model

@@ -1,0 +1,1 @@
+lib/hwsim/i8042.mli: Model

@@ -1,0 +1,1 @@
+lib/hwsim/ide_disk.ml: Array Bytes Char Hashtbl Model String

@@ -1,0 +1,1 @@
+lib/hwsim/ide_disk.mli: Bytes Model

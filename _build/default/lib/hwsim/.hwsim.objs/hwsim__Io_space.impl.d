@@ -1,0 +1,1 @@
+lib/hwsim/io_space.ml: Array Devil_runtime Format List Logs Model Printf

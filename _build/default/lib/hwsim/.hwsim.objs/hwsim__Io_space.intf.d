@@ -1,0 +1,1 @@
+lib/hwsim/io_space.mli: Devil_runtime Format Model

@@ -1,0 +1,1 @@
+lib/hwsim/mc146818.ml: Model

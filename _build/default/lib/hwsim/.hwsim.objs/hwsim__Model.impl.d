@@ -1,0 +1,1 @@
+lib/hwsim/model.ml: Array Devil_bits

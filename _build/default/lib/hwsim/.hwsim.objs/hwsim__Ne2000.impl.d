@@ -1,0 +1,1 @@
+lib/hwsim/ne2000.ml: Array Bytes Char List Model String

@@ -1,0 +1,1 @@
+lib/hwsim/ne2000.mli: Model

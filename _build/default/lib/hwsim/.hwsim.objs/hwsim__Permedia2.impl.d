@@ -1,0 +1,1 @@
+lib/hwsim/permedia2.ml: Array Devil_bits List Model Queue

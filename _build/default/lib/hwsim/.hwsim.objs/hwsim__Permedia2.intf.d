@@ -1,0 +1,1 @@
+lib/hwsim/permedia2.mli: Model

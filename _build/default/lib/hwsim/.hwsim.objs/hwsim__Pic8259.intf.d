@@ -1,0 +1,1 @@
+lib/hwsim/pic8259.mli: Model

@@ -1,0 +1,1 @@
+lib/hwsim/piix4.ml: Bytes Ide_disk Model

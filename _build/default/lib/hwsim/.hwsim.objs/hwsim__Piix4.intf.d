@@ -1,0 +1,1 @@
+lib/hwsim/piix4.mli: Bytes Ide_disk Model

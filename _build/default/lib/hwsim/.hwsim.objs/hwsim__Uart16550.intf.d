@@ -1,0 +1,1 @@
+lib/hwsim/uart16550.mli: Model

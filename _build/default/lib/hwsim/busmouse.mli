@@ -1,0 +1,26 @@
+(** Behavioural model of the Logitech bus mouse controller.
+
+    Register map (offsets from the base port):
+    - 0: data — returns one nibble of the motion counters, selected by
+      the index written at offset 2; index 3 additionally exposes the
+      button state in bits 7..5 and latches-and-clears the counters
+      once the full read cycle completes;
+    - 1: signature register (read/write scratch, used for probing);
+    - 2: control — bit 7 = 1 selects the nibble index (bits 6..5);
+      bit 7 = 0 writes the interrupt-enable flag (bit 4);
+    - 3: configuration register (write-only). *)
+
+type t
+
+val create : unit -> t
+val model : t -> Model.t
+
+val move : t -> dx:int -> dy:int -> unit
+(** Accumulates device-side motion (clamped to signed 8-bit). *)
+
+val set_buttons : t -> int -> unit
+(** Button state, 3 bits. *)
+
+val interrupt_enabled : t -> bool
+val config_byte : t -> int
+val signature_byte : t -> int

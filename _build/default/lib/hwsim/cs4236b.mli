@@ -1,0 +1,31 @@
+(** Behavioural model of the Crystal CS4236B sound controller.
+
+    Implements the paper's automata-based addressing (§2.2): offset 0
+    is the index/control register (IA, 0..31); offset 1 normally
+    addresses the indexed register I\[IA\], but writing I23 with the
+    XRAE bit set switches offset 1 to the extended register X\[XA\]
+    until the control register is written again. X25 is the read-only
+    chip identification register. Offsets 2 and 3 carry the WSS status
+    register and the PCM data FIFO. *)
+
+type t
+
+val create : unit -> t
+val model : t -> Model.t
+
+val indexed_reg : t -> int -> int
+(** Direct inspection of I\[i\]. *)
+
+val extended_reg : t -> int -> int
+(** Direct inspection of X\[j\]. *)
+
+val extended_mode : t -> bool
+(** True while offset 1 addresses the extended registers. *)
+
+val queue_pcm : t -> int list -> unit
+(** Fills the capture FIFO read through the PCM data port. *)
+
+val played : t -> int list
+(** Samples written to the PCM data port, oldest first. *)
+
+val chip_version : int

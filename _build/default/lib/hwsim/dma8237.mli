@@ -1,0 +1,31 @@
+(** Behavioural model of the Intel 8237A DMA controller.
+
+    Implements the four channels' 16-bit base address and count
+    registers accessed byte-at-a-time through the internal flip-flop,
+    the command/status pair, the request, single-mask, mode, master
+    clear, clear-mask and write-all-mask registers (offsets 0..15).
+
+    {!device_request} simulates a peripheral asserting DREQ: if the
+    channel is unmasked and programmed, the transfer runs against the
+    provided memory, terminal count is set and the channel count
+    rewinds (or restarts under auto-init). *)
+
+type t
+
+val create : memory_size:int -> t
+val model : t -> Model.t
+val memory : t -> Bytes.t
+
+type direction = To_memory | From_memory
+
+val device_request : t -> channel:int -> data:Bytes.t -> direction -> int
+(** Runs a DMA burst on behalf of a device. For [To_memory], bytes from
+    [data] are stored at the programmed address; for [From_memory],
+    [data] is filled from memory. Returns the number of bytes moved
+    (bounded by the programmed count + 1), or 0 when the channel is
+    masked. *)
+
+val terminal_count : t -> channel:int -> bool
+val channel_masked : t -> channel:int -> bool
+val programmed_address : t -> channel:int -> int
+val programmed_count : t -> channel:int -> int

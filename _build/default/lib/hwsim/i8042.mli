@@ -1,0 +1,22 @@
+(** Behavioural model of the i8042 keyboard controller: the output
+    buffer holding scancodes and command responses, the controller
+    command state machine (self-test, config byte, keyboard
+    enable/disable), and keyboard commands sent through the data port
+    (acknowledged with 0xFA; 0xED latches the LED state). *)
+
+type t
+
+val create : unit -> t
+val data_model : t -> Model.t
+(** The data port (0x60). *)
+
+val control_model : t -> Model.t
+(** The status/command port (0x64). *)
+
+val press : t -> int -> bool
+(** A key makes: queue a scancode. False when the keyboard interface
+    is disabled. *)
+
+val leds : t -> int
+val keyboard_enabled : t -> bool
+val config_byte : t -> int

@@ -1,0 +1,283 @@
+let sector_bytes = 512
+let words_per_sector = sector_bytes / 2
+
+type phase =
+  | Idle
+  | Pio_read of { mutable remaining : int }  (* sectors after current buffer *)
+  | Pio_write of { mutable remaining : int; mutable lba : int }
+  | Dma_read of int * int  (* lba, count *)
+  | Dma_write of int * int
+
+type t = {
+  sectors : int;
+  store : (int, Bytes.t) Hashtbl.t;
+  (* task file *)
+  mutable features : int;
+  mutable sector_count : int;
+  mutable lba_low : int;
+  mutable lba_mid : int;
+  mutable lba_high : int;
+  mutable drive_head : int;
+  mutable error : int;
+  mutable irq : bool;
+  mutable irq_count : int;
+  mutable irq_enabled : bool;
+  mutable multiple : int;
+  mutable phase : phase;
+  (* PIO transfer buffer *)
+  mutable buffer : int array;  (* 16-bit words *)
+  mutable buf_pos : int;
+  mutable next_lba : int;  (* next LBA to load into the read buffer *)
+}
+
+let create ?(sectors = 65536) () =
+  {
+    sectors;
+    store = Hashtbl.create 1024;
+    features = 0;
+    sector_count = 0;
+    lba_low = 0;
+    lba_mid = 0;
+    lba_high = 0;
+    drive_head = 0xa0;
+    error = 0;
+    irq = false;
+    irq_count = 0;
+    irq_enabled = true;
+    multiple = 1;
+    phase = Idle;
+    buffer = [||];
+    buf_pos = 0;
+    next_lba = 0;
+  }
+
+let set_multiple t n = t.multiple <- max 1 n
+let irq_pending t = t.irq
+
+let take_irq t =
+  let was = t.irq in
+  t.irq <- false;
+  was
+
+let read_sector t ~lba =
+  match Hashtbl.find_opt t.store lba with
+  | Some b -> Bytes.copy b
+  | None -> Bytes.make sector_bytes '\000'
+
+let write_sector t ~lba data =
+  if Bytes.length data <> sector_bytes then
+    invalid_arg "Ide_disk.write_sector: need exactly one sector";
+  Hashtbl.replace t.store lba (Bytes.copy data)
+
+let current_lba t =
+  t.lba_low lor (t.lba_mid lsl 8) lor (t.lba_high lsl 16)
+  lor ((t.drive_head land 0xf) lsl 24)
+
+let raise_irq t =
+  if t.irq_enabled then begin
+    t.irq <- true;
+    t.irq_count <- t.irq_count + 1
+  end
+
+let irq_count t = t.irq_count
+let reset_irq_count t = t.irq_count <- 0
+
+(* Load up to [multiple] sectors into the PIO read buffer. *)
+let load_read_buffer t ~remaining =
+  let n = min t.multiple remaining in
+  let words = Array.make (n * words_per_sector) 0 in
+  for s = 0 to n - 1 do
+    let sec = read_sector t ~lba:(t.next_lba + s) in
+    for w = 0 to words_per_sector - 1 do
+      words.((s * words_per_sector) + w) <-
+        Char.code (Bytes.get sec (2 * w))
+        lor (Char.code (Bytes.get sec ((2 * w) + 1)) lsl 8)
+    done
+  done;
+  t.next_lba <- t.next_lba + n;
+  t.buffer <- words;
+  t.buf_pos <- 0;
+  n
+
+let prepare_write_buffer t ~remaining =
+  let n = min t.multiple remaining in
+  t.buffer <- Array.make (n * words_per_sector) 0;
+  t.buf_pos <- 0;
+  n
+
+let flush_write_buffer t ~lba =
+  let n = Array.length t.buffer / words_per_sector in
+  for s = 0 to n - 1 do
+    let sec = Bytes.make sector_bytes '\000' in
+    for w = 0 to words_per_sector - 1 do
+      let v = t.buffer.((s * words_per_sector) + w) in
+      Bytes.set sec (2 * w) (Char.chr (v land 0xff));
+      Bytes.set sec ((2 * w) + 1) (Char.chr ((v lsr 8) land 0xff))
+    done;
+    write_sector t ~lba:(lba + s) sec
+  done;
+  n
+
+let count_of t = if t.sector_count = 0 then 256 else t.sector_count
+
+let start_command t cmd =
+  t.error <- 0;
+  match cmd with
+  | 0x20 (* READ SECTORS *) ->
+      let remaining = count_of t in
+      t.next_lba <- current_lba t;
+      let loaded = load_read_buffer t ~remaining in
+      t.phase <- Pio_read { remaining = remaining - loaded };
+      raise_irq t
+  | 0x30 (* WRITE SECTORS *) ->
+      let lba = current_lba t in
+      let remaining = count_of t in
+      let n = prepare_write_buffer t ~remaining in
+      t.phase <- Pio_write { remaining = remaining - n; lba }
+  | 0xc8 (* READ DMA *) ->
+      t.phase <- Dma_read (current_lba t, count_of t)
+  | 0xca (* WRITE DMA *) ->
+      t.phase <- Dma_write (current_lba t, count_of t)
+  | 0xec (* IDENTIFY *) ->
+      let words = Array.make words_per_sector 0 in
+      words.(0) <- 0x0040;
+      words.(1) <- t.sectors / (16 * 63);  (* pseudo CHS geometry *)
+      words.(3) <- 16;
+      words.(6) <- 63;
+      words.(60) <- t.sectors land 0xffff;
+      words.(61) <- (t.sectors lsr 16) land 0xffff;
+      let tag = "DEVIL SIMULATED IDE DISK" in
+      String.iteri
+        (fun i c ->
+          let w = 27 + (i / 2) in
+          if i mod 2 = 0 then words.(w) <- Char.code c lsl 8
+          else words.(w) <- words.(w) lor Char.code c)
+        tag;
+      t.buffer <- words;
+      t.buf_pos <- 0;
+      t.phase <- Pio_read { remaining = 0 };
+      raise_irq t
+  | 0xe7 (* FLUSH CACHE *) ->
+      t.phase <- Idle;
+      raise_irq t
+  | _ ->
+      t.error <- 0x04;  (* ABRT *)
+      t.phase <- Idle;
+      raise_irq t
+
+let drq t =
+  match t.phase with
+  | Pio_read _ -> t.buf_pos < Array.length t.buffer
+  | Pio_write _ -> t.buf_pos < Array.length t.buffer
+  | Idle | Dma_read _ | Dma_write _ -> false
+
+let status_byte t =
+  let bit b cond = if cond then 1 lsl b else 0 in
+  bit 6 true (* DRDY *)
+  lor bit 4 true (* DSC *)
+  lor bit 3 (drq t)
+  lor bit 0 (t.error <> 0)
+
+let pop_word t =
+  if t.buf_pos >= Array.length t.buffer then 0
+  else begin
+    let w = t.buffer.(t.buf_pos) in
+    t.buf_pos <- t.buf_pos + 1;
+    (match t.phase with
+    | Pio_read st when t.buf_pos >= Array.length t.buffer ->
+        if st.remaining > 0 then begin
+          let n = load_read_buffer t ~remaining:st.remaining in
+          st.remaining <- st.remaining - n;
+          raise_irq t
+        end
+        else t.phase <- Idle
+    | _ -> ());
+    w
+  end
+
+let push_word t v =
+  (match t.phase with
+  | Pio_write st when t.buf_pos < Array.length t.buffer ->
+      t.buffer.(t.buf_pos) <- v land 0xffff;
+      t.buf_pos <- t.buf_pos + 1;
+      if t.buf_pos >= Array.length t.buffer then begin
+        let n = flush_write_buffer t ~lba:st.lba in
+        st.lba <- st.lba + n;
+        raise_irq t;
+        if st.remaining > 0 then begin
+          let n = prepare_write_buffer t ~remaining:st.remaining in
+          st.remaining <- st.remaining - n
+        end
+        else t.phase <- Idle
+      end
+  | _ -> ())
+
+let dma_read_pending t =
+  match t.phase with Dma_read (lba, n) -> Some (lba, n) | _ -> None
+
+let dma_write_pending t =
+  match t.phase with Dma_write (lba, n) -> Some (lba, n) | _ -> None
+
+let dma_complete t =
+  t.phase <- Idle;
+  raise_irq t
+
+let cmd_read t ~width ~offset =
+  match offset with
+  | 0 ->
+      if width >= 32 then
+        let lo = pop_word t in
+        let hi = pop_word t in
+        lo lor (hi lsl 16)
+      else pop_word t
+  | 1 -> t.error
+  | 2 -> t.sector_count
+  | 3 -> t.lba_low
+  | 4 -> t.lba_mid
+  | 5 -> t.lba_high
+  | 6 -> t.drive_head
+  | 7 ->
+      (* Reading the status register acknowledges the interrupt. *)
+      t.irq <- false;
+      status_byte t
+  | _ -> 0xff
+
+let cmd_write t ~width ~offset ~value =
+  match offset with
+  | 0 ->
+      if width >= 32 then begin
+        push_word t (value land 0xffff);
+        push_word t ((value lsr 16) land 0xffff)
+      end
+      else push_word t (value land 0xffff)
+  | 1 -> t.features <- value land 0xff
+  | 2 -> t.sector_count <- value land 0xff
+  | 3 -> t.lba_low <- value land 0xff
+  | 4 -> t.lba_mid <- value land 0xff
+  | 5 -> t.lba_high <- value land 0xff
+  | 6 -> t.drive_head <- value land 0xff
+  | 7 -> start_command t (value land 0xff)
+  | _ -> ()
+
+let ctrl_read t ~width:_ ~offset =
+  match offset with
+  | 0 -> status_byte t (* alternate status: no IRQ acknowledge *)
+  | _ -> 0xff
+
+let ctrl_write t ~width:_ ~offset ~value =
+  match offset with
+  | 0 ->
+      t.irq_enabled <- value land 0x02 = 0;
+      if value land 0x04 <> 0 then begin
+        (* soft reset *)
+        t.phase <- Idle;
+        t.error <- 0;
+        t.irq <- false
+      end
+  | _ -> ()
+
+let command_model t =
+  { Model.name = "ide-command"; read = cmd_read t; write = cmd_write t }
+
+let control_model t =
+  { Model.name = "ide-control"; read = ctrl_read t; write = ctrl_write t }

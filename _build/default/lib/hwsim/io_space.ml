@@ -1,0 +1,99 @@
+module Bus = Devil_runtime.Bus
+
+let log_src =
+  Logs.Src.create "hwsim.bus"
+    ~doc:"Simulated bus traffic (Debug level traces every transfer)"
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable block_ops : int;
+  mutable block_items : int;
+}
+
+type region = { base : int; size : int; model : Model.t }
+
+type t = { mutable regions : region list; stats : stats }
+
+let create () =
+  {
+    regions = [];
+    stats = { reads = 0; writes = 0; block_ops = 0; block_items = 0 };
+  }
+
+let overlaps a b =
+  a.base < b.base + b.size && b.base < a.base + a.size
+
+let attach t ~base ~size model =
+  let region = { base; size; model } in
+  List.iter
+    (fun existing ->
+      if overlaps existing region then
+        invalid_arg
+          (Printf.sprintf "Io_space.attach: %s overlaps %s" model.Model.name
+             existing.model.Model.name))
+    t.regions;
+  t.regions <- region :: t.regions
+
+let find t addr =
+  match
+    List.find_opt
+      (fun r -> addr >= r.base && addr < r.base + r.size)
+      t.regions
+  with
+  | Some r -> r
+  | None ->
+      raise
+        (Devil_runtime.Instance.Device_error
+           (Printf.sprintf "bus fault: no device at address %#x" addr))
+
+let dispatch_read t ~width ~addr =
+  let r = find t addr in
+  let v = r.model.Model.read ~width ~offset:(addr - r.base) in
+  Logs.debug ~src:log_src (fun m ->
+      m "%s: R%d [%#x] -> %#x" r.model.Model.name width addr v);
+  v
+
+let dispatch_write t ~width ~addr ~value =
+  let r = find t addr in
+  Logs.debug ~src:log_src (fun m ->
+      m "%s: W%d [%#x] <- %#x" r.model.Model.name width addr value);
+  r.model.Model.write ~width ~offset:(addr - r.base) ~value
+
+let bus t : Bus.t =
+  {
+    Bus.read =
+      (fun ~width ~addr ->
+        t.stats.reads <- t.stats.reads + 1;
+        dispatch_read t ~width ~addr);
+    write =
+      (fun ~width ~addr ~value ->
+        t.stats.writes <- t.stats.writes + 1;
+        dispatch_write t ~width ~addr ~value);
+    read_block =
+      (fun ~width ~addr ~into ->
+        t.stats.block_ops <- t.stats.block_ops + 1;
+        t.stats.block_items <- t.stats.block_items + Array.length into;
+        Array.iteri (fun i _ -> into.(i) <- dispatch_read t ~width ~addr) into);
+    write_block =
+      (fun ~width ~addr ~from ->
+        t.stats.block_ops <- t.stats.block_ops + 1;
+        t.stats.block_items <- t.stats.block_items + Array.length from;
+        Array.iter (fun value -> dispatch_write t ~width ~addr ~value) from);
+  }
+
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.reads <- 0;
+  t.stats.writes <- 0;
+  t.stats.block_ops <- 0;
+  t.stats.block_items <- 0
+
+let io_ops t = t.stats.reads + t.stats.writes + t.stats.block_items
+let single_ops t = t.stats.reads + t.stats.writes
+
+let pp_stats fmt t =
+  Format.fprintf fmt
+    "reads=%d writes=%d block_ops=%d block_items=%d (io_ops=%d)" t.stats.reads
+    t.stats.writes t.stats.block_ops t.stats.block_items (io_ops t)

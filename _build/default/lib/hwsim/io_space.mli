@@ -1,0 +1,37 @@
+(** The simulated I/O / memory-mapped address space.
+
+    Devices are attached at base addresses; the exported {!Bus.t}
+    dispatches accesses to the owning device and accounts for their
+    cost. Single transfers and block-transfer elements are counted
+    separately: the performance model charges a per-iteration CPU
+    overhead to driver-level loops of single transfers but not to
+    [rep]-style block transfers (paper §2.2, §4.3). *)
+
+module Bus = Devil_runtime.Bus
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable block_ops : int;  (** block instructions issued *)
+  mutable block_items : int;  (** elements moved by block transfers *)
+}
+
+type t
+
+val create : unit -> t
+
+val attach : t -> base:int -> size:int -> Model.t -> unit
+(** Claims [base .. base+size-1] for a device. Overlapping claims raise
+    [Invalid_argument]. *)
+
+val bus : t -> Bus.t
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val io_ops : t -> int
+(** Total I/O operations in the paper's counting: single transfers plus
+    block-transfer elements. *)
+
+val single_ops : t -> int
+val pp_stats : Format.formatter -> t -> unit

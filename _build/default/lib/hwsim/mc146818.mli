@@ -1,0 +1,23 @@
+(** Behavioural model of the MC146818 real-time clock: the 0x70/0x71
+    index/data pair, time registers (binary or BCD per status B), the
+    update-in-progress bit, alarms, and the read-to-acknowledge
+    interrupt flags of status C. Time advances only through
+    {!tick_seconds}, keeping tests deterministic. *)
+
+type t
+
+val create : unit -> t
+val index_model : t -> Model.t
+val data_model : t -> Model.t
+
+val set_time :
+  t -> hours:int -> minutes:int -> seconds:int -> unit
+(** Sets the wall-clock (binary; the register file converts per the
+    configured format). *)
+
+val tick_seconds : t -> int -> unit
+(** Advances time; raises the update-ended flag, and the alarm flag
+    when the alarm time is crossed. *)
+
+val time : t -> int * int * int
+val irq_asserted : t -> bool

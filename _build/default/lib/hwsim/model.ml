@@ -1,0 +1,17 @@
+type t = {
+  name : string;
+  read : width:int -> offset:int -> int;
+  write : width:int -> offset:int -> value:int -> unit;
+}
+
+let ram ~name ~size =
+  let cells = Array.make size 0 in
+  {
+    name;
+    read =
+      (fun ~width ~offset ->
+        cells.(offset) land Devil_bits.Bitops.width_mask width);
+    write =
+      (fun ~width ~offset ~value ->
+        cells.(offset) <- value land Devil_bits.Bitops.width_mask width);
+  }

@@ -1,0 +1,12 @@
+(** Interface of a simulated device: a register file decoded by offset,
+    width and direction, with whatever internal state machine the real
+    chip implements behind it. *)
+
+type t = {
+  name : string;
+  read : width:int -> offset:int -> int;
+  write : width:int -> offset:int -> value:int -> unit;
+}
+
+val ram : name:string -> size:int -> t
+(** A trivial model backed by per-offset cells, useful in tests. *)

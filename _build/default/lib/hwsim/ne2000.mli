@@ -1,0 +1,31 @@
+(** Behavioural model of an NE2000 (DP8390) Ethernet controller.
+
+    Implements the page-0/page-1 register file, the 16 KiB on-board
+    packet RAM (byte addresses 0x4000..0x7fff), the remote-DMA engine
+    behind the data port (offset 16), packet transmission with
+    internal loopback, the receive ring (CURR/BNRY bookkeeping, 4-byte
+    receive headers) and the reset port (offset 31).
+
+    Frames transmitted while the TCR selects loopback are delivered
+    back into the receive ring; otherwise they are appended to an
+    outbound list the test harness can drain with {!take_transmitted}.
+    Frames from the simulated network are injected with
+    {!inject_frame}. *)
+
+type t
+
+val create : unit -> t
+val model : t -> Model.t
+
+val inject_frame : t -> string -> bool
+(** Delivers a frame into the receive ring; false when the controller
+    is stopped or the ring is full. Raises the PRX interrupt bit. *)
+
+val take_transmitted : t -> string list
+(** Frames sent to the "wire" (non-loopback), oldest first. *)
+
+val irq_asserted : t -> bool
+(** ISR & IMR nonzero. *)
+
+val ram_byte : t -> int -> int
+(** Packet RAM inspection for tests (absolute on-chip address). *)

@@ -1,0 +1,31 @@
+(** Behavioural model of the Intel 8259A interrupt controller.
+
+    Implements the ICW1..ICW4 initialization state machine (the paper's
+    control-flow-serialization example: the number of ICWs consumed
+    depends on the SNGL and IC4 bits of ICW1), the OCW1 interrupt mask,
+    OCW2 EOI/priority commands, OCW3 read-register selection, and the
+    IRR/ISR/IMR priority logic with the INTA handshake. *)
+
+type t
+
+val create : unit -> t
+val model : t -> Model.t
+
+val raise_irq : t -> line:int -> unit
+(** A device asserts IRQ [line] (0..7). *)
+
+val lower_irq : t -> line:int -> unit
+
+val int_asserted : t -> bool
+(** True when an unmasked request is pending and would drive INT. *)
+
+val inta : t -> int option
+(** CPU interrupt acknowledge: moves the highest-priority pending
+    request into service and returns its vector (base + line). *)
+
+val initialized : t -> bool
+val vector_base : t -> int
+val imr : t -> int
+val irr : t -> int
+val isr : t -> int
+val auto_eoi : t -> bool

@@ -1,0 +1,97 @@
+type t = {
+  disk : Ide_disk.t;
+  memory : Bytes.t;
+  mutable prd : int;
+  mutable running : bool;
+  mutable direction_to_memory : bool;
+  mutable status_irq : bool;
+  mutable status_error : bool;
+}
+
+let create ~disk ~memory_size =
+  {
+    disk;
+    memory = Bytes.make memory_size '\000';
+    prd = 0;
+    running = false;
+    direction_to_memory = false;
+    status_irq = false;
+    status_error = false;
+  }
+
+let memory t = t.memory
+let irq_seen t = t.status_irq
+
+let run_transfer t =
+  let sector = Ide_disk.sector_bytes in
+  match Ide_disk.dma_read_pending t.disk with
+  | Some (lba, count) when t.direction_to_memory ->
+      let ok = ref true in
+      for s = 0 to count - 1 do
+        let data = Ide_disk.read_sector t.disk ~lba:(lba + s) in
+        let dst = t.prd + (s * sector) in
+        if dst + sector <= Bytes.length t.memory then
+          Bytes.blit data 0 t.memory dst sector
+        else ok := false
+      done;
+      t.status_error <- not !ok;
+      t.status_irq <- true;
+      t.running <- false;
+      Ide_disk.dma_complete t.disk
+  | _ -> (
+      match Ide_disk.dma_write_pending t.disk with
+      | Some (lba, count) when not t.direction_to_memory ->
+          let ok = ref true in
+          for s = 0 to count - 1 do
+            let src = t.prd + (s * sector) in
+            if src + sector <= Bytes.length t.memory then
+              Ide_disk.write_sector t.disk ~lba:(lba + s)
+                (Bytes.sub t.memory src sector)
+            else ok := false
+          done;
+          t.status_error <- not !ok;
+          t.status_irq <- true;
+          t.running <- false;
+          Ide_disk.dma_complete t.disk
+      | _ ->
+          (* Started without a matching disk command: flag an error. *)
+          t.status_error <- true;
+          t.running <- false)
+
+let bm_read t ~width:_ ~offset =
+  match offset with
+  | 0 ->
+      (if t.running then 0x01 else 0x00)
+      lor if t.direction_to_memory then 0x08 else 0x00
+  | 2 ->
+      (if t.running then 0x01 else 0x00)
+      lor (if t.status_error then 0x02 else 0x00)
+      lor if t.status_irq then 0x04 else 0x00
+  | _ -> 0xff
+
+let bm_write t ~width:_ ~offset ~value =
+  match offset with
+  | 0 ->
+      t.direction_to_memory <- value land 0x08 <> 0;
+      if value land 0x01 <> 0 then begin
+        t.running <- true;
+        run_transfer t
+      end
+      else t.running <- false
+  | 2 ->
+      (* Write-1-to-clear status bits. *)
+      if value land 0x02 <> 0 then t.status_error <- false;
+      if value land 0x04 <> 0 then t.status_irq <- false
+  | _ -> ()
+
+let prd_read t ~width:_ ~offset =
+  match offset with 0 -> t.prd | _ -> 0
+
+let prd_write t ~width:_ ~offset ~value =
+  match offset with 0 -> t.prd <- value | _ -> ()
+
+let bm_model t =
+  { Model.name = "piix4-busmaster"; read = bm_read t; write = bm_write t }
+
+let prd_model t =
+  { Model.name = "piix4-prd"; read = prd_read t; write = prd_write t }

@@ -1,0 +1,26 @@
+(** Behavioural model of the Intel PIIX4 IDE busmaster function.
+
+    The model owns a simulated system-memory buffer. When the driver
+    starts the engine (bit 0 of the command register) while the
+    attached {!Ide_disk} has a pending DMA command, the whole transfer
+    completes between the disk and memory at the address programmed in
+    the PRD register, the status register's interrupt bit is set and
+    the engine stops — the "long DMA transfer" of paper §4.3, which
+    costs no per-word I/O operations.
+
+    Offsets: 0 = busmaster command (byte), 2 = busmaster status
+    (byte); the PRD base address register is a separate 32-bit port. *)
+
+type t
+
+val create : disk:Ide_disk.t -> memory_size:int -> t
+val bm_model : t -> Model.t
+(** Command/status registers (offsets 0 and 2). *)
+
+val prd_model : t -> Model.t
+(** The 32-bit PRD address register (offset 0). *)
+
+val memory : t -> Bytes.t
+(** The simulated system memory DMA reads/writes. *)
+
+val irq_seen : t -> bool

@@ -1,0 +1,24 @@
+(** Behavioural model of a 16550 UART: the DLAB-selected divisor latch,
+    16-byte receive and transmit FIFOs, line-status bits, the modem
+    loopback mode (MCR bit 4), and interrupt identification.
+
+    Transmitted bytes appear on the "wire" ({!take_transmitted}) unless
+    loopback routes them back into the receive FIFO; the harness feeds
+    incoming bytes with {!inject}. *)
+
+type t
+
+val create : unit -> t
+val model : t -> Model.t
+
+val inject : t -> string -> unit
+(** Bytes arriving from the line into the receive FIFO (beyond 16
+    pending bytes the overrun bit is set and data is dropped). *)
+
+val take_transmitted : t -> string
+(** Everything sent to the wire since the last call. *)
+
+val divisor : t -> int
+val line_control : t -> int
+val loopback_enabled : t -> bool
+val irq_asserted : t -> bool

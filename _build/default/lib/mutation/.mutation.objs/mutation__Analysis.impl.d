@@ -1,0 +1,1 @@
+lib/mutation/analysis.ml: Array C_lang Corpus Devil_check Devil_ir Devil_specs Devil_syntax Format Hashtbl List Mutop Option Printf String

@@ -1,0 +1,1 @@
+lib/mutation/analysis.mli: C_lang Devil_ir Format

@@ -1,0 +1,1 @@
+lib/mutation/c_lang.ml: Array List Option Printf String

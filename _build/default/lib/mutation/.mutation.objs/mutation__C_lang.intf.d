@@ -1,0 +1,1 @@
+lib/mutation/c_lang.mli:

@@ -1,0 +1,1 @@
+lib/mutation/corpus.ml: C_lang Devil_bits Devil_ir Devil_specs List Printf String

@@ -1,0 +1,1 @@
+lib/mutation/corpus.mli: C_lang Devil_ir

@@ -1,0 +1,1 @@
+lib/mutation/mutop.ml: List String

@@ -1,0 +1,316 @@
+module Check = Devil_check.Check
+module Value = Devil_ir.Value
+module Token = Devil_syntax.Token
+module Lexer = Devil_syntax.Lexer
+module Diagnostics = Devil_syntax.Diagnostics
+
+type row = {
+  language : string;
+  lines : int;
+  sites : int;
+  mutants_per_site : float;
+  undetected_per_site : float;
+  sites_with_undetected : float;
+}
+
+type device_report = {
+  device : string;
+  c_row : row;
+  devil_row : row;
+  cdevil_row : row;
+  combined_row : row;
+  ratio_cdevil : float;
+  ratio_combined : float;
+}
+
+let max_mutants_per_site = ref 48
+
+let count_lines src =
+  String.split_on_char '\n' src
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length
+
+(* Evenly-strided deterministic sample of at most [n] elements. *)
+let sample n items =
+  let len = List.length items in
+  if len <= n then items
+  else
+    let arr = Array.of_list items in
+    List.init n (fun i -> arr.(i * len / n))
+
+type site = {
+  offset : int;
+  len : int;
+  mutants : string list;  (** full generated set *)
+}
+
+let splice src ~offset ~len text =
+  String.sub src 0 offset ^ text
+  ^ String.sub src (offset + len) (String.length src - offset - len)
+
+let aggregate ~language ~lines sites_results =
+  (* sites_results: (generated_count, evaluated, undetected) per site.
+     Per-site rates are scaled back to the generated counts so the
+     sampling does not bias ms. *)
+  let sites = List.length sites_results in
+  let total_mutants =
+    List.fold_left (fun acc (g, _, _) -> acc + g) 0 sites_results
+  in
+  let total_undetected =
+    List.fold_left
+      (fun acc (g, e, u) ->
+        if e = 0 then acc
+        else acc +. (float_of_int g *. float_of_int u /. float_of_int e))
+      0.0 sites_results
+  in
+  let fs = float_of_int (max sites 1) in
+  let ms = float_of_int total_mutants /. fs in
+  let ums = total_undetected /. fs in
+  {
+    language;
+    lines;
+    sites;
+    mutants_per_site = ms;
+    undetected_per_site = ums;
+    sites_with_undetected =
+      (if total_mutants = 0 then 0.0
+       else total_undetected /. float_of_int total_mutants *. float_of_int sites);
+  }
+
+let run_sites ~language ~lines ~src ~sites ~detect =
+  let results =
+    List.filter_map
+      (fun site ->
+        match site.mutants with
+        | [] -> None
+        | mutants ->
+            let evaluated = sample !max_mutants_per_site mutants in
+            let undetected =
+              List.fold_left
+                (fun acc m ->
+                  let mutated =
+                    splice src ~offset:site.offset ~len:site.len m
+                  in
+                  if detect mutated then acc else acc + 1)
+                0 evaluated
+            in
+            Some (List.length mutants, List.length evaluated, undetected))
+      sites
+  in
+  aggregate ~language ~lines results
+
+(* {1 C and CDevil} *)
+
+(* Mutating the single occurrence of an identifier is an alpha-rename:
+   the program's semantics is unchanged, so it is not a valid mutant
+   (the paper requires that a mutant "actually modifies the semantics").
+   Keywords are always mutable — corrupting one changes the syntax. *)
+let occurrence_counts texts =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun text ->
+      Hashtbl.replace counts text
+        (1 + Option.value (Hashtbl.find_opt counts text) ~default:0))
+    texts;
+  counts
+
+let c_keywords =
+  [ "if"; "else"; "while"; "for"; "do"; "return"; "break"; "continue";
+    "switch"; "case"; "default"; "sizeof"; "goto";
+    "void"; "char"; "short"; "int"; "long"; "unsigned"; "signed"; "const";
+    "static"; "volatile"; "register"; "extern"; "struct"; "union" ]
+
+let c_sites src =
+  match C_lang.tokenize src with
+  | Error msg -> failwith ("corpus does not lex: " ^ msg)
+  | Ok toks ->
+      let idents =
+        List.filter_map
+          (fun (t : C_lang.loc_token) ->
+            match t.tok with C_lang.IDENT n -> Some n | _ -> None)
+          toks
+      in
+      let counts = occurrence_counts idents in
+      List.filter_map
+        (fun (t : C_lang.loc_token) ->
+          let mk mutants = Some { offset = t.offset; len = t.len; mutants } in
+          match t.tok with
+          | C_lang.IDENT name ->
+              if
+                List.mem name c_keywords
+                || Option.value (Hashtbl.find_opt counts name) ~default:0 > 1
+              then mk (Mutop.mutate_ident name)
+              else None
+          | C_lang.NUM text -> mk (Mutop.mutate_number text)
+          | C_lang.OP op -> mk (Mutop.mutate_operator ~ops:C_lang.operators op)
+          | C_lang.CHARLIT _ | C_lang.STRING _ | C_lang.PUNCT _
+          | C_lang.HASH_DEFINE | C_lang.HASH_OTHER | C_lang.EOF ->
+              None)
+        toks
+
+let analyze_c ~language ~env src =
+  (* Sanity: the unmutated corpus must compile. *)
+  (match C_lang.check ~env src with
+  | Ok () -> ()
+  | Error msg -> failwith ("corpus does not compile: " ^ msg));
+  let detect mutated =
+    match C_lang.check ~env mutated with Ok () -> false | Error _ -> true
+  in
+  run_sites ~language ~lines:(count_lines src) ~src ~sites:(c_sites src)
+    ~detect
+
+(* {1 Devil} *)
+
+let devil_operators =
+  [ "="; "=="; "!="; "=>"; "<="; "<=>"; ".."; "@"; "#"; "*" ]
+
+let devil_sites src =
+  let toks = Lexer.tokenize src in
+  let idents =
+    List.filter_map
+      (fun (t : Token.loc_token) ->
+        match t.token with
+        | Token.IDENT n | Token.UIDENT n -> Some n
+        | _ -> None)
+      toks
+  in
+  let counts = occurrence_counts idents in
+  List.filter_map
+    (fun (t : Token.loc_token) ->
+      let offset = t.loc.Devil_syntax.Loc.start_pos.offset in
+      let len = String.length t.text in
+      let mk mutants = Some { offset; len; mutants } in
+      match t.token with
+      | Token.IDENT name | Token.UIDENT name ->
+          if Option.value (Hashtbl.find_opt counts name) ~default:0 > 1 then
+            mk (Mutop.mutate_ident name)
+          else None
+      | Token.KW _ -> mk (Mutop.mutate_ident t.text)
+      | Token.INT _ -> mk (Mutop.mutate_number t.text)
+      | Token.BITLIT body ->
+          (* Mutate the body; the quotes stay in place. *)
+          mk (List.map (fun b -> "'" ^ b ^ "'") (Mutop.mutate_bitlit body))
+      | Token.EQ | Token.EQEQ | Token.NEQ | Token.MAPSTO | Token.MAPSFROM
+      | Token.MAPSBOTH | Token.DOTDOT | Token.AT | Token.HASH | Token.STAR ->
+          mk (Mutop.mutate_operator ~ops:devil_operators t.text)
+      | Token.LBRACE | Token.RBRACE | Token.LPAREN | Token.RPAREN
+      | Token.LBRACKET | Token.RBRACKET | Token.COLON | Token.SEMI
+      | Token.COMMA | Token.EOF ->
+          None)
+    toks
+
+let analyze_devil ?config src =
+  (match Check.compile ?config src with
+  | Ok _ -> ()
+  | Error diags ->
+      failwith
+        (Format.asprintf "specification does not verify:@.%a" Diagnostics.pp
+           diags));
+  let detect mutated =
+    match Check.compile ?config mutated with
+    | Ok _ -> false
+    | Error _ -> true
+    | exception _ -> true  (* a front-end crash still flags the mutant *)
+  in
+  run_sites ~language:"Devil" ~lines:(count_lines src) ~src
+    ~sites:(devil_sites src) ~detect
+
+(* {1 Combination and reports} *)
+
+let combine ~language a b =
+  let sites = a.sites + b.sites in
+  let total_mutants =
+    (a.mutants_per_site *. float_of_int a.sites)
+    +. (b.mutants_per_site *. float_of_int b.sites)
+  in
+  let total_undetected =
+    (a.undetected_per_site *. float_of_int a.sites)
+    +. (b.undetected_per_site *. float_of_int b.sites)
+  in
+  let fs = float_of_int (max sites 1) in
+  {
+    language;
+    lines = a.lines + b.lines;
+    sites;
+    mutants_per_site = total_mutants /. fs;
+    undetected_per_site = total_undetected /. fs;
+    sites_with_undetected =
+      (if total_mutants = 0.0 then 0.0
+       else total_undetected /. total_mutants *. float_of_int sites);
+  }
+
+let report ~device ~c_row ~devil_row ~cdevil_row =
+  let combined_row = combine ~language:"Devil+CDevil" devil_row cdevil_row in
+  let ratio a b = if b = 0.0 then infinity else a /. b in
+  {
+    device;
+    c_row;
+    devil_row;
+    cdevil_row;
+    combined_row;
+    ratio_cdevil =
+      ratio c_row.sites_with_undetected cdevil_row.sites_with_undetected;
+    ratio_combined =
+      ratio c_row.sites_with_undetected combined_row.sites_with_undetected;
+  }
+
+let busmouse_report () =
+  report ~device:"Logitech Busmouse"
+    ~c_row:(analyze_c ~language:"C" ~env:Corpus.c_env Corpus.busmouse_c)
+    ~devil_row:(analyze_devil Devil_specs.Specs.busmouse_source)
+    ~cdevil_row:
+      (analyze_c ~language:"CDevil"
+         ~env:(Corpus.busmouse_cdevil_env ())
+         Corpus.busmouse_cdevil)
+
+let ide_report () =
+  (* The paper's IDE row covers both the IDE and PIIX4 specifications. *)
+  let devil_ide = analyze_devil Devil_specs.Specs.ide_source in
+  let devil_piix = analyze_devil Devil_specs.Specs.piix4_ide_source in
+  report ~device:"IDE (Intel PIIX4)"
+    ~c_row:(analyze_c ~language:"C" ~env:Corpus.c_env Corpus.ide_c)
+    ~devil_row:(combine ~language:"Devil" devil_ide devil_piix)
+    ~cdevil_row:
+      (analyze_c ~language:"CDevil" ~env:(Corpus.ide_cdevil_env ())
+         Corpus.ide_cdevil)
+
+let ne2000_report () =
+  report ~device:"Ethernet (NE2000)"
+    ~c_row:(analyze_c ~language:"C" ~env:Corpus.c_env Corpus.ne2000_c)
+    ~devil_row:(analyze_devil Devil_specs.Specs.ne2000_source)
+    ~cdevil_row:
+      (analyze_c ~language:"CDevil"
+         ~env:(Corpus.ne2000_cdevil_env ())
+         Corpus.ne2000_cdevil)
+
+let table1 () = [ busmouse_report (); ide_report (); ne2000_report () ]
+
+let pp_row fmt ?(ratio = "") (r : row) =
+  Format.fprintf fmt "  %-14s %5d %7d %9.1f %12.2f %12.1f %8s@." r.language
+    r.lines r.sites r.mutants_per_site r.undetected_per_site
+    r.sites_with_undetected ratio
+
+let pp_table1 fmt reports =
+  Format.fprintf fmt
+    "%-18s %-14s %5s %7s %9s %12s %12s %8s@." "Device" "Language" "lines"
+    "sites" "mut/site" "undet/site" "sites-undet" "ratio";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%s@." r.device;
+      pp_row fmt r.c_row;
+      pp_row fmt r.devil_row;
+      pp_row fmt ~ratio:(Printf.sprintf "%.1f" r.ratio_cdevil) r.cdevil_row;
+      pp_row fmt
+        ~ratio:(Printf.sprintf "%.1f" r.ratio_combined)
+        r.combined_row)
+    reports
+
+(* The extension device: a fourth row beyond the paper's Table 1. *)
+let uart_report () =
+  report ~device:"16550 UART (ext)"
+    ~c_row:(analyze_c ~language:"C" ~env:Corpus.c_env Corpus.uart_c)
+    ~devil_row:(analyze_devil Devil_specs.Specs.uart16550_source)
+    ~cdevil_row:
+      (analyze_c ~language:"CDevil"
+         ~env:(Corpus.uart_cdevil_env ())
+         Corpus.uart_cdevil)

@@ -1,0 +1,707 @@
+type constraint_ = Any | Range of int * int | One_of of int list
+
+type fsig = { arity : int; args : constraint_ list }
+
+type env = {
+  vars : string list;
+  consts : (string * int option) list;
+  funcs : (string * fsig) list;
+}
+
+let empty_env = { vars = []; consts = []; funcs = [] }
+
+(* {1 Lexer} *)
+
+type token =
+  | IDENT of string
+  | NUM of string
+  | CHARLIT of string
+  | STRING of string
+  | OP of string
+  | PUNCT of string
+  | HASH_DEFINE
+  | HASH_OTHER
+  | EOF
+
+type loc_token = { tok : token; offset : int; len : int; line : int }
+
+exception Reject of string
+
+let reject fmt = Printf.ksprintf (fun s -> raise (Reject s)) fmt
+
+let operators =
+  [
+    "="; "+"; "-"; "*"; "/"; "%"; "&"; "|"; "^"; "~"; "!"; "<"; ">";
+    "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>";
+    "+="; "-="; "*="; "/="; "%="; "&="; "|="; "^="; "<<="; ">>=";
+    "++"; "--"; "->"; ".";
+  ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_oct c = c >= '0' && c <= '7'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_alpha c || is_digit c
+
+(* Validate a numeric literal the way a C lexer does. *)
+let check_number s =
+  let n = String.length s in
+  if n = 0 then reject "empty number";
+  if n > 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then begin
+    let digits = String.sub s 2 (n - 2) in
+    if digits = "" then reject "invalid hex constant %s" s;
+    String.iter
+      (fun c -> if not (is_hex c) then reject "invalid hex digit in %s" s)
+      digits
+  end
+  else if n = 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then
+    reject "hex constant with no digits: %s" s
+  else if n > 1 && s.[0] = '0' then
+    String.iter
+      (fun c -> if not (is_oct c) then reject "invalid octal constant %s" s)
+      s
+  else
+    String.iter
+      (fun c -> if not (is_digit c) then reject "invalid constant %s" s)
+      s
+
+let value_of_number s =
+  try Some (int_of_string s) with Failure _ -> (
+    try Some (int_of_string ("0o" ^ String.sub s 1 (String.length s - 1)))
+    with Failure _ | Invalid_argument _ -> None)
+
+let tokenize_exn src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let line = ref 1 in
+  let toks = ref [] in
+  let push tok offset len =
+    toks := { tok; offset; len; line = !line } :: !toks
+  in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '/' && !pos + 1 < n && src.[!pos + 1] = '/' then begin
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if c = '/' && !pos + 1 < n && src.[!pos + 1] = '*' then begin
+      pos := !pos + 2;
+      let closed = ref false in
+      while (not !closed) && !pos + 1 < n do
+        if src.[!pos] = '*' && src.[!pos + 1] = '/' then begin
+          pos := !pos + 2;
+          closed := true
+        end
+        else incr pos
+      done;
+      if not !closed then reject "unterminated comment"
+    end
+    else if c = '#' then begin
+      let start = !pos in
+      incr pos;
+      while !pos < n && (src.[!pos] = ' ' || src.[!pos] = '\t') do
+        incr pos
+      done;
+      let ws = !pos in
+      while !pos < n && is_ident src.[!pos] do
+        incr pos
+      done;
+      let word = String.sub src ws (!pos - ws) in
+      if word = "define" then push HASH_DEFINE start (!pos - start)
+      else begin
+        (* Other directives are skipped to end of line. *)
+        while !pos < n && src.[!pos] <> '\n' do
+          incr pos
+        done;
+        push HASH_OTHER start (!pos - start)
+      end
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while
+        !pos < n
+        && (is_ident src.[!pos] || src.[!pos] = '.')
+      do
+        incr pos
+      done;
+      let text = String.sub src start (!pos - start) in
+      check_number text;
+      push (NUM text) start (!pos - start)
+    end
+    else if is_alpha c then begin
+      let start = !pos in
+      while !pos < n && is_ident src.[!pos] do
+        incr pos
+      done;
+      push (IDENT (String.sub src start (!pos - start))) start (!pos - start)
+    end
+    else if c = '"' then begin
+      let start = !pos in
+      incr pos;
+      while !pos < n && src.[!pos] <> '"' do
+        if src.[!pos] = '\\' then incr pos;
+        incr pos
+      done;
+      if !pos >= n then reject "unterminated string";
+      incr pos;
+      push (STRING (String.sub src start (!pos - start))) start (!pos - start)
+    end
+    else if c = '\'' then begin
+      let start = !pos in
+      incr pos;
+      while !pos < n && src.[!pos] <> '\'' do
+        if src.[!pos] = '\\' then incr pos;
+        incr pos
+      done;
+      if !pos >= n then reject "unterminated character constant";
+      incr pos;
+      push (CHARLIT (String.sub src start (!pos - start))) start (!pos - start)
+    end
+    else begin
+      (* Operators and punctuation: longest match first. *)
+      let try_str s' =
+        let l = String.length s' in
+        !pos + l <= n && String.sub src !pos l = s'
+      in
+      let three = [ "<<="; ">>=" ] in
+      let two =
+        [ "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>"; "+="; "-="; "*=";
+          "/="; "%="; "&="; "|="; "^="; "++"; "--"; "->" ]
+      in
+      let matched =
+        match List.find_opt try_str three with
+        | Some s' -> Some s'
+        | None -> List.find_opt try_str two
+      in
+      match matched with
+      | Some s' ->
+          push (OP s') !pos (String.length s');
+          pos := !pos + String.length s'
+      | None -> (
+          let one = String.make 1 c in
+          match c with
+          | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^' | '~' | '!' | '<'
+          | '>' | '=' | '.' ->
+              push (OP one) !pos 1;
+              incr pos
+          | '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' | '?' | ':' ->
+              push (PUNCT one) !pos 1;
+              incr pos
+          | _ -> reject "stray character %C" c)
+    end
+  done;
+  push EOF n 0;
+  List.rev !toks
+
+let tokenize src =
+  match tokenize_exn src with
+  | toks -> Ok toks
+  | exception Reject msg -> Error msg
+
+(* {1 Parser / checker} *)
+
+type scope = {
+  mutable s_vars : string list;
+  mutable s_consts : (string * int option) list;
+  mutable s_funcs : (string * fsig) list;
+}
+
+type pstate = { toks : loc_token array; mutable cur : int; scope : scope }
+
+let peek st = st.toks.(st.cur).tok
+let peek2 st =
+  if st.cur + 1 < Array.length st.toks then st.toks.(st.cur + 1).tok else EOF
+
+let advance st =
+  if st.cur < Array.length st.toks - 1 then st.cur <- st.cur + 1
+
+let expect_punct st p =
+  match peek st with
+  | PUNCT q when q = p -> advance st
+  | _ -> reject "expected '%s'" p
+
+let type_keywords =
+  [ "void"; "char"; "short"; "int"; "long"; "unsigned"; "signed"; "const";
+    "static"; "volatile"; "register"; "extern"; "struct"; "union" ]
+
+let stmt_keywords =
+  [ "if"; "else"; "while"; "for"; "do"; "return"; "break"; "continue";
+    "goto"; "switch"; "case"; "default"; "sizeof" ]
+
+let is_type_start st =
+  match peek st with
+  | IDENT w -> List.mem w type_keywords
+  | _ -> false
+
+let known_var sc name = List.mem name sc.s_vars
+let known_const sc name = List.mem_assoc name sc.s_consts
+let known_func sc name = List.mem_assoc name sc.s_funcs
+
+(* Expressions: a Pratt parser returning (is_lvalue, const_value). *)
+
+type einfo = { lvalue : bool; cval : int option }
+
+let rv = { lvalue = false; cval = None }
+
+let prec_of = function
+  | "*" | "/" | "%" -> 13
+  | "+" | "-" -> 12
+  | "<<" | ">>" -> 11
+  | "<" | ">" | "<=" | ">=" -> 10
+  | "==" | "!=" -> 9
+  | "&" -> 8
+  | "^" -> 7
+  | "|" -> 6
+  | "&&" -> 5
+  | "||" -> 4
+  | _ -> -1
+
+let is_assign_op = function
+  | "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^=" | "<<="
+  | ">>=" ->
+      true
+  | _ -> false
+
+let check_arg_constraint (c : constraint_) (arg : einfo) =
+  match (c, arg.cval) with
+  | Any, _ -> ()
+  | _, None -> ()  (* only constants are checked at compile time *)
+  | Range (lo, hi), Some v ->
+      if v < lo || v > hi then
+        reject "constant %d violates the stub's range [%d..%d]" v lo hi
+  | One_of vs, Some v ->
+      if not (List.mem v vs) then
+        reject "constant %d is not an admissible value for this stub" v
+
+let rec parse_expr st min_prec : einfo =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | OP op when is_assign_op op ->
+        if min_prec > 2 then continue_ := false
+        else begin
+          if not !lhs.lvalue then reject "lvalue required for '%s'" op;
+          advance st;
+          let _rhs = parse_expr st 2 in
+          lhs := rv
+        end
+    | OP op when prec_of op >= min_prec && prec_of op > 0 ->
+        advance st;
+        let _rhs = parse_expr st (prec_of op + 1) in
+        lhs := rv
+    | PUNCT "?" when min_prec <= 3 ->
+        advance st;
+        let _a = parse_expr st 0 in
+        (match peek st with
+        | PUNCT ":" -> advance st
+        | _ -> reject "expected ':' in conditional expression");
+        let _b = parse_expr st 3 in
+        lhs := rv
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st : einfo =
+  match peek st with
+  | OP ("!" | "~") ->
+      advance st;
+      let _ = parse_unary st in
+      rv
+  | OP ("-" | "+") ->
+      advance st;
+      let e = parse_unary st in
+      { lvalue = false; cval = Option.map (fun v -> -v) e.cval }
+  | OP "*" ->
+      advance st;
+      let _ = parse_unary st in
+      { lvalue = true; cval = None }
+  | OP "&" ->
+      advance st;
+      let e = parse_unary st in
+      if not e.lvalue then reject "lvalue required for unary '&'";
+      rv
+  | OP ("++" | "--") ->
+      advance st;
+      let e = parse_unary st in
+      if not e.lvalue then reject "lvalue required for increment";
+      rv
+  | IDENT "sizeof" ->
+      advance st;
+      (match peek st with
+      | PUNCT "(" ->
+          advance st;
+          if is_type_start st then begin
+            while
+              match peek st with
+              | IDENT w when List.mem w type_keywords -> true
+              | OP "*" -> true
+              | _ -> false
+            do
+              advance st
+            done
+          end
+          else ignore (parse_expr st 0);
+          expect_punct st ")"
+      | _ -> ignore (parse_unary st));
+      rv
+  | _ -> parse_postfix st
+
+and parse_postfix st : einfo =
+  let e = ref (parse_primary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | PUNCT "[" ->
+        advance st;
+        let _ = parse_expr st 0 in
+        expect_punct st "]";
+        e := { lvalue = true; cval = None }
+    | OP ("++" | "--") ->
+        if not !e.lvalue then reject "lvalue required for increment";
+        advance st;
+        e := rv
+    | OP ("." | "->") -> (
+        advance st;
+        match peek st with
+        | IDENT _ ->
+            advance st;
+            e := { lvalue = true; cval = None }
+        | _ -> reject "expected member name")
+    | _ -> continue_ := false
+  done;
+  !e
+
+and parse_primary st : einfo =
+  match peek st with
+  | NUM text ->
+      advance st;
+      { lvalue = false; cval = value_of_number text }
+  | CHARLIT _ | STRING _ ->
+      advance st;
+      rv
+  | PUNCT "(" ->
+      advance st;
+      let e = parse_expr st 0 in
+      expect_punct st ")";
+      e
+  | IDENT name -> (
+      advance st;
+      match peek st with
+      | PUNCT "(" ->
+          (* Function call. *)
+          let fsig =
+            match List.assoc_opt name st.scope.s_funcs with
+            | Some s -> s
+            | None ->
+                if known_var st.scope name || known_const st.scope name then
+                  reject "called object '%s' is not a function" name
+                else reject "implicit declaration of function '%s'" name
+          in
+          advance st;
+          let args = ref [] in
+          (match peek st with
+          | PUNCT ")" -> advance st
+          | _ ->
+              let rec loop () =
+                args := parse_expr st 2 :: !args;
+                match peek st with
+                | PUNCT "," ->
+                    advance st;
+                    loop ()
+                | PUNCT ")" -> advance st
+                | _ -> reject "expected ',' or ')' in call to %s" name
+              in
+              loop ());
+          let args = List.rev !args in
+          if List.length args <> fsig.arity then
+            reject "%s expects %d argument(s), got %d" name fsig.arity
+              (List.length args);
+          List.iteri
+            (fun i arg ->
+              match List.nth_opt fsig.args i with
+              | Some c -> check_arg_constraint c arg
+              | None -> ())
+            args;
+          rv
+      | _ ->
+          if known_var st.scope name then { lvalue = true; cval = None }
+          else if known_const st.scope name then
+            { lvalue = false; cval = List.assoc name st.scope.s_consts }
+          else if known_func st.scope name then rv
+          else if List.mem name stmt_keywords || List.mem name type_keywords
+          then reject "unexpected keyword '%s' in expression" name
+          else reject "'%s' undeclared" name)
+  | EOF -> reject "unexpected end of input"
+  | t ->
+      reject "unexpected token %s"
+        (match t with
+        | OP o -> "'" ^ o ^ "'"
+        | PUNCT p -> "'" ^ p ^ "'"
+        | _ -> "<token>")
+
+(* {1 Declarations and statements} *)
+
+let skip_type_words st =
+  let saw = ref false in
+  while
+    match peek st with
+    | IDENT w when List.mem w type_keywords ->
+        advance st;
+        (* struct/union tags *)
+        (if w = "struct" || w = "union" then
+           match peek st with IDENT _ -> advance st | _ -> ());
+        saw := true;
+        true
+    | _ -> false
+  do
+    ()
+  done;
+  !saw
+
+let parse_declarator st =
+  while match peek st with OP "*" -> advance st; true | _ -> false do
+    ()
+  done;
+  match peek st with
+  | IDENT name when not (List.mem name type_keywords) ->
+      advance st;
+      (* array suffix *)
+      (match peek st with
+      | PUNCT "[" ->
+          advance st;
+          (match peek st with
+          | NUM _ -> advance st
+          | PUNCT "]" -> ()
+          | _ -> ignore (parse_expr st 0));
+          expect_punct st "]"
+      | _ -> ());
+      name
+  | _ -> reject "expected declarator"
+
+let rec parse_stmt st =
+  match peek st with
+  | PUNCT ";" -> advance st
+  | PUNCT "{" -> parse_compound st
+  | IDENT "if" ->
+      advance st;
+      expect_punct st "(";
+      ignore (parse_expr st 0);
+      expect_punct st ")";
+      parse_stmt st;
+      (match peek st with
+      | IDENT "else" ->
+          advance st;
+          parse_stmt st
+      | _ -> ())
+  | IDENT "while" ->
+      advance st;
+      expect_punct st "(";
+      ignore (parse_expr st 0);
+      expect_punct st ")";
+      parse_stmt st
+  | IDENT "do" ->
+      advance st;
+      parse_stmt st;
+      (match peek st with
+      | IDENT "while" -> advance st
+      | _ -> reject "expected 'while' after 'do'");
+      expect_punct st "(";
+      ignore (parse_expr st 0);
+      expect_punct st ")";
+      expect_punct st ";"
+  | IDENT "for" ->
+      advance st;
+      expect_punct st "(";
+      (match peek st with
+      | PUNCT ";" -> advance st
+      | _ ->
+          if is_type_start st then parse_local_decl st
+          else begin
+            ignore (parse_expr st 0);
+            expect_punct st ";"
+          end);
+      (match peek st with
+      | PUNCT ";" -> advance st
+      | _ ->
+          ignore (parse_expr st 0);
+          expect_punct st ";");
+      (match peek st with
+      | PUNCT ")" -> advance st
+      | _ ->
+          ignore (parse_expr st 0);
+          expect_punct st ")");
+      parse_stmt st
+  | IDENT "return" ->
+      advance st;
+      (match peek st with
+      | PUNCT ";" -> advance st
+      | _ ->
+          ignore (parse_expr st 0);
+          expect_punct st ";")
+  | IDENT ("break" | "continue") ->
+      advance st;
+      expect_punct st ";"
+  | IDENT w when List.mem w type_keywords -> parse_local_decl st
+  | _ ->
+      ignore (parse_expr st 0);
+      expect_punct st ";"
+
+and parse_local_decl st =
+  ignore (skip_type_words st);
+  let rec one () =
+    let name = parse_declarator st in
+    st.scope.s_vars <- name :: st.scope.s_vars;
+    (match peek st with
+    | OP "=" ->
+        advance st;
+        ignore (parse_expr st 2)
+    | _ -> ());
+    match peek st with
+    | PUNCT "," ->
+        advance st;
+        one ()
+    | PUNCT ";" -> advance st
+    | _ -> reject "expected ',' or ';' in declaration"
+  in
+  one ()
+
+and parse_compound st =
+  expect_punct st "{";
+  let saved = st.scope.s_vars in
+  let rec go () =
+    match peek st with
+    | PUNCT "}" -> advance st
+    | EOF -> reject "unexpected end of input in block"
+    | _ ->
+        parse_stmt st;
+        go ()
+  in
+  go ();
+  st.scope.s_vars <- saved
+
+(* {1 Top level} *)
+
+let parse_define st =
+  let directive_line = st.toks.(st.cur).line in
+  advance st;
+  (* '#define' *)
+  match peek st with
+  | IDENT name when st.toks.(st.cur).line = directive_line ->
+      advance st;
+      (* Object-like macro: the body is whatever remains on the line.
+         It is parsed as a constant expression in the current scope, so
+         a mutated identifier inside a macro body is flagged just as
+         the compiler would flag it at the macro's first use. *)
+      let body = ref [] in
+      while
+        peek st <> EOF && st.toks.(st.cur).line = directive_line
+      do
+        body := st.toks.(st.cur) :: !body;
+        advance st
+      done;
+      let body = List.rev !body in
+      let value =
+        match body with
+        | [] -> None
+        | _ ->
+            let eof = { tok = EOF; offset = 0; len = 0; line = 0 } in
+            let sub =
+              { toks = Array.of_list (body @ [ eof ]); cur = 0;
+                scope = st.scope }
+            in
+            let v = parse_expr sub 0 in
+            if peek sub <> EOF then reject "trailing tokens in macro %s" name;
+            v.cval
+      in
+      st.scope.s_consts <- (name, value) :: st.scope.s_consts
+  | _ -> reject "macro name missing after #define"
+
+let parse_toplevel st =
+  match peek st with
+  | HASH_DEFINE -> parse_define st
+  | HASH_OTHER -> advance st
+  | IDENT w when List.mem w type_keywords ->
+      ignore (skip_type_words st);
+      let name = parse_declarator st in
+      (match peek st with
+      | PUNCT "(" ->
+          (* Function definition. *)
+          advance st;
+          let params = ref [] in
+          (match peek st with
+          | PUNCT ")" -> advance st
+          | IDENT "void" when peek2 st = PUNCT ")" ->
+              advance st;
+              advance st
+          | _ ->
+              let rec loop () =
+                ignore (skip_type_words st);
+                let p = parse_declarator st in
+                params := p :: !params;
+                match peek st with
+                | PUNCT "," ->
+                    advance st;
+                    loop ()
+                | PUNCT ")" -> advance st
+                | _ -> reject "expected ',' or ')' in parameter list"
+              in
+              loop ());
+          st.scope.s_funcs <-
+            (name, { arity = List.length !params; args = [] })
+            :: st.scope.s_funcs;
+          let saved = st.scope.s_vars in
+          st.scope.s_vars <- !params @ st.scope.s_vars;
+          (match peek st with
+          | PUNCT "{" -> parse_compound st
+          | PUNCT ";" -> advance st
+          | _ -> reject "expected function body or ';'");
+          st.scope.s_vars <- saved
+      | _ ->
+          (* Global variable(s). *)
+          st.scope.s_vars <- name :: st.scope.s_vars;
+          (match peek st with
+          | OP "=" ->
+              advance st;
+              ignore (parse_expr st 2)
+          | _ -> ());
+          let rec more () =
+            match peek st with
+            | PUNCT "," ->
+                advance st;
+                let n = parse_declarator st in
+                st.scope.s_vars <- n :: st.scope.s_vars;
+                (match peek st with
+                | OP "=" ->
+                    advance st;
+                    ignore (parse_expr st 2)
+                | _ -> ());
+                more ()
+            | PUNCT ";" -> advance st
+            | _ -> reject "expected ',' or ';'"
+          in
+          more ())
+  | EOF -> ()
+  | _ -> reject "expected a declaration or directive at top level"
+
+let check ~env src =
+  match tokenize_exn src with
+  | exception Reject msg -> Error msg
+  | toks -> (
+      let scope =
+        { s_vars = env.vars; s_consts = env.consts; s_funcs = env.funcs }
+      in
+      let st = { toks = Array.of_list toks; cur = 0; scope } in
+      match
+        while peek st <> EOF do
+          parse_toplevel st
+        done
+      with
+      | () -> Ok ()
+      | exception Reject msg -> Error msg)

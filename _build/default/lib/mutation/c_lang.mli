@@ -1,0 +1,57 @@
+(** A C-subset front-end standing in for the C compiler in the
+    mutation experiment.
+
+    The checker implements exactly the detection classes a C compiler
+    applies to driver code: lexical validity (malformed numbers,
+    stray characters), syntax, declared-before-use identifiers,
+    call arity, lvalue discipline for assignments and increments, and
+    assignment to constants. It deliberately does {e not} implement
+    any deeper semantics — C's permissiveness is the experiment's
+    baseline (paper §4.2).
+
+    For CDevil code (driver code over generated stubs), function
+    signatures may carry per-argument value constraints derived from
+    the Devil types; a call with an out-of-range {e constant} argument
+    is a compile-time error, mirroring the checks the generated
+    stubs can perform on constants (§3.2). Run-time checks are not
+    modelled, matching the paper's footnote. *)
+
+type constraint_ =
+  | Any
+  | Range of int * int  (** inclusive *)
+  | One_of of int list
+
+type fsig = { arity : int; args : constraint_ list }
+(** [args] is padded/truncated against [arity] as needed. *)
+
+type env = {
+  vars : string list;  (** assignable objects in scope *)
+  consts : (string * int option) list;  (** macro constants *)
+  funcs : (string * fsig) list;
+}
+
+val empty_env : env
+
+val check : env:env -> string -> (unit, string) result
+(** [Ok ()] when the translation unit compiles; [Error reason] when the
+    compiler would reject it. *)
+
+val operators : string list
+(** The mutable operator tokens of the C subset. *)
+
+type token =
+  | IDENT of string
+  | NUM of string
+  | CHARLIT of string
+  | STRING of string
+  | OP of string
+  | PUNCT of string
+  | HASH_DEFINE
+  | HASH_OTHER
+  | EOF
+
+type loc_token = { tok : token; offset : int; len : int; line : int }
+
+val tokenize : string -> (loc_token list, string) result
+(** Exposed for the mutation driver, which needs token positions to
+    splice mutants into the source text. *)

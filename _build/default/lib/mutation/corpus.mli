@@ -1,0 +1,44 @@
+(** The mutation-analysis corpus (paper §4.2).
+
+    For each of the three studied devices — Logitech busmouse, IDE
+    (PIIX4) and NE2000 — the corpus holds:
+
+    - the {e hardware operating regions} of a traditional C driver,
+      written after the Linux 2.2 drivers the paper tagged, together
+      with the environment (externally declared I/O primitives and
+      kernel helpers) the compiler would see;
+    - the equivalent {e CDevil} code: driver logic whose device
+      accesses go through the stubs generated from our Devil
+      specifications, checked against an environment derived
+      automatically from the specification's IR.
+
+    Our Devil specifications themselves come from [Devil_specs]. *)
+
+val c_env : C_lang.env
+(** Kernel-side declarations shared by the traditional drivers:
+    [inb]/[outb] and friends, [insw]/[outsw], [udelay], [printk]... *)
+
+val busmouse_c : string
+val ide_c : string
+val ne2000_c : string
+
+val cdevil_env : Devil_ir.Ir.device -> prefix:string -> C_lang.env
+(** Builds the compile-time environment of the generated header:
+    accessor functions with arity and per-argument value constraints
+    derived from the variable types, enum case macros, structure and
+    block stubs. *)
+
+val busmouse_cdevil : string
+val ide_cdevil : string
+val ne2000_cdevil : string
+
+val busmouse_cdevil_env : unit -> C_lang.env
+val ide_cdevil_env : unit -> C_lang.env
+val ne2000_cdevil_env : unit -> C_lang.env
+
+val uart_c : string
+(** 16550 serial driver fragment — the extension device's traditional
+    C hardware-operating code, a fourth row beyond the paper's three. *)
+
+val uart_cdevil : string
+val uart_cdevil_env : unit -> C_lang.env

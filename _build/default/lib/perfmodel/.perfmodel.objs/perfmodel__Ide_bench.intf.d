@@ -1,0 +1,1 @@
+lib/perfmodel/ide_bench.mli: Drivers Format

@@ -1,0 +1,1 @@
+lib/perfmodel/permedia_bench.ml: Cost Drivers Format Hwsim List

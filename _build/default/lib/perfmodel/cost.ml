@@ -1,0 +1,19 @@
+let t_isa_io = 0.47e-6
+let t_loop = 0.05e-6
+let t_irq = 11.0e-6
+let disk_rate = 14.25e6
+let t_mmio_tick = 60.0e-9
+let t_gfx_read = 300.0e-9
+let t_gfx_write = 30.0e-9
+
+type io_sample = { singles : int; block_items : int; irqs : int }
+
+let pio_time { singles; block_items; irqs } =
+  (float_of_int singles *. (t_isa_io +. t_loop))
+  +. (float_of_int block_items *. t_isa_io)
+  +. (float_of_int irqs *. t_irq)
+
+let dma_time { singles; block_items; irqs } ~bytes =
+  (float_of_int (singles + block_items) *. t_isa_io)
+  +. (float_of_int irqs *. t_irq)
+  +. (float_of_int bytes /. disk_rate)

@@ -1,0 +1,42 @@
+(** The calibrated I/O cost model (DESIGN.md §4).
+
+    Throughput in the paper's experiments is governed by the number of
+    I/O operations — which our simulator counts exactly — converted to
+    time with per-operation constants calibrated once against the
+    paper's absolute numbers. Who wins and by what factor is produced
+    by the counted operations, not by the calibration. *)
+
+val t_isa_io : float
+(** Seconds per ISA port transfer (any width): 0.47 us. *)
+
+val t_loop : float
+(** Extra CPU cost of one iteration of a driver-level C loop around a
+    single transfer, compared to a [rep] string instruction: 50 ns. *)
+
+val t_irq : float
+(** Kernel interrupt service overhead per serviced interrupt: 11 us. *)
+
+val disk_rate : float
+(** Media transfer rate of the simulated UDMA2 disk: 14.25 MB/s. *)
+
+val t_mmio_tick : float
+(** Seconds per memory-mapped access to the graphics controller,
+    averaged: 60 ns. One simulator tick. *)
+
+val t_gfx_read : float
+(** A PCI memory read stalls the CPU for the full round trip: 300 ns. *)
+
+val t_gfx_write : float
+(** A posted PCI write retires quickly: 30 ns. *)
+
+type io_sample = {
+  singles : int;  (** single transfers (each pays [t_loop] in a loop) *)
+  block_items : int;  (** elements moved by string instructions *)
+  irqs : int;  (** interrupts serviced *)
+}
+
+val pio_time : io_sample -> float
+(** Programmed-I/O elapsed time under the model. *)
+
+val dma_time : io_sample -> bytes:int -> float
+(** Busmaster transfer: I/O programming plus media time. *)

@@ -1,0 +1,143 @@
+module Machine = Drivers.Machine
+module Ide = Drivers.Ide
+module Io_space = Hwsim.Io_space
+
+type mode = Dma | Pio of { sectors_per_irq : int; width : Ide.io_width }
+
+type measurement = {
+  io_ops : int;
+  singles : int;
+  block_items : int;
+  irqs : int;
+  seconds : float;
+  throughput_mb_s : float;
+}
+
+type line = {
+  mode : mode;
+  standard : measurement;
+  devil : measurement;
+  ratio : float;
+}
+
+let sector_bytes = 512
+
+(* Fill the first [sectors] LBAs with a recognizable pattern and verify
+   what the driver read — the benchmark doubles as an integrity test. *)
+let prepare_disk (m : Machine.t) ~sectors =
+  for lba = 0 to sectors - 1 do
+    let b =
+      Bytes.init sector_bytes (fun i -> Char.chr ((lba + i) land 0xff))
+    in
+    Hwsim.Ide_disk.write_sector m.disk ~lba b
+  done
+
+let verify ~sectors data =
+  for lba = 0 to sectors - 1 do
+    for i = 0 to sector_bytes - 1 do
+      let expected = Char.chr ((lba + i) land 0xff) in
+      if Bytes.get data ((lba * sector_bytes) + i) <> expected then
+        failwith "ide bench: data corruption detected"
+    done
+  done
+
+let measure (m : Machine.t) ~mode ~bytes f =
+  Machine.reset_io_stats m;
+  Hwsim.Ide_disk.reset_irq_count m.disk;
+  f ();
+  let stats = Machine.stats m in
+  let singles = stats.Io_space.reads + stats.Io_space.writes in
+  let block_items = stats.Io_space.block_items in
+  let irqs = Hwsim.Ide_disk.irq_count m.disk in
+  let sample = { Cost.singles; block_items; irqs } in
+  let seconds =
+    match mode with
+    | Dma -> Cost.dma_time sample ~bytes
+    | Pio _ -> Cost.pio_time sample
+  in
+  {
+    io_ops = singles + block_items;
+    singles;
+    block_items;
+    irqs;
+    seconds;
+    throughput_mb_s = float_of_int bytes /. seconds /. 1.0e6;
+  }
+
+let run_line ?(sectors = 64) mode ~devil_path =
+  let bytes = sectors * sector_bytes in
+  let run_one driver =
+    let m = Machine.create () in
+    prepare_disk m ~sectors;
+    (match mode with
+    | Dma -> ()
+    | Pio { sectors_per_irq; _ } ->
+        Hwsim.Ide_disk.set_multiple m.disk sectors_per_irq);
+    let hc =
+      Ide.Handcrafted.create m.bus ~cmd_base:Machine.ide_base
+        ~ctrl_base:Machine.ide_ctrl_base ~bm_base:Machine.piix4_base
+        ~prd_base:Machine.piix4_prd_base
+    in
+    let dd = Ide.Devil_driver.create ~ide:m.ide_dev ~piix4:m.piix4_dev in
+    measure m ~mode ~bytes (fun () ->
+        let data =
+          match (driver, mode) with
+          | `Standard, Dma ->
+              Ide.Handcrafted.read_dma hc
+                ~memory:(Hwsim.Piix4.memory m.busmaster)
+                ~lba:0 ~count:sectors
+          | `Devil, Dma ->
+              Ide.Devil_driver.read_dma dd
+                ~memory:(Hwsim.Piix4.memory m.busmaster)
+                ~lba:0 ~count:sectors
+          | `Standard, Pio { sectors_per_irq; width } ->
+              Ide.Handcrafted.read_sectors hc ~lba:0 ~count:sectors
+                ~mult:sectors_per_irq ~path:`Block ~width
+          | `Devil, Pio { sectors_per_irq; width } ->
+              Ide.Devil_driver.read_sectors dd ~lba:0 ~count:sectors
+                ~mult:sectors_per_irq ~path:devil_path ~width
+        in
+        verify ~sectors data)
+  in
+  let standard = run_one `Standard in
+  let devil = run_one `Devil in
+  {
+    mode;
+    standard;
+    devil;
+    ratio = devil.throughput_mb_s /. standard.throughput_mb_s;
+  }
+
+let pio_modes =
+  [
+    Pio { sectors_per_irq = 16; width = `W32 };
+    Pio { sectors_per_irq = 16; width = `W16 };
+    Pio { sectors_per_irq = 8; width = `W32 };
+    Pio { sectors_per_irq = 8; width = `W16 };
+    Pio { sectors_per_irq = 1; width = `W32 };
+    Pio { sectors_per_irq = 1; width = `W16 };
+  ]
+
+let table2 ?sectors () =
+  run_line ?sectors Dma ~devil_path:`Loop
+  :: List.map (fun mode -> run_line ?sectors mode ~devil_path:`Loop) pio_modes
+
+let block_stub_lines ?sectors () =
+  List.map (fun mode -> run_line ?sectors mode ~devil_path:`Block) pio_modes
+
+let pp_mode fmt = function
+  | Dma -> Format.fprintf fmt "DMA    -        -"
+  | Pio { sectors_per_irq; width } ->
+      Format.fprintf fmt "PIO   %2d       %2d" sectors_per_irq
+        (match width with `W16 -> 16 | `W32 -> 32)
+
+let pp_table fmt lines =
+  Format.fprintf fmt
+    "Mode  s/irq  io-bits | std ops  irqs  MB/s   | devil ops irqs  MB/s   | ratio@.";
+  List.iter
+    (fun l ->
+      Format.fprintf fmt
+        "%a | %7d %5d %6.2f | %8d %5d %6.2f | %4.0f %%@." pp_mode l.mode
+        l.standard.io_ops l.standard.irqs l.standard.throughput_mb_s
+        l.devil.io_ops l.devil.irqs l.devil.throughput_mb_s (100.0 *. l.ratio))
+    lines

@@ -1,0 +1,46 @@
+(** Reproduction of Table 2: comparative IDE driver throughput.
+
+    For every row of the paper's matrix — DMA, and PIO at 16/8/1
+    sectors per interrupt with 16- or 32-bit I/O — the harness runs a
+    sequential read through the hand-crafted driver (rep-style block
+    transfers, like the original Linux driver) and through the
+    Devil-based driver (per-word C loops over the generated stubs),
+    counts the real I/O operations and interrupts the simulator saw,
+    and converts them to throughput with {!Cost}.
+
+    A second section measures the Devil driver with its block-transfer
+    stubs, reproducing the paper's observation that the penalty
+    disappears. *)
+
+type mode =
+  | Dma
+  | Pio of { sectors_per_irq : int; width : Drivers.Ide.io_width }
+
+type measurement = {
+  io_ops : int;
+  singles : int;
+  block_items : int;
+  irqs : int;
+  seconds : float;
+  throughput_mb_s : float;
+}
+
+type line = {
+  mode : mode;
+  standard : measurement;
+  devil : measurement;
+  ratio : float;  (** devil / standard throughput *)
+}
+
+val run_line :
+  ?sectors:int -> mode -> devil_path:Drivers.Ide.data_path -> line
+(** [sectors] defaults to 64. *)
+
+val table2 : ?sectors:int -> unit -> line list
+(** The paper's seven rows (Devil driver using C loops in PIO). *)
+
+val block_stub_lines : ?sectors:int -> unit -> line list
+(** PIO rows with the Devil driver using block stubs (§4.3). *)
+
+val pp_mode : Format.formatter -> mode -> unit
+val pp_table : Format.formatter -> line list -> unit

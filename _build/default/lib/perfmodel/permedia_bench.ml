@@ -1,0 +1,95 @@
+module Machine = Drivers.Machine
+module Gfx = Drivers.Gfx
+
+type primitive = Fill | Copy
+
+type cell = {
+  depth : int;
+  size : int;
+  std_ops_per_prim : float;
+  devil_ops_per_prim : float;
+  std_rate : float;
+  devil_rate : float;
+  ratio : float;
+}
+
+(* Batch sizes: enough primitives to fill the FIFO and reach the
+   steady state the xbench loop measures, small enough to keep large
+   rectangles fast. *)
+let batch_for size = if size >= 400 then 40 else if size >= 100 then 100 else 400
+
+let run_one prim ~depth ~size ~driver =
+  let m = Machine.create () in
+  let batch = batch_for size in
+  let issue =
+    match driver with
+    | `Standard ->
+        let d = Gfx.Handcrafted.create m.bus ~mmio_base:Machine.gfx_mmio_base in
+        Gfx.Handcrafted.set_depth d depth;
+        fun i ->
+          let r =
+            { Gfx.x = (i * 7) mod 256; y = (i * 13) mod 256; w = size; h = size }
+          in
+          (match prim with
+          | Fill -> Gfx.Handcrafted.fill_rect d r ~color:(i land 0xff)
+          | Copy -> Gfx.Handcrafted.copy_rect d r ~dx:8 ~dy:8)
+    | `Devil ->
+        let d = Gfx.Devil_driver.create m.gfx_dev in
+        Gfx.Devil_driver.set_depth d depth;
+        fun i ->
+          let r =
+            { Gfx.x = (i * 7) mod 256; y = (i * 13) mod 256; w = size; h = size }
+          in
+          (match prim with
+          | Fill -> Gfx.Devil_driver.fill_rect d r ~color:(i land 0xff)
+          | Copy -> Gfx.Devil_driver.copy_rect d r ~dx:8 ~dy:8)
+  in
+  (* Warm up: get the FIFO to its steady state before measuring. *)
+  for i = 0 to 7 do
+    issue i
+  done;
+  Machine.reset_io_stats m;
+  for i = 0 to batch - 1 do
+    issue i
+  done;
+  let stats = Machine.stats m in
+  let ops = Machine.io_ops m in
+  if Hwsim.Permedia2.overflows m.gfx > 0 then
+    failwith "permedia bench: FIFO overflow (driver bug)";
+  (* PCI timing: reads stall for the round trip, writes are posted. *)
+  let seconds =
+    (float_of_int stats.Hwsim.Io_space.reads *. Cost.t_gfx_read)
+    +. (float_of_int stats.Hwsim.Io_space.writes *. Cost.t_gfx_write)
+  in
+  ( float_of_int ops /. float_of_int batch,
+    float_of_int batch /. seconds )
+
+let run_cell prim ~depth ~size =
+  let std_ops_per_prim, std_rate = run_one prim ~depth ~size ~driver:`Standard in
+  let devil_ops_per_prim, devil_rate = run_one prim ~depth ~size ~driver:`Devil in
+  {
+    depth;
+    size;
+    std_ops_per_prim;
+    devil_ops_per_prim;
+    std_rate;
+    devil_rate;
+    ratio = devil_rate /. std_rate;
+  }
+
+let table prim =
+  List.concat_map
+    (fun depth ->
+      List.map (fun size -> run_cell prim ~depth ~size) [ 2; 10; 100; 400 ])
+    [ 8; 16; 24; 32 ]
+
+let pp_table fmt cells =
+  Format.fprintf fmt
+    "bpp  size    | std ops/prim  prim/s    | devil ops/prim  prim/s    | ratio@.";
+  List.iter
+    (fun c ->
+      Format.fprintf fmt
+        "%3d  %3dx%-3d | %12.1f %9.0f | %14.1f %9.0f | %4.0f %%@." c.depth
+        c.size c.size c.std_ops_per_prim c.std_rate c.devil_ops_per_prim
+        c.devil_rate (100.0 *. c.ratio))
+    cells

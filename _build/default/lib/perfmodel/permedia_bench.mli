@@ -1,0 +1,28 @@
+(** Reproduction of Tables 3 and 4: Permedia2 Xfree86 driver
+    throughput for the two hardware-accelerated primitives.
+
+    For each display depth (8/16/24/32 bpp) and primitive size
+    (2x2, 10x10, 100x100, 400x400 pixels) the harness issues a batch
+    of primitives xbench-style through the hand-crafted and the
+    Devil-based driver, reads the elapsed simulator ticks (one tick
+    per bus access; the engine drains the FIFO on that clock) and
+    reports primitives/second plus the ratio. *)
+
+type primitive = Fill | Copy
+
+type cell = {
+  depth : int;
+  size : int;  (** square edge in pixels *)
+  std_ops_per_prim : float;
+  devil_ops_per_prim : float;
+  std_rate : float;  (** primitives per second *)
+  devil_rate : float;
+  ratio : float;
+}
+
+val run_cell : primitive -> depth:int -> size:int -> cell
+
+val table : primitive -> cell list
+(** All 16 cells of Table 3 ([Fill]) or Table 4 ([Copy]). *)
+
+val pp_table : Format.formatter -> cell list -> unit

@@ -1,0 +1,1 @@
+test/gen_busmouse.ml: List

@@ -1,0 +1,1 @@
+test/gen_cs4236b.ml: Array List

@@ -1,0 +1,1 @@
+test/gen_dma8237.ml: List

@@ -1,0 +1,1 @@
+test/gen_ide.ml: Array List

@@ -1,0 +1,1 @@
+test/gen_mc146818.ml: List

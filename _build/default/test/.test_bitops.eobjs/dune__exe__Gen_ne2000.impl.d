@@ -1,0 +1,1 @@
+test/gen_ne2000.ml: Array List

@@ -1,0 +1,1 @@
+test/gen_permedia2.ml: Array List

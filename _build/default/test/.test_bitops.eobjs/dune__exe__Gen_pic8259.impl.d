@@ -1,0 +1,1 @@
+test/gen_pic8259.ml: List

@@ -1,0 +1,1 @@
+test/gen_piix4.ml: List

@@ -1,0 +1,1 @@
+test/gen_uart.ml: Array List

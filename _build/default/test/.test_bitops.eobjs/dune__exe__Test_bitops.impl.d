@@ -1,0 +1,1 @@
+test/test_bitops.ml: Alcotest Devil_bits Format List QCheck QCheck_alcotest

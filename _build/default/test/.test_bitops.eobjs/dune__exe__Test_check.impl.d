@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Devil_check Devil_ir Devil_specs Devil_syntax Format List String

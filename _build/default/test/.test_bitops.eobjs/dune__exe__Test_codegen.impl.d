@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Buffer Devil_check Devil_codegen Devil_ir Devil_specs Filename Fun List Printf String Sys Unix

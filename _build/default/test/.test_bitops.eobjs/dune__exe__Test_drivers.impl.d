@@ -1,0 +1,1 @@
+test/test_drivers.ml: Alcotest Bytes Char Drivers Hwsim List Printf String

@@ -1,0 +1,1 @@
+test/test_dtype.ml: Alcotest Devil_bits Devil_ir List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Char Drivers Hwsim String

@@ -1,0 +1,1 @@
+test/test_hwsim.ml: Alcotest Array Bytes Char Devil_runtime Hwsim List String

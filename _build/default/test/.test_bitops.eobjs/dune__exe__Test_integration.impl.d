@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Bytes Char Devil_ir Devil_runtime Drivers Hwsim List Printf

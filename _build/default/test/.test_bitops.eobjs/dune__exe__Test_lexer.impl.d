@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Devil_syntax List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_mask.ml: Alcotest Devil_bits List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_mutation.ml: Alcotest Devil_check Devil_specs Fun List Mutation String

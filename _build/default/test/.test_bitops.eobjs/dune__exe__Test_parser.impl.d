@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Devil_specs Devil_syntax List

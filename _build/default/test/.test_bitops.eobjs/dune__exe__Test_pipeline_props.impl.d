@@ -1,0 +1,1 @@
+test/test_pipeline_props.ml: Alcotest Buffer Devil_bits Devil_check Devil_codegen Devil_ir Devil_runtime Devil_syntax List Option Printf QCheck QCheck_alcotest Random String

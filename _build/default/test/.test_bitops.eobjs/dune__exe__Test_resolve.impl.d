@@ -1,0 +1,1 @@
+test/test_resolve.ml: Alcotest Devil_bits Devil_ir Devil_syntax Format List

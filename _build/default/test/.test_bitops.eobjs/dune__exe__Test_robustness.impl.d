@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Bytes Char Devil_check Devil_ir Devil_runtime Devil_specs Devil_syntax Format List Printexc QCheck QCheck_alcotest String

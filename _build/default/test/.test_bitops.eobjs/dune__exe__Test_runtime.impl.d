@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Devil_check Devil_ir Devil_runtime Devil_syntax Format Hashtbl List Option

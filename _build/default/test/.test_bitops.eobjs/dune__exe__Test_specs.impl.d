@@ -1,0 +1,1 @@
+test/test_specs.ml: Alcotest Devil_ir Devil_specs Filename List Option String Sys

@@ -1,0 +1,116 @@
+(* Unit and property tests for Devil_bits.Bitops. *)
+
+module Bitops = Devil_bits.Bitops
+
+let check_int = Alcotest.(check int)
+
+let test_width_mask () =
+  check_int "w0" 0 (Bitops.width_mask 0);
+  check_int "w1" 1 (Bitops.width_mask 1);
+  check_int "w8" 255 (Bitops.width_mask 8);
+  check_int "w16" 65535 (Bitops.width_mask 16);
+  check_int "w32" 0xffffffff (Bitops.width_mask 32);
+  Alcotest.check_raises "negative" (Invalid_argument "Bitops.width_mask")
+    (fun () -> ignore (Bitops.width_mask (-1)));
+  Alcotest.check_raises "too wide" (Invalid_argument "Bitops.width_mask")
+    (fun () -> ignore (Bitops.width_mask 57))
+
+let test_fits () =
+  Alcotest.(check bool) "255 fits 8" true (Bitops.fits ~width:8 255);
+  Alcotest.(check bool) "256 not 8" false (Bitops.fits ~width:8 256);
+  Alcotest.(check bool) "0 fits 1" true (Bitops.fits ~width:1 0);
+  Alcotest.(check bool) "neg not" false (Bitops.fits ~width:8 (-1))
+
+let test_extract () =
+  check_int "low nibble" 0xc (Bitops.extract ~hi:3 ~lo:0 0xac);
+  check_int "high nibble" 0xa (Bitops.extract ~hi:7 ~lo:4 0xac);
+  check_int "single bit" 1 (Bitops.extract ~hi:5 ~lo:5 0x20);
+  check_int "whole byte" 0xac (Bitops.extract ~hi:7 ~lo:0 0xac);
+  Alcotest.check_raises "inverted" (Invalid_argument "Bitops.extract")
+    (fun () -> ignore (Bitops.extract ~hi:0 ~lo:1 0))
+
+let test_insert () =
+  check_int "replace low" 0xa5 (Bitops.insert ~hi:3 ~lo:0 ~field:0x5 0xac);
+  check_int "replace high" 0x5c (Bitops.insert ~hi:7 ~lo:4 ~field:0x5 0xac);
+  check_int "field clipped" 0x10 (Bitops.insert ~hi:4 ~lo:4 ~field:0x3 0x00);
+  check_int "untouched bits" 0xf0
+    (Bitops.insert ~hi:3 ~lo:0 ~field:0 0xf0)
+
+let test_bits () =
+  Alcotest.(check bool) "get set bit" true (Bitops.get_bit 0x10 ~pos:4);
+  Alcotest.(check bool) "get clear bit" false (Bitops.get_bit 0x10 ~pos:3);
+  check_int "set true" 0x14 (Bitops.set_bit 0x10 ~pos:2 true);
+  check_int "set false" 0x00 (Bitops.set_bit 0x10 ~pos:4 false)
+
+let test_sign_extend () =
+  check_int "positive" 5 (Bitops.sign_extend ~width:8 5);
+  check_int "negative" (-1) (Bitops.sign_extend ~width:8 0xff);
+  check_int "-128" (-128) (Bitops.sign_extend ~width:8 0x80);
+  check_int "127" 127 (Bitops.sign_extend ~width:8 0x7f);
+  check_int "4-bit -3" (-3) (Bitops.sign_extend ~width:4 0xd);
+  check_int "masks upper junk" (-1) (Bitops.sign_extend ~width:4 0xff)
+
+let test_to_unsigned () =
+  check_int "-1 to 8 bits" 0xff (Bitops.to_unsigned ~width:8 (-1));
+  check_int "-128" 0x80 (Bitops.to_unsigned ~width:8 (-128));
+  check_int "identity" 42 (Bitops.to_unsigned ~width:8 42)
+
+let test_popcount () =
+  check_int "zero" 0 (Bitops.popcount 0);
+  check_int "ff" 8 (Bitops.popcount 0xff);
+  check_int "a5" 4 (Bitops.popcount 0xa5)
+
+let test_pp_binary () =
+  Alcotest.(check string)
+    "8 bits" "10100101"
+    (Format.asprintf "%a" (Bitops.pp_binary ~width:8) 0xa5);
+  Alcotest.(check string)
+    "3 bits" "101"
+    (Format.asprintf "%a" (Bitops.pp_binary ~width:3) 0x5)
+
+(* Properties *)
+
+let prop_extract_insert =
+  QCheck.Test.make ~name:"insert then extract returns the field" ~count:500
+    QCheck.(triple (int_bound 55) (int_bound 55) (int_bound 0xffff))
+    (fun (a, b, v) ->
+      let hi = max a b and lo = min a b in
+      let field = v land Bitops.width_mask (min 16 (hi - lo + 1)) in
+      Bitops.extract ~hi ~lo (Bitops.insert ~hi ~lo ~field 0)
+      = field land Bitops.width_mask (hi - lo + 1))
+
+let prop_insert_preserves =
+  QCheck.Test.make ~name:"insert leaves other bits alone" ~count:500
+    QCheck.(triple (int_bound 15) (int_bound 0xffff) (int_bound 0xffff))
+    (fun (lo, field, image) ->
+      let hi = min 55 (lo + 3) in
+      let m = Bitops.width_mask (hi - lo + 1) lsl lo in
+      Bitops.insert ~hi ~lo ~field image land lnot m = image land lnot m)
+
+let prop_sign_roundtrip =
+  QCheck.Test.make ~name:"to_unsigned inverts sign_extend" ~count:500
+    QCheck.(pair (int_range 1 30) (int_bound 0x3fffffff))
+    (fun (width, v) ->
+      let v = v land Bitops.width_mask width in
+      Bitops.to_unsigned ~width (Bitops.sign_extend ~width v) = v)
+
+let () =
+  Alcotest.run "bitops"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "width_mask" `Quick test_width_mask;
+          Alcotest.test_case "fits" `Quick test_fits;
+          Alcotest.test_case "extract" `Quick test_extract;
+          Alcotest.test_case "insert" `Quick test_insert;
+          Alcotest.test_case "get/set bit" `Quick test_bits;
+          Alcotest.test_case "sign_extend" `Quick test_sign_extend;
+          Alcotest.test_case "to_unsigned" `Quick test_to_unsigned;
+          Alcotest.test_case "popcount" `Quick test_popcount;
+          Alcotest.test_case "pp_binary" `Quick test_pp_binary;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_extract_insert; prop_insert_preserves; prop_sign_roundtrip ]
+      );
+    ]

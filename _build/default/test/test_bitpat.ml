@@ -1,0 +1,94 @@
+(* Unit and property tests for enum bit patterns (Devil_bits.Bitpat). *)
+
+module Bitpat = Devil_bits.Bitpat
+
+let test_exact () =
+  let p = Bitpat.of_string_exn "100" in
+  Alcotest.(check bool) "exact" true (Bitpat.is_exact p);
+  Alcotest.(check (option int)) "value" (Some 4) (Bitpat.value p);
+  Alcotest.(check bool) "matches 4" true (Bitpat.matches p 4);
+  Alcotest.(check bool) "not 5" false (Bitpat.matches p 5);
+  Alcotest.(check bool) "not out of width" false (Bitpat.matches p 12)
+
+let test_wildcard () =
+  let p = Bitpat.of_string_exn "1*1" in
+  Alcotest.(check bool) "not exact" false (Bitpat.is_exact p);
+  Alcotest.(check (option int)) "no value" None (Bitpat.value p);
+  Alcotest.(check bool) "101" true (Bitpat.matches p 5);
+  Alcotest.(check bool) "111" true (Bitpat.matches p 7);
+  Alcotest.(check bool) "100" false (Bitpat.matches p 4)
+
+let test_width_and_errors () =
+  Alcotest.(check int) "width" 8 (Bitpat.width (Bitpat.of_string_exn "10*01-.*"));
+  (match Bitpat.of_string "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty accepted");
+  match Bitpat.of_string "10z" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad char accepted"
+
+let test_overlap () =
+  let p a = Bitpat.of_string_exn a in
+  Alcotest.(check bool) "distinct exact" false (Bitpat.overlap (p "00") (p "01"));
+  Alcotest.(check bool) "same" true (Bitpat.overlap (p "01") (p "01"));
+  Alcotest.(check bool) "wild vs exact" true (Bitpat.overlap (p "0*") (p "01"));
+  Alcotest.(check bool) "wild disjoint" false (Bitpat.overlap (p "0*") (p "10"));
+  Alcotest.(check bool)
+    "different widths never overlap" false
+    (Bitpat.overlap (p "0") (p "00"))
+
+let test_to_string () =
+  Alcotest.(check string) "roundtrip" "1*1" (Bitpat.to_string (Bitpat.of_string_exn "1*1"));
+  (* '.' and '-' normalize to '*'. *)
+  Alcotest.(check string) "dot" "1*0" (Bitpat.to_string (Bitpat.of_string_exn "1.0"))
+
+let pat_gen width =
+  QCheck.Gen.(
+    map (String.concat "")
+      (list_size (return width)
+         (map (fun i -> List.nth [ "0"; "1"; "*" ] i) (int_bound 2))))
+
+let prop_value_matches =
+  QCheck.Test.make ~name:"an exact pattern matches its own value" ~count:300
+    (QCheck.make (pat_gen 6))
+    (fun text ->
+      let p = Bitpat.of_string_exn text in
+      match Bitpat.value p with
+      | Some v -> Bitpat.matches p v
+      | None -> not (Bitpat.is_exact p))
+
+let prop_overlap_symmetric =
+  QCheck.Test.make ~name:"overlap is symmetric" ~count:300
+    QCheck.(pair (make (pat_gen 5)) (make (pat_gen 5)))
+    (fun (a, b) ->
+      let pa = Bitpat.of_string_exn a and pb = Bitpat.of_string_exn b in
+      Bitpat.overlap pa pb = Bitpat.overlap pb pa)
+
+let prop_overlap_witness =
+  QCheck.Test.make ~name:"overlap iff a common matching value exists"
+    ~count:300
+    QCheck.(pair (make (pat_gen 5)) (make (pat_gen 5)))
+    (fun (a, b) ->
+      let pa = Bitpat.of_string_exn a and pb = Bitpat.of_string_exn b in
+      let witness = ref false in
+      for v = 0 to 31 do
+        if Bitpat.matches pa v && Bitpat.matches pb v then witness := true
+      done;
+      Bitpat.overlap pa pb = !witness)
+
+let () =
+  Alcotest.run "bitpat"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "exact patterns" `Quick test_exact;
+          Alcotest.test_case "wildcards" `Quick test_wildcard;
+          Alcotest.test_case "width and errors" `Quick test_width_and_errors;
+          Alcotest.test_case "overlap" `Quick test_overlap;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_value_matches; prop_overlap_symmetric; prop_overlap_witness ]
+      );
+    ]

@@ -1,0 +1,272 @@
+(* Tests for the static verifier (Devil_check.Check) — one test per
+   property family of paper section 3.1, plus the trigger-sharing and
+   serialization rules. *)
+
+module Check = Devil_check.Check
+module Value = Devil_ir.Value
+module Diagnostics = Devil_syntax.Diagnostics
+
+let wrap body = "device d (base : bit[8] port @ {0..1}) {" ^ body ^ "}"
+
+let accepts ?config body =
+  match Check.compile ?config (wrap body) with
+  | Ok _ -> ()
+  | Error diags ->
+      Alcotest.fail (Format.asprintf "rejected:@.%a" Diagnostics.pp diags)
+
+let rejects ?config ~matching body =
+  match Check.compile ?config (wrap body) with
+  | Ok _ -> Alcotest.fail ("accepted: " ^ body)
+  | Error diags ->
+      let messages =
+        List.map (fun i -> i.Diagnostics.message) (Diagnostics.items diags)
+      in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        nn = 0 || go 0
+      in
+      if not (List.exists (fun m -> contains m matching) messages) then
+        Alcotest.fail
+          (Format.asprintf "expected a diagnostic containing %S, got:@.%a"
+             matching Diagnostics.pp diags)
+
+(* A minimal valid body to build variations from. *)
+let ok_body =
+  "register a = base @ 0 : bit[8]; variable va = a : int(8);
+   register b = base @ 1 : bit[8]; variable vb = b : int(8);"
+
+let test_baseline () = accepts ok_body
+
+(* {1 Strong typing} *)
+
+let test_width_mismatch () =
+  rejects ~matching:"does not match"
+    "register a = base @ 0 : bit[8]; variable va = a : int(4);
+     register b = base @ 1 : bit[8]; variable vb = b : int(8);"
+
+let test_bool_width () =
+  rejects ~matching:"bool requires 1 bit"
+    "register a = base @ 0 : bit[8]; variable va = a[1..0] : bool;
+     variable rest = a[7..2] : int(6);
+     register b = base @ 1 : bit[8]; variable vb = b : int(8);"
+
+let test_enum_pattern_width () =
+  rejects ~matching:"bits wide"
+    "register a = base @ 0 : bit[8];
+     variable va = a[0] : { ON => '11', OFF => '00' };
+     variable rest = a[7..1] : int(7);
+     register b = base @ 1 : bit[8]; variable vb = b : int(8);"
+
+let test_enum_not_exhaustive () =
+  rejects ~matching:"not exhaustive"
+    "register a = base @ 0 : bit[8];
+     variable va = a[1..0] : { X <=> '00', Y <=> '01' };
+     variable rest = a[7..2] : int(6);
+     register b = base @ 1 : bit[8]; variable vb = b : int(8);"
+
+let test_enum_duplicate_symbol () =
+  rejects ~matching:"defined twice"
+    "register a = base @ 0 : bit[8];
+     variable va = a[0] : { X => '0', X => '1' };
+     variable rest = a[7..1] : int(7);
+     register b = base @ 1 : bit[8]; variable vb = b : int(8);"
+
+let test_enum_duplicate_pattern () =
+  rejects ~matching:"share the bit pattern"
+    "register a = base @ 0 : bit[8];
+     variable va = a[0] : { X => '1', Y => '1', OFF => '0' };
+     variable rest = a[7..1] : int(7);
+     register b = base @ 1 : bit[8]; variable vb = b : int(8);"
+
+let test_read_mapping_on_writeonly () =
+  rejects ~matching:"read mappings"
+    "register a = write base @ 0 : bit[8];
+     variable va = a[0] : { ON <=> '1', OFF <=> '0' };
+     variable rest = a[7..1] : int(7);
+     register b = base @ 1 : bit[8]; variable vb = b : int(8);"
+
+let test_forced_bit_use () =
+  rejects ~matching:"forces"
+    "register a = base @ 0, mask '0.......' : bit[8]; variable va = a : int(8);
+     register b = base @ 1 : bit[8]; variable vb = b : int(8);"
+
+let test_action_type_error () =
+  rejects ~matching:"does not fit"
+    "register idx = write base @ 0 : bit[8];
+     private variable i = idx[1..0] : int(2);
+     variable rest = idx[7..2] : int(6);
+     register b = base @ 1, pre {i = 7} : bit[8]; variable vb = b : int(8);"
+
+let test_register_size_vs_port () =
+  rejects ~matching:"transfers"
+    "register a = base @ 0 : bit[16]; variable va = a : int(16);
+     register b = base @ 1 : bit[8]; variable vb = b : int(8);"
+
+(* {1 No omission} *)
+
+let test_unused_port_offset () =
+  rejects ~matching:"never used"
+    "register a = base @ 0 : bit[8]; variable va = a : int(8);"
+
+let test_unused_register_bit () =
+  rejects ~matching:"never used"
+    "register a = base @ 0 : bit[8]; variable va = a[6..0] : int(7);
+     register b = base @ 1 : bit[8]; variable vb = b : int(8);"
+
+let test_register_without_variable () =
+  rejects ~matching:"defines no variable"
+    "register a = base @ 0 : bit[8]; variable va = a : int(8);
+     register b = base @ 1 : bit[8];"
+
+(* {1 No overlapping definitions} *)
+
+let test_overlapping_bits () =
+  rejects ~matching:"two different variables"
+    "register a = base @ 0 : bit[8];
+     variable va = a : int(8); variable w = a[0] : bool;
+     register b = base @ 1 : bit[8]; variable vb = b : int(8);"
+
+let test_overlapping_registers () =
+  rejects ~matching:"overlap"
+    "register a = base @ 0 : bit[8]; variable va = a : int(8);
+     register a2 = read base @ 0 : bit[8]; variable va2 = a2 : int(8);
+     register b = write base @ 1 : bit[8]; variable vb = b : int(8);"
+
+let test_disjoint_pre_actions_allowed () =
+  accepts
+    "register idx = write base @ 1, mask '000000..' : bit[8];
+     private variable i = idx[1..0] : int(2);
+     register x = read base @ 0, pre {i = 0} : bit[8];
+     variable vx = x, volatile : int(8);
+     register y = read base @ 0, pre {i = 1} : bit[8];
+     variable vy = y, volatile : int(8);
+     register w = write base @ 0 : bit[8];
+     variable vw = w : int(8);"
+
+let test_distinguishing_masks_allowed () =
+  (* Bit 7 forced to different values decodes the destination, like the
+     8259's ICW1 vs OCW bit 4. *)
+  accepts
+    "register a = write base @ 0, mask '1.......' : bit[8];
+     variable va = a[6..0] : int(7);
+     register c = write base @ 0, mask '0.......' : bit[8];
+     variable vc = c[6..0] : int(7);
+     register b = base @ 1 : bit[8]; variable vb = b : int(8);
+     register r = read base @ 0 : bit[8]; variable vr = r, volatile : int(8);"
+
+let test_serialization_exempts_overlap () =
+  accepts
+    "register ffr = write base @ 1 : bit[8];
+     private variable ff = ffr, write trigger : int(8);
+     register lo = base @ 0, pre {ff = *} : bit[8];
+     register hi = base @ 0 : bit[8];
+     variable x = hi # lo : int(16) serialized as { lo; hi };"
+
+(* {1 Trigger sharing} *)
+
+let test_trigger_needs_neutral () =
+  rejects ~matching:"neutral"
+    "register a = base @ 0 : bit[8];
+     variable go = a[0], write trigger : bool;
+     variable param = a[7..1] : int(7);
+     register b = base @ 1 : bit[8]; variable vb = b : int(8);"
+
+let test_trigger_with_neutral_ok () =
+  accepts
+    "register a = base @ 0 : bit[8];
+     variable go = a[0], write trigger except STAY :
+       { FIRE => '1', STAY => '0', BUSY <= '1', QUIET <= '0' };
+     variable param = a[7..1] : int(7);
+     register b = base @ 1 : bit[8]; variable vb = b : int(8);"
+
+let test_lone_trigger_ok () =
+  accepts
+    "register a = base @ 0 : bit[8];
+     variable go = a, volatile, write trigger : int(8);
+     register b = base @ 1 : bit[8]; variable vb = b : int(8);"
+
+(* {1 Serialization consistency} *)
+
+let test_serial_must_cover () =
+  rejects ~matching:"not covered"
+    "register lo = base @ 0 : bit[8];
+     register hi = base @ 1 : bit[8];
+     variable x = hi # lo : int(16) serialized as { lo; };"
+
+let test_serial_duplicate () =
+  rejects ~matching:"serialized twice"
+    "register lo = base @ 0 : bit[8];
+     register hi = base @ 1 : bit[8];
+     variable x = hi # lo : int(16) serialized as { lo; lo; hi; };"
+
+let test_struct_serial_condition_scope () =
+  rejects ~matching:"not a field"
+    "register a = base @ 0 : bit[8];
+     register b = base @ 1 : bit[8];
+     variable outside = b[7] : bool;
+     variable vb = b[6..0] : int(7);
+     structure s = { variable f = a : int(8); }
+       serialized as { if (outside == true) a; };"
+
+(* {1 The bundled specifications are clean} *)
+
+let test_bundled_specs () =
+  List.iter
+    (fun (name, src) ->
+      let config =
+        if name = "pic8259" then [ ("is_master", Value.Bool true) ] else []
+      in
+      match Check.compile ~config ~file:name src with
+      | Ok _ -> ()
+      | Error diags ->
+          Alcotest.fail (Format.asprintf "%s:@.%a" name Diagnostics.pp diags))
+    Devil_specs.Specs.all
+
+let case name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "check"
+    [
+      ("baseline", [ case "minimal device" test_baseline ]);
+      ( "strong typing",
+        [
+          case "width mismatch" test_width_mismatch;
+          case "bool width" test_bool_width;
+          case "enum pattern width" test_enum_pattern_width;
+          case "read exhaustiveness" test_enum_not_exhaustive;
+          case "duplicate symbol" test_enum_duplicate_symbol;
+          case "duplicate pattern" test_enum_duplicate_pattern;
+          case "read mapping needs readable" test_read_mapping_on_writeonly;
+          case "forced bit use" test_forced_bit_use;
+          case "action value typing" test_action_type_error;
+          case "register size vs port" test_register_size_vs_port;
+        ] );
+      ( "no omission",
+        [
+          case "unused port offset" test_unused_port_offset;
+          case "unused register bit" test_unused_register_bit;
+          case "register without variable" test_register_without_variable;
+        ] );
+      ( "no overlap",
+        [
+          case "overlapping bits" test_overlapping_bits;
+          case "overlapping registers" test_overlapping_registers;
+          case "disjoint pre-actions allowed" test_disjoint_pre_actions_allowed;
+          case "distinguishing masks allowed" test_distinguishing_masks_allowed;
+          case "serialization exempts overlap" test_serialization_exempts_overlap;
+        ] );
+      ( "triggers",
+        [
+          case "shared trigger needs neutral" test_trigger_needs_neutral;
+          case "neutral provided" test_trigger_with_neutral_ok;
+          case "lone trigger" test_lone_trigger_ok;
+        ] );
+      ( "serialization",
+        [
+          case "must cover registers" test_serial_must_cover;
+          case "no duplicates" test_serial_duplicate;
+          case "condition scope" test_struct_serial_condition_scope;
+        ] );
+      ("library", [ case "bundled specs verify" test_bundled_specs ]);
+    ]

@@ -1,0 +1,127 @@
+(* End-to-end tests of the devilc binary itself: check every shipped
+   .dil file, generate C and documentation to files, and verify exit
+   codes on bad input. The executable is a declared dune dependency of
+   the test (see test/dune). *)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let devilc =
+  (* cwd is the stanza directory under `dune runtest`, the project root
+     under `dune exec`. *)
+  List.find_opt Sys.file_exists
+    [ "../bin/devilc.exe"; "_build/default/bin/devilc.exe" ]
+  |> Option.value ~default:"../bin/devilc.exe"
+
+let specs_dir =
+  List.find_opt Sys.is_directory [ "../specs"; "specs" ]
+  |> Option.value ~default:"../specs"
+
+let run args =
+  Sys.command (Filename.quote_command devilc args ^ " > cli_out.txt 2>&1")
+
+let output () =
+  let ic = open_in_bin "cli_out.txt" in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_binary_present () =
+  if not (Sys.file_exists devilc) then
+    Alcotest.fail "devilc binary not found (dune deps missing)"
+
+let test_check_all_dil_files () =
+  let dir = specs_dir in
+  let files = Sys.readdir dir in
+  Array.sort compare files;
+  Alcotest.(check bool) "specs shipped" true (Array.length files >= 11);
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".dil" then begin
+        let path = Filename.concat dir f in
+        let args =
+          if f = "pic8259.dil" then
+            [ "check"; "--config"; "is_master=true"; path ]
+          else [ "check"; path ]
+        in
+        Alcotest.(check int) (f ^ " verifies") 0 (run args);
+        Alcotest.(check bool)
+          (f ^ " reports") true
+          (contains (output ()) "specification verified")
+      end)
+    files
+
+let test_emit_c_to_file () =
+  Alcotest.(check int) "emit-c" 0
+    (run [ "emit-c"; "--builtin"; "logitech_busmouse"; "--prefix"; "bm";
+           "-o"; "cli_busmouse.h" ]);
+  let ic = open_in_bin "cli_busmouse.h" in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check bool) "header content" true
+    (contains text "struct bm_devil_cache")
+
+let test_emit_ocaml () =
+  Alcotest.(check int) "emit-ocaml" 0
+    (run [ "emit-ocaml"; "--builtin"; "uart16550" ]);
+  Alcotest.(check bool) "functor" true
+    (contains (output ()) "module Make (Env : DEVIL_ENV)")
+
+let test_doc () =
+  Alcotest.(check int) "doc" 0 (run [ "doc"; "--builtin"; "dma8237" ]);
+  Alcotest.(check bool) "register map" true
+    (contains (output ()) "Register map");
+  Alcotest.(check int) "doc markdown" 0
+    (run [ "doc"; "--markdown"; "--builtin"; "ide" ]);
+  Alcotest.(check bool) "markdown table" true (contains (output ()) "| register |")
+
+let test_dump_roundtrips () =
+  Alcotest.(check int) "dump" 0 (run [ "dump"; "--builtin"; "cs4236b" ]);
+  (* The dumped text must itself verify. *)
+  let oc = open_out_bin "cli_dump.dil" in
+  output_string oc (output ());
+  close_out oc;
+  Alcotest.(check int) "re-check of dump" 0 (run [ "check"; "cli_dump.dil" ])
+
+let test_failures () =
+  Alcotest.(check bool) "unknown builtin fails" true
+    (run [ "check"; "--builtin"; "nope" ] <> 0);
+  Alcotest.(check bool) "missing file fails" true
+    (run [ "check"; "no_such_file.dil" ] <> 0);
+  Alcotest.(check bool) "missing config fails" true
+    (run [ "check"; "--builtin"; "pic8259" ] <> 0);
+  let oc = open_out_bin "cli_bad.dil" in
+  output_string oc "device broken (base : bit[8] port @ {0}) { register r = base : bit[8]; }";
+  close_out oc;
+  Alcotest.(check bool) "invalid spec fails" true
+    (run [ "check"; "cli_bad.dil" ] <> 0);
+  Alcotest.(check bool) "diagnostic printed" true
+    (contains (output ()) "error")
+
+let test_list () =
+  Alcotest.(check int) "list" 0 (run [ "list" ]);
+  let out = output () in
+  List.iter
+    (fun name -> Alcotest.(check bool) name true (contains out name))
+    [ "logitech_busmouse"; "ne2000"; "ide"; "piix4_ide"; "dma8237";
+      "pic8259"; "cs4236b"; "permedia2"; "uart16550"; "mc146818"; "i8042" ]
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "devilc",
+        [
+          case "binary present" test_binary_present;
+          case "check all shipped specs" test_check_all_dil_files;
+          case "emit-c to file" test_emit_c_to_file;
+          case "emit-ocaml" test_emit_ocaml;
+          case "doc" test_doc;
+          case "dump round-trips" test_dump_roundtrips;
+          case "failure modes" test_failures;
+          case "list" test_list;
+        ] );
+    ]

@@ -1,0 +1,274 @@
+(* Tests for the C backend: structural golden checks on the generated
+   busmouse header (paper Figure 3), determinism, and — when a C
+   compiler is available — an end-to-end test that compiles the
+   generated stubs against a tiny C device model and runs them. *)
+
+module C_backend = Devil_codegen.C_backend
+module Specs = Devil_specs.Specs
+
+let case name f = Alcotest.test_case name `Quick f
+
+let header () = C_backend.generate ~prefix:"bm" (Specs.busmouse ())
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let must_contain h fragment =
+  if not (contains h fragment) then
+    Alcotest.fail ("generated header lacks: " ^ fragment)
+
+let test_structural_golden () =
+  let h = header () in
+  (* The cache structure of Figure 3c. *)
+  must_contain h "struct bm_devil_cache";
+  must_contain h "static struct bm_devil_cache bm_cache;";
+  must_contain h "struct {";
+  (* Enum case macros. *)
+  must_contain h "#define BM_CONFIG_CONFIGURATION 0x1u";
+  must_contain h "#define BM_INTERRUPT_ENABLE 0x0u";
+  (* Masked register write: cr forces 1001000. -> 0x90 over bit 0. *)
+  must_contain h "outb((raw & 0x1u) | 0x90u, bm_cache.__dil_base__ + 3);";
+  (* Index pre-action inlined into the x_high reader (index = 1). *)
+  must_contain h "bm_set_index(0x1u);";
+  (* The structure getter reads each register once. *)
+  must_contain h "bm_cache.cache_mouse_state.cache_y_high = bm_read_y_high();";
+  (* Sign extension for the signed dx/dy accessors. *)
+  must_contain h ">> 24)";
+  (* Dynamic checks are guarded. *)
+  must_contain h "#ifdef DEVIL_DEBUG"
+
+let test_deterministic () =
+  Alcotest.(check string) "same output twice" (header ()) (header ())
+
+let test_all_specs_generate () =
+  List.iter
+    (fun (name, _) ->
+      let device =
+        match name with
+        | "logitech_busmouse" -> Specs.busmouse ()
+        | "ne2000" -> Specs.ne2000 ()
+        | "ide" -> Specs.ide ()
+        | "piix4_ide" -> Specs.piix4_ide ()
+        | "dma8237" -> Specs.dma8237 ()
+        | "pic8259" -> Specs.pic8259 ()
+        | "cs4236b" -> Specs.cs4236b ()
+        | "permedia2" -> Specs.permedia2 ()
+        | "uart16550" -> Specs.uart16550 ()
+        | "mc146818" -> Specs.mc146818 ()
+        | "i8042" -> Specs.i8042 ()
+        | other -> Alcotest.fail ("unknown spec " ^ other)
+      in
+      let h = C_backend.generate device in
+      Alcotest.(check bool)
+        (name ^ " nonempty") true
+        (String.length h > 500))
+    Specs.all
+
+(* {1 Doc backend} *)
+
+let test_doc_text () =
+  let doc = Devil_codegen.Doc_backend.generate (Specs.busmouse ()) in
+  List.iter (must_contain doc)
+    [
+      "Device logitech_busmouse";
+      "Register map";
+      "Functional interface";
+      (* per-bit ownership of the index register *)
+      "[=1 | index | index | =0 | =0 | =0 | =0 | =0]";
+      "volatile, write trigger";
+    ];
+  (* Serialization orders appear for the 8237's 16-bit counters. *)
+  let dma_doc = Devil_codegen.Doc_backend.generate (Specs.dma8237 ()) in
+  must_contain dma_doc "serialized as: cnt0_low; cnt0_high"
+
+let test_doc_markdown () =
+  let doc = Devil_codegen.Doc_backend.generate_markdown (Specs.cs4236b ()) in
+  must_contain doc "# Device cs4236b";
+  must_contain doc "| register | acc | read at | write at |";
+  must_contain doc "parameterized";
+  (* Private state section lists the automaton cell. *)
+  must_contain doc "xm"
+
+let test_doc_all_specs () =
+  List.iter
+    (fun (name, src) ->
+      let config =
+        if name = "pic8259" then
+          [ ("is_master", Devil_ir.Value.Bool true) ]
+        else []
+      in
+      match Devil_check.Check.compile ~config src with
+      | Ok device ->
+          let doc = Devil_codegen.Doc_backend.generate device in
+          Alcotest.(check bool) (name ^ " doc nonempty") true
+            (String.length doc > 300)
+      | Error _ -> Alcotest.fail name)
+    Specs.all
+
+let c_harness =
+  {|
+#include <stdio.h>
+#include <stdlib.h>
+
+static int bm_dx = 5, bm_dy = -3, bm_buttons = 5, bm_index = 0, bm_sig = 0;
+static unsigned int inb(unsigned long addr) {
+  unsigned ux = bm_dx & 0xff, uy = bm_dy & 0xff;
+  switch ((int)(addr - 0x23c)) {
+  case 0:
+    switch (bm_index) {
+    case 0: return ux & 0xf;
+    case 1: return (ux >> 4) & 0xf;
+    case 2: return uy & 0xf;
+    default: return (bm_buttons << 5) | ((uy >> 4) & 0xf);
+    }
+  case 1: return bm_sig;
+  default: return 0xff;
+  }
+}
+static void outb(unsigned int v, unsigned long addr) {
+  switch ((int)(addr - 0x23c)) {
+  case 1: bm_sig = v & 0xff; break;
+  case 2: if (v & 0x80) bm_index = (v >> 5) & 3; break;
+  default: break;
+  }
+}
+static void insb(unsigned long p, void *b, unsigned n) { (void)p;(void)b;(void)n; }
+static void insw(unsigned long p, void *b, unsigned n) { (void)p;(void)b;(void)n; }
+static void insl(unsigned long p, void *b, unsigned n) { (void)p;(void)b;(void)n; }
+static void outsb(unsigned long p, const void *b, unsigned n) { (void)p;(void)b;(void)n; }
+static void outsw(unsigned long p, const void *b, unsigned n) { (void)p;(void)b;(void)n; }
+static void outsl(unsigned long p, const void *b, unsigned n) { (void)p;(void)b;(void)n; }
+void devil_check_failed(const char *what) {
+  fprintf(stderr, "devil check failed: %s\n", what);
+  exit(1);
+}
+#define DEVIL_DEBUG
+#include "busmouse.dil.h"
+
+int main(void) {
+  bm_init(0x23c);
+  bm_set_signature(0xa5);
+  if (bm_get_signature() != 0xa5) return 1;
+  bm_set_config(BM_CONFIG_DEFAULT_MODE);
+  bm_set_interrupt(BM_INTERRUPT_ENABLE);
+  bm_get_mouse_state();
+  if (bm_get_dx() != 5 || bm_get_dy() != -3 || bm_get_buttons() != 5) return 2;
+  printf("GENERATED-C-OK\n");
+  return 0;
+}
+|}
+
+let have_gcc () = Sys.command "command -v gcc > /dev/null 2>&1" = 0
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let test_gcc_end_to_end () =
+  if not (have_gcc ()) then ()
+  else begin
+    let dir = Filename.temp_file "devil_cgen" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o755;
+    write_file (Filename.concat dir "busmouse.dil.h") (header ());
+    write_file (Filename.concat dir "main.c") c_harness;
+    let cmd =
+      Printf.sprintf
+        "cd %s && gcc -std=c99 -Wall -Werror -Wno-unused-function -o t main.c \
+         && ./t > out.txt 2>&1"
+        (Filename.quote dir)
+    in
+    Alcotest.(check int) "gcc compile and run" 0 (Sys.command cmd);
+    let ic = open_in (Filename.concat dir "out.txt") in
+    let line = input_line ic in
+    close_in ic;
+    Alcotest.(check string) "program output" "GENERATED-C-OK" line
+  end
+
+let test_gcc_all_headers_compile () =
+  (* Every generated header must at least compile standalone. *)
+  if not (have_gcc ()) then ()
+  else begin
+    let dir = Filename.temp_file "devil_cgen_all" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o755;
+    let shims =
+      "static unsigned int inb(unsigned long a){(void)a;return 0;}\n\
+       static unsigned int inw(unsigned long a){(void)a;return 0;}\n\
+       static unsigned int inl(unsigned long a){(void)a;return 0;}\n\
+       static void outb(unsigned int v,unsigned long a){(void)v;(void)a;}\n\
+       static void outw(unsigned int v,unsigned long a){(void)v;(void)a;}\n\
+       static void outl(unsigned int v,unsigned long a){(void)v;(void)a;}\n\
+       static void insb(unsigned long p,void*b,unsigned n){(void)p;(void)b;(void)n;}\n\
+       static void insw(unsigned long p,void*b,unsigned n){(void)p;(void)b;(void)n;}\n\
+       static void insl(unsigned long p,void*b,unsigned n){(void)p;(void)b;(void)n;}\n\
+       static void outsb(unsigned long p,const void*b,unsigned n){(void)p;(void)b;(void)n;}\n\
+       static void outsw(unsigned long p,const void*b,unsigned n){(void)p;(void)b;(void)n;}\n\
+       static void outsl(unsigned long p,const void*b,unsigned n){(void)p;(void)b;(void)n;}\n"
+    in
+    List.iter
+      (fun (name, device) ->
+        let h = C_backend.generate ~prefix:name device in
+        write_file (Filename.concat dir (name ^ ".h")) h;
+        write_file
+          (Filename.concat dir (name ^ ".c"))
+          (Printf.sprintf "%s#include \"%s.h\"\nint main(void){return 0;}\n"
+             shims name);
+        let cmd =
+          Printf.sprintf
+            "cd %s && gcc -std=c99 -Wall -Wno-unused-function -c %s.c 2> %s.err"
+            (Filename.quote dir) name name
+        in
+        if Sys.command cmd <> 0 then begin
+          let ic = open_in (Filename.concat dir (name ^ ".err")) in
+          let buf = Buffer.create 256 in
+          (try
+             while true do
+               Buffer.add_channel buf ic 1
+             done
+           with End_of_file -> ());
+          close_in ic;
+          Alcotest.fail
+            (Printf.sprintf "%s.h does not compile:\n%s" name
+               (Buffer.contents buf))
+        end)
+      [
+        ("busmouse", Specs.busmouse ());
+        ("ne2000", Specs.ne2000 ());
+        ("ide", Specs.ide ());
+        ("piix4", Specs.piix4_ide ());
+        ("dma8237", Specs.dma8237 ());
+        ("pic8259", Specs.pic8259 ());
+        ("cs4236b", Specs.cs4236b ());
+        ("permedia2", Specs.permedia2 ());
+        ("uart16550", Specs.uart16550 ());
+        ("mc146818", Specs.mc146818 ());
+        ("i8042", Specs.i8042 ());
+      ]
+  end
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ( "text",
+        [
+          case "structural golden" test_structural_golden;
+          case "deterministic" test_deterministic;
+          case "all specs generate" test_all_specs_generate;
+        ] );
+      ( "doc",
+        [
+          case "text data sheet" test_doc_text;
+          case "markdown data sheet" test_doc_markdown;
+          case "all specs document" test_doc_all_specs;
+        ] );
+      ( "gcc",
+        [
+          case "busmouse stubs run" test_gcc_end_to_end;
+          case "all headers compile" test_gcc_all_headers_compile;
+        ] );
+    ]

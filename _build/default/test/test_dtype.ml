@@ -1,0 +1,144 @@
+(* Tests for variable types and value encoding (Devil_ir.Dtype). *)
+
+module Dtype = Devil_ir.Dtype
+module Value = Devil_ir.Value
+module Bitpat = Devil_bits.Bitpat
+
+let enum cases =
+  Dtype.Enum
+    (List.map
+       (fun (name, dir, pat) ->
+         { Dtype.case_name = name; dir; pattern = Bitpat.of_string_exn pat })
+       cases)
+
+let config_ty =
+  enum [ ("CONFIGURATION", Dtype.Write, "1"); ("DEFAULT_MODE", Dtype.Write, "0") ]
+
+let rd_ty =
+  enum
+    [
+      ("NODMA", Dtype.Both, "100");
+      ("IDLE", Dtype.Read, "000");
+      ("REMOTE_READ", Dtype.Both, "001");
+      ("DONE", Dtype.Read, "1*1");
+    ]
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+let err = function Error _ -> () | Ok _ -> Alcotest.fail "expected an error"
+
+let test_bool () =
+  Alcotest.(check int) "true" 1 (ok (Dtype.encode Dtype.Bool (Value.Bool true)));
+  Alcotest.(check int) "false" 0 (ok (Dtype.encode Dtype.Bool (Value.Bool false)));
+  err (Dtype.encode Dtype.Bool (Value.Int 1));
+  (match ok (Dtype.decode Dtype.Bool 1) with
+  | Value.Bool true -> ()
+  | v -> Alcotest.fail (Value.to_string v));
+  Alcotest.(check int) "width" 1 (Dtype.width Dtype.Bool)
+
+let test_unsigned () =
+  let ty = Dtype.Int { signed = false; bits = 4 } in
+  Alcotest.(check int) "encode" 9 (ok (Dtype.encode ty (Value.Int 9)));
+  err (Dtype.encode ty (Value.Int 16));
+  err (Dtype.encode ty (Value.Int (-1)));
+  err (Dtype.encode ty (Value.Bool true));
+  match ok (Dtype.decode ty 9) with
+  | Value.Int 9 -> ()
+  | v -> Alcotest.fail (Value.to_string v)
+
+let test_signed () =
+  let ty = Dtype.Int { signed = true; bits = 8 } in
+  Alcotest.(check int) "-3" 0xfd (ok (Dtype.encode ty (Value.Int (-3))));
+  Alcotest.(check int) "127" 127 (ok (Dtype.encode ty (Value.Int 127)));
+  err (Dtype.encode ty (Value.Int 128));
+  err (Dtype.encode ty (Value.Int (-129)));
+  match ok (Dtype.decode ty 0xfd) with
+  | Value.Int -3 -> ()
+  | v -> Alcotest.fail (Value.to_string v)
+
+let test_int_set () =
+  let ty = Dtype.Int_set { values = [ 0; 1; 2; 3; 17; 25 ]; bits = 5 } in
+  Alcotest.(check int) "member" 17 (ok (Dtype.encode ty (Value.Int 17)));
+  err (Dtype.encode ty (Value.Int 4));
+  (match Dtype.validate_read_raw ty 25 with Ok () -> () | Error e -> Alcotest.fail e);
+  err (Dtype.validate_read_raw ty 24)
+
+let test_enum_write () =
+  Alcotest.(check int)
+    "writable case" 1
+    (ok (Dtype.encode config_ty (Value.Enum "CONFIGURATION")));
+  err (Dtype.encode config_ty (Value.Enum "MISSING"));
+  (* Read-only cases cannot be written. *)
+  err (Dtype.encode rd_ty (Value.Enum "IDLE"));
+  (* Wildcard cases denote no single value. *)
+  err (Dtype.encode rd_ty (Value.Enum "DONE"))
+
+let test_enum_read () =
+  (match ok (Dtype.decode rd_ty 0) with
+  | Value.Enum "IDLE" -> ()
+  | v -> Alcotest.fail (Value.to_string v));
+  (* First matching readable case wins: 100 is NODMA, not DONE. *)
+  (match ok (Dtype.decode rd_ty 4) with
+  | Value.Enum "NODMA" -> ()
+  | v -> Alcotest.fail (Value.to_string v));
+  (match ok (Dtype.decode rd_ty 5) with
+  | Value.Enum "DONE" -> ()
+  | v -> Alcotest.fail (Value.to_string v));
+  (* 010 matches no readable case. *)
+  err (Dtype.decode rd_ty 2);
+  err (Dtype.validate_read_raw rd_ty 2)
+
+let test_find_case () =
+  Alcotest.(check bool)
+    "found" true
+    (Option.is_some (Dtype.find_case rd_ty "NODMA"));
+  Alcotest.(check bool)
+    "missing" true
+    (Option.is_none (Dtype.find_case rd_ty "NOPE"));
+  Alcotest.(check bool)
+    "non-enum" true
+    (Option.is_none (Dtype.find_case Dtype.Bool "NODMA"))
+
+let prop_unsigned_roundtrip =
+  QCheck.Test.make ~name:"unsigned encode/decode roundtrip" ~count:300
+    QCheck.(pair (int_range 1 16) (int_bound 0xffff))
+    (fun (bits, v) ->
+      let ty = Dtype.Int { signed = false; bits } in
+      let v = v land Devil_bits.Bitops.width_mask bits in
+      match Dtype.encode ty (Value.Int v) with
+      | Ok raw -> (
+          match Dtype.decode ty raw with
+          | Ok (Value.Int v') -> v = v'
+          | _ -> false)
+      | Error _ -> false)
+
+let prop_signed_roundtrip =
+  QCheck.Test.make ~name:"signed encode/decode roundtrip" ~count:300
+    QCheck.(pair (int_range 2 16) (int_range (-32768) 32767))
+    (fun (bits, v) ->
+      let ty = Dtype.Int { signed = true; bits } in
+      let lo = -(1 lsl (bits - 1)) and hi = (1 lsl (bits - 1)) - 1 in
+      QCheck.assume (v >= lo && v <= hi);
+      match Dtype.encode ty (Value.Int v) with
+      | Ok raw -> (
+          match Dtype.decode ty raw with
+          | Ok (Value.Int v') -> v = v'
+          | _ -> false)
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "dtype"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "bool" `Quick test_bool;
+          Alcotest.test_case "unsigned int" `Quick test_unsigned;
+          Alcotest.test_case "signed int" `Quick test_signed;
+          Alcotest.test_case "int sets" `Quick test_int_set;
+          Alcotest.test_case "enum writes" `Quick test_enum_write;
+          Alcotest.test_case "enum reads" `Quick test_enum_read;
+          Alcotest.test_case "find_case" `Quick test_find_case;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_unsigned_roundtrip; prop_signed_roundtrip ] );
+    ]

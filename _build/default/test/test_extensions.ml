@@ -1,0 +1,280 @@
+(* Tests for the extension devices (16550 UART, MC146818 RTC, i8042
+   keyboard controller): models, Devil drivers, hand-crafted baselines,
+   and their agreement. *)
+
+module Machine = Drivers.Machine
+module Serial = Drivers.Serial
+module Rtc = Drivers.Rtc
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* {1 UART model} *)
+
+let uart_setup () =
+  let u = Hwsim.Uart16550.create () in
+  let m = Hwsim.Uart16550.model u in
+  ( u,
+    (fun off -> m.Hwsim.Model.read ~width:8 ~offset:off),
+    fun off v -> m.Hwsim.Model.write ~width:8 ~offset:off ~value:v )
+
+let test_uart_dlab_overlay () =
+  let u, rd, wr = uart_setup () in
+  wr 3 0x80;  (* DLAB on *)
+  wr 0 0x34;
+  wr 1 0x12;
+  Alcotest.(check int) "divisor" 0x1234 (Hwsim.Uart16550.divisor u);
+  Alcotest.(check int) "dll readback" 0x34 (rd 0);
+  wr 3 0x03;  (* DLAB off *)
+  wr 0 (Char.code 'A');
+  Alcotest.(check string) "wire" "A" (Hwsim.Uart16550.take_transmitted u);
+  Alcotest.(check int) "divisor untouched" 0x1234 (Hwsim.Uart16550.divisor u)
+
+let test_uart_rx_and_overrun () =
+  let u, rd, wr = uart_setup () in
+  wr 3 0x03;
+  Hwsim.Uart16550.inject u "ok";
+  Alcotest.(check bool) "data ready" true (rd 5 land 0x01 <> 0);
+  Alcotest.(check int) "first" (Char.code 'o') (rd 0);
+  Alcotest.(check int) "second" (Char.code 'k') (rd 0);
+  Alcotest.(check bool) "drained" true (rd 5 land 0x01 = 0);
+  Hwsim.Uart16550.inject u (String.make 40 'x');
+  Alcotest.(check bool) "overrun flagged" true (rd 5 land 0x02 <> 0);
+  (* LSR read cleared the sticky error. *)
+  Alcotest.(check bool) "cleared on read" true (rd 5 land 0x02 = 0)
+
+let test_uart_loopback_model () =
+  let u, rd, wr = uart_setup () in
+  wr 3 0x03;
+  wr 4 0x10;  (* loopback *)
+  wr 0 0x42;
+  Alcotest.(check int) "folded back" 0x42 (rd 0);
+  Alcotest.(check string) "nothing on the wire" ""
+    (Hwsim.Uart16550.take_transmitted u)
+
+(* {1 UART drivers} *)
+
+let test_serial_drivers_agree () =
+  let devil () =
+    let m = Machine.create ~debug:true () in
+    let d = Serial.Devil_driver.create m.uart_dev in
+    Serial.Devil_driver.init d ~baud:9600;
+    Serial.Devil_driver.send d "hello";
+    ( Hwsim.Uart16550.divisor m.uart,
+      Hwsim.Uart16550.line_control m.uart land 0x7f,
+      Hwsim.Uart16550.take_transmitted m.uart )
+  in
+  let hand () =
+    let m = Machine.create () in
+    let h = Serial.Handcrafted.create m.bus ~base:Machine.uart_base in
+    Serial.Handcrafted.init h ~baud:9600;
+    Serial.Handcrafted.send h "hello";
+    ( Hwsim.Uart16550.divisor m.uart,
+      Hwsim.Uart16550.line_control m.uart land 0x7f,
+      Hwsim.Uart16550.take_transmitted m.uart )
+  in
+  let d1, l1, w1 = devil () and d2, l2, w2 = hand () in
+  Alcotest.(check int) "divisor" d2 d1;
+  Alcotest.(check int) "line control" l2 l1;
+  Alcotest.(check string) "wire" w2 w1;
+  Alcotest.(check int) "divisor value" (115200 / 9600) d1
+
+let test_serial_self_test () =
+  let m = Machine.create ~debug:true () in
+  let d = Serial.Devil_driver.create m.uart_dev in
+  Serial.Devil_driver.init d ~baud:38400;
+  Alcotest.(check int) "baud readback" 38400
+    (Serial.Devil_driver.configured_baud d);
+  Alcotest.(check bool) "devil self-test" true (Serial.Devil_driver.self_test d);
+  let h = Serial.Handcrafted.create m.bus ~base:Machine.uart_base in
+  Serial.Handcrafted.init h ~baud:38400;
+  Alcotest.(check bool) "hand self-test" true (Serial.Handcrafted.self_test h)
+
+let test_serial_receive () =
+  let m = Machine.create ~debug:true () in
+  let d = Serial.Devil_driver.create m.uart_dev in
+  Serial.Devil_driver.init d ~baud:9600;
+  Hwsim.Uart16550.inject m.uart "incoming bytes";
+  Alcotest.(check string) "recv" "incoming bytes"
+    (Serial.Devil_driver.recv d ~max:32);
+  Alcotest.(check string) "drained" "" (Serial.Devil_driver.recv d ~max:4)
+
+(* {1 RTC model} *)
+
+let test_rtc_ticking () =
+  let r = Hwsim.Mc146818.create () in
+  Hwsim.Mc146818.set_time r ~hours:23 ~minutes:59 ~seconds:58;
+  Hwsim.Mc146818.tick_seconds r 3;
+  Alcotest.(check (triple int int int)) "midnight wrap" (0, 0, 1)
+    (Hwsim.Mc146818.time r)
+
+let test_rtc_bcd () =
+  let r = Hwsim.Mc146818.create () in
+  let dm = Hwsim.Mc146818.data_model r in
+  let im = Hwsim.Mc146818.index_model r in
+  let select i = im.Hwsim.Model.write ~width:8 ~offset:0 ~value:i in
+  let rd () = dm.Hwsim.Model.read ~width:8 ~offset:0 in
+  let wr v = dm.Hwsim.Model.write ~width:8 ~offset:0 ~value:v in
+  Hwsim.Mc146818.set_time r ~hours:12 ~minutes:34 ~seconds:56;
+  (* Default configuration is binary. *)
+  select 0;
+  Alcotest.(check int) "binary seconds" 56 (rd ());
+  (* Switch status B to BCD. *)
+  select 11;
+  wr 0x02;
+  select 0;
+  Alcotest.(check int) "bcd seconds" 0x56 (rd ());
+  select 2;
+  Alcotest.(check int) "bcd minutes" 0x34 (rd ())
+
+(* {1 RTC drivers} *)
+
+let test_rtc_read_set () =
+  let m = Machine.create ~debug:true () in
+  let d = Rtc.Devil_driver.create m.rtc_dev in
+  Rtc.Devil_driver.set_time d { Rtc.hours = 9; minutes = 41; seconds = 0 };
+  let t = Rtc.Devil_driver.read_time d in
+  Alcotest.(check int) "hours" 9 t.Rtc.hours;
+  Alcotest.(check int) "minutes" 41 t.Rtc.minutes;
+  Hwsim.Mc146818.tick_seconds m.rtc 75;
+  let t2 = Rtc.Devil_driver.read_time d in
+  Alcotest.(check int) "after tick minutes" 42 t2.Rtc.minutes;
+  Alcotest.(check int) "after tick seconds" 15 t2.Rtc.seconds
+
+let test_rtc_alarm_flags () =
+  let m = Machine.create ~debug:true () in
+  let d = Rtc.Devil_driver.create m.rtc_dev in
+  Rtc.Devil_driver.set_time d { Rtc.hours = 1; minutes = 0; seconds = 0 };
+  Rtc.Devil_driver.set_alarm d { Rtc.hours = 1; minutes = 0; seconds = 5 };
+  Rtc.Devil_driver.enable_alarm_irq d true;
+  Hwsim.Mc146818.tick_seconds m.rtc 5;
+  Alcotest.(check bool) "irq line" true (Hwsim.Mc146818.irq_asserted m.rtc);
+  let flags = Rtc.Devil_driver.pending_interrupts d in
+  Alcotest.(check bool) "alarm flag (bit 1 of the 4-bit field)" true
+    (flags land 0x2 <> 0);
+  (* The read acknowledged everything. *)
+  Alcotest.(check bool) "acked" false (Hwsim.Mc146818.irq_asserted m.rtc);
+  Alcotest.(check int) "no flags left" 0 (Rtc.Devil_driver.pending_interrupts d)
+
+let test_rtc_drivers_agree () =
+  let m = Machine.create () in
+  let d = Rtc.Devil_driver.create m.rtc_dev in
+  let h =
+    Rtc.Handcrafted.create m.bus ~index_base:Machine.rtc_index_base
+      ~data_base:Machine.rtc_data_base
+  in
+  Rtc.Handcrafted.set_time h { Rtc.hours = 15; minutes = 30; seconds = 45 };
+  let t = Rtc.Devil_driver.read_time d in
+  Alcotest.(check bool) "devil reads what hand wrote" true
+    (t = { Rtc.hours = 15; minutes = 30; seconds = 45 });
+  Rtc.Devil_driver.set_alarm d { Rtc.hours = 15; minutes = 31; seconds = 0 };
+  Hwsim.Mc146818.tick_seconds m.rtc 15;
+  Rtc.Handcrafted.enable_alarm_irq h true;
+  Alcotest.(check bool) "hand sees the alarm flag" true
+    (Rtc.Handcrafted.pending_interrupts h land 0x2 <> 0)
+
+(* {1 i8042 keyboard} *)
+
+let test_i8042_model () =
+  let k = Hwsim.I8042.create () in
+  let dm = Hwsim.I8042.data_model k in
+  let cm = Hwsim.I8042.control_model k in
+  let data_rd () = dm.Hwsim.Model.read ~width:8 ~offset:0 in
+  let data_wr v = dm.Hwsim.Model.write ~width:8 ~offset:0 ~value:v in
+  let ctl_rd () = cm.Hwsim.Model.read ~width:8 ~offset:0 in
+  let ctl_wr v = cm.Hwsim.Model.write ~width:8 ~offset:0 ~value:v in
+  (* self test *)
+  ctl_wr 0xaa;
+  Alcotest.(check bool) "output full" true (ctl_rd () land 1 = 1);
+  Alcotest.(check int) "self-test response" 0x55 (data_rd ());
+  (* scancodes queue in order *)
+  Alcotest.(check bool) "press accepted" true (Hwsim.I8042.press k 0x1c);
+  Alcotest.(check bool) "press accepted" true (Hwsim.I8042.press k 0x9c);
+  Alcotest.(check int) "make" 0x1c (data_rd ());
+  Alcotest.(check int) "break" 0x9c (data_rd ());
+  (* disable: keys are dropped *)
+  ctl_wr 0xad;
+  Alcotest.(check bool) "rejected while disabled" false (Hwsim.I8042.press k 1);
+  ctl_wr 0xae;
+  (* LED command *)
+  data_wr 0xed;
+  Alcotest.(check int) "ack" 0xfa (data_rd ());
+  data_wr 0x5;
+  Alcotest.(check int) "ack 2" 0xfa (data_rd ());
+  Alcotest.(check int) "leds latched" 0x5 (Hwsim.I8042.leds k)
+
+let test_keyboard_drivers_agree () =
+  let run_devil () =
+    let m = Machine.create ~debug:true () in
+    let d = Drivers.Keyboard.Devil_driver.create m.kbd_dev in
+    let ok = Drivers.Keyboard.Devil_driver.init d in
+    ignore (Hwsim.I8042.press m.kbd 0x2a);
+    ignore (Hwsim.I8042.press m.kbd 0x10);
+    let s1 = Drivers.Keyboard.Devil_driver.poll_scancode d in
+    let s2 = Drivers.Keyboard.Devil_driver.poll_scancode d in
+    let s3 = Drivers.Keyboard.Devil_driver.poll_scancode d in
+    let leds = Drivers.Keyboard.Devil_driver.set_leds d 0x2 in
+    (ok, s1, s2, s3, leds, Hwsim.I8042.leds m.kbd)
+  in
+  let run_hand () =
+    let m = Machine.create () in
+    let h =
+      Drivers.Keyboard.Handcrafted.create m.bus
+        ~data_base:Machine.kbd_data_base ~ctl_base:Machine.kbd_ctl_base
+    in
+    let ok = Drivers.Keyboard.Handcrafted.init h in
+    ignore (Hwsim.I8042.press m.kbd 0x2a);
+    ignore (Hwsim.I8042.press m.kbd 0x10);
+    let s1 = Drivers.Keyboard.Handcrafted.poll_scancode h in
+    let s2 = Drivers.Keyboard.Handcrafted.poll_scancode h in
+    let s3 = Drivers.Keyboard.Handcrafted.poll_scancode h in
+    let leds = Drivers.Keyboard.Handcrafted.set_leds h 0x2 in
+    (ok, s1, s2, s3, leds, Hwsim.I8042.leds m.kbd)
+  in
+  let d = run_devil () and h = run_hand () in
+  Alcotest.(check bool) "same behaviour" true (d = h);
+  let ok, s1, s2, s3, leds, led_state = d in
+  Alcotest.(check bool) "init ok" true ok;
+  Alcotest.(check (option int)) "first scancode" (Some 0x2a) s1;
+  Alcotest.(check (option int)) "second scancode" (Some 0x10) s2;
+  Alcotest.(check (option int)) "empty" None s3;
+  Alcotest.(check bool) "leds acked" true leds;
+  Alcotest.(check int) "led state" 0x2 led_state
+
+let test_keyboard_config_roundtrip () =
+  let m = Machine.create ~debug:true () in
+  let d = Drivers.Keyboard.Devil_driver.create m.kbd_dev in
+  Drivers.Keyboard.Devil_driver.write_config d 0x61;
+  Alcotest.(check int) "device config" 0x61 (Hwsim.I8042.config_byte m.kbd);
+  Alcotest.(check int) "readback" 0x61 (Drivers.Keyboard.Devil_driver.read_config d)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "uart model",
+        [
+          case "dlab overlay" test_uart_dlab_overlay;
+          case "rx fifo and overrun" test_uart_rx_and_overrun;
+          case "loopback" test_uart_loopback_model;
+        ] );
+      ( "uart drivers",
+        [
+          case "drivers agree" test_serial_drivers_agree;
+          case "self test" test_serial_self_test;
+          case "receive" test_serial_receive;
+        ] );
+      ( "rtc model",
+        [ case "ticking" test_rtc_ticking; case "bcd" test_rtc_bcd ] );
+      ( "rtc drivers",
+        [
+          case "read and set" test_rtc_read_set;
+          case "alarm flags" test_rtc_alarm_flags;
+          case "drivers agree" test_rtc_drivers_agree;
+        ] );
+      ( "keyboard",
+        [
+          case "i8042 model" test_i8042_model;
+          case "drivers agree" test_keyboard_drivers_agree;
+          case "config roundtrip" test_keyboard_config_roundtrip;
+        ] );
+    ]
+

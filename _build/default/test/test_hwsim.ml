@@ -1,0 +1,455 @@
+(* Tests for the behavioural device models (Hwsim). *)
+
+module Io_space = Hwsim.Io_space
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* {1 I/O space} *)
+
+let test_io_space_dispatch () =
+  let space = Io_space.create () in
+  Io_space.attach space ~base:0x100 ~size:4 (Hwsim.Model.ram ~name:"a" ~size:4);
+  Io_space.attach space ~base:0x200 ~size:4 (Hwsim.Model.ram ~name:"b" ~size:4);
+  let bus = Io_space.bus space in
+  bus.Devil_runtime.Bus.write ~width:8 ~addr:0x101 ~value:0x42;
+  Alcotest.(check int) "routed" 0x42 (bus.Devil_runtime.Bus.read ~width:8 ~addr:0x101);
+  Alcotest.(check int) "isolated" 0 (bus.Devil_runtime.Bus.read ~width:8 ~addr:0x201);
+  Alcotest.(check int) "ops counted" 3 (Io_space.io_ops space);
+  (match bus.Devil_runtime.Bus.read ~width:8 ~addr:0x300 with
+  | exception Devil_runtime.Instance.Device_error _ -> ()
+  | _ -> Alcotest.fail "bus fault not raised");
+  match Io_space.attach space ~base:0x102 ~size:4 (Hwsim.Model.ram ~name:"c" ~size:4) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "overlapping attach accepted"
+
+let test_io_space_blocks () =
+  let space = Io_space.create () in
+  Io_space.attach space ~base:0 ~size:1 (Hwsim.Model.ram ~name:"r" ~size:1);
+  let bus = Io_space.bus space in
+  bus.Devil_runtime.Bus.write_block ~width:8 ~addr:0 ~from:[| 1; 2; 3 |];
+  let into = Array.make 2 0 in
+  bus.Devil_runtime.Bus.read_block ~width:8 ~addr:0 ~into;
+  let stats = Io_space.stats space in
+  Alcotest.(check int) "block ops" 2 stats.Io_space.block_ops;
+  Alcotest.(check int) "block items" 5 stats.Io_space.block_items;
+  Alcotest.(check int) "io ops" 5 (Io_space.io_ops space);
+  Alcotest.(check int) "singles" 0 (Io_space.single_ops space)
+
+(* {1 Busmouse} *)
+
+let test_busmouse_cycle () =
+  let m = Hwsim.Busmouse.create () in
+  let model = Hwsim.Busmouse.model m in
+  let rd off = model.Hwsim.Model.read ~width:8 ~offset:off in
+  let wr off v = model.Hwsim.Model.write ~width:8 ~offset:off ~value:v in
+  Hwsim.Busmouse.move m ~dx:5 ~dy:(-3);
+  Hwsim.Busmouse.set_buttons m 0b101;
+  let nibble i =
+    wr 2 (0x80 lor (i lsl 5));
+    rd 0
+  in
+  let dx = nibble 0 lor (nibble 1 lsl 4) in
+  let y3 = nibble 3 in
+  let dy = nibble 2 lor ((y3 land 0xf) lsl 4) in
+  Alcotest.(check int) "dx" 5 dx;
+  Alcotest.(check int) "dy" 0xfd dy;
+  Alcotest.(check int) "buttons" 0b101 (y3 lsr 5);
+  (* The cycle completion cleared the counters. *)
+  Alcotest.(check int) "cleared" 0 (nibble 0 lor (nibble 1 lsl 4))
+
+let test_busmouse_control_decode () =
+  let m = Hwsim.Busmouse.create () in
+  let model = Hwsim.Busmouse.model m in
+  let wr off v = model.Hwsim.Model.write ~width:8 ~offset:off ~value:v in
+  wr 2 0x00;
+  Alcotest.(check bool) "irq on" true (Hwsim.Busmouse.interrupt_enabled m);
+  wr 2 0x10;
+  Alcotest.(check bool) "irq off" false (Hwsim.Busmouse.interrupt_enabled m);
+  wr 2 0xe0;  (* index write: must not touch the irq flag *)
+  Alcotest.(check bool) "irq unchanged" false (Hwsim.Busmouse.interrupt_enabled m);
+  wr 3 0x90;
+  Alcotest.(check int) "config" 0x90 (Hwsim.Busmouse.config_byte m)
+
+let test_busmouse_clamp () =
+  let m = Hwsim.Busmouse.create () in
+  Hwsim.Busmouse.move m ~dx:200 ~dy:(-300);
+  Hwsim.Busmouse.move m ~dx:100 ~dy:(-100);
+  (* Saturates at the signed 8-bit bounds rather than wrapping. *)
+  let model = Hwsim.Busmouse.model m in
+  let rd off = model.Hwsim.Model.read ~width:8 ~offset:off in
+  let wr off v = model.Hwsim.Model.write ~width:8 ~offset:off ~value:v in
+  let nibble i = wr 2 (0x80 lor (i lsl 5)); rd 0 in
+  let dx = nibble 0 lor (nibble 1 lsl 4) in
+  Alcotest.(check int) "saturated" 127 dx
+
+(* {1 IDE disk} *)
+
+let test_ide_pio_roundtrip () =
+  let d = Hwsim.Ide_disk.create () in
+  let m = Hwsim.Ide_disk.command_model d in
+  let rd off = m.Hwsim.Model.read ~width:16 ~offset:off in
+  let rd8 off = m.Hwsim.Model.read ~width:8 ~offset:off in
+  let wr8 off v = m.Hwsim.Model.write ~width:8 ~offset:off ~value:v in
+  let wr off v = m.Hwsim.Model.write ~width:16 ~offset:off ~value:v in
+  (* write one sector at LBA 5 *)
+  wr8 2 1; wr8 3 5; wr8 4 0; wr8 5 0; wr8 6 0xe0;
+  wr8 7 0x30;
+  for i = 0 to 255 do
+    wr 0 (i * 3)
+  done;
+  Alcotest.(check bool) "irq after write" true (Hwsim.Ide_disk.take_irq d);
+  (* read it back *)
+  wr8 2 1; wr8 3 5; wr8 7 0x20;
+  Alcotest.(check bool) "irq after read cmd" true (Hwsim.Ide_disk.irq_pending d);
+  let st = rd8 7 in
+  Alcotest.(check bool) "drq" true (st land 0x08 <> 0);
+  Alcotest.(check bool) "irq acked by status read" false (Hwsim.Ide_disk.irq_pending d);
+  let ok = ref true in
+  for i = 0 to 255 do
+    if rd 0 <> (i * 3) land 0xffff then ok := false
+  done;
+  Alcotest.(check bool) "data" true !ok;
+  Alcotest.(check bool) "drq clear" true (rd8 7 land 0x08 = 0)
+
+let test_ide_multi_sector_irqs () =
+  let d = Hwsim.Ide_disk.create () in
+  Hwsim.Ide_disk.set_multiple d 4;
+  let m = Hwsim.Ide_disk.command_model d in
+  let rd off = m.Hwsim.Model.read ~width:16 ~offset:off in
+  let wr8 off v = m.Hwsim.Model.write ~width:8 ~offset:off ~value:v in
+  Hwsim.Ide_disk.reset_irq_count d;
+  wr8 2 8; wr8 3 0; wr8 7 0x20;
+  for _ = 1 to 8 * 256 do
+    ignore (rd 0)
+  done;
+  (* 8 sectors at 4 per DRQ block: 2 interrupts. *)
+  Alcotest.(check int) "irqs" 2 (Hwsim.Ide_disk.irq_count d)
+
+let test_ide_dma_handshake () =
+  let d = Hwsim.Ide_disk.create () in
+  Hwsim.Ide_disk.write_sector d ~lba:9 (Bytes.make 512 'z');
+  let m = Hwsim.Ide_disk.command_model d in
+  let wr8 off v = m.Hwsim.Model.write ~width:8 ~offset:off ~value:v in
+  wr8 2 1; wr8 3 9; wr8 7 0xc8;
+  (match Hwsim.Ide_disk.dma_read_pending d with
+  | Some (9, 1) -> ()
+  | _ -> Alcotest.fail "dma not pending");
+  Hwsim.Ide_disk.dma_complete d;
+  Alcotest.(check bool) "irq" true (Hwsim.Ide_disk.take_irq d);
+  Alcotest.(check bool) "idle" true (Hwsim.Ide_disk.dma_read_pending d = None)
+
+let test_ide_abort_unknown_command () =
+  let d = Hwsim.Ide_disk.create () in
+  let m = Hwsim.Ide_disk.command_model d in
+  let rd8 off = m.Hwsim.Model.read ~width:8 ~offset:off in
+  let wr8 off v = m.Hwsim.Model.write ~width:8 ~offset:off ~value:v in
+  wr8 7 0x99;
+  Alcotest.(check bool) "error bit" true (rd8 7 land 0x01 <> 0);
+  Alcotest.(check int) "abort code" 0x04 (rd8 1)
+
+(* {1 NE2000} *)
+
+let ne_setup () =
+  let n = Hwsim.Ne2000.create () in
+  let m = Hwsim.Ne2000.model n in
+  let rd off = m.Hwsim.Model.read ~width:8 ~offset:off in
+  let wr off v = m.Hwsim.Model.write ~width:8 ~offset:off ~value:v in
+  (n, rd, wr)
+
+let test_ne2000_remote_dma () =
+  let n, rd, wr = ne_setup () in
+  wr 0 0x22;  (* start *)
+  (* remote write 4 bytes at 0x4000 *)
+  wr 8 0x00; wr 9 0x40; wr 10 4; wr 11 0;
+  wr 0 0x12;  (* start + remote write *)
+  List.iter (fun b -> wr 16 b) [ 0xde; 0xad; 0xbe; 0xef ];
+  Alcotest.(check int) "ram" 0xad (Hwsim.Ne2000.ram_byte n 0x4001);
+  Alcotest.(check bool) "rdc set" true (rd 7 land 0x40 <> 0);
+  (* remote read back *)
+  wr 8 0x00; wr 9 0x40; wr 10 4; wr 11 0;
+  wr 0 0x0a;  (* start + remote read *)
+  Alcotest.(check (list int)) "readback" [ 0xde; 0xad; 0xbe; 0xef ]
+    (List.init 4 (fun _ -> rd 16))
+
+let test_ne2000_loopback_rx_ring () =
+  let n, rd, wr = ne_setup () in
+  wr 0 0x22;
+  wr 13 0x02;  (* TCR loopback *)
+  (* place a frame in tx memory via remote DMA *)
+  let frame = "abcdefgh" in
+  wr 8 0; wr 9 0x40; wr 10 (String.length frame); wr 11 0;
+  wr 0 0x12;  (* start + remote write *)
+  String.iter (fun c -> wr 16 (Char.code c)) frame;
+  (* transmit *)
+  wr 4 0x40; wr 5 (String.length frame); wr 6 0;
+  wr 0 (0x22 lor 0x04);
+  Alcotest.(check bool) "ptx" true (rd 7 land 0x02 <> 0);
+  Alcotest.(check bool) "prx" true (rd 7 land 0x01 <> 0);
+  (* the receive header is at the old CURR page *)
+  Alcotest.(check int) "rx status" 0x01 (Hwsim.Ne2000.ram_byte n 0x4600);
+  Alcotest.(check int) "length lo" (String.length frame + 4)
+    (Hwsim.Ne2000.ram_byte n 0x4602);
+  Alcotest.(check int) "payload" (Char.code 'a') (Hwsim.Ne2000.ram_byte n 0x4604)
+
+let test_ne2000_inject_and_overflow () =
+  let n, _, wr = ne_setup () in
+  Alcotest.(check bool) "stopped: rejected" false
+    (Hwsim.Ne2000.inject_frame n "xx");
+  wr 0 0x22;
+  Alcotest.(check bool) "accepted" true (Hwsim.Ne2000.inject_frame n "xx");
+  (* Fill the ring until it refuses. *)
+  let big = String.make 1000 'y' in
+  let rec fill n_acc =
+    if Hwsim.Ne2000.inject_frame n big then fill (n_acc + 1) else n_acc
+  in
+  let accepted = fill 0 in
+  Alcotest.(check bool) "ring eventually full" true (accepted < 60)
+
+let test_ne2000_wire_tx () =
+  let n, _, wr = ne_setup () in
+  wr 0 0x22;
+  wr 13 0x00;  (* normal mode *)
+  wr 8 0; wr 9 0x40; wr 10 2; wr 11 0;
+  wr 0 0x12;  (* start + remote write *)
+  wr 16 0x68; wr 16 0x69;
+  wr 4 0x40; wr 5 2; wr 6 0;
+  wr 0 (0x22 lor 0x04);
+  Alcotest.(check (list string)) "on the wire" [ "hi" ]
+    (Hwsim.Ne2000.take_transmitted n)
+
+(* {1 8237 DMA} *)
+
+let test_dma8237_flipflop () =
+  let d = Hwsim.Dma8237.create ~memory_size:256 in
+  let m = Hwsim.Dma8237.model d in
+  let rd off = m.Hwsim.Model.read ~width:8 ~offset:off in
+  let wr off v = m.Hwsim.Model.write ~width:8 ~offset:off ~value:v in
+  wr 12 0;  (* clear flip-flop *)
+  wr 1 0x34; wr 1 0x12;  (* channel 0 count = 0x1234 *)
+  Alcotest.(check int) "count" 0x1234 (Hwsim.Dma8237.programmed_count d ~channel:0);
+  wr 12 0;
+  Alcotest.(check int) "low" 0x34 (rd 1);
+  Alcotest.(check int) "high" 0x12 (rd 1)
+
+let test_dma8237_transfer () =
+  let d = Hwsim.Dma8237.create ~memory_size:256 in
+  let m = Hwsim.Dma8237.model d in
+  let wr off v = m.Hwsim.Model.write ~width:8 ~offset:off ~value:v in
+  wr 13 0;  (* master clear *)
+  wr 11 0x45;  (* channel 1, write-to-memory, single *)
+  wr 12 0;
+  wr 2 0x10; wr 2 0x00;  (* address 0x10 *)
+  wr 12 0;
+  wr 3 3; wr 3 0;  (* count 3 -> 4 bytes *)
+  wr 10 0x01;  (* unmask channel 1 *)
+  let moved =
+    Hwsim.Dma8237.device_request d ~channel:1
+      ~data:(Bytes.of_string "wxyz") Hwsim.Dma8237.To_memory
+  in
+  Alcotest.(check int) "bytes moved" 4 moved;
+  Alcotest.(check string) "memory" "wxyz"
+    (Bytes.sub_string (Hwsim.Dma8237.memory d) 0x10 4);
+  Alcotest.(check bool) "tc" true (Hwsim.Dma8237.terminal_count d ~channel:1);
+  Alcotest.(check bool) "auto-masked" true (Hwsim.Dma8237.channel_masked d ~channel:1)
+
+let test_dma8237_masked_channel () =
+  let d = Hwsim.Dma8237.create ~memory_size:64 in
+  let moved =
+    Hwsim.Dma8237.device_request d ~channel:0 ~data:(Bytes.make 4 'a')
+      Hwsim.Dma8237.To_memory
+  in
+  Alcotest.(check int) "refused" 0 moved
+
+(* {1 8259 PIC} *)
+
+let pic_setup () =
+  let p = Hwsim.Pic8259.create () in
+  let m = Hwsim.Pic8259.model p in
+  let rd off = m.Hwsim.Model.read ~width:8 ~offset:off in
+  let wr off v = m.Hwsim.Model.write ~width:8 ~offset:off ~value:v in
+  (p, rd, wr)
+
+let init_pc_master wr =
+  wr 0 0x11;  (* ICW1: cascaded, ICW4 needed *)
+  wr 1 0x20;  (* ICW2: vectors at 0x20 *)
+  wr 1 0x04;  (* ICW3 *)
+  wr 1 0x01   (* ICW4: 8086 mode *)
+
+let test_pic_init_variants () =
+  let p, _, wr = pic_setup () in
+  init_pc_master wr;
+  Alcotest.(check bool) "initialized" true (Hwsim.Pic8259.initialized p);
+  Alcotest.(check int) "vectors" 0x20 (Hwsim.Pic8259.vector_base p);
+  (* Single + no ICW4: two writes suffice. *)
+  let p2, _, wr2 = pic_setup () in
+  wr2 0 0x12;
+  wr2 1 0x40;
+  Alcotest.(check bool) "short init" true (Hwsim.Pic8259.initialized p2);
+  Alcotest.(check int) "vectors 2" 0x40 (Hwsim.Pic8259.vector_base p2)
+
+let test_pic_priorities () =
+  let p, _, wr = pic_setup () in
+  init_pc_master wr;
+  wr 1 0x00;  (* OCW1: unmask all *)
+  Hwsim.Pic8259.raise_irq p ~line:3;
+  Hwsim.Pic8259.raise_irq p ~line:1;
+  Alcotest.(check (option int)) "highest first" (Some 0x21) (Hwsim.Pic8259.inta p);
+  (* line 3 is pending but nested below the in-service line 1. *)
+  Alcotest.(check bool) "nested blocks" false (Hwsim.Pic8259.int_asserted p);
+  wr 0 0x20;  (* non-specific EOI *)
+  Alcotest.(check (option int)) "then lower" (Some 0x23) (Hwsim.Pic8259.inta p);
+  wr 0 0x20;
+  Alcotest.(check int) "isr clear" 0 (Hwsim.Pic8259.isr p)
+
+let test_pic_masking_and_reads () =
+  let p, rd, wr = pic_setup () in
+  init_pc_master wr;
+  wr 1 0xfd;  (* only line 1 open *)
+  Hwsim.Pic8259.raise_irq p ~line:0;
+  Hwsim.Pic8259.raise_irq p ~line:1;
+  Alcotest.(check (option int)) "masked line skipped" (Some 0x21)
+    (Hwsim.Pic8259.inta p);
+  wr 0 0x0a;  (* OCW3: read IRR *)
+  Alcotest.(check int) "irr" 0x01 (rd 0);
+  wr 0 0x0b;  (* OCW3: read ISR *)
+  Alcotest.(check int) "isr" 0x02 (rd 0);
+  Alcotest.(check int) "imr readback" 0xfd (rd 1)
+
+(* {1 CS4236B} *)
+
+let test_cs4236b_indexed () =
+  let c = Hwsim.Cs4236b.create () in
+  let m = Hwsim.Cs4236b.model c in
+  let rd off = m.Hwsim.Model.read ~width:8 ~offset:off in
+  let wr off v = m.Hwsim.Model.write ~width:8 ~offset:off ~value:v in
+  wr 0 6; wr 1 0x2a;
+  Alcotest.(check int) "I6" 0x2a (Hwsim.Cs4236b.indexed_reg c 6);
+  wr 0 6;
+  Alcotest.(check int) "readback" 0x2a (rd 1)
+
+let test_cs4236b_automaton () =
+  let c = Hwsim.Cs4236b.create () in
+  let m = Hwsim.Cs4236b.model c in
+  let rd off = m.Hwsim.Model.read ~width:8 ~offset:off in
+  let wr off v = m.Hwsim.Model.write ~width:8 ~offset:off ~value:v in
+  (* select I23, write XA=25 with XRAE: bits [2,7..4]=11001, bit3=1 *)
+  wr 0 23;
+  let xa25 = 0x90 lor 0x04 lor 0x08 in  (* bits 7..4 = 1001, bit2=1, XRAE *)
+  wr 1 xa25;
+  Alcotest.(check bool) "extended" true (Hwsim.Cs4236b.extended_mode c);
+  Alcotest.(check int) "X25 version" Hwsim.Cs4236b.chip_version (rd 1);
+  (* X25 is read-only *)
+  wr 1 0x55;
+  Alcotest.(check int) "still version" Hwsim.Cs4236b.chip_version
+    (Hwsim.Cs4236b.extended_reg c 25);
+  (* control write leaves extended mode *)
+  wr 0 0;
+  Alcotest.(check bool) "left extended" false (Hwsim.Cs4236b.extended_mode c)
+
+let test_cs4236b_pcm () =
+  let c = Hwsim.Cs4236b.create () in
+  let m = Hwsim.Cs4236b.model c in
+  let rd off = m.Hwsim.Model.read ~width:8 ~offset:off in
+  let wr off v = m.Hwsim.Model.write ~width:8 ~offset:off ~value:v in
+  Alcotest.(check int) "no data" 0 (rd 2);
+  Hwsim.Cs4236b.queue_pcm c [ 1; 2; 3 ];
+  Alcotest.(check int) "data ready" 1 (rd 2);
+  let s1 = rd 3 in
+  let s2 = rd 3 in
+  let s3 = rd 3 in
+  Alcotest.(check (list int)) "capture" [ 1; 2; 3 ] [ s1; s2; s3 ];
+  wr 3 9; wr 3 8;
+  Alcotest.(check (list int)) "playback" [ 9; 8 ] (Hwsim.Cs4236b.played c)
+
+(* {1 Permedia2} *)
+
+let test_permedia_fill_copy () =
+  let g = Hwsim.Permedia2.create ~width:64 ~height:32 () in
+  let m = Hwsim.Permedia2.mmio_model g in
+  let wr off v = m.Hwsim.Model.write ~width:32 ~offset:off ~value:v in
+  wr 6 8;
+  wr 1 0x7;
+  wr 2 (4 lor (5 lsl 16));
+  wr 3 (3 lor (2 lsl 16));
+  wr 5 0x1;
+  (* drain *)
+  let rd off = m.Hwsim.Model.read ~width:32 ~offset:off in
+  while rd 7 <> 0 do () done;
+  Alcotest.(check int) "filled" 0x7 (Hwsim.Permedia2.pixel g ~x:5 ~y:6);
+  Alcotest.(check int) "outside" 0 (Hwsim.Permedia2.pixel g ~x:3 ~y:5);
+  (* copy right by 8 *)
+  wr 2 (12 lor (5 lsl 16));
+  wr 3 (3 lor (2 lsl 16));
+  wr 4 8;
+  wr 5 0x2;
+  while rd 7 <> 0 do () done;
+  Alcotest.(check int) "copied" 0x7 (Hwsim.Permedia2.pixel g ~x:13 ~y:6)
+
+let test_permedia_fifo () =
+  let g = Hwsim.Permedia2.create () in
+  let m = Hwsim.Permedia2.mmio_model g in
+  let rd off = m.Hwsim.Model.read ~width:32 ~offset:off in
+  let wr off v = m.Hwsim.Model.write ~width:32 ~offset:off ~value:v in
+  Alcotest.(check int) "initially free" Hwsim.Permedia2.fifo_capacity (rd 0);
+  (* A big fill keeps the engine busy; pile writes onto the queue. *)
+  wr 6 32;
+  wr 2 0; wr 3 (500 lor (500 lsl 16)); wr 5 1;
+  let free_before = rd 0 in
+  for _ = 1 to Hwsim.Permedia2.fifo_capacity + 10 do
+    wr 1 0
+  done;
+  Alcotest.(check bool) "fifo filled" true (rd 0 < free_before);
+  Alcotest.(check bool) "overflow recorded" true (Hwsim.Permedia2.overflows g > 0)
+
+let () =
+  Alcotest.run "hwsim"
+    [
+      ( "io_space",
+        [
+          case "dispatch and faults" test_io_space_dispatch;
+          case "block accounting" test_io_space_blocks;
+        ] );
+      ( "busmouse",
+        [
+          case "read cycle" test_busmouse_cycle;
+          case "control decode" test_busmouse_control_decode;
+          case "saturation" test_busmouse_clamp;
+        ] );
+      ( "ide",
+        [
+          case "pio roundtrip" test_ide_pio_roundtrip;
+          case "multi-sector interrupts" test_ide_multi_sector_irqs;
+          case "dma handshake" test_ide_dma_handshake;
+          case "unknown command aborts" test_ide_abort_unknown_command;
+        ] );
+      ( "ne2000",
+        [
+          case "remote dma" test_ne2000_remote_dma;
+          case "loopback to rx ring" test_ne2000_loopback_rx_ring;
+          case "inject and ring-full" test_ne2000_inject_and_overflow;
+          case "wire transmit" test_ne2000_wire_tx;
+        ] );
+      ( "dma8237",
+        [
+          case "flip-flop latching" test_dma8237_flipflop;
+          case "device transfer" test_dma8237_transfer;
+          case "masked channel refuses" test_dma8237_masked_channel;
+        ] );
+      ( "pic8259",
+        [
+          case "init variants" test_pic_init_variants;
+          case "priorities and eoi" test_pic_priorities;
+          case "masking and status reads" test_pic_masking_and_reads;
+        ] );
+      ( "cs4236b",
+        [
+          case "indexed registers" test_cs4236b_indexed;
+          case "extended-register automaton" test_cs4236b_automaton;
+          case "pcm fifo" test_cs4236b_pcm;
+        ] );
+      ( "permedia2",
+        [
+          case "fill and copy" test_permedia_fill_copy;
+          case "fifo and overflow" test_permedia_fifo;
+        ] );
+    ]

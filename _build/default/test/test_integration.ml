@@ -1,0 +1,217 @@
+(* Integration scenarios across the whole simulated machine: devices,
+   Devil drivers and the interrupt controller cooperating like a small
+   operating system would use them. *)
+
+module Machine = Drivers.Machine
+module Pic = Drivers.Pic_driver
+module Value = Devil_ir.Value
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* Conventional PC IRQ lines for our devices. *)
+let irq_timer_rtc = 0
+let irq_disk = 6
+let irq_net = 3
+
+(* A tiny interrupt dispatcher: poll device lines, feed the PIC, and
+   service via INTA + EOI. *)
+let service_interrupts m pic ~handlers =
+  if Hwsim.Ide_disk.irq_pending m.Machine.disk then
+    Hwsim.Pic8259.raise_irq m.Machine.pic ~line:irq_disk;
+  if Hwsim.Ne2000.irq_asserted m.Machine.nic then
+    Hwsim.Pic8259.raise_irq m.Machine.pic ~line:irq_net;
+  if Hwsim.Mc146818.irq_asserted m.Machine.rtc then
+    Hwsim.Pic8259.raise_irq m.Machine.pic ~line:irq_timer_rtc;
+  let serviced = ref [] in
+  let rec loop () =
+    if Hwsim.Pic8259.int_asserted m.Machine.pic then begin
+      match Hwsim.Pic8259.inta m.Machine.pic with
+      | Some vector ->
+          let line = vector - 0x20 in
+          serviced := line :: !serviced;
+          (match List.assoc_opt line handlers with
+          | Some h -> h ()
+          | None -> ());
+          Pic.Devil_driver.eoi pic;
+          loop ()
+      | None -> ()
+    end
+  in
+  loop ();
+  List.rev !serviced
+
+let boot () =
+  let m = Machine.create ~debug:true () in
+  let pic = Pic.Devil_driver.create m.pic_dev in
+  Pic.Devil_driver.init pic ~vector_base:0x20 ~single:false ~with_icw4:true
+    ~cascade_map:0x04;
+  Pic.Devil_driver.set_mask pic 0x00;
+  (m, pic)
+
+let test_disk_interrupt_path () =
+  let m, pic = boot () in
+  let ide = Drivers.Ide.Devil_driver.create ~ide:m.ide_dev ~piix4:m.piix4_dev in
+  Hwsim.Ide_disk.write_sector m.disk ~lba:3 (Bytes.make 512 'Q');
+  (* Issue READ SECTORS by hand so the IRQ stays pending (the driver's
+     status poll would acknowledge it). *)
+  Machine.reset_io_stats m;
+  Devil_runtime.Instance.set m.ide_dev "sector_count" (Value.Int 1);
+  Devil_runtime.Instance.set m.ide_dev "lba_low" (Value.Int 3);
+  Devil_runtime.Instance.set m.ide_dev "lba_mid" (Value.Int 0);
+  Devil_runtime.Instance.set m.ide_dev "lba_high" (Value.Int 0);
+  Devil_runtime.Instance.set m.ide_dev "lba_enable" (Value.Enum "LBA_MODE");
+  Devil_runtime.Instance.set m.ide_dev "drive_select" (Value.Enum "MASTER");
+  Devil_runtime.Instance.set m.ide_dev "head" (Value.Int 0);
+  Devil_runtime.Instance.set m.ide_dev "command" (Value.Enum "READ_SECTORS");
+  let got = ref None in
+  let handler () =
+    (* In the handler, drain the DRQ block like a real ISR bottom half. *)
+    let words =
+      Devil_runtime.Instance.read_block m.ide_dev "Ide_data" ~count:256
+    in
+    got := Some words.(0)
+  in
+  let serviced =
+    service_interrupts m pic ~handlers:[ (irq_disk, handler) ]
+  in
+  Alcotest.(check (list int)) "disk line serviced" [ irq_disk ] serviced;
+  Alcotest.(check (option int)) "payload word"
+    (Some (Char.code 'Q' lor (Char.code 'Q' lsl 8)))
+    !got;
+  ignore ide
+
+let test_net_interrupt_path () =
+  let m, pic = boot () in
+  let net = Drivers.Net.Devil_driver.create m.ne2000_dev in
+  Drivers.Net.Devil_driver.init net ~mac:"\x02\x00\x00\x00\x00\x42";
+  Alcotest.(check bool) "inject" true
+    (Hwsim.Ne2000.inject_frame m.nic "interrupt-driven frame");
+  let received = ref None in
+  let handler () =
+    received := Drivers.Net.Devil_driver.receive net;
+    Drivers.Net.Devil_driver.ack_interrupts net
+  in
+  let serviced = service_interrupts m pic ~handlers:[ (irq_net, handler) ] in
+  Alcotest.(check (list int)) "net line serviced" [ irq_net ] serviced;
+  Alcotest.(check (option string)) "frame" (Some "interrupt-driven frame")
+    !received;
+  (* The acknowledge cleared the controller's interrupt condition. *)
+  Alcotest.(check bool) "line deasserted" false
+    (Hwsim.Ne2000.irq_asserted m.nic)
+
+let test_rtc_alarm_interrupt_path () =
+  let m, pic = boot () in
+  let rtc = Drivers.Rtc.Devil_driver.create m.rtc_dev in
+  Drivers.Rtc.Devil_driver.set_time rtc
+    { Drivers.Rtc.hours = 7; minutes = 59; seconds = 58 };
+  Drivers.Rtc.Devil_driver.set_alarm rtc
+    { Drivers.Rtc.hours = 8; minutes = 0; seconds = 0 };
+  Drivers.Rtc.Devil_driver.enable_alarm_irq rtc true;
+  Hwsim.Mc146818.tick_seconds m.rtc 2;
+  let flags = ref 0 in
+  let handler () = flags := Drivers.Rtc.Devil_driver.pending_interrupts rtc in
+  let serviced =
+    service_interrupts m pic ~handlers:[ (irq_timer_rtc, handler) ]
+  in
+  Alcotest.(check (list int)) "rtc line serviced" [ irq_timer_rtc ] serviced;
+  Alcotest.(check bool) "alarm flag seen" true (!flags land 0x2 <> 0);
+  Alcotest.(check bool) "flags acked" false
+    (Hwsim.Mc146818.irq_asserted m.rtc)
+
+let test_priority_across_devices () =
+  (* Disk (line 6) and RTC (line 0) pending together: the RTC wins. *)
+  let m, pic = boot () in
+  Hwsim.Pic8259.raise_irq m.pic ~line:irq_disk;
+  Hwsim.Pic8259.raise_irq m.pic ~line:irq_timer_rtc;
+  let serviced = service_interrupts m pic ~handlers:[] in
+  Alcotest.(check (list int)) "priority order" [ irq_timer_rtc; irq_disk ]
+    serviced
+
+let test_copy_file_disk_to_net () =
+  (* A mini application: read a "file" from disk via DMA and transmit
+     it over the network in 512-byte frames; the wire must carry the
+     disk's exact contents. *)
+  let m, _pic = boot () in
+  let ide = Drivers.Ide.Devil_driver.create ~ide:m.ide_dev ~piix4:m.piix4_dev in
+  let net = Drivers.Net.Devil_driver.create m.ne2000_dev in
+  Drivers.Net.Devil_driver.init net ~mac:"\x02\x00\x00\x00\x00\x99";
+  let sectors = 4 in
+  for lba = 0 to sectors - 1 do
+    Hwsim.Ide_disk.write_sector m.disk ~lba
+      (Bytes.init 512 (fun i -> Char.chr ((lba + i) land 0xff)))
+  done;
+  let data =
+    Drivers.Ide.Devil_driver.read_dma ide
+      ~memory:(Hwsim.Piix4.memory m.busmaster)
+      ~lba:0 ~count:sectors
+  in
+  for s = 0 to sectors - 1 do
+    Drivers.Net.Devil_driver.send net (Bytes.sub_string data (s * 512) 512)
+  done;
+  let frames = Hwsim.Ne2000.take_transmitted m.nic in
+  Alcotest.(check int) "frame count" sectors (List.length frames);
+  List.iteri
+    (fun s frame ->
+      Alcotest.(check string)
+        (Printf.sprintf "frame %d" s)
+        (Bytes.sub_string data (s * 512) 512)
+        frame)
+    frames
+
+let test_console_logging_scenario () =
+  (* The RTC timestamps a kernel log line that goes out on the UART. *)
+  let m, _pic = boot () in
+  let rtc = Drivers.Rtc.Devil_driver.create m.rtc_dev in
+  let serial = Drivers.Serial.Devil_driver.create m.uart_dev in
+  Drivers.Serial.Devil_driver.init serial ~baud:115200;
+  Drivers.Rtc.Devil_driver.set_time rtc
+    { Drivers.Rtc.hours = 13; minutes = 37; seconds = 0 };
+  Hwsim.Mc146818.tick_seconds m.rtc 42;
+  let t = Drivers.Rtc.Devil_driver.read_time rtc in
+  Drivers.Serial.Devil_driver.send serial
+    (Printf.sprintf "[%02d:%02d:%02d] devil: all drivers up\n" t.Drivers.Rtc.hours
+       t.Drivers.Rtc.minutes t.Drivers.Rtc.seconds);
+  Alcotest.(check string) "console line"
+    "[13:37:42] devil: all drivers up\n"
+    (Hwsim.Uart16550.take_transmitted m.uart)
+
+let test_whole_machine_smoke () =
+  (* Every Devil instance on the machine does one meaningful operation
+     with dynamic checks enabled. *)
+  let m, pic = boot () in
+  let mouse = Drivers.Mouse.Devil_driver.create m.mouse_dev in
+  Alcotest.(check bool) "mouse probe" true (Drivers.Mouse.Devil_driver.probe mouse);
+  let sound = Drivers.Sound.Devil_driver.create m.sound_dev in
+  Alcotest.(check int) "sound id" Hwsim.Cs4236b.chip_version
+    (Drivers.Sound.Devil_driver.chip_version sound);
+  let gfx = Drivers.Gfx.Devil_driver.create m.gfx_dev in
+  Drivers.Gfx.Devil_driver.set_depth gfx 8;
+  Drivers.Gfx.Devil_driver.fill_rect gfx { Drivers.Gfx.x = 0; y = 0; w = 2; h = 2 }
+    ~color:9;
+  Drivers.Gfx.Devil_driver.sync gfx;
+  Alcotest.(check int) "pixel" 9 (Hwsim.Permedia2.pixel m.gfx ~x:1 ~y:1);
+  let dma = Drivers.Dma_driver.Devil_driver.create m.dma_dev in
+  Drivers.Dma_driver.Devil_driver.program_channel dma ~channel:0 ~address:0x40
+    ~count:3 ~transfer:Drivers.Dma_driver.Write_memory
+    ~mode:Drivers.Dma_driver.Single ~auto_init:false;
+  Alcotest.(check int) "dma addr" 0x40
+    (Hwsim.Dma8237.programmed_address m.dma ~channel:0);
+  Alcotest.(check int) "pic mask" 0x00 (Pic.Devil_driver.read_mask pic)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "interrupt paths",
+        [
+          case "disk read via IRQ" test_disk_interrupt_path;
+          case "network receive via IRQ" test_net_interrupt_path;
+          case "rtc alarm via IRQ" test_rtc_alarm_interrupt_path;
+          case "priorities across devices" test_priority_across_devices;
+        ] );
+      ( "applications",
+        [
+          case "copy disk to network" test_copy_file_disk_to_net;
+          case "timestamped console log" test_console_logging_scenario;
+          case "whole machine smoke" test_whole_machine_smoke;
+        ] );
+    ]

@@ -1,0 +1,142 @@
+(* Tests for the Devil lexer. *)
+
+module Lexer = Devil_syntax.Lexer
+module Token = Devil_syntax.Token
+module Diagnostics = Devil_syntax.Diagnostics
+
+let toks src = List.map (fun t -> t.Token.token) (Lexer.tokenize src)
+
+let token = Alcotest.testable Token.pp Token.equal
+
+let check_tokens msg expected src =
+  Alcotest.(check (list token)) msg (expected @ [ Token.EOF ]) (toks src)
+
+let test_idents_keywords () =
+  check_tokens "mix"
+    [
+      Token.KW Token.Kregister;
+      Token.IDENT "sig_reg";
+      Token.EQ;
+      Token.IDENT "base";
+      Token.AT;
+      Token.INT 1;
+      Token.COLON;
+      Token.KW Token.Kbit;
+      Token.LBRACKET;
+      Token.INT 8;
+      Token.RBRACKET;
+      Token.SEMI;
+    ]
+    "register sig_reg = base @ 1 : bit[8];";
+  check_tokens "uident" [ Token.UIDENT "CONFIGURATION" ] "CONFIGURATION";
+  check_tokens "underscore ident" [ Token.IDENT "_x9" ] "_x9"
+
+let test_numbers () =
+  check_tokens "decimal" [ Token.INT 123 ] "123";
+  check_tokens "hex" [ Token.INT 0x1f ] "0x1f";
+  check_tokens "hex upper" [ Token.INT 0xAB ] "0XAB";
+  check_tokens "zero" [ Token.INT 0 ] "0"
+
+let test_bitlits () =
+  check_tokens "mask" [ Token.BITLIT "1001000." ] "'1001000.'";
+  check_tokens "wild" [ Token.BITLIT "****...." ] "'****....'";
+  check_tokens "dash" [ Token.BITLIT "-01*" ] "'-01*'"
+
+let test_operators () =
+  check_tokens "arrows"
+    [ Token.MAPSTO; Token.MAPSFROM; Token.MAPSBOTH ]
+    "=> <= <=>";
+  check_tokens "eqs" [ Token.EQ; Token.EQEQ; Token.NEQ ] "= == !=";
+  check_tokens "misc"
+    [ Token.DOTDOT; Token.STAR; Token.HASH; Token.AT; Token.COMMA ]
+    ".. * # @ ,"
+
+let test_comments () =
+  check_tokens "line comment" [ Token.INT 1; Token.INT 2 ] "1 // comment\n2";
+  check_tokens "block comment" [ Token.INT 1; Token.INT 2 ] "1 /* x\ny */ 2";
+  check_tokens "empty" [] "  // only\n/* comments */ "
+
+let expect_error src =
+  match Lexer.tokenize_result src with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail ("lexed: " ^ src)
+
+let test_errors () =
+  expect_error "'10Z0'";
+  expect_error "'unterminated";
+  expect_error "''";
+  expect_error "/* unterminated";
+  expect_error "12ab";
+  expect_error "0x";
+  expect_error "!";
+  expect_error "<";
+  expect_error ". x";
+  expect_error "$"
+
+let test_locations () =
+  let ts = Lexer.tokenize ~file:"f.dil" "ab\n  cd" in
+  match ts with
+  | [ a; b; _eof ] ->
+      Alcotest.(check int) "line 1" 1 a.Token.loc.start_pos.line;
+      Alcotest.(check int) "col 1" 1 a.Token.loc.start_pos.col;
+      Alcotest.(check int) "line 2" 2 b.Token.loc.start_pos.line;
+      Alcotest.(check int) "col 3" 3 b.Token.loc.start_pos.col;
+      Alcotest.(check string) "text" "cd" b.Token.text
+  | _ -> Alcotest.fail "unexpected token count"
+
+let prop_token_text_roundtrip =
+  (* Lexing the canonical text of any token yields the token back. *)
+  let token_gen =
+    QCheck.Gen.oneofl
+      [
+        Token.IDENT "foo"; Token.UIDENT "BAR"; Token.INT 42;
+        Token.BITLIT "10*."; Token.KW Token.Kregister; Token.KW Token.Kmask;
+        Token.LBRACE; Token.RBRACE; Token.LPAREN; Token.RPAREN;
+        Token.LBRACKET; Token.RBRACKET; Token.AT; Token.COLON; Token.SEMI;
+        Token.COMMA; Token.HASH; Token.EQ; Token.EQEQ; Token.NEQ;
+        Token.MAPSTO; Token.MAPSFROM; Token.MAPSBOTH; Token.DOTDOT;
+        Token.STAR;
+      ]
+  in
+  QCheck.Test.make ~name:"token text relexes to the same token" ~count:200
+    (QCheck.make token_gen)
+    (fun t ->
+      match toks (Token.to_string t) with
+      | [ t'; Token.EOF ] -> Token.equal t t'
+      | _ -> false)
+
+let prop_sequence_roundtrip =
+  let token_list_gen =
+    QCheck.Gen.(
+      list_size (int_bound 20)
+        (oneofl
+           [
+             Token.IDENT "reg"; Token.INT 7; Token.BITLIT "01*";
+             Token.KW Token.Kvariable; Token.AT; Token.COLON; Token.SEMI;
+             Token.MAPSTO; Token.DOTDOT; Token.EQEQ;
+           ]))
+  in
+  QCheck.Test.make ~name:"space-joined tokens relex to the same stream"
+    ~count:200 (QCheck.make token_list_gen)
+    (fun ts ->
+      let src = String.concat " " (List.map Token.to_string ts) in
+      List.map (fun x -> x) (toks src) = ts @ [ Token.EOF ])
+
+let () =
+  Alcotest.run "lexer"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "identifiers and keywords" `Quick
+            test_idents_keywords;
+          Alcotest.test_case "numbers" `Quick test_numbers;
+          Alcotest.test_case "bit literals" `Quick test_bitlits;
+          Alcotest.test_case "operators" `Quick test_operators;
+          Alcotest.test_case "comments" `Quick test_comments;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "locations" `Quick test_locations;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_token_text_roundtrip; prop_sequence_roundtrip ] );
+    ]

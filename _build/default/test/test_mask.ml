@@ -1,0 +1,113 @@
+(* Unit and property tests for register masks (Devil_bits.Mask). *)
+
+module Mask = Devil_bits.Mask
+
+let classify m i =
+  match Mask.bit m i with
+  | Mask.Covered -> '.'
+  | Mask.Forced true -> '1'
+  | Mask.Forced false -> '0'
+  | Mask.Irrelevant -> '*'
+
+let test_parse_figure1 () =
+  (* The index register mask of the paper's Figure 1. *)
+  let m = Mask.of_string_exn ~width:8 "1..00000" in
+  Alcotest.(check char) "bit 7 forced 1" '1' (classify m 7);
+  Alcotest.(check char) "bit 6 covered" '.' (classify m 6);
+  Alcotest.(check char) "bit 5 covered" '.' (classify m 5);
+  Alcotest.(check char) "bit 4 forced 0" '0' (classify m 4);
+  Alcotest.(check char) "bit 0 forced 0" '0' (classify m 0);
+  Alcotest.(check (list int)) "covered bits" [ 5; 6 ] (Mask.covered_bits m);
+  Alcotest.(check int) "forced value" 0x80 (Mask.forced_value m);
+  Alcotest.(check int) "forced positions" 0x9f (Mask.forced_positions m)
+
+let test_irrelevant () =
+  let m = Mask.of_string_exn ~width:8 "***-...." in
+  Alcotest.(check char) "bit 7" '*' (classify m 7);
+  Alcotest.(check char) "bit 4 dash is irrelevant" '*' (classify m 4);
+  Alcotest.(check (list int)) "covered" [ 0; 1; 2; 3 ] (Mask.covered_bits m)
+
+let test_all_covered () =
+  let m = Mask.all_covered 8 in
+  Alcotest.(check (list int))
+    "all bits" [ 0; 1; 2; 3; 4; 5; 6; 7 ] (Mask.covered_bits m);
+  Alcotest.(check int) "no forced" 0 (Mask.forced_value m)
+
+let test_writable_frame () =
+  let m = Mask.of_string_exn ~width:8 "1..00000" in
+  (* Writing index value 2 (bits 6..5 = 10): keep covered bits, apply
+     forced bits, zero the rest. *)
+  Alcotest.(check int) "frame" 0xc0 (Mask.writable_frame m ~value:0x40);
+  Alcotest.(check int)
+    "irrelevant bits dropped" 0x80
+    (Mask.writable_frame m ~value:0x1f);
+  let cr = Mask.of_string_exn ~width:8 "1001000." in
+  Alcotest.(check int) "cr with bit0=0" 0x90 (Mask.writable_frame cr ~value:0);
+  Alcotest.(check int) "cr with bit0=1" 0x91 (Mask.writable_frame cr ~value:1)
+
+let test_errors () =
+  (match Mask.of_string ~width:8 "101" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "length mismatch accepted");
+  (match Mask.of_string ~width:8 "10x00000" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "invalid character accepted");
+  Alcotest.check_raises "all_covered 0" (Invalid_argument "Mask.all_covered")
+    (fun () -> ignore (Mask.all_covered 0))
+
+let test_to_string_roundtrip () =
+  List.iter
+    (fun s ->
+      let m = Mask.of_string_exn ~width:(String.length s) s in
+      (* '-' normalizes to '*'; otherwise text is preserved. *)
+      let expected = String.map (fun c -> if c = '-' then '*' else c) s in
+      Alcotest.(check string) s expected (Mask.to_string m))
+    [ "1..00000"; "****...."; "...*...."; "000.0000"; "1001000."; "--**..01" ]
+
+let mask_gen =
+  QCheck.Gen.(
+    map
+      (fun cells -> String.concat "" cells)
+      (list_size (return 8)
+         (map (fun i -> List.nth [ "0"; "1"; "."; "*" ] i) (int_bound 3))))
+
+let prop_frame_contains_forced =
+  QCheck.Test.make ~name:"writable frame always carries the forced bits"
+    ~count:300
+    QCheck.(pair (make mask_gen) (int_bound 0xff))
+    (fun (text, value) ->
+      match Mask.of_string ~width:8 text with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok m ->
+          let frame = Mask.writable_frame m ~value in
+          frame land Mask.forced_positions m = Mask.forced_value m)
+
+let prop_frame_idempotent =
+  QCheck.Test.make ~name:"framing is idempotent on covered values"
+    ~count:300
+    QCheck.(pair (make mask_gen) (int_bound 0xff))
+    (fun (text, value) ->
+      match Mask.of_string ~width:8 text with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok m ->
+          let f1 = Mask.writable_frame m ~value in
+          (* Re-framing the frame may only differ on forced positions
+             that the first pass set. *)
+          Mask.writable_frame m ~value:f1 = f1)
+
+let () =
+  Alcotest.run "mask"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "figure 1 index mask" `Quick test_parse_figure1;
+          Alcotest.test_case "irrelevant classes" `Quick test_irrelevant;
+          Alcotest.test_case "all_covered" `Quick test_all_covered;
+          Alcotest.test_case "writable_frame" `Quick test_writable_frame;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "to_string" `Quick test_to_string_roundtrip;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_frame_contains_forced; prop_frame_idempotent ] );
+    ]

@@ -1,0 +1,242 @@
+(* Tests for the mutation-analysis engine: the mutation rules (with the
+   paper's own counting example), the C-subset checker's detection
+   classes, the CDevil constraint checking, and targeted Devil mutants
+   that the verifier must catch or must miss. *)
+
+module Mutop = Mutation.Mutop
+module C_lang = Mutation.C_lang
+module Corpus = Mutation.Corpus
+module Analysis = Mutation.Analysis
+module Check = Devil_check.Check
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* {1 Mutation rules} *)
+
+let test_paper_counting_example () =
+  (* "given an integer of two digits in base ten, 50 mutants can be
+     generated (2 for removing a digit, 30 for inserting a new digit,
+     and 18 for replacing a digit)". The paper's arithmetic counts
+     duplicates (inserting '1' before or after the '1' of "12" both
+     give "112", likewise '2' around the '2'); our generator dedups,
+     so a digits-distinct two-digit number yields 50 - 2 = 48. *)
+  let ms = Mutop.mutate_decimal "12" in
+  Alcotest.(check int) "48 distinct mutants for a two-digit number" 48
+    (List.length ms);
+  Alcotest.(check bool) "removal" true (List.mem "1" ms);
+  Alcotest.(check bool) "insertion" true (List.mem "112" ms);
+  Alcotest.(check bool) "replacement" true (List.mem "92" ms);
+  Alcotest.(check bool) "original excluded" false (List.mem "12" ms)
+
+let test_hex_mutants () =
+  let ms = Mutop.mutate_hex "0xf" in
+  Alcotest.(check bool) "prefix kept" true
+    (List.for_all (fun m -> String.length m >= 2 && String.sub m 0 2 = "0x") ms);
+  Alcotest.(check bool) "empty-digit mutant kept" true (List.mem "0x" ms)
+
+let test_ident_mutants () =
+  let ms = Mutop.mutate_ident "dx" in
+  Alcotest.(check bool) "removal" true (List.mem "d" ms);
+  Alcotest.(check bool) "no digit-leading" false
+    (List.exists (fun m -> m <> "" && m.[0] >= '0' && m.[0] <= '9') ms);
+  Alcotest.(check bool) "distinct" false (List.mem "dx" ms)
+
+let test_operator_mutants () =
+  let ms = Mutop.mutate_operator ~ops:C_lang.operators "&" in
+  Alcotest.(check bool) "&&" true (List.mem "&&" ms);
+  Alcotest.(check bool) "&=" true (List.mem "&=" ms);
+  Alcotest.(check bool) "not <<=" false (List.mem "<<=" ms);
+  let ms2 = Mutop.mutate_operator ~ops:C_lang.operators "<=" in
+  Alcotest.(check bool) "< from <=" true (List.mem "<" ms2);
+  Alcotest.(check bool) "== from <= (one char replaced)" true
+    (List.mem "==" ms2);
+  Alcotest.(check bool) "|| not distance 1 of <=" false (List.mem "||" ms2)
+
+let test_bitlit_mutants () =
+  let ms = Mutop.mutate_bitlit "10" in
+  Alcotest.(check bool) "replace" true (List.mem "00" ms);
+  Alcotest.(check bool) "wildcards" true (List.mem "*0" ms);
+  Alcotest.(check bool) "removal" true (List.mem "1" ms);
+  Alcotest.(check bool) "insert" true (List.mem "100" ms)
+
+let test_edit_distance () =
+  Alcotest.(check bool) "same" false (Mutop.edit_distance1 "ab" "ab");
+  Alcotest.(check bool) "replace" true (Mutop.edit_distance1 "ab" "ac");
+  Alcotest.(check bool) "insert" true (Mutop.edit_distance1 "ab" "axb");
+  Alcotest.(check bool) "delete" true (Mutop.edit_distance1 "ab" "a");
+  Alcotest.(check bool) "two edits" false (Mutop.edit_distance1 "ab" "cd")
+
+(* {1 The C-subset checker} *)
+
+let env =
+  {
+    C_lang.vars = [ "x"; "y" ];
+    consts = [ ("LIMIT", Some 10) ];
+    funcs =
+      [
+        ("inb", { C_lang.arity = 1; args = [] });
+        ("outb", { C_lang.arity = 2; args = [] });
+        ("set_small", { C_lang.arity = 1; args = [ C_lang.Range (0, 3) ] });
+        ("set_mode", { C_lang.arity = 1; args = [ C_lang.One_of [ 0; 16 ] ] });
+      ];
+  }
+
+let accepts src =
+  match C_lang.check ~env src with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail (m ^ " in: " ^ src)
+
+let rejects src =
+  match C_lang.check ~env src with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail ("compiled: " ^ src)
+
+let test_c_accepts () =
+  accepts "void f(void) { x = inb(0x10) & 0xff; outb(x, 0x20); }";
+  accepts "int f(int a) { int b = a; while (b > 0) b--; return b; }";
+  accepts "#define P 0x3c\nvoid f(void) { outb(LIMIT, P); }";
+  accepts "void f(void) { for (x = 0; x < 4; x++) y += x; }";
+  accepts "void f(void) { if (x == 1) { y = 2; } else y = 3; }";
+  accepts "void f(void) { do { x--; } while (x); }";
+  accepts "static unsigned char t[4];\nvoid f(void) { t[1] = 2; }";
+  accepts "void f(void) { x = y > 1 ? 2 : 3; }"
+
+let test_c_rejects () =
+  rejects "void f(void) { z = 1; }";  (* undeclared *)
+  rejects "void f(void) { x = inb(1, 2); }";  (* arity *)
+  rejects "void f(void) { x = nosuch(1); }";  (* unknown function *)
+  rejects "void f(void) { x = LIMIT(1); }";  (* constant called *)
+  rejects "void f(void) { 5 = x; }";  (* lvalue *)
+  rejects "void f(void) { LIMIT = 3; }";  (* assignment to constant *)
+  rejects "void f(void) { inb(0)++; }";  (* increment of rvalue *)
+  rejects "void f(void) { x = 0x; }";  (* malformed hex *)
+  rejects "void f(void) { x = 09; }";  (* bad octal *)
+  rejects "void f(void) { x = 1 }";  (* missing semicolon *)
+  rejects "void f(void) { if x == 1 y = 2; }";  (* missing parens *)
+  rejects "void f(void) @ x = 1;"  (* stray character *)
+
+let test_c_permissiveness () =
+  (* What C silently accepts — the essence of the experiment. *)
+  accepts "void f(void) { x = inb(0x999) & 0xef; }";  (* wrong constant *)
+  accepts "void f(void) { x = y | 1; }";  (* | for || *)
+  accepts "void f(void) { x = y << 3; y; }";  (* useless expression *)
+  accepts "void f(void) { outb(0x20, 0x10); }"  (* swapped arguments *)
+
+let test_cdevil_constraints () =
+  accepts "void f(void) { set_small(3); }";
+  rejects "void f(void) { set_small(4); }";
+  rejects "void f(void) { set_small(LIMIT); }";  (* constant propagated *)
+  accepts "void f(void) { set_small(x); }";  (* dynamic: compile-time ok *)
+  accepts "void f(void) { set_mode(16); }";
+  rejects "void f(void) { set_mode(15); }"
+
+let test_corpora_compile () =
+  List.iter
+    (fun (name, env, src) ->
+      match C_lang.check ~env src with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail (name ^ ": " ^ m))
+    [
+      ("busmouse C", Corpus.c_env, Corpus.busmouse_c);
+      ("ide C", Corpus.c_env, Corpus.ide_c);
+      ("ne2000 C", Corpus.c_env, Corpus.ne2000_c);
+      ("busmouse CDevil", Corpus.busmouse_cdevil_env (), Corpus.busmouse_cdevil);
+      ("ide CDevil", Corpus.ide_cdevil_env (), Corpus.ide_cdevil);
+      ("ne2000 CDevil", Corpus.ne2000_cdevil_env (), Corpus.ne2000_cdevil);
+      ("uart C", Corpus.c_env, Corpus.uart_c);
+      ("uart CDevil", Corpus.uart_cdevil_env (), Corpus.uart_cdevil);
+    ]
+
+(* {1 Targeted Devil mutants} *)
+
+let detected src =
+  match Check.compile src with
+  | Ok _ -> false
+  | Error _ -> true
+  | exception _ -> true
+
+let replace_once ~from ~into src =
+  (* Replace the first occurrence of [from]. *)
+  let n = String.length src and nf = String.length from in
+  let rec find i = if i + nf > n then None
+    else if String.sub src i nf = from then Some i else find (i + 1) in
+  match find 0 with
+  | None -> Alcotest.fail ("pattern not found: " ^ from)
+  | Some i ->
+      String.sub src 0 i ^ into ^ String.sub src (i + nf) (n - i - nf)
+
+let test_devil_detected_mutants () =
+  let src = Devil_specs.Specs.busmouse_source in
+  (* A corrupted register reference is unresolved. *)
+  Alcotest.(check bool) "bad reference" true
+    (detected (replace_once ~from:"= sig_reg," ~into:"= sig_rag," src));
+  (* Shrinking a bit range leaves a register bit unused. *)
+  Alcotest.(check bool) "uncovered bit" true
+    (detected (replace_once ~from:"interrupt_reg[4]" ~into:"interrupt_reg[5]" src));
+  (* Corrupting a mask's '.' steals the variable's bit. *)
+  Alcotest.(check bool) "mask dot to star" true
+    (detected (replace_once ~from:"'000.0000'" ~into:"'000*0000'" src));
+  (* Changing the type width breaks strong typing. *)
+  Alcotest.(check bool) "type width" true
+    (detected (replace_once ~from:"int(2)" ~into:"int(3)" src));
+  (* Duplicate enum pattern. *)
+  Alcotest.(check bool) "duplicate pattern" true
+    (detected (replace_once ~from:"DEFAULT_MODE => '0'" ~into:"DEFAULT_MODE => '1'" src));
+  (* A changed pre-action constant makes two registers overlap. *)
+  Alcotest.(check bool) "pre-action clash" true
+    (detected (replace_once ~from:"pre {index = 1}" ~into:"pre {index = 0}" src))
+
+let test_devil_undetected_mutants () =
+  let src = Devil_specs.Specs.busmouse_source in
+  (* Value-level errors below the consistency rules stay invisible —
+     the small residue in the paper's Devil column. *)
+  Alcotest.(check bool) "forced-bit value flip" false
+    (detected (replace_once ~from:"'1001000.'" ~into:"'1011000.'" src))
+
+let test_analysis_shapes () =
+  (* Keep it fast: sample fewer mutants per site. *)
+  let saved = !Analysis.max_mutants_per_site in
+  Analysis.max_mutants_per_site := 8;
+  Fun.protect
+    ~finally:(fun () -> Analysis.max_mutants_per_site := saved)
+    (fun () ->
+      let r = Analysis.busmouse_report () in
+      (* The paper's shape: Devil mutants are nearly always detected;
+         plain C misses errors several times more often than CDevil. *)
+      Alcotest.(check bool) "devil detects nearly all" true
+        (r.devil_row.undetected_per_site /. r.devil_row.mutants_per_site
+        < 0.10);
+      Alcotest.(check bool) "C misses more than CDevil" true
+        (r.ratio_cdevil > 1.5);
+      Alcotest.(check bool) "C misses more than Devil+CDevil" true
+        (r.ratio_combined > 1.0);
+      Alcotest.(check bool) "sites positive" true
+        (r.c_row.sites > 0 && r.devil_row.sites > 0 && r.cdevil_row.sites > 0))
+
+let () =
+  Alcotest.run "mutation"
+    [
+      ( "rules",
+        [
+          case "paper's 50-mutant example" test_paper_counting_example;
+          case "hex numbers" test_hex_mutants;
+          case "identifiers" test_ident_mutants;
+          case "operators" test_operator_mutants;
+          case "bit literals" test_bitlit_mutants;
+          case "edit distance" test_edit_distance;
+        ] );
+      ( "c checker",
+        [
+          case "accepts valid driver C" test_c_accepts;
+          case "rejects what gcc rejects" test_c_rejects;
+          case "accepts what gcc accepts" test_c_permissiveness;
+          case "CDevil constant constraints" test_cdevil_constraints;
+          case "corpora compile" test_corpora_compile;
+        ] );
+      ( "devil mutants",
+        [
+          case "consistency violations detected" test_devil_detected_mutants;
+          case "pure value flips undetected" test_devil_undetected_mutants;
+        ] );
+      ("analysis", [ case "table 1 shape" test_analysis_shapes ]);
+    ]

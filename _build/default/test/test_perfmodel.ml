@@ -1,0 +1,175 @@
+(* Tests for the performance harness: the reproduced tables must keep
+   the paper's shape — who wins, by what factor, where the crossovers
+   fall (Tables 2, 3, 4). *)
+
+module Ide_bench = Perfmodel.Ide_bench
+module Permedia_bench = Perfmodel.Permedia_bench
+module Cost = Perfmodel.Cost
+
+let case name f = Alcotest.test_case name `Quick f
+
+let in_range name lo hi v =
+  if v < lo || v > hi then
+    Alcotest.fail (Printf.sprintf "%s: %.3f outside [%.3f, %.3f]" name v lo hi)
+
+(* {1 Table 2} *)
+
+let test_dma_parity () =
+  let l = Ide_bench.run_line ~sectors:16 Ide_bench.Dma ~devil_path:`Loop in
+  in_range "dma ratio" 0.99 1.01 l.ratio;
+  in_range "dma throughput MB/s" 12.0 14.5 l.standard.throughput_mb_s
+
+let test_pio_loop_penalty () =
+  List.iter
+    (fun (spi, width) ->
+      let l =
+        Ide_bench.run_line ~sectors:16
+          (Ide_bench.Pio { sectors_per_irq = spi; width })
+          ~devil_path:`Loop
+      in
+      in_range
+        (Printf.sprintf "loop ratio spi=%d" spi)
+        0.85 0.95 l.ratio)
+    [ (16, `W16); (8, `W32); (1, `W16) ]
+
+let test_pio_block_parity () =
+  List.iter
+    (fun (spi, width) ->
+      let l =
+        Ide_bench.run_line ~sectors:16
+          (Ide_bench.Pio { sectors_per_irq = spi; width })
+          ~devil_path:`Block
+      in
+      in_range (Printf.sprintf "block ratio spi=%d" spi) 0.97 1.01 l.ratio)
+    [ (16, `W16); (1, `W32) ]
+
+let test_pio_absolute_throughput () =
+  (* Paper: ~8.2 MB/s at 32-bit, ~4.5 MB/s at 16-bit (16 sectors/irq). *)
+  let w32 =
+    Ide_bench.run_line ~sectors:16
+      (Ide_bench.Pio { sectors_per_irq = 16; width = `W32 })
+      ~devil_path:`Loop
+  in
+  let w16 =
+    Ide_bench.run_line ~sectors:16
+      (Ide_bench.Pio { sectors_per_irq = 16; width = `W16 })
+      ~devil_path:`Loop
+  in
+  in_range "32-bit std MB/s" 7.0 9.5 w32.standard.throughput_mb_s;
+  in_range "16-bit std MB/s" 3.8 5.0 w16.standard.throughput_mb_s;
+  in_range "32/16 speedup" 1.8 2.1
+    (w32.standard.throughput_mb_s /. w16.standard.throughput_mb_s)
+
+let test_interrupt_coalescing_helps () =
+  let t spi =
+    (Ide_bench.run_line ~sectors:32
+       (Ide_bench.Pio { sectors_per_irq = spi; width = `W32 })
+       ~devil_path:`Loop).standard.throughput_mb_s
+  in
+  let t16 = t 16 and t1 = t 1 in
+  Alcotest.(check bool) "16/irq faster than 1/irq" true (t16 > t1);
+  in_range "coalescing gain" 1.05 1.35 (t16 /. t1)
+
+let test_op_count_formulas () =
+  (* Hand-crafted setup = 7 ops (6 task-file writes + 1 status poll);
+     per interrupt 1 status read; per sector 256 16-bit transfers.
+     Devil adds 3 at setup and 2 per interrupt (paper section 4.3). *)
+  let sectors = 8 in
+  let l =
+    Ide_bench.run_line ~sectors
+      (Ide_bench.Pio { sectors_per_irq = 1; width = `W16 })
+      ~devil_path:`Loop
+  in
+  Alcotest.(check int) "standard ops" (7 + (sectors * (1 + 256)))
+    l.standard.io_ops;
+  Alcotest.(check int) "devil ops" (10 + (sectors * (3 + 256)))
+    l.devil.io_ops;
+  Alcotest.(check int) "irqs" sectors l.standard.irqs
+
+(* {1 Tables 3 and 4} *)
+
+let test_gfx_small_rect_ratio () =
+  List.iter
+    (fun depth ->
+      let c = Permedia_bench.run_cell Permedia_bench.Fill ~depth ~size:2 in
+      in_range (Printf.sprintf "fill 2x2 @%d" depth) 0.92 0.98 c.ratio)
+    [ 8; 16; 32 ]
+
+let test_gfx_24bpp_parity () =
+  List.iter
+    (fun size ->
+      let c = Permedia_bench.run_cell Permedia_bench.Fill ~depth:24 ~size in
+      in_range (Printf.sprintf "fill 24bpp %dx%d" size size) 0.995 1.005
+        c.ratio)
+    [ 2; 100 ]
+
+let test_gfx_large_rect_parity () =
+  let c = Permedia_bench.run_cell Permedia_bench.Fill ~depth:32 ~size:400 in
+  in_range "fill 400x400" 0.97 1.03 c.ratio;
+  let k = Permedia_bench.run_cell Permedia_bench.Copy ~depth:8 ~size:400 in
+  in_range "copy 400x400" 0.97 1.03 k.ratio
+
+let test_gfx_rate_ordering () =
+  (* Bigger rectangles are slower; copies are slower than fills. *)
+  let rate prim size =
+    (Permedia_bench.run_cell prim ~depth:8 ~size).std_rate
+  in
+  Alcotest.(check bool) "2x2 > 100x100" true
+    (rate Permedia_bench.Fill 2 > rate Permedia_bench.Fill 100);
+  Alcotest.(check bool) "100 > 400" true
+    (rate Permedia_bench.Fill 100 > rate Permedia_bench.Fill 400);
+  Alcotest.(check bool) "copy slower than fill at 100" true
+    (rate Permedia_bench.Fill 100 > rate Permedia_bench.Copy 100)
+
+let test_gfx_absolute_rates () =
+  (* Paper: ~1M 2x2 fills/s; ~900/s at 400x400x32. *)
+  let small = Permedia_bench.run_cell Permedia_bench.Fill ~depth:8 ~size:2 in
+  in_range "2x2 rate" 500_000.0 1_500_000.0 small.std_rate;
+  let large = Permedia_bench.run_cell Permedia_bench.Fill ~depth:32 ~size:400 in
+  in_range "400x400x32 rate" 500.0 1500.0 large.std_rate
+
+let test_gfx_devil_op_counts () =
+  let c = Permedia_bench.run_cell Permedia_bench.Fill ~depth:16 ~size:2 in
+  in_range "+2 ops per primitive" 1.9 2.1
+    (c.devil_ops_per_prim -. c.std_ops_per_prim);
+  let c24 = Permedia_bench.run_cell Permedia_bench.Fill ~depth:24 ~size:2 in
+  in_range "24bpp op parity" (-0.1) 0.1
+    (c24.devil_ops_per_prim -. c24.std_ops_per_prim)
+
+(* {1 Cost model} *)
+
+let test_cost_model_basics () =
+  let s = { Cost.singles = 100; block_items = 0; irqs = 0 } in
+  let b = { Cost.singles = 0; block_items = 100; irqs = 0 } in
+  Alcotest.(check bool) "loops cost more than blocks" true
+    (Cost.pio_time s > Cost.pio_time b);
+  let with_irq = { Cost.singles = 0; block_items = 100; irqs = 1 } in
+  Alcotest.(check bool) "interrupts cost" true
+    (Cost.pio_time with_irq > Cost.pio_time b);
+  let dma = Cost.dma_time { Cost.singles = 14; block_items = 0; irqs = 1 } ~bytes:(1 lsl 20) in
+  in_range "dma near media rate" 13.0 14.5
+    (float_of_int (1 lsl 20) /. dma /. 1.0e6)
+
+let () =
+  Alcotest.run "perfmodel"
+    [
+      ( "table2",
+        [
+          case "dma parity" test_dma_parity;
+          case "pio loop penalty" test_pio_loop_penalty;
+          case "pio block parity" test_pio_block_parity;
+          case "absolute throughput" test_pio_absolute_throughput;
+          case "interrupt coalescing" test_interrupt_coalescing_helps;
+          case "op-count formulas" test_op_count_formulas;
+        ] );
+      ( "tables3and4",
+        [
+          case "small-rect ratio" test_gfx_small_rect_ratio;
+          case "24bpp parity" test_gfx_24bpp_parity;
+          case "large-rect parity" test_gfx_large_rect_parity;
+          case "rate ordering" test_gfx_rate_ordering;
+          case "absolute rates" test_gfx_absolute_rates;
+          case "devil op counts" test_gfx_devil_op_counts;
+        ] );
+      ("cost", [ case "model basics" test_cost_model_basics ]);
+    ]

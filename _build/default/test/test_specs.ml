@@ -1,0 +1,168 @@
+(* Tests over the bundled specification library: every specification
+   verifies, has the inventory DESIGN.md promises, and matches the
+   paper's figures where the paper shows them. *)
+
+module Specs = Devil_specs.Specs
+module Ir = Devil_ir.Ir
+module Value = Devil_ir.Value
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_busmouse_inventory () =
+  let d = Specs.busmouse () in
+  Alcotest.(check string) "name" "logitech_busmouse" d.d_name;
+  Alcotest.(check int) "registers" 8 (List.length d.d_regs);
+  (* Figure 1's interface: signature, config, interrupt + the three
+     mouse_state fields are public; index is private. *)
+  let public = List.map (fun v -> v.Ir.v_name) (Ir.public_vars d) in
+  List.iter
+    (fun n -> Alcotest.(check bool) n true (List.mem n public))
+    [ "signature"; "config"; "interrupt"; "dx"; "dy"; "buttons" ];
+  Alcotest.(check bool) "index is private" true
+    (match Ir.find_var d "index" with
+    | Some v -> v.v_private
+    | None -> false);
+  match Ir.find_struct d "mouse_state" with
+  | Some s -> Alcotest.(check (list string)) "fields" [ "dx"; "dy"; "buttons" ] s.s_fields
+  | None -> Alcotest.fail "mouse_state missing"
+
+let test_busmouse_figure1_details () =
+  let d = Specs.busmouse () in
+  (* dx is the paper's concatenation x_high[3..0] # x_low[3..0]. *)
+  (match Ir.find_var d "dx" with
+  | Some { v_chunks = [ { c_reg = "x_high"; c_ranges = [ (3, 0) ] };
+                        { c_reg = "x_low"; c_ranges = [ (3, 0) ] } ];
+           v_behaviour = { b_volatile = true; _ }; _ } -> ()
+  | _ -> Alcotest.fail "dx shape");
+  (* signature is volatile with a write trigger. *)
+  (match Ir.find_var d "signature" with
+  | Some { v_behaviour = { b_volatile = true; b_trigger = Some { tr_write = true; _ }; _ }; _ } -> ()
+  | _ -> Alcotest.fail "signature behaviour");
+  (* x_low..y_high carry the index pre-actions 0..3. *)
+  List.iteri
+    (fun i reg ->
+      match Ir.find_reg d reg with
+      | Some { r_pre = [ Ir.Set_var { target = "index"; value = Ir.O_int n } ]; _ } ->
+          Alcotest.(check int) reg i n
+      | _ -> Alcotest.fail (reg ^ " pre-action"))
+    [ "x_low"; "x_high"; "y_low"; "y_high" ]
+
+let test_ne2000_inventory () =
+  let d = Specs.ne2000 () in
+  (* The paper's command-register split: st, txp, rd triggers + the
+     private page variable. *)
+  (match Ir.find_var d "st" with
+  | Some { v_behaviour = { b_trigger = Some { tr_write = true; tr_exempt = Some (Ir.Neutral (Value.Enum "NEUTRAL")); _ }; _ }; _ } -> ()
+  | _ -> Alcotest.fail "st trigger");
+  (match Ir.find_var d "page" with
+  | Some { v_private = true; _ } -> ()
+  | _ -> Alcotest.fail "page private");
+  (match Ir.find_var d "remote_data" with
+  | Some { v_behaviour = { b_block = true; _ }; _ } -> ()
+  | _ -> Alcotest.fail "remote_data block");
+  Alcotest.(check bool) "isr structure" true
+    (Option.is_some (Ir.find_struct d "interrupt_status"))
+
+let test_ide_inventory () =
+  let d = Specs.ide () in
+  (* The paper's block-transfer example variable. *)
+  (match Ir.find_var d "Ide_data" with
+  | Some { v_behaviour = { b_block = true; b_volatile = true; b_trigger = Some _; _ }; _ } -> ()
+  | _ -> Alcotest.fail "Ide_data");
+  Alcotest.(check int) "three ports" 3 (List.length d.d_ports);
+  match Ir.find_struct d "ide_status" with
+  | Some s -> Alcotest.(check int) "8 status bits" 8 (List.length s.s_fields)
+  | None -> Alcotest.fail "ide_status"
+
+let test_dma8237_serialization () =
+  let d = Specs.dma8237 () in
+  match Ir.find_var d "count0" with
+  | Some { v_serial = Some [ a; b ]; _ } ->
+      Alcotest.(check string) "low first" "cnt0_low" a.si_reg;
+      Alcotest.(check string) "then high" "cnt0_high" b.si_reg;
+      (match Ir.find_reg d "cnt0_low" with
+      | Some { r_pre = [ Ir.Set_var { target = "flip_flop"; value = Ir.O_any } ]; _ } -> ()
+      | _ -> Alcotest.fail "flip-flop pre-action")
+  | _ -> Alcotest.fail "count0 serialization"
+
+let test_pic8259_configs () =
+  let master = Specs.pic8259 ~master:true () in
+  let slave = Specs.pic8259 ~master:false () in
+  Alcotest.(check bool) "master map" true
+    (Option.is_some (Ir.find_var master "cascade_map"));
+  Alcotest.(check bool) "no slave_id on master" true
+    (Option.is_none (Ir.find_var master "slave_id"));
+  Alcotest.(check bool) "slave id" true
+    (Option.is_some (Ir.find_var slave "slave_id"));
+  (* The control-flow serialization of the paper. *)
+  match Ir.find_struct master "init" with
+  | Some { s_serial = Some items; _ } ->
+      let conds = List.filter (fun i -> i.Ir.si_cond <> None) items in
+      Alcotest.(check int) "two conditional ICWs" 2 (List.length conds)
+  | _ -> Alcotest.fail "init serialization"
+
+let test_cs4236b_automaton_spec () =
+  let d = Specs.cs4236b () in
+  (* The templates I and X exist with the paper's parameter ranges. *)
+  (match Ir.find_template d "I" with
+  | Some { t_params = [ (_, values) ]; _ } ->
+      Alcotest.(check int) "I range" 32 (List.length values)
+  | _ -> Alcotest.fail "template I");
+  (match Ir.find_template d "X" with
+  | Some { t_params = [ (_, values) ]; t_pre = [ Ir.Set_struct { target = "XS"; _ } ]; _ } ->
+      Alcotest.(check int) "X range" 19 (List.length values)
+  | _ -> Alcotest.fail "template X");
+  (* XA's multi-fragment chunk [2,7..4]. *)
+  match Ir.find_var d "XA" with
+  | Some { v_chunks = [ { c_ranges = [ (2, 2); (7, 4) ]; _ } ]; _ } -> ()
+  | _ -> Alcotest.fail "XA fragments"
+
+let test_source_sizes () =
+  (* The library is real: each source is a substantive specification. *)
+  List.iter
+    (fun (name, src) ->
+      let lines =
+        List.length
+          (List.filter
+             (fun l -> String.trim l <> "")
+             (String.split_on_char '\n' src))
+      in
+      Alcotest.(check bool) (name ^ " substantive") true (lines >= 15))
+    Specs.all
+
+let test_dil_files_match_library () =
+  (* The checked-in specs/*.dil files are the embedded sources. *)
+  let dir = "../specs" in
+  if Sys.file_exists dir && Sys.is_directory dir then
+    List.iter
+      (fun (name, src) ->
+        let path = Filename.concat dir (name ^ ".dil") in
+        let ic = open_in_bin path in
+        let contents = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Alcotest.(check string) (name ^ ".dil") (String.trim src)
+          (String.trim contents))
+      Specs.all
+
+let test_compile_exn_rejects_garbage () =
+  match Specs.compile_exn ~name:"bad" "device oops (" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "garbage accepted"
+
+let () =
+  Alcotest.run "specs"
+    [
+      ( "library",
+        [
+          case "busmouse inventory" test_busmouse_inventory;
+          case "busmouse figure 1 details" test_busmouse_figure1_details;
+          case "ne2000 inventory" test_ne2000_inventory;
+          case "ide inventory" test_ide_inventory;
+          case "dma8237 serialization" test_dma8237_serialization;
+          case "pic8259 configurations" test_pic8259_configs;
+          case "cs4236b automaton" test_cs4236b_automaton_spec;
+          case "source sizes" test_source_sizes;
+          case ".dil files match the library" test_dil_files_match_library;
+          case "compile_exn rejects garbage" test_compile_exn_rejects_garbage;
+        ] );
+    ]

@@ -1,0 +1,1 @@
+tools/checkspecs/check_specs.ml: Devil_check Devil_ir Devil_specs Devil_syntax Format List Printf

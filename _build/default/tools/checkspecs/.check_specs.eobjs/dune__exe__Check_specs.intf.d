@@ -1,0 +1,1 @@
+tools/checkspecs/check_specs.mli:

@@ -1,0 +1,1 @@
+tools/checkspecs/export_specs.ml: Array Devil_specs Filename List String Sys

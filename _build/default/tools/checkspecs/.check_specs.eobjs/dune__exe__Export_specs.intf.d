@@ -1,0 +1,1 @@
+tools/checkspecs/export_specs.mli:

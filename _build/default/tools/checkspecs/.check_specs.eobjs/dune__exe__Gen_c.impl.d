@@ -1,0 +1,1 @@
+tools/checkspecs/gen_c.ml: Array Devil_codegen Devil_specs Sys

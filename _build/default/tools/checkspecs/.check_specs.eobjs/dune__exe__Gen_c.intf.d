@@ -1,0 +1,1 @@
+tools/checkspecs/gen_c.mli:

@@ -1,0 +1,1 @@
+tools/checkspecs/run_table1.ml: Format Mutation Printf Unix

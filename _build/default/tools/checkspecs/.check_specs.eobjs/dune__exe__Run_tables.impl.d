@@ -1,0 +1,1 @@
+tools/checkspecs/run_tables.ml: Format Perfmodel

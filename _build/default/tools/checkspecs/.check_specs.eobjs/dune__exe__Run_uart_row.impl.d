@@ -1,0 +1,1 @@
+tools/checkspecs/run_uart_row.ml: Format Mutation

@@ -1,0 +1,17 @@
+let () =
+  List.iter
+    (fun (name, src) ->
+      let config =
+        if name = "pic8259" then [ ("is_master", Devil_ir.Value.Bool true) ]
+        else []
+      in
+      match Devil_check.Check.compile ~config ~file:(name ^ ".dil") src with
+      | Ok d ->
+          Printf.printf "%-20s OK  (%d regs, %d vars, %d structs)\n" name
+            (List.length d.Devil_ir.Ir.d_regs)
+            (List.length d.Devil_ir.Ir.d_vars)
+            (List.length d.Devil_ir.Ir.d_structs)
+      | Error diags ->
+          Format.printf "%-20s FAIL@.%a@." name
+            Devil_syntax.Diagnostics.pp diags)
+    Devil_specs.Specs.all

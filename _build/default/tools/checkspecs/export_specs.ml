@@ -1,0 +1,9 @@
+let () =
+  let dir = Sys.argv.(1) in
+  List.iter
+    (fun (name, src) ->
+      let oc = open_out (Filename.concat dir (name ^ ".dil")) in
+      output_string oc (String.trim src);
+      output_char oc '\n';
+      close_out oc)
+    Devil_specs.Specs.all

@@ -1,0 +1,11 @@
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "logitech_busmouse" in
+  let device =
+    match name with
+    | "logitech_busmouse" -> Devil_specs.Specs.busmouse ()
+    | "ide" -> Devil_specs.Specs.ide ()
+    | "ne2000" -> Devil_specs.Specs.ne2000 ()
+    | "cs4236b" -> Devil_specs.Specs.cs4236b ()
+    | _ -> failwith "unknown"
+  in
+  print_string (Devil_codegen.C_backend.generate ~prefix:"bm" device)

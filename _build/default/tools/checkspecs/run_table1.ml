@@ -1,0 +1,5 @@
+let () =
+  let t0 = Unix.gettimeofday () in
+  let reports = Mutation.Analysis.table1 () in
+  Format.printf "%a" Mutation.Analysis.pp_table1 reports;
+  Printf.printf "elapsed: %.1fs\n" (Unix.gettimeofday () -. t0)

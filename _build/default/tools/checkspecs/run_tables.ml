@@ -1,0 +1,9 @@
+let () =
+  print_endline "=== Table 2: IDE throughput ===";
+  Format.printf "%a@." Perfmodel.Ide_bench.pp_table (Perfmodel.Ide_bench.table2 ());
+  print_endline "=== Devil with block stubs (PIO) ===";
+  Format.printf "%a@." Perfmodel.Ide_bench.pp_table (Perfmodel.Ide_bench.block_stub_lines ());
+  print_endline "=== Table 3: rectangle fill ===";
+  Format.printf "%a@." Perfmodel.Permedia_bench.pp_table (Perfmodel.Permedia_bench.table Perfmodel.Permedia_bench.Fill);
+  print_endline "=== Table 4: screen copy ===";
+  Format.printf "%a@." Perfmodel.Permedia_bench.pp_table (Perfmodel.Permedia_bench.table Perfmodel.Permedia_bench.Copy)

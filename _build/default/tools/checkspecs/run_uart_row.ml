@@ -1,0 +1,3 @@
+let () =
+  let r = Mutation.Analysis.uart_report () in
+  Format.printf "%a" Mutation.Analysis.pp_table1 [ r ]
