@@ -6,7 +6,8 @@
    Usage:
      dune exec bench/main.exe              # everything
      dune exec bench/main.exe -- table1    # one artifact
-     (table1 | table2 | table3 | table4 | census | micro | bechamel)
+     (table1 | table2 | table3 | table4 | census | micro | ablation |
+      faultcamp | bechamel)
 
    Paper-vs-measured commentary lives in EXPERIMENTS.md. *)
 
@@ -266,6 +267,18 @@ device busmouse_ungrouped (base : bit[8] port @ {0..3})
      transmissions (must be 0)@."
     (List.length before + List.length after)
 
+(* {1 Fault-tolerance campaign: drivers under an adversarial bus} *)
+
+let faultcamp () =
+  section "Fault campaign: driver workloads under injected bus faults";
+  let report = Faultcamp.Campaign.run () in
+  Format.printf "%a@." Faultcamp.Campaign.pp_report report;
+  Format.printf
+    "Transient faults (aborted accesses) must never corrupt silently: the \
+     recovery@.policies retry them with bounded attempts. Silent rows mark \
+     data-path faults no@.driver-level check can see — the residue a \
+     language-level approach leaves to@.end-to-end integrity checks.@."
+
 (* {1 Bechamel micro-benchmarks: one workload per table} *)
 
 let bechamel_suite () =
@@ -357,6 +370,7 @@ let () =
       ("census", census);
       ("micro", micro);
       ("ablation", ablation);
+      ("faultcamp", faultcamp);
       ("bechamel", bechamel_suite);
     ]
   in

@@ -1,0 +1,222 @@
+exception Bus_fault of string
+
+type op = Read | Write
+
+type kind =
+  | Stuck_bits of { and_mask : int; or_mask : int }
+  | Flip_bits of { mask : int; probability : float }
+  | Drop_write of { probability : float }
+  | Duplicate_write of { probability : float }
+  | Transient of { probability : float }
+
+type plan = {
+  label : string;
+  first : int;
+  last : int;
+  ops : op list;
+  kind : kind;
+  budget : int option;
+}
+
+let plan ?(ops = [ Read; Write ]) ?budget ~label ~first ~last kind =
+  if last < first then invalid_arg "Fault.plan: empty address range";
+  { label; first; last; ops; kind; budget }
+
+type event = {
+  seq : int;
+  plan_label : string;
+  op : op;
+  addr : int;
+  width : int;
+  detail : string;
+}
+
+type pstate = { p : plan; mutable left : int option; mutable fired : int }
+
+type t = {
+  underlying : Bus.t;
+  plans : pstate list;
+  mutable rng : int;
+  mutable seq : int;
+  mutable trace : event list;  (* newest first *)
+}
+
+(* The 48-bit drand48 linear congruential generator: cheap, portable,
+   and fully determined by the seed, which is all reproducibility
+   needs. *)
+let rand t =
+  t.rng <- ((t.rng * 0x5DEECE66D) + 0xB) land 0xFFFF_FFFF_FFFF;
+  float_of_int (t.rng lsr 16) /. float_of_int (1 lsl 32)
+
+let draw t probability = probability > 0.0 && rand t < probability
+
+let armed ps ~op ~addr =
+  (match ps.left with Some 0 -> false | Some _ | None -> true)
+  && List.mem op ps.p.ops
+  && addr >= ps.p.first
+  && addr <= ps.p.last
+
+let fire t ps ~op ~addr ~width ~detail =
+  (match ps.left with Some n -> ps.left <- Some (n - 1) | None -> ());
+  ps.fired <- ps.fired + 1;
+  t.trace <-
+    { seq = t.seq; plan_label = ps.p.label; op; addr; width; detail }
+    :: t.trace
+
+(* Transient plans are evaluated before the device is touched, so a
+   raised fault leaves the device state exactly as the driver last saw
+   it and a retry starts clean. *)
+let check_transient t ~op ~addr ~width =
+  List.iter
+    (fun ps ->
+      match ps.p.kind with
+      | Transient { probability } when armed ps ~op ~addr ->
+          if draw t probability then begin
+            fire t ps ~op ~addr ~width ~detail:"transient bus fault";
+            raise
+              (Bus_fault
+                 (Printf.sprintf "%s: transient fault on %s [%#x]"
+                    ps.p.label
+                    (match op with Read -> "read" | Write -> "write")
+                    addr))
+          end
+      | _ -> ())
+    t.plans
+
+(* Value mutations shared by the read and write paths. *)
+let mutate_value t ~op ~addr ~width v =
+  List.fold_left
+    (fun v ps ->
+      if not (armed ps ~op ~addr) then v
+      else
+        match ps.p.kind with
+        | Stuck_bits { and_mask; or_mask } ->
+            let v' = v land and_mask lor or_mask in
+            if v' <> v then begin
+              fire t ps ~op ~addr ~width
+                ~detail:(Printf.sprintf "stuck bits %#x -> %#x" v v');
+              v'
+            end
+            else v
+        | Flip_bits { mask; probability } ->
+            if mask <> 0 && draw t probability then begin
+              let v' = v lxor mask in
+              fire t ps ~op ~addr ~width
+                ~detail:(Printf.sprintf "flipped %#x: %#x -> %#x" mask v v');
+              v'
+            end
+            else v
+        | Drop_write _ | Duplicate_write _ | Transient _ -> v)
+    v t.plans
+
+let dropped t ~addr ~width =
+  List.exists
+    (fun ps ->
+      match ps.p.kind with
+      | Drop_write { probability } when armed ps ~op:Write ~addr ->
+          if draw t probability then begin
+            fire t ps ~op:Write ~addr ~width ~detail:"write dropped";
+            true
+          end
+          else false
+      | _ -> false)
+    t.plans
+
+let duplicated t ~addr ~width =
+  List.exists
+    (fun ps ->
+      match ps.p.kind with
+      | Duplicate_write { probability } when armed ps ~op:Write ~addr ->
+          if draw t probability then begin
+            fire t ps ~op:Write ~addr ~width ~detail:"write duplicated";
+            true
+          end
+          else false
+      | _ -> false)
+    t.plans
+
+let read t ~width ~addr =
+  t.seq <- t.seq + 1;
+  check_transient t ~op:Read ~addr ~width;
+  let v = t.underlying.Bus.read ~width ~addr in
+  mutate_value t ~op:Read ~addr ~width v
+
+let write t ~width ~addr ~value =
+  t.seq <- t.seq + 1;
+  check_transient t ~op:Write ~addr ~width;
+  if not (dropped t ~addr ~width) then begin
+    let value = mutate_value t ~op:Write ~addr ~width value in
+    t.underlying.Bus.write ~width ~addr ~value;
+    if duplicated t ~addr ~width then
+      t.underlying.Bus.write ~width ~addr ~value
+  end
+
+(* Block transfers: one transient decision for the whole burst (the
+   fault aborts the transfer before it starts), value faults per
+   element (each element is its own electrical event). *)
+let read_block t ~width ~addr ~into =
+  t.seq <- t.seq + Array.length into;
+  check_transient t ~op:Read ~addr ~width;
+  t.underlying.Bus.read_block ~width ~addr ~into;
+  Array.iteri
+    (fun i v -> into.(i) <- mutate_value t ~op:Read ~addr ~width v)
+    into
+
+let write_block t ~width ~addr ~from =
+  t.seq <- t.seq + Array.length from;
+  check_transient t ~op:Write ~addr ~width;
+  let out = ref [] in
+  Array.iter
+    (fun v ->
+      if not (dropped t ~addr ~width) then begin
+        let v = mutate_value t ~op:Write ~addr ~width v in
+        out := v :: !out;
+        if duplicated t ~addr ~width then out := v :: !out
+      end)
+    from;
+  let adjusted = Array.of_list (List.rev !out) in
+  if Array.length adjusted > 0 || Array.length from = 0 then
+    t.underlying.Bus.write_block ~width ~addr ~from:adjusted
+
+let wrap ?(seed = 0) ~plans underlying =
+  {
+    underlying;
+    plans =
+      List.map (fun p -> { p; left = p.budget; fired = 0 }) plans;
+    (* Mix the seed so that seeds 0 and 1 do not share a prefix. *)
+    rng = (((seed + 1) * 0x5DEECE66D) + 3037000493) land 0xFFFF_FFFF_FFFF;
+    seq = 0;
+    trace = [];
+  }
+
+let bus t =
+  {
+    Bus.read = (fun ~width ~addr -> read t ~width ~addr);
+    write = (fun ~width ~addr ~value -> write t ~width ~addr ~value);
+    read_block = (fun ~width ~addr ~into -> read_block t ~width ~addr ~into);
+    write_block = (fun ~width ~addr ~from -> write_block t ~width ~addr ~from);
+  }
+
+let operations t = t.seq
+let injection_count t = List.fold_left (fun n ps -> n + ps.fired) 0 t.plans
+
+let injections_for t label =
+  List.fold_left
+    (fun n ps -> if ps.p.label = label then n + ps.fired else n)
+    0 t.plans
+
+let events t = List.rev t.trace
+
+let reset t =
+  t.trace <- [];
+  t.seq <- 0;
+  List.iter
+    (fun ps ->
+      ps.fired <- 0;
+      ps.left <- ps.p.budget)
+    t.plans
+
+let pp_event fmt (e : event) =
+  Format.fprintf fmt "#%d %s: %s%d [%#x] %s" e.seq e.plan_label
+    (match e.op with Read -> "R" | Write -> "W")
+    e.width e.addr e.detail

@@ -1,0 +1,102 @@
+(** Deterministic fault injection under the bus abstraction.
+
+    A fault injector wraps a {!Bus.t} and perturbs the traffic that
+    flows through it according to a set of address-scoped {e plans}.
+    Everything is driven by a seedable splittable PRNG, so a campaign
+    run is exactly reproducible from its seed: the same driver workload
+    over the same plans always sees the same faults at the same
+    operations.
+
+    The injector models the hardware-side failure modes the Devil
+    runtime's software checks cannot see on a perfect simulator:
+    - {e stuck-at} bits (a pin shorted high or low),
+    - {e bit flips} on read data (bus noise, marginal timing),
+    - {e dropped} and {e duplicated} writes (posted-write bridges
+      misbehaving),
+    - {e transient bus faults} surfaced as a {!Bus_fault} exception
+      (master abort / target abort).
+
+    Every fired fault is counted per plan and appended to an
+    inspectable injection trace, so tests and the fault campaign can
+    distinguish "nothing fired" from "fired and the driver coped". *)
+
+exception Bus_fault of string
+(** A transient bus-level failure. Drivers recover from these with the
+    {!Policy} combinators; an escaped [Bus_fault] means the driver has
+    no error path for the access that raised it. *)
+
+type op = Read | Write
+
+type kind =
+  | Stuck_bits of { and_mask : int; or_mask : int }
+      (** Values are rewritten to [(v land and_mask) lor or_mask] —
+          stuck-at-0 via a cleared [and_mask] bit, stuck-at-1 via a set
+          [or_mask] bit. Fires (and counts) only when the rewrite
+          changes the value. Deterministic: no probability draw. *)
+  | Flip_bits of { mask : int; probability : float }
+      (** XORs [mask] into the value with the given per-operation
+          probability. *)
+  | Drop_write of { probability : float }
+      (** The write never reaches the device; the caller cannot tell. *)
+  | Duplicate_write of { probability : float }
+      (** The write is performed twice — harmless on idempotent
+          registers, destructive on triggers and data FIFOs. *)
+  | Transient of { probability : float }
+      (** The operation raises {!Bus_fault} {e before} touching the
+          device, so a retry observes a clean device state. *)
+
+type plan = {
+  label : string;  (** Names the plan in traces and counters. *)
+  first : int;  (** First address covered (inclusive). *)
+  last : int;  (** Last address covered (inclusive). *)
+  ops : op list;  (** Which directions the plan applies to. *)
+  kind : kind;
+  budget : int option;
+      (** Maximum number of injections; [None] is unlimited. A budget
+          turns a plan into a burst — e.g. "the first two transfers
+          fault, then the device behaves" — which is how recovery is
+          demonstrated deterministically. *)
+}
+
+val plan :
+  ?ops:op list -> ?budget:int -> label:string -> first:int -> last:int ->
+  kind -> plan
+(** Plan constructor; [ops] defaults to both directions. *)
+
+type event = {
+  seq : int;  (** Global operation sequence number when the fault fired. *)
+  plan_label : string;
+  op : op;
+  addr : int;
+  width : int;
+  detail : string;  (** Human-readable description of the mutation. *)
+}
+
+type t
+
+val wrap : ?seed:int -> plans:plan list -> Bus.t -> t
+(** [wrap ~seed ~plans bus] builds an injector over [bus]. With an
+    empty plan list the wrapped bus is observationally identical to
+    [bus]. The default seed is 0. *)
+
+val bus : t -> Bus.t
+(** The faulty bus to hand to drivers and instances. *)
+
+val operations : t -> int
+(** Total bus operations (block elements counted individually) that
+    flowed through the injector. *)
+
+val injection_count : t -> int
+(** Total faults fired across all plans. *)
+
+val injections_for : t -> string -> int
+(** Faults fired by the plans with the given label. *)
+
+val events : t -> event list
+(** The injection trace, oldest first. *)
+
+val reset : t -> unit
+(** Clears counters and the trace; plan budgets are restored to their
+    initial allowance. The PRNG state is {e not} rewound. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,108 @@
+type error =
+  | Timeout of string
+  | Device_fault of string
+  | Bus_fault of string
+  | Degraded of string
+
+exception Driver_error of error
+
+let error_to_string = function
+  | Timeout m -> "timeout: " ^ m
+  | Device_fault m -> "device fault: " ^ m
+  | Bus_fault m -> "bus fault: " ^ m
+  | Degraded m -> "degraded: " ^ m
+
+let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
+let fail e = raise (Driver_error e)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match int_of_string_opt s with Some v when v > 0 -> v | _ -> default)
+  | None -> default
+
+let poll_deadline = ref (env_int "DEVIL_POLL_DEADLINE" 1_000_000)
+let retry_attempts = ref (env_int "DEVIL_RETRY_ATTEMPTS" 3)
+let default_deadline () = !poll_deadline
+let set_default_deadline n = if n > 0 then poll_deadline := n
+let default_attempts () = !retry_attempts
+let set_default_attempts n = if n > 0 then retry_attempts := n
+
+let is_transient = function
+  | Fault.Bus_fault _ -> true
+  | Driver_error (Bus_fault _ | Device_fault _) -> true
+  | _ -> false
+
+let describe_exn = function
+  | Driver_error e -> error_to_string e
+  | Fault.Bus_fault m -> "bus fault: " ^ m
+  | Instance.Device_error m -> "device error: " ^ m
+  | e -> Printexc.to_string e
+
+let with_retries ?attempts ?(retry_on = is_transient)
+    ?(on_retry = fun ~attempt:_ _ -> ()) ~label f =
+  let attempts =
+    max 1 (match attempts with Some n -> n | None -> !retry_attempts)
+  in
+  let rec go attempt =
+    try f ()
+    with e when retry_on e ->
+      if attempt >= attempts then
+        fail
+          (Degraded
+             (Printf.sprintf "%s: gave up after %d attempts (last: %s)" label
+                attempts (describe_exn e)))
+      else begin
+        on_retry ~attempt e;
+        go (attempt + 1)
+      end
+  in
+  go 1
+
+let no_backoff (_ : int) = 0
+let linear_backoff step i = max 0 (step * i)
+
+let exponential_backoff ?(base = 1) ?(cap = 1024) i =
+  min cap (max 1 base * (1 lsl min i 20))
+
+(* The shared poll core: iteration [i] costs [1 + backoff i] ticks, so
+   the condition runs at most [deadline] times and the loop provably
+   terminates within the budget. *)
+let poll_core ?deadline ?(backoff = no_backoff) cond =
+  let deadline =
+    match deadline with Some d -> d | None -> !poll_deadline
+  in
+  let rec go i spent =
+    if spent >= deadline then false
+    else if cond () then true
+    else go (i + 1) (spent + 1 + max 0 (backoff i))
+  in
+  go 0 0
+
+let try_poll ?deadline ?backoff cond = poll_core ?deadline ?backoff cond
+
+let poll_until ?deadline ?backoff ~label cond =
+  if not (poll_core ?deadline ?backoff cond) then fail (Timeout label)
+
+let try_poll_for ?deadline ?backoff f =
+  let result = ref None in
+  ignore
+    (poll_core ?deadline ?backoff (fun () ->
+         match f () with
+         | Some v ->
+             result := Some v;
+             true
+         | None -> false));
+  !result
+
+let poll_for ?deadline ?backoff ~label f =
+  match try_poll_for ?deadline ?backoff f with
+  | Some v -> v
+  | None -> fail (Timeout label)
+
+let guarded ~label f =
+  try f () with
+  | Driver_error _ as e -> raise e
+  | Fault.Bus_fault m -> fail (Bus_fault (label ^ ": " ^ m))
+  | Instance.Device_error m -> fail (Device_fault (label ^ ": " ^ m))
+  | Failure m -> fail (Device_fault (label ^ ": " ^ m))

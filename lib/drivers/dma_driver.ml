@@ -1,4 +1,5 @@
 module Instance = Devil_runtime.Instance
+module Policy = Devil_runtime.Policy
 module Value = Devil_ir.Value
 
 type transfer = Read_memory | Write_memory | Verify
@@ -54,12 +55,19 @@ module Devil_driver = struct
     Instance.get_struct t "dma_status";
     match Instance.get t "terminal_count" with
     | Value.Int tc -> tc land (1 lsl channel) <> 0
-    | _ -> false
+    | v ->
+        Policy.fail
+          (Policy.Device_fault
+             ("terminal_count: expected int, got " ^ Value.to_string v))
 
   let readback_address t channel =
     match Instance.get t (Printf.sprintf "address%d" channel) with
     | Value.Int v -> v
-    | _ -> 0
+    | v ->
+        Policy.fail
+          (Policy.Device_fault
+             (Printf.sprintf "address%d: expected int, got %s" channel
+                (Value.to_string v)))
 end
 
 module Handcrafted = struct

@@ -1,4 +1,5 @@
 module Instance = Devil_runtime.Instance
+module Policy = Devil_runtime.Policy
 module Value = Devil_ir.Value
 
 type rect = { x : int; y : int; w : int; h : int }
@@ -22,8 +23,7 @@ module Devil_driver = struct
     | _ -> 0
 
   let wait_fifo t n =
-    let rec go () = if free_entries t < n then go () in
-    go ()
+    Policy.poll_until ~label:"gfx: FIFO space" (fun () -> free_entries t >= n)
 
   let set_depth t depth =
     wait_fifo t 1;
@@ -31,12 +31,10 @@ module Devil_driver = struct
     t.depth <- depth
 
   let sync t =
-    let rec go () =
-      match Instance.get t.inst "engine_busy" with
-      | Value.Bool true -> go ()
-      | _ -> ()
-    in
-    go ()
+    Policy.poll_until ~label:"gfx: engine idle" (fun () ->
+        match Instance.get t.inst "engine_busy" with
+        | Value.Bool true -> false
+        | _ -> true)
 
   let send_state t ~color =
     Instance.set t.inst "raster_op" (Value.Int 0x3);
@@ -92,16 +90,14 @@ module Handcrafted = struct
     t.bus.Devil_runtime.Bus.write ~width:32 ~addr:(t.mmio_base + off) ~value:v
 
   let wait_fifo t n =
-    let rec go () = if rd t 0 < n then go () in
-    go ()
+    Policy.poll_until ~label:"gfx: FIFO space" (fun () -> rd t 0 >= n)
 
   let set_depth t depth =
     wait_fifo t 1;
     wr t 6 depth
 
   let sync t =
-    let rec go () = if rd t 7 <> 0 then go () in
-    go ()
+    Policy.poll_until ~label:"gfx: engine idle" (fun () -> rd t 7 = 0)
 
   let send_state t ~color =
     wr t 10 0x3;

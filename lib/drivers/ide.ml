@@ -1,4 +1,5 @@
 module Instance = Devil_runtime.Instance
+module Policy = Devil_runtime.Policy
 module Value = Devil_ir.Value
 
 type data_path = [ `Loop | `Block ]
@@ -43,7 +44,10 @@ module Devil_driver = struct
   let get_bool t name =
     match Instance.get t.ide name with
     | Value.Bool b -> b
-    | v -> failwith (name ^ ": expected bool, got " ^ Value.to_string v)
+    | v ->
+        Policy.fail
+          (Policy.Device_fault
+             (name ^ ": expected bool, got " ^ Value.to_string v))
 
   (* One status poll through the generated struct interface. *)
   let poll_status t =
@@ -51,27 +55,23 @@ module Devil_driver = struct
     (get_bool t "bsy", get_bool t "drq")
 
   let wait_not_busy t =
-    let rec go n =
-      if n = 0 then failwith "ide: timeout waiting for BSY to clear";
-      let bsy, _ = poll_status t in
-      if bsy then go (n - 1)
-    in
-    go 1_000_000
+    Policy.poll_until ~label:"ide: BSY clear" (fun () ->
+        let bsy, _ = poll_status t in
+        not bsy)
 
   let wait_drq t =
     (* The per-interrupt service path of the Devil driver: the status
        structure, the error variable and the alternate status are
        distinct interface entities, each costing one I/O operation
        (paper §4.3: "2 additional operations for each interrupt"). *)
-    let rec go n =
-      if n = 0 then failwith "ide: timeout waiting for DRQ";
-      let bsy, drq = poll_status t in
-      if bsy || not drq then go (n - 1)
-    in
-    go 1_000_000;
+    Policy.poll_until ~label:"ide: DRQ" (fun () ->
+        let bsy, drq = poll_status t in
+        (not bsy) && drq);
     (match Instance.get t.ide "error_flags" with
     | Value.Int 0 -> ()
-    | Value.Int e -> failwith (Printf.sprintf "ide: device error %#x" e)
+    | Value.Int e ->
+        Policy.fail
+          (Policy.Device_fault (Printf.sprintf "ide: device error %#x" e))
     | _ -> ());
     ignore (Instance.get t.ide "alt_status")
 
@@ -133,42 +133,49 @@ module Devil_driver = struct
     String.trim (Buffer.contents b)
 
   (* Sectors arrive in DRQ blocks of [mult] sectors (hdparm -m); the
-     driver services one interrupt per block. *)
+     driver services one interrupt per block.
+
+     The whole command is the retry unit: issuing a fresh READ/WRITE
+     SECTORS resets the device's transfer state, so a transient bus
+     fault anywhere in the exchange — status poll, task-file write or
+     data burst — is recovered by starting over with bounded
+     attempts. *)
   let read_sectors t ~lba ~count ~mult ~path ~width =
-    setup_command t ~lba ~count ~cmd:"READ_SECTORS";
-    let out = Buffer.create (count * sector_bytes) in
-    let remaining = ref count in
-    while !remaining > 0 do
-      let n = min mult !remaining in
-      wait_drq t;
-      let words = read_data_words t ~path ~width ~words:(n * words_per_sector) in
-      Buffer.add_bytes out (words_to_bytes words);
-      remaining := !remaining - n
-    done;
-    Buffer.to_bytes out
+    Policy.with_retries ~label:"ide: read_sectors" (fun () ->
+        setup_command t ~lba ~count ~cmd:"READ_SECTORS";
+        let out = Buffer.create (count * sector_bytes) in
+        let remaining = ref count in
+        while !remaining > 0 do
+          let n = min mult !remaining in
+          wait_drq t;
+          let words =
+            read_data_words t ~path ~width ~words:(n * words_per_sector)
+          in
+          Buffer.add_bytes out (words_to_bytes words);
+          remaining := !remaining - n
+        done;
+        Buffer.to_bytes out)
 
   let write_sectors t ~lba ~count ~mult ~path ~width data =
     if Bytes.length data <> count * sector_bytes then
       invalid_arg "ide write: data size mismatch";
-    setup_command t ~lba ~count ~cmd:"WRITE_SECTORS";
-    let remaining = ref count and s = ref 0 in
-    while !remaining > 0 do
-      let n = min mult !remaining in
-      wait_drq t;
-      let chunk = Bytes.sub data (!s * sector_bytes) (n * sector_bytes) in
-      write_data_words t ~path ~width (bytes_to_words chunk);
-      remaining := !remaining - n;
-      s := !s + n
-    done
+    Policy.with_retries ~label:"ide: write_sectors" (fun () ->
+        setup_command t ~lba ~count ~cmd:"WRITE_SECTORS";
+        let remaining = ref count and s = ref 0 in
+        while !remaining > 0 do
+          let n = min mult !remaining in
+          wait_drq t;
+          let chunk = Bytes.sub data (!s * sector_bytes) (n * sector_bytes) in
+          write_data_words t ~path ~width (bytes_to_words chunk);
+          remaining := !remaining - n;
+          s := !s + n
+        done)
 
   let bm_wait_irq t =
-    let rec go n =
-      if n = 0 then failwith "ide dma: timeout";
-      match Instance.get t.piix4 "bm_irq" with
-      | Value.Enum "RAISED" -> ()
-      | _ -> go (n - 1)
-    in
-    go 1_000_000
+    Policy.poll_until ~label:"ide dma: IRQ" (fun () ->
+        match Instance.get t.piix4 "bm_irq" with
+        | Value.Enum "RAISED" -> true
+        | _ -> false)
 
   let dma_common t ~lba ~count ~to_memory ~cmd =
     setup_command t ~lba ~count ~cmd;
@@ -181,14 +188,16 @@ module Devil_driver = struct
     Instance.set t.piix4 "bm_engine" (Value.Enum "BM_STOP")
 
   let read_dma t ~memory ~lba ~count =
-    dma_common t ~lba ~count ~to_memory:true ~cmd:"READ_DMA";
+    Policy.with_retries ~label:"ide: read_dma" (fun () ->
+        dma_common t ~lba ~count ~to_memory:true ~cmd:"READ_DMA");
     Bytes.sub memory 0 (count * sector_bytes)
 
   let write_dma t ~memory ~lba ~count data =
     if Bytes.length data <> count * sector_bytes then
       invalid_arg "ide dma write: data size mismatch";
     Bytes.blit data 0 memory 0 (Bytes.length data);
-    dma_common t ~lba ~count ~to_memory:false ~cmd:"WRITE_DMA"
+    Policy.with_retries ~label:"ide: write_dma" (fun () ->
+        dma_common t ~lba ~count ~to_memory:false ~cmd:"WRITE_DMA")
 end
 
 module Handcrafted = struct
@@ -209,21 +218,16 @@ module Handcrafted = struct
   let inb t base off = t.bus.Devil_runtime.Bus.read ~width:8 ~addr:(base + off)
 
   let wait_not_busy t =
-    let rec go n =
-      if n = 0 then failwith "ide: timeout waiting for BSY";
-      if inb t t.cmd_base 7 land 0x80 <> 0 then go (n - 1)
-    in
-    go 1_000_000
+    Policy.poll_until ~label:"ide: BSY clear" (fun () ->
+        inb t t.cmd_base 7 land 0x80 = 0)
 
   (* The original driver's interrupt service: one status read. *)
   let wait_drq t =
-    let rec go n =
-      if n = 0 then failwith "ide: timeout waiting for DRQ";
-      let st = inb t t.cmd_base 7 in
-      if st land 0x01 <> 0 then failwith "ide: device error";
-      if st land 0x88 <> 0x08 then go (n - 1)
-    in
-    go 1_000_000
+    Policy.poll_until ~label:"ide: DRQ" (fun () ->
+        let st = inb t t.cmd_base 7 in
+        if st land 0x01 <> 0 then
+          Policy.fail (Policy.Device_fault "ide: device error");
+        st land 0x88 = 0x08)
 
   let setup_command t ~lba ~count ~cmd =
     wait_not_busy t;
@@ -270,38 +274,40 @@ module Handcrafted = struct
           (dwords_of_words words)
 
   let read_sectors t ~lba ~count ~mult ~path ~width =
-    setup_command t ~lba ~count ~cmd:0x20;
-    let out = Buffer.create (count * sector_bytes) in
-    let remaining = ref count in
-    while !remaining > 0 do
-      let n = min mult !remaining in
-      wait_drq t;
-      let words = read_data_words t ~path ~width ~words:(n * words_per_sector) in
-      Buffer.add_bytes out (words_to_bytes words);
-      remaining := !remaining - n
-    done;
-    Buffer.to_bytes out
+    Policy.with_retries ~label:"ide: read_sectors" (fun () ->
+        setup_command t ~lba ~count ~cmd:0x20;
+        let out = Buffer.create (count * sector_bytes) in
+        let remaining = ref count in
+        while !remaining > 0 do
+          let n = min mult !remaining in
+          wait_drq t;
+          let words =
+            read_data_words t ~path ~width ~words:(n * words_per_sector)
+          in
+          Buffer.add_bytes out (words_to_bytes words);
+          remaining := !remaining - n
+        done;
+        Buffer.to_bytes out)
 
   let write_sectors t ~lba ~count ~mult ~path ~width data =
     if Bytes.length data <> count * sector_bytes then
       invalid_arg "ide write: data size mismatch";
-    setup_command t ~lba ~count ~cmd:0x30;
-    let remaining = ref count and s = ref 0 in
-    while !remaining > 0 do
-      let n = min mult !remaining in
-      wait_drq t;
-      write_data_words t ~path ~width
-        (bytes_to_words (Bytes.sub data (!s * sector_bytes) (n * sector_bytes)));
-      remaining := !remaining - n;
-      s := !s + n
-    done
+    Policy.with_retries ~label:"ide: write_sectors" (fun () ->
+        setup_command t ~lba ~count ~cmd:0x30;
+        let remaining = ref count and s = ref 0 in
+        while !remaining > 0 do
+          let n = min mult !remaining in
+          wait_drq t;
+          write_data_words t ~path ~width
+            (bytes_to_words
+               (Bytes.sub data (!s * sector_bytes) (n * sector_bytes)));
+          remaining := !remaining - n;
+          s := !s + n
+        done)
 
   let bm_wait_irq t =
-    let rec go n =
-      if n = 0 then failwith "ide dma: timeout";
-      if inb t t.bm_base 2 land 0x04 = 0 then go (n - 1)
-    in
-    go 1_000_000
+    Policy.poll_until ~label:"ide dma: IRQ" (fun () ->
+        inb t t.bm_base 2 land 0x04 <> 0)
 
   let dma_common t ~lba ~count ~to_memory ~cmd =
     setup_command t ~lba ~count ~cmd;
@@ -313,12 +319,14 @@ module Handcrafted = struct
     outb t t.bm_base 0 0x00
 
   let read_dma t ~memory ~lba ~count =
-    dma_common t ~lba ~count ~to_memory:true ~cmd:0xc8;
+    Policy.with_retries ~label:"ide: read_dma" (fun () ->
+        dma_common t ~lba ~count ~to_memory:true ~cmd:0xc8);
     Bytes.sub memory 0 (count * sector_bytes)
 
   let write_dma t ~memory ~lba ~count data =
     if Bytes.length data <> count * sector_bytes then
       invalid_arg "ide dma write: data size mismatch";
     Bytes.blit data 0 memory 0 (Bytes.length data);
-    dma_common t ~lba ~count ~to_memory:false ~cmd:0xca
+    Policy.with_retries ~label:"ide: write_dma" (fun () ->
+        dma_common t ~lba ~count ~to_memory:false ~cmd:0xca)
 end

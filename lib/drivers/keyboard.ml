@@ -1,5 +1,11 @@
 module Instance = Devil_runtime.Instance
+module Policy = Devil_runtime.Policy
 module Value = Devil_ir.Value
+
+(* Protocol answers arrive quickly or not at all; a missing answer is
+   part of the protocol (the caller reports [false]), so the bound is
+   local and much shorter than the global poll deadline. *)
+let answer_deadline = 1000
 
 module Devil_driver = struct
   type t = Instance.t
@@ -16,12 +22,8 @@ module Devil_driver = struct
     match Instance.get t "kbd_data" with Value.Int v -> v | _ -> 0
 
   let wait_data t =
-    let rec go n =
-      if n = 0 then None
-      else if output_full t then Some (read_data t)
-      else go (n - 1)
-    in
-    go 1000
+    Policy.try_poll_for ~deadline:answer_deadline (fun () ->
+        if output_full t then Some (read_data t) else None)
 
   let init t =
     Instance.set t "controller_command" (Value.Enum "SELF_TEST");
@@ -61,12 +63,8 @@ module Handcrafted = struct
   let read_data t = inb t t.data_base
 
   let wait_data t =
-    let rec go n =
-      if n = 0 then None
-      else if output_full t then Some (read_data t)
-      else go (n - 1)
-    in
-    go 1000
+    Policy.try_poll_for ~deadline:answer_deadline (fun () ->
+        if output_full t then Some (read_data t) else None)
 
   let init t =
     outb t t.ctl_base 0xaa;

@@ -4,6 +4,7 @@ module Io_space = Hwsim.Io_space
 type t = {
   space : Io_space.t;
   bus : Devil_runtime.Bus.t;
+  injector : Devil_runtime.Fault.t option;
   mouse : Hwsim.Busmouse.t;
   disk : Hwsim.Ide_disk.t;
   busmaster : Hwsim.Piix4.t;
@@ -45,7 +46,7 @@ let rtc_data_base = 0x71
 let kbd_data_base = 0x60
 let kbd_ctl_base = 0x64
 
-let create ?(debug = false) () =
+let create ?(debug = false) ?faults ?fault_seed () =
   let space = Io_space.create () in
   let mouse = Hwsim.Busmouse.create () in
   let disk = Hwsim.Ide_disk.create () in
@@ -84,11 +85,24 @@ let create ?(debug = false) () =
     (Hwsim.I8042.data_model kbd);
   Io_space.attach space ~base:kbd_ctl_base ~size:1
     (Hwsim.I8042.control_model kbd);
-  let bus = Io_space.bus space in
+  (* The injector wraps the raw bus, so Devil instances and handcrafted
+     drivers alike see the same injected faults. *)
+  let raw_bus = Io_space.bus space in
+  let injector =
+    Option.map
+      (fun plans -> Devil_runtime.Fault.wrap ?seed:fault_seed ~plans raw_bus)
+      faults
+  in
+  let bus =
+    match injector with
+    | None -> raw_bus
+    | Some inj -> Devil_runtime.Fault.bus inj
+  in
   let mk device bases = Instance.create ~debug device ~bus ~bases in
   {
     space;
     bus;
+    injector;
     mouse;
     disk;
     busmaster;

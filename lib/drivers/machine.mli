@@ -7,6 +7,9 @@ module Instance = Devil_runtime.Instance
 type t = {
   space : Hwsim.Io_space.t;
   bus : Devil_runtime.Bus.t;
+  injector : Devil_runtime.Fault.t option;
+      (** Present when the machine was built with [?faults]; exposes
+          the injection trace and counters. *)
   (* device models *)
   mouse : Hwsim.Busmouse.t;
   disk : Hwsim.Ide_disk.t;
@@ -65,9 +68,17 @@ val kbd_data_base : int  (** 0x60 *)
 
 val kbd_ctl_base : int  (** 0x64 *)
 
-val create : ?debug:bool -> unit -> t
+val create :
+  ?debug:bool ->
+  ?faults:Devil_runtime.Fault.plan list ->
+  ?fault_seed:int ->
+  unit ->
+  t
 (** Builds the machine. [debug] enables the §3.2 dynamic checks in
-    every Devil instance. *)
+    every Devil instance. [faults] interposes a deterministic fault
+    injector (seeded by [fault_seed]) between every driver — Devil or
+    handcrafted — and the device models; the resulting injector is
+    exposed as {!field-injector}. *)
 
 val reset_io_stats : t -> unit
 val io_ops : t -> int

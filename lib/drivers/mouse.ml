@@ -1,4 +1,5 @@
 module Instance = Devil_runtime.Instance
+module Policy = Devil_runtime.Policy
 module Value = Devil_ir.Value
 
 type state = { dx : int; dy : int; buttons : int }
@@ -27,7 +28,10 @@ module Devil_driver = struct
     let int_of name =
       match Instance.get t name with
       | Value.Int v -> v
-      | v -> failwith ("unexpected value for " ^ name ^ ": " ^ Value.to_string v)
+      | v ->
+          Policy.fail
+            (Policy.Device_fault
+               ("unexpected value for " ^ name ^ ": " ^ Value.to_string v))
     in
     { dx = int_of "dx"; dy = int_of "dy"; buttons = int_of "buttons" }
 end

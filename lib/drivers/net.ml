@@ -1,4 +1,5 @@
 module Instance = Devil_runtime.Instance
+module Policy = Devil_runtime.Policy
 module Value = Devil_ir.Value
 
 let tx_page = 0x40
@@ -8,7 +9,9 @@ let rx_stop = 0x80
 let get_int inst name =
   match Instance.get inst name with
   | Value.Int v -> v
-  | v -> failwith (name ^ ": expected int, got " ^ Value.to_string v)
+  | v ->
+      Policy.fail
+        (Policy.Device_fault (name ^ ": expected int, got " ^ Value.to_string v))
 
 module Devil_driver = struct
   type t = Instance.t
@@ -78,19 +81,32 @@ module Devil_driver = struct
     Instance.set t "irq_mask" (Value.Int 0x3f);
     Instance.set t "st" (Value.Enum "START")
 
-  let init t ~mac = init_common t ~mac ~loopback:false
-  let init_loopback t ~mac = init_common t ~mac ~loopback:true
+  (* Bring-up is pure configuration plus STOP/START, so the whole
+     sequence is idempotent and retried as one unit when the bus
+     faults transiently. *)
+  let init t ~mac =
+    Policy.with_retries ~label:"net: init" (fun () ->
+        init_common t ~mac ~loopback:false)
+
+  let init_loopback t ~mac =
+    Policy.with_retries ~label:"net: init" (fun () ->
+        init_common t ~mac ~loopback:true)
 
   let station_address t =
     String.init 6 (fun i -> Char.chr (get_int t (Printf.sprintf "mac%d" i)))
 
   let send t frame =
-    remote_write t ~addr:(tx_page * 256) frame;
-    Instance.set t "tx_page_start" (Value.Int tx_page);
-    Instance.set t "tx_byte_count" (Value.Int (String.length frame));
-    Instance.set t "txp" (Value.Enum "TRANSMIT")
+    (* A transient fault aborts the access before it reaches the NIC,
+       so no partial frame has been committed when we start over; the
+       TRANSMIT trigger is the last write of the sequence. *)
+    Policy.with_retries ~label:"net: send" (fun () ->
+        remote_write t ~addr:(tx_page * 256) frame;
+        Instance.set t "tx_page_start" (Value.Int tx_page);
+        Instance.set t "tx_byte_count" (Value.Int (String.length frame));
+        Instance.set t "txp" (Value.Enum "TRANSMIT"))
 
   let receive t =
+    Policy.with_retries ~label:"net: receive" @@ fun () ->
     let curr = get_int t "current_page" in
     let bnry = get_int t "boundary" in
     if curr = bnry then None

@@ -1,4 +1,5 @@
 module Instance = Devil_runtime.Instance
+module Policy = Devil_runtime.Policy
 module Value = Devil_ir.Value
 
 module Devil_driver = struct
@@ -26,19 +27,24 @@ module Devil_driver = struct
 
   let set_mask t mask = Instance.set t "irq_mask" (Value.Int (mask land 0xff))
 
-  let read_mask t =
-    match Instance.get t "irq_mask" with Value.Int v -> v | _ -> 0
+  let expect_int name = function
+    | Value.Int v -> v
+    | v ->
+        Policy.fail
+          (Policy.Device_fault
+             (name ^ ": expected int, got " ^ Value.to_string v))
 
+  let read_mask t = expect_int "irq_mask" (Instance.get t "irq_mask")
   let mask_line t line = set_mask t (read_mask t lor (1 lsl line))
   let unmask_line t line = set_mask t (read_mask t land lnot (1 lsl line))
 
   let pending_requests t =
     Instance.set t "read_select" (Value.Enum "READ_IRR");
-    match Instance.get t "irq_request" with Value.Int v -> v | _ -> 0
+    expect_int "irq_request" (Instance.get t "irq_request")
 
   let in_service t =
     Instance.set t "read_select" (Value.Enum "READ_ISR");
-    match Instance.get t "in_service" with Value.Int v -> v | _ -> 0
+    expect_int "in_service" (Instance.get t "in_service")
 
   let eoi t = Instance.set t "eoi_command" (Value.Enum "NON_SPECIFIC_EOI")
 

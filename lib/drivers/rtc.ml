@@ -1,7 +1,12 @@
 module Instance = Devil_runtime.Instance
+module Policy = Devil_runtime.Policy
 module Value = Devil_ir.Value
 
 type time = { hours : int; minutes : int; seconds : int }
+
+(* The update flag clears within one RTC cycle; an expiry is tolerated
+   because the double-sample in [read_time] catches torn reads. *)
+let update_deadline = 10_000
 
 module Devil_driver = struct
   type t = Instance.t
@@ -12,13 +17,11 @@ module Devil_driver = struct
     match Instance.get t name with Value.Int v -> v | _ -> 0
 
   let wait_update_window t =
-    let rec go n =
-      if n > 0 then
-        match Instance.get t "update_in_progress" with
-        | Value.Bool true -> go (n - 1)
-        | _ -> ()
-    in
-    go 10_000
+    ignore
+      (Policy.try_poll ~deadline:update_deadline (fun () ->
+           match Instance.get t "update_in_progress" with
+           | Value.Bool true -> false
+           | _ -> true))
 
   let sample t =
     {
@@ -72,8 +75,9 @@ module Handcrafted = struct
     t.bus.Devil_runtime.Bus.write ~width:8 ~addr:t.data_base ~value:v
 
   let wait_update_window t =
-    let rec go n = if n > 0 && read_reg t 10 land 0x80 <> 0 then go (n - 1) in
-    go 10_000
+    ignore
+      (Policy.try_poll ~deadline:update_deadline (fun () ->
+           read_reg t 10 land 0x80 = 0))
 
   let sample t =
     { hours = read_reg t 4; minutes = read_reg t 2; seconds = read_reg t 0 }

@@ -1,4 +1,5 @@
 module Instance = Devil_runtime.Instance
+module Policy = Devil_runtime.Policy
 module Value = Devil_ir.Value
 
 let clock = 115200
@@ -8,7 +9,10 @@ module Devil_driver = struct
 
   let create inst = inst
 
+  (* Pure configuration, so the whole sequence is idempotent and can
+     be retried as one unit when the bus faults transiently. *)
   let init t ~baud =
+    Policy.with_retries ~label:"serial: init" @@ fun () ->
     (* The divisor variable's serialization writes DLL then DLM; its
        pre-actions raise DLAB around the access transparently. *)
     Instance.set t "divisor" (Value.Int (clock / baud));
@@ -51,15 +55,38 @@ module Devil_driver = struct
     go max;
     Buffer.contents buf
 
+  (* Like {!recv}, but waits for each byte under a uniform poll
+     deadline instead of giving up on the first empty FIFO read. *)
+  let recv_blocking ?deadline t ~max =
+    let buf = Buffer.create max in
+    (try
+       for _ = 1 to max do
+         Policy.poll_until ?deadline ~label:"serial: RX data" (fun () ->
+             data_ready t);
+         match Instance.get t "rx_data" with
+         | Value.Int c -> Buffer.add_char buf (Char.chr (c land 0xff))
+         | _ -> ()
+       done
+     with Policy.Driver_error (Policy.Timeout _) -> ());
+    Buffer.contents buf
+
   let set_loopback t on = Instance.set t "loopback" (Value.Bool on)
 
+  let reset_fifos t =
+    Instance.set t "rx_fifo_reset" (Value.Bool true);
+    Instance.set t "tx_fifo_reset" (Value.Bool true)
+
   let self_test t =
-    set_loopback t true;
-    let pattern = "\x55\xaa\x5a\xa5devil" in
-    send t pattern;
-    let back = recv t ~max:(String.length pattern) in
-    set_loopback t false;
-    String.equal back pattern
+    (* Each attempt starts from clean FIFOs, so a retry after a
+       transient fault does not read a stale partial pattern. *)
+    Policy.with_retries ~label:"serial: self-test" (fun () ->
+        reset_fifos t;
+        set_loopback t true;
+        let pattern = "\x55\xaa\x5a\xa5devil" in
+        send t pattern;
+        let back = recv_blocking ~deadline:64 t ~max:(String.length pattern) in
+        set_loopback t false;
+        String.equal back pattern)
 end
 
 module Handcrafted = struct
@@ -96,15 +123,28 @@ module Handcrafted = struct
     go max;
     Buffer.contents buf
 
+  let recv_blocking ?deadline t ~max =
+    let buf = Buffer.create max in
+    (try
+       for _ = 1 to max do
+         Policy.poll_until ?deadline ~label:"serial: RX data" (fun () ->
+             data_ready t);
+         Buffer.add_char buf (Char.chr (inb t 0))
+       done
+     with Policy.Driver_error (Policy.Timeout _) -> ());
+    Buffer.contents buf
+
   let set_loopback t on =
     let mcr = inb t 4 in
     outb t 4 (if on then mcr lor 0x10 else mcr land lnot 0x10)
 
   let self_test t =
-    set_loopback t true;
-    let pattern = "\x55\xaa\x5a\xa5devil" in
-    send t pattern;
-    let back = recv t ~max:(String.length pattern) in
-    set_loopback t false;
-    String.equal back pattern
+    Policy.with_retries ~label:"serial: self-test" (fun () ->
+        outb t 2 0x87;  (* FIFO enable + reset before each attempt *)
+        set_loopback t true;
+        let pattern = "\x55\xaa\x5a\xa5devil" in
+        send t pattern;
+        let back = recv_blocking ~deadline:64 t ~max:(String.length pattern) in
+        set_loopback t false;
+        String.equal back pattern)
 end

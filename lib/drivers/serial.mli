@@ -13,11 +13,26 @@ module Devil_driver : sig
   val configured_baud : t -> int
 
   val send : t -> string -> unit
+
   val recv : t -> max:int -> string
+  (** Non-blocking drain: stops at the first empty-FIFO status. *)
+
+  val recv_blocking : ?deadline:int -> t -> max:int -> string
+  (** Waits for each byte under a {!Devil_runtime.Policy} poll deadline
+      (in ticks; default {!Devil_runtime.Policy.default_deadline});
+      returns what arrived when the deadline expires. *)
+
   val data_ready : t -> bool
   val set_loopback : t -> bool -> unit
+
+  val reset_fifos : t -> unit
+  (** Flushes both FIFOs — the per-attempt recovery step of
+      {!self_test}. *)
+
   val self_test : t -> bool
-  (** Loopback self-test: a pattern written comes back verbatim. *)
+  (** Loopback self-test: a pattern written comes back verbatim.
+      Transient bus faults are retried with bounded attempts, each
+      attempt starting from clean FIFOs. *)
 end
 
 module Handcrafted : sig
@@ -27,6 +42,7 @@ module Handcrafted : sig
   val init : t -> baud:int -> unit
   val send : t -> string -> unit
   val recv : t -> max:int -> string
+  val recv_blocking : ?deadline:int -> t -> max:int -> string
   val data_ready : t -> bool
   val set_loopback : t -> bool -> unit
   val self_test : t -> bool

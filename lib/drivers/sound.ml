@@ -1,4 +1,5 @@
 module Instance = Devil_runtime.Instance
+module Policy = Devil_runtime.Policy
 module Value = Devil_ir.Value
 
 module Devil_driver = struct
@@ -19,18 +20,27 @@ module Devil_driver = struct
   let chip_version t =
     match Instance.get t "chip_version" with
     | Value.Int v -> v
-    | _ -> 0
+    | v ->
+        Policy.fail
+          (Policy.Device_fault
+             ("chip_version: expected int, got " ^ Value.to_string v))
 
   let line_gain t gain =
     Instance.set t "line_left_gain" (Value.Int (gain land 0x3f));
     Instance.set t "line_left_mute" (Value.Bool false);
     Instance.set t "line_left_boost" (Value.Bool false)
 
+  (* A transient fault aborts the burst before any sample reaches the
+     FIFO, so the whole block write can be retried as a unit. *)
   let play t samples =
-    Instance.write_block t "pcm_data" (Array.of_list samples)
+    Policy.with_retries ~label:"sound: play" (fun () ->
+        Instance.write_block t "pcm_data" (Array.of_list samples))
 
+  (* Recording consumes the capture FIFO, so a blind retry would skip
+     samples; we only normalize failures into structured errors. *)
   let record t n =
-    Array.to_list (Instance.read_block t "pcm_data" ~count:n)
+    Policy.guarded ~label:"sound: record" (fun () ->
+        Array.to_list (Instance.read_block t "pcm_data" ~count:n))
 end
 
 module Handcrafted = struct

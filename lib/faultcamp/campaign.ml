@@ -1,0 +1,235 @@
+module Machine = Drivers.Machine
+module Fault = Devil_runtime.Fault
+module Policy = Devil_runtime.Policy
+
+type outcome = Clean | Recovered | Detected | Silent
+
+let outcome_label = function
+  | Clean -> "clean"
+  | Recovered -> "recovered"
+  | Detected -> "detected"
+  | Silent -> "silent"
+
+type trial = {
+  driver : string;
+  fault : string;
+  seed : int;
+  injections : int;
+  outcome : outcome;
+  detail : string;
+}
+
+type report = { trials : trial list }
+
+(* {1 Fault classes}
+
+   Each class is instantiated over the target driver's register window
+   so a trial only perturbs the device under test. Probabilities are
+   per-operation; the budgeted transient plan is a deterministic burst
+   (the first two covered accesses abort), sized below the retry
+   allowance so a recovering driver demonstrably recovers. *)
+
+let fault_classes =
+  [ "stuck-bits"; "read-flip"; "dropped-write"; "dup-write"; "transient" ]
+
+let plans_for ~fault ~first ~last =
+  match fault with
+  | "stuck-bits" ->
+      [
+        Fault.plan ~label:fault ~ops:[ Fault.Read ] ~first ~last
+          (Fault.Stuck_bits { and_mask = -1; or_mask = 0x01 });
+      ]
+  | "read-flip" ->
+      [
+        Fault.plan ~label:fault ~ops:[ Fault.Read ] ~first ~last
+          (Fault.Flip_bits { mask = 0x04; probability = 0.25 });
+      ]
+  | "dropped-write" ->
+      [
+        Fault.plan ~label:fault ~ops:[ Fault.Write ] ~first ~last
+          (Fault.Drop_write { probability = 0.2 });
+      ]
+  | "dup-write" ->
+      [
+        Fault.plan ~label:fault ~ops:[ Fault.Write ] ~first ~last
+          (Fault.Duplicate_write { probability = 0.2 });
+      ]
+  | "transient" ->
+      [
+        Fault.plan ~label:fault ~budget:2 ~first ~last
+          (Fault.Transient { probability = 1.0 });
+      ]
+  | f -> invalid_arg ("Campaign.plans_for: unknown fault class " ^ f)
+
+(* {1 Driver workloads}
+
+   Each workload drives a device end to end and then checks the result
+   against ground truth obtained through the simulator's back door
+   (which bypasses the faulty bus), so silent corruption is
+   observable. *)
+
+type verdict =
+  | Verified  (** Driver reported success and the data checks out. *)
+  | Corrupt of string  (** Driver reported success but the data is wrong. *)
+  | Reported of string  (** Driver surfaced a failure. *)
+
+let sector_bytes = Hwsim.Ide_disk.sector_bytes
+
+let pattern n = Bytes.init n (fun i -> Char.chr ((i * 7 + 13) land 0xff))
+
+let ide_read (m : Machine.t) =
+  let count = 4 in
+  let expected = pattern (count * sector_bytes) in
+  for s = 0 to count - 1 do
+    Hwsim.Ide_disk.write_sector m.disk ~lba:(100 + s)
+      (Bytes.sub expected (s * sector_bytes) sector_bytes)
+  done;
+  let d = Drivers.Ide.Devil_driver.create ~ide:m.ide_dev ~piix4:m.piix4_dev in
+  let got =
+    Drivers.Ide.Devil_driver.read_sectors d ~lba:100 ~count ~mult:1
+      ~path:`Loop ~width:`W16
+  in
+  if Bytes.equal got expected then Verified
+  else Corrupt "read data differs from disk contents"
+
+let ide_write (m : Machine.t) =
+  let count = 4 in
+  let data = pattern (count * sector_bytes) in
+  let d = Drivers.Ide.Devil_driver.create ~ide:m.ide_dev ~piix4:m.piix4_dev in
+  Drivers.Ide.Devil_driver.write_sectors d ~lba:200 ~count ~mult:1 ~path:`Loop
+    ~width:`W16 data;
+  let ok = ref true in
+  for s = 0 to count - 1 do
+    let sect = Hwsim.Ide_disk.read_sector m.disk ~lba:(200 + s) in
+    if not (Bytes.equal sect (Bytes.sub data (s * sector_bytes) sector_bytes))
+    then ok := false
+  done;
+  if !ok then Verified else Corrupt "disk contents differ from data written"
+
+let serial_self_test (m : Machine.t) =
+  let u = Drivers.Serial.Devil_driver.create m.uart_dev in
+  Drivers.Serial.Devil_driver.init u ~baud:115200;
+  if Drivers.Serial.Devil_driver.self_test u then Verified
+  else Reported "loopback self-test reported failure"
+
+let net_loopback (m : Machine.t) =
+  let n = Drivers.Net.Devil_driver.create m.ne2000_dev in
+  Drivers.Net.Devil_driver.init_loopback n ~mac:"\x02\x00\x00\x00\x00\x01";
+  let frame = "devil fault campaign loopback frame" in
+  Drivers.Net.Devil_driver.send n frame;
+  match Drivers.Net.Devil_driver.receive n with
+  | Some got when got = frame -> Verified
+  | Some _ -> Corrupt "received frame differs from the one sent"
+  | None -> Reported "no frame in the receive ring after send"
+
+let driver_workloads = [ "ide-read"; "ide-write"; "serial"; "net" ]
+
+let workloads =
+  [
+    ("ide-read", (Machine.ide_base, Machine.ide_base + 7), ide_read);
+    ("ide-write", (Machine.ide_base, Machine.ide_base + 7), ide_write);
+    ("serial", (Machine.uart_base, Machine.uart_base + 7), serial_self_test);
+    ("net", (Machine.ne2000_base, Machine.ne2000_base + 31), net_loopback);
+  ]
+
+(* {1 Trial runner} *)
+
+let run_trial ~driver ~range:(first, last) ~workload ~fault ~seed =
+  let plans = plans_for ~fault ~first ~last in
+  let m = Machine.create ~faults:plans ~fault_seed:seed () in
+  let verdict =
+    (* Anything the driver raises counts as detected: the failure is
+       visible to the caller, which is the property under test. *)
+    try workload m with
+    | Policy.Driver_error e -> Reported (Policy.error_to_string e)
+    | Fault.Bus_fault msg -> Reported ("unhandled bus fault: " ^ msg)
+    | Devil_runtime.Instance.Device_error msg ->
+        Reported ("device error: " ^ msg)
+    | Failure msg -> Reported msg
+  in
+  let injections =
+    match m.injector with Some i -> Fault.injection_count i | None -> 0
+  in
+  let outcome, detail =
+    match verdict with
+    | Verified when injections = 0 -> (Clean, "no faults fired")
+    | Verified ->
+        ( Recovered,
+          Printf.sprintf "verified end to end despite %d injections"
+            injections )
+    | Corrupt d -> ((if injections = 0 then Clean else Silent), d)
+    | Reported d -> (Detected, d)
+  in
+  { driver; fault; seed; injections; outcome; detail }
+
+let default_seeds = [ 1; 2; 3 ]
+
+let run ?(seeds = default_seeds) () =
+  (* Timeout trials would otherwise spin the full default deadline;
+     20k status polls keep the whole matrix under a second. *)
+  let saved = Policy.default_deadline () in
+  Policy.set_default_deadline 20_000;
+  Fun.protect
+    ~finally:(fun () -> Policy.set_default_deadline saved)
+    (fun () ->
+      let trials =
+        List.concat_map
+          (fun (driver, range, workload) ->
+            List.concat_map
+              (fun fault ->
+                List.map
+                  (fun seed -> run_trial ~driver ~range ~workload ~fault ~seed)
+                  seeds)
+              fault_classes)
+          workloads
+      in
+      { trials })
+
+(* {1 Reporting} *)
+
+let count report ~driver ~fault outcome =
+  List.length
+    (List.filter
+       (fun t -> t.driver = driver && t.fault = fault && t.outcome = outcome)
+       report.trials)
+
+let silent_trials report =
+  List.filter (fun t -> t.outcome = Silent) report.trials
+
+let pp_report fmt report =
+  Format.fprintf fmt "%-10s %-14s %7s %9s %10s %7s %6s  %s@." "driver"
+    "fault class" "trials" "detected" "recovered" "silent" "clean" "verdict";
+  List.iter
+    (fun (driver, _, _) ->
+      List.iter
+        (fun fault ->
+          let c o = count report ~driver ~fault o in
+          let detected = c Detected
+          and recovered = c Recovered
+          and silent = c Silent
+          and clean = c Clean in
+          let trials = detected + recovered + silent + clean in
+          let verdict =
+            if silent > 0 then "SILENT CORRUPTION"
+            else if recovered > 0 then "recovers"
+            else if detected > 0 then "fails safe"
+            else "unexercised"
+          in
+          Format.fprintf fmt "%-10s %-14s %7d %9d %10d %7d %6d  %s@." driver
+            fault trials detected recovered silent clean verdict)
+        fault_classes)
+    workloads;
+  let silent = silent_trials report in
+  let injected =
+    List.fold_left (fun acc t -> acc + t.injections) 0 report.trials
+  in
+  Format.fprintf fmt
+    "@.%d trials, %d faults injected, %d silent corruption%s@."
+    (List.length report.trials)
+    injected (List.length silent)
+    (if List.length silent = 1 then "" else "s");
+  List.iter
+    (fun t ->
+      Format.fprintf fmt "  silent: %s / %s seed %d (%d injections): %s@."
+        t.driver t.fault t.seed t.injections t.detail)
+    silent

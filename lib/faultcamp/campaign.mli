@@ -1,0 +1,58 @@
+(** The driver fault-tolerance campaign.
+
+    A campaign runs each driver workload on a fresh {!Drivers.Machine}
+    whose bus is wrapped by a {!Devil_runtime.Fault} injector, once per
+    (driver workload × fault class × seed) cell, and classifies every
+    trial by comparing what the driver {e reported} with what actually
+    {e happened} to the device:
+
+    - {e detected}: the driver (or its recovery policy) surfaced a
+      structured error, or reported the operation as failed;
+    - {e recovered}: faults fired, the driver retried, and the
+      workload's end-to-end data check passed;
+    - {e silent}: the driver reported success but the data is wrong —
+      the outcome a fault campaign exists to expose;
+    - {e clean}: the probabilistic plan happened to fire nothing.
+
+    Runs are deterministic: the injector PRNG is seeded per trial, so
+    the same seeds always reproduce the same table. *)
+
+type outcome = Clean | Recovered | Detected | Silent
+
+val outcome_label : outcome -> string
+
+type trial = {
+  driver : string;  (** Workload name, e.g. ["ide-read"]. *)
+  fault : string;  (** Fault-class name, e.g. ["transient"]. *)
+  seed : int;
+  injections : int;  (** Faults fired during the trial. *)
+  outcome : outcome;
+  detail : string;  (** Error text, mismatch description, or summary. *)
+}
+
+type report = { trials : trial list }
+
+val fault_classes : string list
+(** ["stuck-bits"; "read-flip"; "dropped-write"; "dup-write";
+    "transient"]. *)
+
+val driver_workloads : string list
+(** ["ide-read"; "ide-write"; "serial"; "net"]. *)
+
+val default_seeds : int list
+(** [[1; 2; 3]]. *)
+
+val run : ?seeds:int list -> unit -> report
+(** Runs the full matrix: every workload under every fault class, once
+    per seed. Poll deadlines are temporarily shortened (and restored on
+    exit) so timeout trials complete quickly. *)
+
+val count : report -> driver:string -> fault:string -> outcome -> int
+
+val silent_trials : report -> trial list
+(** All trials classified {!Silent}, across the whole matrix. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** The Table-1-style matrix: one row per driver × fault class, with
+    detected / recovered / silent / clean tallies and a verdict
+    column. *)

@@ -1,0 +1,292 @@
+(* The fault-injection bus and the recovery policies: per-class fault
+   semantics, the injection trace and its counters, retry-based
+   recovery, an end-to-end IDE recovery under a transient burst, and a
+   smoke run of the fault campaign. *)
+
+module Fault = Devil_runtime.Fault
+module Policy = Devil_runtime.Policy
+module Bus = Devil_runtime.Bus
+module Machine = Drivers.Machine
+module Campaign = Faultcamp.Campaign
+
+let case name f = Alcotest.test_case name `Quick f
+
+let rd bus ~addr = bus.Bus.read ~width:8 ~addr
+let wr bus ~addr value = bus.Bus.write ~width:8 ~addr ~value
+
+(* {1 Fault-class semantics}
+
+   Each class is exercised with probability 1.0 (or no draw at all) on
+   a RAM-backed bus, so the expected mutation is exact. *)
+
+let test_stuck_bits () =
+  let inj =
+    Fault.wrap
+      ~plans:
+        [
+          Fault.plan ~label:"stuck" ~ops:[ Fault.Read ] ~first:0 ~last:3
+            (Fault.Stuck_bits { and_mask = lnot 0x02; or_mask = 0x01 });
+        ]
+      (Bus.memory ())
+  in
+  let bus = Fault.bus inj in
+  wr bus ~addr:0 0x06;
+  Alcotest.(check int) "bit1 stuck low, bit0 stuck high" 0x05
+    (rd bus ~addr:0);
+  Alcotest.(check int) "one injection" 1 (Fault.injection_count inj);
+  wr bus ~addr:10 0x06;
+  Alcotest.(check int) "outside the window: unperturbed" 0x06
+    (rd bus ~addr:10);
+  (* A value the masks leave unchanged must not count as a fault. *)
+  wr bus ~addr:1 0x05;
+  Alcotest.(check int) "already-stuck value fires nothing" 0x05
+    (rd bus ~addr:1);
+  Alcotest.(check int) "counter unchanged" 1 (Fault.injections_for inj "stuck")
+
+let test_flip_bits () =
+  let inj =
+    Fault.wrap
+      ~plans:
+        [
+          Fault.plan ~label:"flip" ~ops:[ Fault.Read ] ~first:0 ~last:0
+            (Fault.Flip_bits { mask = 0x81; probability = 1.0 });
+        ]
+      (Bus.memory ())
+  in
+  let bus = Fault.bus inj in
+  wr bus ~addr:0 0x10;
+  Alcotest.(check int) "mask xored into the read" 0x91 (rd bus ~addr:0);
+  Alcotest.(check int) "write side untouched" 1 (Fault.injection_count inj)
+
+let test_drop_write () =
+  let inj =
+    Fault.wrap
+      ~plans:
+        [
+          Fault.plan ~label:"drop" ~ops:[ Fault.Write ] ~budget:1 ~first:1
+            ~last:1
+            (Fault.Drop_write { probability = 1.0 });
+        ]
+      (Bus.memory ())
+  in
+  let bus = Fault.bus inj in
+  wr bus ~addr:1 0xaa;
+  Alcotest.(check int) "first write never lands" 0 (rd bus ~addr:1);
+  wr bus ~addr:1 0xbb;
+  Alcotest.(check int) "budget spent: second write lands" 0xbb
+    (rd bus ~addr:1);
+  Alcotest.(check int) "one injection" 1 (Fault.injection_count inj)
+
+let test_duplicate_write () =
+  let counted, count = Bus.counting (Bus.memory ()) in
+  let inj =
+    Fault.wrap
+      ~plans:
+        [
+          Fault.plan ~label:"dup" ~ops:[ Fault.Write ] ~budget:1 ~first:2
+            ~last:2
+            (Fault.Duplicate_write { probability = 1.0 });
+        ]
+      counted
+  in
+  let bus = Fault.bus inj in
+  wr bus ~addr:2 7;
+  Alcotest.(check int) "the device saw the write twice" 2 (count ());
+  wr bus ~addr:2 8;
+  Alcotest.(check int) "budget spent: single write" 3 (count ())
+
+let test_transient () =
+  let inj =
+    Fault.wrap
+      ~plans:
+        [
+          Fault.plan ~label:"transient" ~budget:2 ~first:0 ~last:3
+            (Fault.Transient { probability = 1.0 });
+        ]
+      (Bus.memory ())
+  in
+  let bus = Fault.bus inj in
+  let faulted f = match f () with
+    | _ -> false
+    | exception Fault.Bus_fault _ -> true
+  in
+  Alcotest.(check bool) "first access aborts" true
+    (faulted (fun () -> rd bus ~addr:0));
+  Alcotest.(check bool) "second access aborts" true
+    (faulted (fun () -> wr bus ~addr:1 5));
+  (* The aborted write must not have reached the device. *)
+  Alcotest.(check int) "aborted write never landed" 0 (rd bus ~addr:1);
+  wr bus ~addr:1 5;
+  Alcotest.(check int) "bus healthy after the burst" 5 (rd bus ~addr:1);
+  Alcotest.(check int) "two injections" 2 (Fault.injection_count inj)
+
+(* {1 Trace and counters} *)
+
+let test_trace_and_reset () =
+  let inj =
+    Fault.wrap
+      ~plans:
+        [
+          Fault.plan ~label:"flip" ~ops:[ Fault.Read ] ~first:0 ~last:0
+            (Fault.Flip_bits { mask = 0x01; probability = 1.0 });
+        ]
+      (Bus.memory ())
+  in
+  let bus = Fault.bus inj in
+  for _ = 1 to 3 do
+    ignore (rd bus ~addr:0)
+  done;
+  let events = Fault.events inj in
+  Alcotest.(check int) "three events" 3 (List.length events);
+  let seqs = List.map (fun (e : Fault.event) -> e.seq) events in
+  Alcotest.(check bool) "sequence numbers increase" true
+    (List.sort compare seqs = seqs && List.sort_uniq compare seqs = seqs);
+  List.iter
+    (fun (e : Fault.event) ->
+      Alcotest.(check string) "label" "flip" e.plan_label;
+      Alcotest.(check int) "address" 0 e.addr;
+      Alcotest.(check bool) "detail rendered" true
+        (String.length (Format.asprintf "%a" Fault.pp_event e) > 0))
+    events;
+  Alcotest.(check bool) "operations counted" true (Fault.operations inj >= 3);
+  Fault.reset inj;
+  Alcotest.(check int) "reset clears the trace" 0
+    (List.length (Fault.events inj));
+  Alcotest.(check int) "reset clears counters" 0 (Fault.injection_count inj)
+
+let test_reset_restores_budget () =
+  let inj =
+    Fault.wrap
+      ~plans:
+        [
+          Fault.plan ~label:"t" ~budget:1 ~first:0 ~last:0
+            (Fault.Transient { probability = 1.0 });
+        ]
+      (Bus.memory ())
+  in
+  let bus = Fault.bus inj in
+  (try ignore (rd bus ~addr:0) with Fault.Bus_fault _ -> ());
+  ignore (rd bus ~addr:0);
+  Fault.reset inj;
+  let refired =
+    match rd bus ~addr:0 with
+    | _ -> false
+    | exception Fault.Bus_fault _ -> true
+  in
+  Alcotest.(check bool) "budget restored by reset" true refired
+
+(* {1 Recovery combinators against a faulty bus} *)
+
+let test_with_retries_recovers () =
+  let inj =
+    Fault.wrap
+      ~plans:
+        [
+          Fault.plan ~label:"t" ~budget:2 ~first:0 ~last:0
+            (Fault.Transient { probability = 1.0 });
+        ]
+      (Bus.memory ())
+  in
+  let bus = Fault.bus inj in
+  let v = Policy.with_retries ~label:"read" (fun () -> rd bus ~addr:0) in
+  Alcotest.(check int) "third attempt reads through" 0 v;
+  Alcotest.(check int) "both faults were absorbed" 2
+    (Fault.injection_count inj)
+
+let test_with_retries_exhausts () =
+  let inj =
+    Fault.wrap
+      ~plans:
+        [
+          Fault.plan ~label:"t" ~first:0 ~last:0
+            (Fault.Transient { probability = 1.0 });
+        ]
+      (Bus.memory ())
+  in
+  let bus = Fault.bus inj in
+  let degraded =
+    match Policy.with_retries ~label:"read" (fun () -> rd bus ~addr:0) with
+    | _ -> false
+    | exception Policy.Driver_error (Policy.Degraded _) -> true
+  in
+  Alcotest.(check bool) "unbounded faults end in Degraded" true degraded;
+  Alcotest.(check int) "one injection per attempt"
+    (Policy.default_attempts ())
+    (Fault.injection_count inj)
+
+(* {1 End to end: the IDE sector read path recovers} *)
+
+let test_ide_read_recovers_transient_burst () =
+  let plans =
+    [
+      Fault.plan ~label:"transient" ~budget:2 ~first:Machine.ide_base
+        ~last:(Machine.ide_base + 7)
+        (Fault.Transient { probability = 1.0 });
+    ]
+  in
+  let m = Machine.create ~faults:plans ~fault_seed:7 () in
+  let expected = Bytes.init 512 (fun i -> Char.chr (i land 0xff)) in
+  Hwsim.Ide_disk.write_sector m.disk ~lba:5 expected;
+  let d = Drivers.Ide.Devil_driver.create ~ide:m.ide_dev ~piix4:m.piix4_dev in
+  let got =
+    Drivers.Ide.Devil_driver.read_sectors d ~lba:5 ~count:1 ~mult:1
+      ~path:`Loop ~width:`W16
+  in
+  Alcotest.(check string) "sector intact after recovery"
+    (Bytes.to_string expected) (Bytes.to_string got);
+  let inj = Option.get m.injector in
+  Alcotest.(check int) "the burst actually fired" 2 (Fault.injection_count inj)
+
+(* {1 Campaign smoke} *)
+
+let test_campaign_transient_never_silent () =
+  let report = Campaign.run ~seeds:[ 1 ] () in
+  Alcotest.(check int) "full matrix, one seed"
+    (List.length Campaign.driver_workloads
+    * List.length Campaign.fault_classes)
+    (List.length report.Campaign.trials);
+  List.iter
+    (fun w ->
+      Alcotest.(check int)
+        (w ^ ": transient plans never corrupt silently")
+        0
+        (Campaign.count report ~driver:w ~fault:"transient" Campaign.Silent))
+    Campaign.driver_workloads;
+  Alcotest.(check int) "ide-read recovers from the transient burst" 1
+    (Campaign.count report ~driver:"ide-read" ~fault:"transient"
+       Campaign.Recovered)
+
+let test_campaign_deterministic () =
+  let a = Campaign.run ~seeds:[ 2 ] () in
+  let b = Campaign.run ~seeds:[ 2 ] () in
+  Alcotest.(check bool) "same seed, same report" true (a = b)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "classes",
+        [
+          case "stuck bits" test_stuck_bits;
+          case "flip bits" test_flip_bits;
+          case "dropped write" test_drop_write;
+          case "duplicated write" test_duplicate_write;
+          case "transient" test_transient;
+        ] );
+      ( "trace",
+        [
+          case "events and counters" test_trace_and_reset;
+          case "reset restores budgets" test_reset_restores_budget;
+        ] );
+      ( "policy",
+        [
+          case "retries absorb a burst" test_with_retries_recovers;
+          case "retries exhaust to Degraded" test_with_retries_exhausts;
+        ] );
+      ( "end-to-end",
+        [ case "IDE sector read" test_ide_read_recovers_transient_burst ] );
+      ( "campaign",
+        [
+          case "transients never silent" test_campaign_transient_never_silent;
+          case "deterministic" test_campaign_deterministic;
+        ] );
+    ]

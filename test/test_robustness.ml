@@ -11,6 +11,14 @@ module Diagnostics = Devil_syntax.Diagnostics
 
 let case name f = Alcotest.test_case name `Quick f
 
+(* QCheck iteration counts are overridable for deeper soak runs:
+   DEVIL_QCHECK_COUNT=10000 dune runtest *)
+let qcount default =
+  match Sys.getenv_opt "DEVIL_QCHECK_COUNT" with
+  | Some s -> (
+      match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
 (* {1 Fuzzing: no exception ever escapes the front-end} *)
 
 let front_end_total src =
@@ -24,7 +32,7 @@ let prop_fuzz_bytes =
   let gen =
     QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 1 127)) (int_bound 200))
   in
-  QCheck.Test.make ~name:"random bytes never crash the front-end" ~count:250
+  QCheck.Test.make ~name:"random bytes never crash the front-end" ~count:(qcount 250)
     (QCheck.make gen) front_end_total
 
 let prop_fuzz_token_soup =
@@ -51,7 +59,7 @@ let prop_fuzz_token_soup =
           ^ "}")
         (list_size (int_bound 40) (int_bound 1000)))
   in
-  QCheck.Test.make ~name:"token soup never crashes the front-end" ~count:250
+  QCheck.Test.make ~name:"token soup never crashes the front-end" ~count:(qcount 250)
     (QCheck.make gen) front_end_total
 
 let prop_fuzz_spec_corruption =
@@ -59,7 +67,7 @@ let prop_fuzz_spec_corruption =
   let src = Devil_specs.Specs.busmouse_source in
   let gen = QCheck.Gen.(pair (int_bound (String.length src - 1)) (int_range 32 126)) in
   QCheck.Test.make ~name:"corrupted real specs never crash the front-end"
-    ~count:250 (QCheck.make gen) (fun (pos, code) ->
+    ~count:(qcount 250) (QCheck.make gen) (fun (pos, code) ->
       let b = Bytes.of_string src in
       Bytes.set b pos (Char.chr code);
       front_end_total (Bytes.to_string b))
@@ -233,6 +241,106 @@ let test_unused_config_warning () =
       in
       Alcotest.(check bool) "warning emitted" true warned
 
+(* {1 Fault wrapper transparency and poll termination} *)
+
+(* Random bus traffic: single and block transfers in both directions
+   over a small address window. *)
+type traffic =
+  | T_read of int
+  | T_write of int * int
+  | T_read_block of int * int
+  | T_write_block of int * int list
+
+let traffic_gen =
+  QCheck.Gen.(
+    let addr = int_bound 31 in
+    oneof
+      [
+        map (fun a -> T_read a) addr;
+        map2 (fun a v -> T_write (a, v)) addr (int_bound 0xffff);
+        map2 (fun a n -> T_read_block (a, n)) addr (int_range 1 8);
+        map2
+          (fun a vs -> T_write_block (a, vs))
+          addr
+          (list_size (int_range 1 8) (int_bound 0xffff));
+      ])
+
+let apply_traffic bus ops =
+  (* Every value read comes back in the observation list, so two buses
+     agree iff the observations agree. *)
+  List.concat_map
+    (fun op ->
+      match op with
+      | T_read a -> [ bus.Bus.read ~width:8 ~addr:a ]
+      | T_write (a, v) ->
+          bus.Bus.write ~width:8 ~addr:a ~value:v;
+          []
+      | T_read_block (a, n) ->
+          let into = Array.make n 0 in
+          bus.Bus.read_block ~width:8 ~addr:a ~into;
+          Array.to_list into
+      | T_write_block (a, vs) ->
+          bus.Bus.write_block ~width:8 ~addr:a ~from:(Array.of_list vs);
+          [])
+    ops
+
+let prop_zero_fault_wrapper_transparent =
+  let inert_plans =
+    (* Plans that can never mutate anything: identity masks, zero
+       probabilities. The wrapper must stay invisible through them. *)
+    [
+      Devil_runtime.Fault.plan ~label:"inert-stuck" ~first:0 ~last:31
+        (Devil_runtime.Fault.Stuck_bits { and_mask = -1; or_mask = 0 });
+      Devil_runtime.Fault.plan ~label:"inert-flip" ~first:0 ~last:31
+        (Devil_runtime.Fault.Flip_bits { mask = 0xff; probability = 0.0 });
+      Devil_runtime.Fault.plan ~label:"inert-transient" ~first:0 ~last:31
+        (Devil_runtime.Fault.Transient { probability = 0.0 });
+    ]
+  in
+  QCheck.Test.make
+    ~name:"zero-fault wrapper is observationally identical to the raw bus"
+    ~count:(qcount 200)
+    (QCheck.make QCheck.Gen.(list_size (int_bound 60) traffic_gen))
+    (fun ops ->
+      let raw = apply_traffic (Bus.memory ()) ops in
+      let check plans =
+        let inj = Devil_runtime.Fault.wrap ~seed:42 ~plans (Bus.memory ()) in
+        let wrapped = apply_traffic (Devil_runtime.Fault.bus inj) ops in
+        wrapped = raw && Devil_runtime.Fault.injection_count inj = 0
+      in
+      check [] && check inert_plans)
+
+let prop_poll_until_terminates =
+  QCheck.Test.make
+    ~name:"poll_until never evaluates its condition beyond the deadline"
+    ~count:(qcount 200)
+    (QCheck.make QCheck.Gen.(pair (int_range 1 300) (int_bound 3)))
+    (fun (deadline, step) ->
+      let module Policy = Devil_runtime.Policy in
+      let evals = ref 0 in
+      let backoff i = step * i in
+      (match
+         Policy.poll_until ~deadline ~backoff ~label:"never" (fun () ->
+             incr evals;
+             false)
+       with
+      | () -> QCheck.Test.fail_report "poll returned without the condition"
+      | exception Policy.Driver_error (Policy.Timeout _) -> ());
+      !evals >= 1 && !evals <= deadline)
+
+let prop_poll_until_stops_at_condition =
+  QCheck.Test.make
+    ~name:"poll_until evaluates exactly once per former loop iteration"
+    ~count:(qcount 200)
+    (QCheck.make QCheck.Gen.(int_range 1 200))
+    (fun k ->
+      let module Policy = Devil_runtime.Policy in
+      let evals = ref 0 in
+      Policy.poll_until ~deadline:200 ~label:"kth" (fun () ->
+          incr evals;
+          !evals >= k);
+      !evals = k)
+
 let () =
   Alcotest.run "robustness"
     [
@@ -240,6 +348,13 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [ prop_fuzz_bytes; prop_fuzz_token_soup; prop_fuzz_spec_corruption ]
       );
+      ( "faults",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_zero_fault_wrapper_transparent;
+            prop_poll_until_terminates;
+            prop_poll_until_stops_at_condition;
+          ] );
       ( "features",
         [
           case "post-actions" test_post_actions;
