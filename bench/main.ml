@@ -7,7 +7,7 @@
      dune exec bench/main.exe              # everything
      dune exec bench/main.exe -- table1    # one artifact
      (table1 | table2 | table3 | table4 | census | micro | ablation |
-      faultcamp | bechamel)
+      faultcamp | obs | bechamel)
 
    Paper-vs-measured commentary lives in EXPERIMENTS.md. *)
 
@@ -279,6 +279,48 @@ let faultcamp () =
      data-path faults no@.driver-level check can see — the residue a \
      language-level approach leaves to@.end-to-end integrity checks.@."
 
+(* {1 Observability: trace + metrics over a mixed driver workload} *)
+
+let obs () =
+  section "Observability: metrics and trace over a mixed driver workload";
+  let trace = Devil_runtime.Trace.create ~capacity:64 () in
+  let metrics = Devil_runtime.Metrics.create () in
+  let m = Machine.create ~trace ~metrics () in
+  Fun.protect ~finally:Devil_runtime.Policy.unobserve (fun () ->
+      let mouse = Drivers.Mouse.Devil_driver.create m.mouse_dev in
+      ignore (Drivers.Mouse.Devil_driver.read_state mouse);
+      let ide =
+        Drivers.Ide.Devil_driver.create ~ide:m.ide_dev ~piix4:m.piix4_dev
+      in
+      ignore
+        (Drivers.Ide.Devil_driver.read_sectors ide ~lba:0 ~count:1 ~mult:1
+           ~path:`Block ~width:`W16);
+      let g = Drivers.Gfx.Devil_driver.create m.gfx_dev in
+      Drivers.Gfx.Devil_driver.set_depth g 8;
+      Drivers.Gfx.Devil_driver.fill_rect g
+        { Drivers.Gfx.x = 0; y = 0; w = 10; h = 10 }
+        ~color:1;
+      let u = Drivers.Serial.Devil_driver.create m.uart_dev in
+      Drivers.Serial.Devil_driver.init u ~baud:115200;
+      ignore (Drivers.Serial.Devil_driver.self_test u));
+  Format.printf "%s@." (Devil_runtime.Metrics.to_json metrics);
+  let sample = Perfmodel.Cost.sample_of_metrics metrics in
+  Format.printf
+    "@.modeled PIO time for the workload: %.1f us (%d single transfers, %d \
+     block elements)@."
+    (Perfmodel.Cost.pio_time sample *. 1e6)
+    sample.Perfmodel.Cost.singles sample.Perfmodel.Cost.block_items;
+  Format.printf "@.trace: %s; last events:@."
+    (Devil_runtime.Trace.summary trace);
+  let events = Devil_runtime.Trace.events trace in
+  let tail =
+    let n = List.length events in
+    List.filteri (fun i _ -> i >= n - 10) events
+  in
+  List.iter
+    (fun e -> Format.printf "  %a@." Devil_runtime.Trace.pp_event e)
+    tail
+
 (* {1 Bechamel micro-benchmarks: one workload per table} *)
 
 let bechamel_suite () =
@@ -371,6 +413,7 @@ let () =
       ("micro", micro);
       ("ablation", ablation);
       ("faultcamp", faultcamp);
+      ("obs", obs);
       ("bechamel", bechamel_suite);
     ]
   in

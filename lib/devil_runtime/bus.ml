@@ -1,3 +1,5 @@
+exception Bus_fault of string
+
 type t = {
   read : width:int -> addr:int -> int;
   write : width:int -> addr:int -> value:int -> unit;
@@ -8,8 +10,20 @@ type t = {
 let memory ?(size = 65536) () =
   let cells = Array.make size 0 in
   let clip ~width v = v land Devil_bits.Bitops.width_mask width in
-  let read ~width ~addr = clip ~width cells.(addr) in
-  let write ~width ~addr ~value = cells.(addr) <- clip ~width value in
+  let check addr =
+    if addr < 0 || addr >= size then
+      raise
+        (Bus_fault
+           (Printf.sprintf "memory bus: address %#x outside [0, %#x)" addr size))
+  in
+  let read ~width ~addr =
+    check addr;
+    clip ~width cells.(addr)
+  in
+  let write ~width ~addr ~value =
+    check addr;
+    cells.(addr) <- clip ~width value
+  in
   let read_block ~width ~addr ~into =
     Array.iteri (fun i _ -> into.(i) <- read ~width ~addr) into
   in
@@ -18,26 +32,64 @@ let memory ?(size = 65536) () =
   in
   { read; write; read_block; write_block }
 
-let counting bus =
-  let count = ref 0 in
-  let wrapped =
-    {
-      read =
-        (fun ~width ~addr ->
-          incr count;
-          bus.read ~width ~addr);
-      write =
-        (fun ~width ~addr ~value ->
-          incr count;
-          bus.write ~width ~addr ~value);
-      read_block =
-        (fun ~width ~addr ~into ->
-          count := !count + Array.length into;
-          bus.read_block ~width ~addr ~into);
-      write_block =
-        (fun ~width ~addr ~from ->
-          count := !count + Array.length from;
-          bus.write_block ~width ~addr ~from);
-    }
-  in
-  (wrapped, fun () -> !count)
+let bytes_of ~width n = n * ((width + 7) / 8)
+
+let observed ?trace ?metrics bus =
+  match (trace, metrics) with
+  | None, None -> bus
+  | _ ->
+      {
+        read =
+          (fun ~width ~addr ->
+            let value = bus.read ~width ~addr in
+            (match metrics with
+            | Some m ->
+                Metrics.incr m "bus.reads";
+                Metrics.incr m ~by:(bytes_of ~width 1) "bus.bytes_read"
+            | None -> ());
+            (match trace with
+            | Some tr -> Trace.emit tr (Trace.Bus_read { addr; width; value })
+            | None -> ());
+            value);
+        write =
+          (fun ~width ~addr ~value ->
+            bus.write ~width ~addr ~value;
+            (match metrics with
+            | Some m ->
+                Metrics.incr m "bus.writes";
+                Metrics.incr m ~by:(bytes_of ~width 1) "bus.bytes_written"
+            | None -> ());
+            match trace with
+            | Some tr -> Trace.emit tr (Trace.Bus_write { addr; width; value })
+            | None -> ());
+        read_block =
+          (fun ~width ~addr ~into ->
+            bus.read_block ~width ~addr ~into;
+            let count = Array.length into in
+            (match metrics with
+            | Some m ->
+                Metrics.incr m "bus.block_reads";
+                Metrics.incr m ~by:count "bus.read_items";
+                Metrics.incr m ~by:(bytes_of ~width count) "bus.bytes_read";
+                Metrics.observe m "bus.block_len" count
+            | None -> ());
+            match trace with
+            | Some tr ->
+                Trace.emit tr (Trace.Bus_block_read { addr; width; count })
+            | None -> ());
+        write_block =
+          (fun ~width ~addr ~from ->
+            bus.write_block ~width ~addr ~from;
+            let count = Array.length from in
+            (match metrics with
+            | Some m ->
+                Metrics.incr m "bus.block_writes";
+                Metrics.incr m ~by:count "bus.write_items";
+                Metrics.incr m ~by:(bytes_of ~width count) "bus.bytes_written";
+                Metrics.observe m "bus.block_len" count
+            | None -> ());
+            match trace with
+            | Some tr ->
+                Trace.emit tr (Trace.Bus_block_write { addr; width; count })
+            | None -> ());
+      }

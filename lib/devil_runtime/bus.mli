@@ -6,6 +6,13 @@
     provides the real implementation; {!memory} provides a trivial
     RAM-backed bus for unit tests. *)
 
+exception Bus_fault of string
+(** A structured bus-level failure: an access that no device (or cell)
+    can answer — the master/target abort of real buses. Re-exported as
+    {!Fault.Bus_fault} (they are the same exception), which is also
+    what the fault injector raises for transient faults, so
+    {!Policy.guarded} classifies both identically. *)
+
 type t = {
   read : width:int -> addr:int -> int;
   write : width:int -> addr:int -> value:int -> unit;
@@ -18,9 +25,18 @@ type t = {
 val memory : ?size:int -> unit -> t
 (** A bus backed by a flat array of 32-bit cells, one cell per address;
     widths only clip the stored value. Reads of untouched cells return
-    0. Block transfers loop over the single-transfer operations. *)
+    0. Block transfers loop over the single-transfer operations.
+    Accesses outside [\[0, size)] raise {!Bus_fault} — a structured
+    error a recovery policy can classify, not a bare
+    [Invalid_argument] escaping from [Array]. *)
 
-val counting : t -> t * (unit -> int)
-(** [counting bus] wraps a bus so that every single transfer and every
-    block {e element} increments a counter; returns the wrapped bus and
-    a function reading the count. *)
+val observed : ?trace:Trace.t -> ?metrics:Metrics.t -> t -> t
+(** [observed ?trace ?metrics bus] wraps a bus so that every transfer
+    is recorded into the trace and counted in the registry (see
+    {!Metrics} for the counter vocabulary: single transfers, block
+    transactions, block elements and bytes are all counted
+    separately). With neither handle supplied the wrapper is the
+    identity — the very same closure record is returned, so the
+    disabled path costs nothing and is trivially transparent. Faults
+    raised by the underlying bus propagate before anything is
+    recorded: the trace holds only transfers that completed. *)

@@ -1,4 +1,4 @@
-exception Bus_fault of string
+exception Bus_fault = Bus.Bus_fault
 
 type op = Read | Write
 
@@ -38,7 +38,9 @@ type t = {
   plans : pstate list;
   mutable rng : int;
   mutable seq : int;
-  mutable trace : event list;  (* newest first *)
+  trace : event Trace.Ring.t;  (* bounded: oldest injections evicted *)
+  sink : Trace.t option;  (* the unified observability stream *)
+  metrics : Metrics.t option;
 }
 
 (* The 48-bit drand48 linear congruential generator: cheap, portable,
@@ -59,9 +61,18 @@ let armed ps ~op ~addr =
 let fire t ps ~op ~addr ~width ~detail =
   (match ps.left with Some n -> ps.left <- Some (n - 1) | None -> ());
   ps.fired <- ps.fired + 1;
-  t.trace <-
-    { seq = t.seq; plan_label = ps.p.label; op; addr; width; detail }
-    :: t.trace
+  Trace.Ring.add t.trace
+    { seq = t.seq; plan_label = ps.p.label; op; addr; width; detail };
+  (match t.sink with
+  | Some tr ->
+      Trace.emit tr
+        (Trace.Fault_injected { plan = ps.p.label; addr; width; detail })
+  | None -> ());
+  match t.metrics with
+  | Some m ->
+      Metrics.incr m "fault.injections";
+      Metrics.incr m ("fault." ^ ps.p.label ^ ".injections")
+  | None -> ()
 
 (* Transient plans are evaluated before the device is touched, so a
    raised fault leaves the device state exactly as the driver last saw
@@ -178,7 +189,8 @@ let write_block t ~width ~addr ~from =
   if Array.length adjusted > 0 || Array.length from = 0 then
     t.underlying.Bus.write_block ~width ~addr ~from:adjusted
 
-let wrap ?(seed = 0) ~plans underlying =
+let wrap ?(seed = 0) ?(trace_capacity = Trace.default_capacity) ?sink ?metrics
+    ~plans underlying =
   {
     underlying;
     plans =
@@ -186,7 +198,9 @@ let wrap ?(seed = 0) ~plans underlying =
     (* Mix the seed so that seeds 0 and 1 do not share a prefix. *)
     rng = (((seed + 1) * 0x5DEECE66D) + 3037000493) land 0xFFFF_FFFF_FFFF;
     seq = 0;
-    trace = [];
+    trace = Trace.Ring.create ~capacity:trace_capacity;
+    sink;
+    metrics;
   }
 
 let bus t =
@@ -205,10 +219,11 @@ let injections_for t label =
     (fun n ps -> if ps.p.label = label then n + ps.fired else n)
     0 t.plans
 
-let events t = List.rev t.trace
+let events t = Trace.Ring.to_list t.trace
+let dropped_events t = Trace.Ring.dropped t.trace
 
 let reset t =
-  t.trace <- [];
+  Trace.Ring.clear t.trace;
   t.seq <- 0;
   List.iter
     (fun ps ->

@@ -17,13 +17,18 @@
       (master abort / target abort).
 
     Every fired fault is counted per plan and appended to an
-    inspectable injection trace, so tests and the fault campaign can
-    distinguish "nothing fired" from "fired and the driver coped". *)
+    inspectable injection trace — a bounded ring buffer
+    ({!Trace.Ring}), so arbitrarily long campaigns retain the most
+    recent injections at constant space; tests and the fault campaign
+    can still distinguish "nothing fired" from "fired and the driver
+    coped" through the per-plan counters, which are never evicted. *)
 
 exception Bus_fault of string
-(** A transient bus-level failure. Drivers recover from these with the
-    {!Policy} combinators; an escaped [Bus_fault] means the driver has
-    no error path for the access that raised it. *)
+(** A transient bus-level failure ({!Bus.Bus_fault} re-exported: the
+    injector and the bus raise the same exception). Drivers recover
+    from these with the {!Policy} combinators; an escaped [Bus_fault]
+    means the driver has no error path for the access that raised
+    it. *)
 
 type op = Read | Write
 
@@ -74,10 +79,22 @@ type event = {
 
 type t
 
-val wrap : ?seed:int -> plans:plan list -> Bus.t -> t
+val wrap :
+  ?seed:int ->
+  ?trace_capacity:int ->
+  ?sink:Trace.t ->
+  ?metrics:Metrics.t ->
+  plans:plan list ->
+  Bus.t ->
+  t
 (** [wrap ~seed ~plans bus] builds an injector over [bus]. With an
     empty plan list the wrapped bus is observationally identical to
-    [bus]. The default seed is 0. *)
+    [bus]. The default seed is 0. The injection trace retains the last
+    [trace_capacity] events (default {!Trace.default_capacity}). When
+    [sink] is given every injection is also mirrored into that unified
+    trace as a {!Trace.Fault_injected} event; when [metrics] is given
+    the [fault.injections] and [fault.<plan>.injections] counters are
+    maintained. *)
 
 val bus : t -> Bus.t
 (** The faulty bus to hand to drivers and instances. *)
@@ -93,7 +110,12 @@ val injections_for : t -> string -> int
 (** Faults fired by the plans with the given label. *)
 
 val events : t -> event list
-(** The injection trace, oldest first. *)
+(** The retained injection trace, oldest first. At most the trace
+    capacity given to {!wrap}; older events are evicted, never the
+    counters. *)
+
+val dropped_events : t -> int
+(** Injection events evicted by the trace bound. *)
 
 val reset : t -> unit
 (** Clears counters and the trace; plan budgets are restored to their

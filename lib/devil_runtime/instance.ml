@@ -13,6 +13,9 @@ type t = {
   bus : Bus.t;
   bases : (string * int) list;
   debug : bool;
+  label : string;  (* names the instance in traces and metrics *)
+  trace : Trace.t option;
+  metrics : Metrics.t option;
   reg_cache : (string, int) Hashtbl.t;
   struct_cache : (string, (string, int) Hashtbl.t) Hashtbl.t;
   mem : (string, Value.t) Hashtbl.t;  (* memory-cell variables *)
@@ -21,7 +24,7 @@ type t = {
 
 let device t = t.device
 
-let create ?(debug = false) device ~bus ~bases =
+let create ?(debug = false) ?label ?trace ?metrics device ~bus ~bases =
   List.iter
     (fun (p : Ir.port) ->
       if not (List.mem_assoc p.p_name bases) then
@@ -32,11 +35,59 @@ let create ?(debug = false) device ~bus ~bases =
     bus;
     bases;
     debug;
+    label = (match label with Some l -> l | None -> device.Ir.d_name);
+    trace;
+    metrics;
     reg_cache = Hashtbl.create 17;
     struct_cache = Hashtbl.create 7;
     mem = Hashtbl.create 7;
     depth = 0;
   }
+
+(* {1 Observability hooks}
+
+   Every hook matches on the option handles first, so with
+   observability disabled the cost is the option match itself —
+   nothing is allocated, no name is concatenated. *)
+
+let note_reg_io t (r : Ir.reg) ~write raw =
+  (match t.metrics with
+  | Some m ->
+      let dir = if write then "writes" else "reads" in
+      Metrics.incr m ("io." ^ t.label ^ ".reg_" ^ dir);
+      Metrics.incr m ("reg." ^ t.label ^ "." ^ r.Ir.r_name ^ "." ^ dir)
+  | None -> ());
+  match t.trace with
+  | Some tr ->
+      Trace.emit tr
+        (if write then Trace.Reg_write { dev = t.label; reg = r.Ir.r_name; raw }
+         else Trace.Reg_read { dev = t.label; reg = r.Ir.r_name; raw })
+  | None -> ()
+
+let note_cache t reg_name ~hit =
+  (match t.metrics with
+  | Some m ->
+      Metrics.incr m
+        ("cache." ^ t.label ^ "." ^ if hit then "hits" else "misses")
+  | None -> ());
+  match t.trace with
+  | Some tr ->
+      Trace.emit tr
+        (if hit then Trace.Cache_hit { dev = t.label; reg = reg_name }
+         else Trace.Cache_miss { dev = t.label; reg = reg_name })
+  | None -> ()
+
+let note_serialized t ~owner order =
+  match t.trace with
+  | Some tr ->
+      Trace.emit tr
+        (Trace.Serialized
+           {
+             dev = t.label;
+             owner;
+             order = List.map (fun (r : Ir.reg) -> r.Ir.r_name) order;
+           })
+  | None -> ()
 
 let invalidate_cache t =
   Hashtbl.reset t.reg_cache;
@@ -165,25 +216,27 @@ and read_reg_io t (r : Ir.reg) =
   match r.r_read with
   | None -> fail "register %s is not readable" r.r_name
   | Some lp ->
-      run_action t r.r_pre;
+      run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
       let raw =
         t.bus.Bus.read ~width:(point_width t lp) ~addr:(point_addr t lp)
       in
-      run_action t r.r_post;
+      run_action ~what:(Trace.Post, r.r_name) t r.r_post;
       Hashtbl.replace t.reg_cache r.r_name raw;
+      note_reg_io t r ~write:false raw;
       raw
 
 and write_reg_io t (r : Ir.reg) raw =
   match r.r_write with
   | None -> fail "register %s is not writable" r.r_name
   | Some lp ->
-      run_action t r.r_pre;
+      run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
       let frame = Mask.writable_frame r.r_mask ~value:raw in
       t.bus.Bus.write ~width:(point_width t lp) ~addr:(point_addr t lp)
         ~value:frame;
-      run_action t r.r_post;
-      run_action t r.r_set;
-      Hashtbl.replace t.reg_cache r.r_name raw
+      run_action ~what:(Trace.Post, r.r_name) t r.r_post;
+      run_action ~what:(Trace.Set, r.r_name) t r.r_set;
+      Hashtbl.replace t.reg_cache r.r_name raw;
+      note_reg_io t r ~write:true raw
 
 (* {1 Actions} *)
 
@@ -209,10 +262,16 @@ and operand_value t ?self (o : Ir.operand) ~(target : Ir.var) : Value.t =
       | _ -> get_internal t src)
   | Ir.O_param p -> fail "unsubstituted register parameter %s" p
 
-and run_action ?self t (a : Ir.action) =
+and run_action ?self ?what t (a : Ir.action) =
   match a with
   | [] -> ()
   | _ ->
+      (match (t.trace, what) with
+      | Some tr, Some (phase, owner) ->
+          Trace.emit tr
+            (Trace.Action
+               { dev = t.label; owner; phase; assignments = List.length a })
+      | _ -> ());
       (* The depth guard lives here: actions are the only way accesses
          nest, and a self-referencing pre-action would otherwise loop. *)
       if t.depth > max_action_depth then
@@ -280,7 +339,7 @@ and get_field t (v : Ir.var) sname =
   decode_checked t v raw
 
 and get_standalone t (v : Ir.var) =
-  run_action t v.v_pre;
+  run_action ~what:(Trace.Pre, v.v_name) t v.v_pre;
   let must_io =
     v.v_behaviour.b_volatile
     || (match v.v_behaviour.b_trigger with
@@ -292,14 +351,19 @@ and get_standalone t (v : Ir.var) =
     if must_io then read_reg_io t r
     else
       match Hashtbl.find_opt t.reg_cache reg_name with
-      | Some raw -> raw
+      | Some raw ->
+          note_cache t reg_name ~hit:true;
+          raw
       | None ->
-          if Ir.reg_readable r then read_reg_io t r
+          if Ir.reg_readable r then begin
+            note_cache t reg_name ~hit:false;
+            read_reg_io t r
+          end
           else
             fail "variable %s is write-only and has no cached value" v.v_name
   in
   let raw = gather_bits v ~image in
-  run_action t v.v_post;
+  run_action ~what:(Trace.Post, v.v_name) t v.v_post;
   decode_checked t v raw
 
 and decode_checked t (v : Ir.var) raw =
@@ -369,7 +433,7 @@ and set_internal t name value =
   end
   else begin
     let raw = encode_checked v value in
-    run_action t v.v_pre;
+    run_action ~what:(Trace.Pre, v.v_name) t v.v_pre;
     let images = Hashtbl.create 4 in
     let regs = regs_in_chunk_order t v in
     List.iter
@@ -384,6 +448,9 @@ and set_internal t name value =
       ordered_regs t ~self:[ (name, value) ] ~serial:v.v_serial ~default:regs
         ()
     in
+    (match v.v_serial with
+    | Some _ -> note_serialized t ~owner:name order
+    | None -> ());
     List.iter
       (fun (r : Ir.reg) -> write_reg_io t r (Hashtbl.find images r.Ir.r_name))
       order;
@@ -395,8 +462,8 @@ and set_internal t name value =
             Hashtbl.iter (fun reg img -> Hashtbl.replace simages reg img) images
         | None -> ())
     | None -> ());
-    run_action ~self:(name, value) t v.v_set;
-    run_action t v.v_post
+    run_action ~self:(name, value) ~what:(Trace.Set, v.v_name) t v.v_set;
+    run_action ~what:(Trace.Post, v.v_name) t v.v_post
   end
 
 (* {1 Structures} *)
@@ -459,6 +526,9 @@ and set_struct_internal t name fields =
   let order =
     ordered_regs t ~self:field_values ~serial:s.s_serial ~default:regs ()
   in
+  (match s.s_serial with
+  | Some _ -> note_serialized t ~owner:name order
+  | None -> ());
   List.iter
     (fun (r : Ir.reg) ->
       let image =
@@ -476,7 +546,7 @@ and set_struct_internal t name fields =
     (fun (fname, value) ->
       let v = the_var t fname in
       if List.exists (fun (f, _) -> String.equal f fname) fields then
-        run_action ~self:(fname, value) t v.v_set)
+        run_action ~self:(fname, value) ~what:(Trace.Set, fname) t v.v_set)
     field_values;
   let simages =
     match Hashtbl.find_opt t.struct_cache name with
@@ -561,11 +631,11 @@ let read_block t name ~count =
   | None -> fail "register %s is not readable" r.r_name
   | Some lp ->
       with_depth t (fun () ->
-          run_action t r.r_pre;
+          run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
           let into = Array.make count 0 in
           t.bus.Bus.read_block ~width:(point_width t lp)
             ~addr:(point_addr t lp) ~into;
-          run_action t r.r_post;
+          run_action ~what:(Trace.Post, r.r_name) t r.r_post;
           into)
 
 let write_block t name data =
@@ -574,11 +644,11 @@ let write_block t name data =
   | None -> fail "register %s is not writable" r.r_name
   | Some lp ->
       with_depth t (fun () ->
-          run_action t r.r_pre;
+          run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
           t.bus.Bus.write_block ~width:(point_width t lp)
             ~addr:(point_addr t lp) ~from:data;
-          run_action t r.r_post;
-          run_action t r.r_set)
+          run_action ~what:(Trace.Post, r.r_name) t r.r_post;
+          run_action ~what:(Trace.Set, r.r_name) t r.r_set)
 
 let read_wide t name ~scale =
   let r = block_reg t name in
@@ -586,12 +656,12 @@ let read_wide t name ~scale =
   | None -> fail "register %s is not readable" r.r_name
   | Some lp ->
       with_depth t (fun () ->
-          run_action t r.r_pre;
+          run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
           let v =
             t.bus.Bus.read ~width:(scale * point_width t lp)
               ~addr:(point_addr t lp)
           in
-          run_action t r.r_post;
+          run_action ~what:(Trace.Post, r.r_name) t r.r_post;
           v)
 
 let write_wide t name ~scale value =
@@ -600,11 +670,11 @@ let write_wide t name ~scale value =
   | None -> fail "register %s is not writable" r.r_name
   | Some lp ->
       with_depth t (fun () ->
-          run_action t r.r_pre;
+          run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
           t.bus.Bus.write ~width:(scale * point_width t lp)
             ~addr:(point_addr t lp) ~value;
-          run_action t r.r_post;
-          run_action t r.r_set)
+          run_action ~what:(Trace.Post, r.r_name) t r.r_post;
+          run_action ~what:(Trace.Set, r.r_name) t r.r_set)
 
 let read_block_wide t name ~scale ~count =
   let r = block_reg t name in
@@ -612,11 +682,11 @@ let read_block_wide t name ~scale ~count =
   | None -> fail "register %s is not readable" r.r_name
   | Some lp ->
       with_depth t (fun () ->
-          run_action t r.r_pre;
+          run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
           let into = Array.make count 0 in
           t.bus.Bus.read_block ~width:(scale * point_width t lp)
             ~addr:(point_addr t lp) ~into;
-          run_action t r.r_post;
+          run_action ~what:(Trace.Post, r.r_name) t r.r_post;
           into)
 
 let write_block_wide t name ~scale data =
@@ -625,11 +695,11 @@ let write_block_wide t name ~scale data =
   | None -> fail "register %s is not writable" r.r_name
   | Some lp ->
       with_depth t (fun () ->
-          run_action t r.r_pre;
+          run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
           t.bus.Bus.write_block ~width:(scale * point_width t lp)
             ~addr:(point_addr t lp) ~from:data;
-          run_action t r.r_post;
-          run_action t r.r_set)
+          run_action ~what:(Trace.Post, r.r_name) t r.r_post;
+          run_action ~what:(Trace.Set, r.r_name) t r.r_set)
 
 (* {1 Indexed (parameterized) register access} *)
 

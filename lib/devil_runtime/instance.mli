@@ -32,9 +32,24 @@ exception Device_error of string
 (** Raised by every usage error and failed dynamic check. *)
 
 val create :
-  ?debug:bool -> Ir.device -> bus:Bus.t -> bases:(string * int) list -> t
+  ?debug:bool ->
+  ?label:string ->
+  ?trace:Trace.t ->
+  ?metrics:Metrics.t ->
+  Ir.device ->
+  bus:Bus.t ->
+  bases:(string * int) list ->
+  t
 (** [create device ~bus ~bases] binds each port parameter to an
-    absolute base address. Every port of the device must be bound. *)
+    absolute base address. Every port of the device must be bound.
+
+    [label] names the instance in observability output (default: the
+    device's name); it prefixes the [io.<label>.*], [reg.<label>.*]
+    and [cache.<label>.*] counters and tags every stub-level trace
+    event. When [trace]/[metrics] are given the instance records
+    register-level I/O, idempotent-cache hits and misses, pre/post/set
+    action runs and serialization orderings; when omitted (the
+    default) no instrumentation runs and nothing is allocated. *)
 
 val device : t -> Ir.device
 

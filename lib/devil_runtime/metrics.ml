@@ -1,0 +1,145 @@
+(* The counter/histogram registry behind the observability layer. *)
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+  buckets : int array;  (* power-of-two buckets: bucket i holds v with
+                           2^(i-1) <= v < 2^i (bucket 0 holds v <= 0). *)
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 64; hists = Hashtbl.create 16 }
+
+let from_env () =
+  match Sys.getenv_opt "DEVIL_METRICS" with
+  | None | Some "" | Some "0" -> None
+  | Some _ -> Some (create ())
+
+let incr t ?(by = 1) name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace t.counters name (ref by)
+
+let count t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let bucket_count = 24
+
+let bucket_of v =
+  let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+  if v <= 0 then 0 else min (bucket_count - 1) (bits v 0)
+
+let observe t name v =
+  let h =
+    match Hashtbl.find_opt t.hists name with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            h_count = 0;
+            h_sum = 0;
+            h_min = max_int;
+            h_max = min_int;
+            buckets = Array.make bucket_count 0;
+          }
+        in
+        Hashtbl.replace t.hists name h;
+        h
+  in
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+type hist_snapshot = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  mean : float;
+}
+
+let snapshot h =
+  if h.h_count = 0 then { count = 0; sum = 0; min = 0; max = 0; mean = 0.0 }
+  else
+    {
+      count = h.h_count;
+      sum = h.h_sum;
+      min = h.h_min;
+      max = h.h_max;
+      mean = float_of_int h.h_sum /. float_of_int h.h_count;
+    }
+
+let histogram t name = Option.map snapshot (Hashtbl.find_opt t.hists name)
+
+let sorted_bindings tbl =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let counters t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.counters)
+let histograms t = List.map (fun (k, h) -> (k, snapshot h)) (sorted_bindings t.hists)
+
+let ratio t ~hits ~misses =
+  let h = count t hits and m = count t misses in
+  if h + m = 0 then None else Some (float_of_int h /. float_of_int (h + m))
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.hists
+
+(* {1 Rendering} *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"counters\": {";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\n    \"%s\": %d" (json_escape name) v))
+    (counters t);
+  Buffer.add_string b "\n  },\n  \"histograms\": {";
+  List.iteri
+    (fun i (name, s) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n    \"%s\": { \"count\": %d, \"sum\": %d, \"min\": %d, \"max\": \
+            %d, \"mean\": %.3f }"
+           (json_escape name) s.count s.sum s.min s.max s.mean))
+    (histograms t);
+  Buffer.add_string b "\n  }\n}";
+  Buffer.contents b
+
+let pp fmt t =
+  List.iter
+    (fun (name, v) -> Format.fprintf fmt "%-40s %10d@." name v)
+    (counters t);
+  List.iter
+    (fun (name, s) ->
+      Format.fprintf fmt "%-40s count=%d sum=%d min=%d max=%d mean=%.1f@." name
+        s.count s.sum s.min s.max s.mean)
+    (histograms t)

@@ -1,0 +1,80 @@
+(** The counter/histogram registry of the observability layer
+    (DESIGN.md §8).
+
+    A registry holds named monotonic counters and named histograms.
+    The instrumented layers use a dotted naming convention, so the
+    registry doubles as documentation of what is measured:
+
+    {e Bus traffic} (from {!Bus.observed}) — transactions, elements and
+    bytes are counted {e separately}, which is the accounting the cost
+    model needs (one bus transaction per block transfer, one element
+    per word moved):
+    - [bus.reads], [bus.writes] — single transfers;
+    - [bus.block_reads], [bus.block_writes] — block {e transactions};
+    - [bus.read_items], [bus.write_items] — block {e elements};
+    - [bus.bytes_read], [bus.bytes_written] — bytes moved (width / 8
+      per element);
+    - histogram [bus.block_len] — elements per block transfer.
+
+    {e Stub-level} (from {!Instance}, [<dev>] is the instance label):
+    - [io.<dev>.reg_reads], [io.<dev>.reg_writes] — register-level I/O;
+    - [reg.<dev>.<reg>.reads], [reg.<dev>.<reg>.writes] — per register;
+    - [cache.<dev>.hits], [cache.<dev>.misses] — idempotent-register
+      cache outcomes (the hit ratio via {!ratio}).
+
+    {e Recovery} (from {!Policy}):
+    - [poll.runs], [poll.ticks], [poll.timeouts]; histogram
+      [poll.iters] — condition evaluations per poll;
+    - [retry.attempts] — operations re-executed after a transient
+      failure; [retry.exhausted] — retry budgets that ran out.
+
+    {e Faults} (from {!Fault}): [fault.injections] and
+    [fault.<plan>.injections].
+
+    Like tracing, metrics are strictly opt-in: no layer counts anything
+    unless a registry was passed in (or created from the
+    [DEVIL_METRICS] environment variable via {!from_env}). *)
+
+type t
+
+val create : unit -> t
+
+val from_env : unit -> t option
+(** [Some (create ())] when [DEVIL_METRICS] is set to a non-empty,
+    non-["0"] value. *)
+
+val incr : t -> ?by:int -> string -> unit
+(** Adds [by] (default 1) to a counter, creating it at zero first. *)
+
+val count : t -> string -> int
+(** Current value; 0 for a counter never incremented. *)
+
+val observe : t -> string -> int -> unit
+(** Records a sample into a histogram, creating it first. *)
+
+type hist_snapshot = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  mean : float;
+}
+
+val histogram : t -> string -> hist_snapshot option
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val histograms : t -> (string * hist_snapshot) list
+
+val ratio : t -> hits:string -> misses:string -> float option
+(** [hits / (hits + misses)], or [None] when both are zero — e.g.
+    [ratio m ~hits:"cache.ide.hits" ~misses:"cache.ide.misses"]. *)
+
+val reset : t -> unit
+
+val to_json : t -> string
+(** The whole registry as a JSON object
+    [{ "counters": {..}, "histograms": {..} }] — the [obs] bench
+    artifact. *)
+
+val pp : Format.formatter -> t -> unit

@@ -28,6 +28,25 @@ let set_default_deadline n = if n > 0 then poll_deadline := n
 let default_attempts () = !retry_attempts
 let set_default_attempts n = if n > 0 then retry_attempts := n
 
+(* {1 Observability}
+
+   The combinators are plain functions with no per-driver state, so
+   the observability hook is a module-level observer installed by
+   whoever owns the trace/metrics handles (Machine.create, a test, a
+   campaign trial). With no observer installed the hooks are two ref
+   reads and two option matches — no allocation. *)
+
+let trace_hook : Trace.t option ref = ref None
+let metrics_hook : Metrics.t option ref = ref None
+
+let observe ?trace ?metrics () =
+  trace_hook := trace;
+  metrics_hook := metrics
+
+let unobserve () =
+  trace_hook := None;
+  metrics_hook := None
+
 let is_transient = function
   | Fault.Bus_fault _ -> true
   | Driver_error (Bus_fault _ | Device_fault _) -> true
@@ -47,12 +66,24 @@ let with_retries ?attempts ?(retry_on = is_transient)
   let rec go attempt =
     try f ()
     with e when retry_on e ->
-      if attempt >= attempts then
+      if attempt >= attempts then begin
+        (match !metrics_hook with
+        | Some m -> Metrics.incr m "retry.exhausted"
+        | None -> ());
         fail
           (Degraded
              (Printf.sprintf "%s: gave up after %d attempts (last: %s)" label
                 attempts (describe_exn e)))
+      end
       else begin
+        (match !metrics_hook with
+        | Some m -> Metrics.incr m "retry.attempts"
+        | None -> ());
+        (match !trace_hook with
+        | Some tr ->
+            Trace.emit tr
+              (Trace.Retry { label; attempt; reason = describe_exn e })
+        | None -> ());
         on_retry ~attempt e;
         go (attempt + 1)
       end
@@ -67,27 +98,40 @@ let exponential_backoff ?(base = 1) ?(cap = 1024) i =
 
 (* The shared poll core: iteration [i] costs [1 + backoff i] ticks, so
    the condition runs at most [deadline] times and the loop provably
-   terminates within the budget. *)
-let poll_core ?deadline ?(backoff = no_backoff) cond =
+   terminates within the budget. Every completed poll reports its
+   condition-evaluation count to the observer. *)
+let poll_core ?deadline ?(backoff = no_backoff) ~label cond =
   let deadline =
     match deadline with Some d -> d | None -> !poll_deadline
   in
   let rec go i spent =
-    if spent >= deadline then false
-    else if cond () then true
+    if spent >= deadline then (false, i)
+    else if cond () then (true, i + 1)
     else go (i + 1) (spent + 1 + max 0 (backoff i))
   in
-  go 0 0
+  let ok, iters = go 0 0 in
+  (match !metrics_hook with
+  | Some m ->
+      Metrics.incr m "poll.runs";
+      Metrics.incr m ~by:iters "poll.ticks";
+      if not ok then Metrics.incr m "poll.timeouts";
+      Metrics.observe m "poll.iters" iters
+  | None -> ());
+  (match !trace_hook with
+  | Some tr -> Trace.emit tr (Trace.Poll { label; iters; ok })
+  | None -> ());
+  ok
 
-let try_poll ?deadline ?backoff cond = poll_core ?deadline ?backoff cond
+let try_poll ?deadline ?backoff ?(label = "try_poll") cond =
+  poll_core ?deadline ?backoff ~label cond
 
 let poll_until ?deadline ?backoff ~label cond =
-  if not (poll_core ?deadline ?backoff cond) then fail (Timeout label)
+  if not (poll_core ?deadline ?backoff ~label cond) then fail (Timeout label)
 
-let try_poll_for ?deadline ?backoff f =
+let try_poll_for ?deadline ?backoff ?(label = "try_poll_for") f =
   let result = ref None in
   ignore
-    (poll_core ?deadline ?backoff (fun () ->
+    (poll_core ?deadline ?backoff ~label (fun () ->
          match f () with
          | Some v ->
              result := Some v;
@@ -96,7 +140,7 @@ let try_poll_for ?deadline ?backoff f =
   !result
 
 let poll_for ?deadline ?backoff ~label f =
-  match try_poll_for ?deadline ?backoff f with
+  match try_poll_for ?deadline ?backoff ~label f with
   | Some v -> v
   | None -> fail (Timeout label)
 

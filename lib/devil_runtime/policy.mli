@@ -85,12 +85,15 @@ val poll_for :
 (** Like {!poll_until} for condition functions that produce a value. *)
 
 val try_poll :
-  ?deadline:int -> ?backoff:(int -> int) -> (unit -> bool) -> bool
+  ?deadline:int -> ?backoff:(int -> int) -> ?label:string ->
+  (unit -> bool) -> bool
 (** {!poll_until} that reports expiry as [false] instead of raising —
-    for protocols where a missing answer is an answer. *)
+    for protocols where a missing answer is an answer. [label] (default
+    ["try_poll"]) only names the poll in traces. *)
 
 val try_poll_for :
-  ?deadline:int -> ?backoff:(int -> int) -> (unit -> 'a option) -> 'a option
+  ?deadline:int -> ?backoff:(int -> int) -> ?label:string ->
+  (unit -> 'a option) -> 'a option
 
 val linear_backoff : int -> int -> int
 (** [linear_backoff step] charges [step * i] extra ticks at iteration
@@ -104,3 +107,26 @@ val guarded : label:string -> (unit -> 'a) -> 'a
 (** Watchdog boundary: runs [f], passing [Driver_error] through and
     converting [Fault.Bus_fault], [Instance.Device_error] and [Failure]
     into structured errors tagged with [label]. *)
+
+(** {1 Observability}
+
+    The combinators are stateless module-level functions called from
+    driver code, so their observability hook is a module-level
+    observer rather than a per-call argument. {!observe} installs
+    trace/metrics handles; until then (and after {!unobserve}) the
+    instrumented paths cost two ref reads and allocate nothing.
+
+    Counters maintained when a metrics registry is installed:
+    [poll.runs], [poll.ticks] (condition evaluations), [poll.timeouts],
+    the [poll.iters] histogram, [retry.attempts] and
+    [retry.exhausted]. With a trace installed each completed poll
+    emits a {!Trace.Poll} event and each retry a {!Trace.Retry}
+    event. *)
+
+val observe : ?trace:Trace.t -> ?metrics:Metrics.t -> unit -> unit
+(** Install (or replace) the module-level observer. Omitted handles are
+    cleared, so [observe ()] is equivalent to {!unobserve}. *)
+
+val unobserve : unit -> unit
+(** Remove the observer. Owners of short-lived handles (tests,
+    campaign trials) must call this before discarding them. *)

@@ -1,0 +1,134 @@
+(* The bounded event trace behind the runtime's observability layer. *)
+
+module Ring = struct
+  type 'a t = {
+    buf : 'a option array;
+    capacity : int;
+    mutable total : int;  (* items ever added *)
+  }
+
+  let create ~capacity =
+    let capacity = max 1 capacity in
+    { buf = Array.make capacity None; capacity; total = 0 }
+
+  let capacity t = t.capacity
+  let total t = t.total
+  let length t = min t.total t.capacity
+  let dropped t = max 0 (t.total - t.capacity)
+
+  let add t x =
+    t.buf.(t.total mod t.capacity) <- Some x;
+    t.total <- t.total + 1
+
+  let clear t =
+    Array.fill t.buf 0 t.capacity None;
+    t.total <- 0
+
+  let to_list t =
+    let n = length t in
+    let start = t.total - n in
+    List.init n (fun i ->
+        match t.buf.((start + i) mod t.capacity) with
+        | Some x -> x
+        | None -> assert false)
+
+  let iter f t = List.iter f (to_list t)
+end
+
+type phase = Pre | Post | Set
+
+type kind =
+  | Bus_read of { addr : int; width : int; value : int }
+  | Bus_write of { addr : int; width : int; value : int }
+  | Bus_block_read of { addr : int; width : int; count : int }
+  | Bus_block_write of { addr : int; width : int; count : int }
+  | Reg_read of { dev : string; reg : string; raw : int }
+  | Reg_write of { dev : string; reg : string; raw : int }
+  | Cache_hit of { dev : string; reg : string }
+  | Cache_miss of { dev : string; reg : string }
+  | Action of { dev : string; owner : string; phase : phase; assignments : int }
+  | Serialized of { dev : string; owner : string; order : string list }
+  | Poll of { label : string; iters : int; ok : bool }
+  | Retry of { label : string; attempt : int; reason : string }
+  | Fault_injected of {
+      plan : string;
+      addr : int;
+      width : int;
+      detail : string;
+    }
+
+type event = { seq : int; kind : kind }
+type t = { ring : event Ring.t; mutable next_seq : int }
+
+let default_capacity = 1024
+
+let create ?(capacity = default_capacity) () =
+  { ring = Ring.create ~capacity; next_seq = 0 }
+
+let emit t kind =
+  Ring.add t.ring { seq = t.next_seq; kind };
+  t.next_seq <- t.next_seq + 1
+
+let events t = Ring.to_list t.ring
+let length t = Ring.length t.ring
+let dropped t = Ring.dropped t.ring
+let recorded t = Ring.total t.ring
+let capacity t = Ring.capacity t.ring
+
+let clear t =
+  Ring.clear t.ring;
+  t.next_seq <- 0
+
+let from_env () =
+  match Sys.getenv_opt "DEVIL_TRACE" with
+  | None | Some "" | Some "0" -> None
+  | Some s ->
+      let capacity =
+        match int_of_string_opt s with
+        | Some n when n > 1 -> n
+        | _ -> default_capacity
+      in
+      Some (create ~capacity ())
+
+let phase_label = function Pre -> "pre" | Post -> "post" | Set -> "set"
+
+let pp_kind fmt = function
+  | Bus_read { addr; width; value } ->
+      Format.fprintf fmt "bus R%d [%#x] -> %#x" width addr value
+  | Bus_write { addr; width; value } ->
+      Format.fprintf fmt "bus W%d [%#x] <- %#x" width addr value
+  | Bus_block_read { addr; width; count } ->
+      Format.fprintf fmt "bus R%d block [%#x] x%d" width addr count
+  | Bus_block_write { addr; width; count } ->
+      Format.fprintf fmt "bus W%d block [%#x] x%d" width addr count
+  | Reg_read { dev; reg; raw } ->
+      Format.fprintf fmt "%s: reg %s -> %#x" dev reg raw
+  | Reg_write { dev; reg; raw } ->
+      Format.fprintf fmt "%s: reg %s <- %#x" dev reg raw
+  | Cache_hit { dev; reg } -> Format.fprintf fmt "%s: cache hit on %s" dev reg
+  | Cache_miss { dev; reg } -> Format.fprintf fmt "%s: cache miss on %s" dev reg
+  | Action { dev; owner; phase; assignments } ->
+      Format.fprintf fmt "%s: %s-action of %s (%d assignment%s)" dev
+        (phase_label phase) owner assignments
+        (if assignments = 1 then "" else "s")
+  | Serialized { dev; owner; order } ->
+      Format.fprintf fmt "%s: serialized write of %s: %s" dev owner
+        (String.concat " -> " order)
+  | Poll { label; iters; ok } ->
+      Format.fprintf fmt "poll %s: %d iteration%s, %s" label iters
+        (if iters = 1 then "" else "s")
+        (if ok then "satisfied" else "timed out")
+  | Retry { label; attempt; reason } ->
+      Format.fprintf fmt "retry %s: attempt %d failed (%s)" label attempt reason
+  | Fault_injected { plan; addr; width; detail } ->
+      Format.fprintf fmt "fault %s: %d-bit access [%#x]: %s" plan width addr
+        detail
+
+let pp_event fmt e = Format.fprintf fmt "#%d %a" e.seq pp_kind e.kind
+
+let pp fmt t =
+  Ring.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) t.ring
+
+let summary t =
+  Printf.sprintf "%d events (%d retained, %d evicted)" (recorded t) (length t)
+    (dropped t)

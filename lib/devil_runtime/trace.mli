@@ -1,0 +1,121 @@
+(** The bounded event trace of the observability layer (DESIGN.md §8).
+
+    A trace is a ring buffer of timestamped (sequence-numbered) events
+    into which every instrumented layer of the runtime feeds: the
+    {!Bus.observed} wrapper records raw transfers, {!Instance} records
+    stub-level events (register access, idempotent-cache hits and
+    misses, pre/post/set actions, serialization ordering), {!Policy}
+    records poll outcomes and retries, and {!Fault} mirrors its
+    injections — one stream, in the order things happened.
+
+    The buffer is bounded: once [capacity] events have been recorded
+    the oldest are evicted, so a trace attached to an arbitrarily long
+    campaign retains the most recent window at constant space. Eviction
+    is observable through {!dropped}.
+
+    Tracing is strictly opt-in. Nothing in the runtime allocates or
+    records unless a trace handle was passed in explicitly (or created
+    from the [DEVIL_TRACE] environment variable via {!from_env}); the
+    disabled path is a single [option] match per hook. *)
+
+(** A generic bounded ring buffer — also used by {!Fault} for its
+    injection trace. *)
+module Ring : sig
+  type 'a t
+
+  val create : capacity:int -> 'a t
+  (** Capacities below 1 are clamped to 1. *)
+
+  val add : 'a t -> 'a -> unit
+  (** Appends, evicting the oldest item when full. *)
+
+  val to_list : 'a t -> 'a list
+  (** Retained items, oldest first. *)
+
+  val iter : ('a -> unit) -> 'a t -> unit
+  val length : 'a t -> int
+  val capacity : 'a t -> int
+
+  val total : 'a t -> int
+  (** Items ever added, including evicted ones. *)
+
+  val dropped : 'a t -> int
+  (** [total - length]: items evicted so far. *)
+
+  val clear : 'a t -> unit
+end
+
+type phase = Pre | Post | Set  (** Which action of a register or variable. *)
+
+(** The event vocabulary. [dev] names the instance (the driver label
+    given to {!Instance.create}); [owner] names the register or
+    variable whose action or serialization clause ran. *)
+type kind =
+  | Bus_read of { addr : int; width : int; value : int }
+  | Bus_write of { addr : int; width : int; value : int }
+  | Bus_block_read of { addr : int; width : int; count : int }
+  | Bus_block_write of { addr : int; width : int; count : int }
+  | Reg_read of { dev : string; reg : string; raw : int }
+  | Reg_write of { dev : string; reg : string; raw : int }
+      (** Register-level I/O performed by an {!Instance} (the raw value
+          cached, i.e. before masking for the wire). *)
+  | Cache_hit of { dev : string; reg : string }
+  | Cache_miss of { dev : string; reg : string }
+      (** Idempotent-register cache outcome on a variable read. *)
+  | Action of { dev : string; owner : string; phase : phase; assignments : int }
+  | Serialized of { dev : string; owner : string; order : string list }
+      (** A serialization clause ordered a multi-register write. *)
+  | Poll of { label : string; iters : int; ok : bool }
+      (** A {!Policy} poll completed: how many condition evaluations it
+          took and whether it was satisfied ([ok = false] is a
+          timeout). *)
+  | Retry of { label : string; attempt : int; reason : string }
+  | Fault_injected of {
+      plan : string;
+      addr : int;
+      width : int;
+      detail : string;
+    }
+
+type event = { seq : int; kind : kind }
+(** [seq] increases by one per recorded event and is never reused, so
+    gaps at the front of {!events} reveal eviction. *)
+
+type t
+
+val default_capacity : int
+(** 1024. *)
+
+val create : ?capacity:int -> unit -> t
+
+val from_env : unit -> t option
+(** [Some (create ~capacity)] when [DEVIL_TRACE] is set to a non-empty,
+    non-["0"] value; an integer value > 1 is used as the capacity. *)
+
+val emit : t -> kind -> unit
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val length : t -> int
+val capacity : t -> int
+
+val recorded : t -> int
+(** Events ever emitted, including evicted ones. *)
+
+val dropped : t -> int
+(** Events evicted by the bound. *)
+
+val clear : t -> unit
+(** Empties the buffer and rewinds the sequence counter. *)
+
+val summary : t -> string
+(** One-line [recorded/retained/evicted] digest, e.g. for tagging a
+    fault-campaign trial. *)
+
+val phase_label : phase -> string
+val pp_kind : Format.formatter -> kind -> unit
+val pp_event : Format.formatter -> event -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Every retained event, one per line. *)

@@ -5,6 +5,8 @@ type t = {
   space : Io_space.t;
   bus : Devil_runtime.Bus.t;
   injector : Devil_runtime.Fault.t option;
+  trace : Devil_runtime.Trace.t option;
+  metrics : Devil_runtime.Metrics.t option;
   mouse : Hwsim.Busmouse.t;
   disk : Hwsim.Ide_disk.t;
   busmaster : Hwsim.Piix4.t;
@@ -46,7 +48,17 @@ let rtc_data_base = 0x71
 let kbd_data_base = 0x60
 let kbd_ctl_base = 0x64
 
-let create ?(debug = false) ?faults ?fault_seed () =
+let create ?(debug = false) ?faults ?fault_seed ?trace ?metrics () =
+  (* Handles not given explicitly can still be enabled from the
+     environment (DEVIL_TRACE / DEVIL_METRICS). *)
+  let trace =
+    match trace with Some _ -> trace | None -> Devil_runtime.Trace.from_env ()
+  in
+  let metrics =
+    match metrics with
+    | Some _ -> metrics
+    | None -> Devil_runtime.Metrics.from_env ()
+  in
   let space = Io_space.create () in
   let mouse = Hwsim.Busmouse.create () in
   let disk = Hwsim.Ide_disk.create () in
@@ -90,19 +102,30 @@ let create ?(debug = false) ?faults ?fault_seed () =
   let raw_bus = Io_space.bus space in
   let injector =
     Option.map
-      (fun plans -> Devil_runtime.Fault.wrap ?seed:fault_seed ~plans raw_bus)
+      (fun plans ->
+        Devil_runtime.Fault.wrap ?seed:fault_seed ?sink:trace ?metrics ~plans
+          raw_bus)
       faults
   in
+  (* The observer wraps outside the injector, so the bus events in the
+     trace carry the post-fault values the drivers actually saw. *)
   let bus =
-    match injector with
-    | None -> raw_bus
-    | Some inj -> Devil_runtime.Fault.bus inj
+    Devil_runtime.Bus.observed ?trace ?metrics
+      (match injector with
+      | None -> raw_bus
+      | Some inj -> Devil_runtime.Fault.bus inj)
   in
-  let mk device bases = Instance.create ~debug device ~bus ~bases in
+  if Option.is_some trace || Option.is_some metrics then
+    Devil_runtime.Policy.observe ?trace ?metrics ();
+  let mk label device bases =
+    Instance.create ~debug ~label ?trace ?metrics device ~bus ~bases
+  in
   {
     space;
     bus;
     injector;
+    trace;
+    metrics;
     mouse;
     disk;
     busmaster;
@@ -115,28 +138,31 @@ let create ?(debug = false) ?faults ?fault_seed () =
     rtc;
     kbd;
     mouse_dev =
-      mk (Devil_specs.Specs.busmouse ()) [ ("base", mouse_base) ];
+      mk "mouse" (Devil_specs.Specs.busmouse ()) [ ("base", mouse_base) ];
     ide_dev =
-      mk (Devil_specs.Specs.ide ())
+      mk "ide" (Devil_specs.Specs.ide ())
         [ ("data", ide_base); ("cmd", ide_base); ("ctrl", ide_ctrl_base) ];
     piix4_dev =
-      mk (Devil_specs.Specs.piix4_ide ())
+      mk "piix4" (Devil_specs.Specs.piix4_ide ())
         [ ("bm", piix4_base); ("prd", piix4_prd_base) ];
     ne2000_dev =
-      mk (Devil_specs.Specs.ne2000 ()) [ ("base", ne2000_base) ];
-    dma_dev = mk (Devil_specs.Specs.dma8237 ()) [ ("base", dma_base) ];
+      mk "ne2000" (Devil_specs.Specs.ne2000 ()) [ ("base", ne2000_base) ];
+    dma_dev = mk "dma" (Devil_specs.Specs.dma8237 ()) [ ("base", dma_base) ];
     pic_dev =
-      mk (Devil_specs.Specs.pic8259 ~master:true ()) [ ("base", pic_base) ];
-    sound_dev = mk (Devil_specs.Specs.cs4236b ()) [ ("base", sound_base) ];
+      mk "pic" (Devil_specs.Specs.pic8259 ~master:true ())
+        [ ("base", pic_base) ];
+    sound_dev =
+      mk "sound" (Devil_specs.Specs.cs4236b ()) [ ("base", sound_base) ];
     gfx_dev =
-      mk (Devil_specs.Specs.permedia2 ())
+      mk "gfx" (Devil_specs.Specs.permedia2 ())
         [ ("mmio", gfx_mmio_base); ("fb", gfx_fb_base) ];
-    uart_dev = mk (Devil_specs.Specs.uart16550 ()) [ ("base", uart_base) ];
+    uart_dev =
+      mk "uart" (Devil_specs.Specs.uart16550 ()) [ ("base", uart_base) ];
     rtc_dev =
-      mk (Devil_specs.Specs.mc146818 ())
+      mk "rtc" (Devil_specs.Specs.mc146818 ())
         [ ("idx", rtc_index_base); ("data", rtc_data_base) ];
     kbd_dev =
-      mk (Devil_specs.Specs.i8042 ())
+      mk "kbd" (Devil_specs.Specs.i8042 ())
         [ ("data", kbd_data_base); ("ctl", kbd_ctl_base) ];
   }
 

@@ -10,6 +10,10 @@ type t = {
   injector : Devil_runtime.Fault.t option;
       (** Present when the machine was built with [?faults]; exposes
           the injection trace and counters. *)
+  trace : Devil_runtime.Trace.t option;
+      (** The unified event trace, when observability is on. *)
+  metrics : Devil_runtime.Metrics.t option;
+      (** The counter/histogram registry, when observability is on. *)
   (* device models *)
   mouse : Hwsim.Busmouse.t;
   disk : Hwsim.Ide_disk.t;
@@ -72,13 +76,26 @@ val create :
   ?debug:bool ->
   ?faults:Devil_runtime.Fault.plan list ->
   ?fault_seed:int ->
+  ?trace:Devil_runtime.Trace.t ->
+  ?metrics:Devil_runtime.Metrics.t ->
   unit ->
   t
 (** Builds the machine. [debug] enables the §3.2 dynamic checks in
     every Devil instance. [faults] interposes a deterministic fault
     injector (seeded by [fault_seed]) between every driver — Devil or
     handcrafted — and the device models; the resulting injector is
-    exposed as {!field-injector}. *)
+    exposed as {!field-injector}.
+
+    [trace]/[metrics] switch on the observability layer: the bus is
+    wrapped with {!Devil_runtime.Bus.observed} (outside the fault
+    injector, so trace events carry post-fault values), every instance
+    is instrumented under a short driver label ([mouse], [ide], …),
+    the injector mirrors into the same stream, and the
+    {!Devil_runtime.Policy} observer is installed — callers owning
+    short-lived handles should {!Devil_runtime.Policy.unobserve} when
+    done. Handles not supplied are taken from the [DEVIL_TRACE] and
+    [DEVIL_METRICS] environment variables; with neither, the machine
+    is exactly the uninstrumented one. *)
 
 val reset_io_stats : t -> unit
 val io_ops : t -> int

@@ -1,6 +1,8 @@
 module Machine = Drivers.Machine
 module Fault = Devil_runtime.Fault
 module Policy = Devil_runtime.Policy
+module Trace = Devil_runtime.Trace
+module Metrics = Devil_runtime.Metrics
 
 type outcome = Clean | Recovered | Detected | Silent
 
@@ -17,6 +19,7 @@ type trial = {
   injections : int;
   outcome : outcome;
   detail : string;
+  trace_summary : string;
 }
 
 type report = { trials : trial list }
@@ -134,9 +137,25 @@ let workloads =
 
 (* {1 Trial runner} *)
 
+(* A trial's observability digest: what the bus, the policies and the
+   injector did, condensed to one line for the report. The trial trace
+   is deliberately small — the interesting window is the tail where
+   the fault and the recovery happened. *)
+let summarize ~(metrics : Metrics.t) ~(trace : Trace.t) =
+  let c = Metrics.count metrics in
+  Printf.sprintf
+    "bus %dR/%dW (+%d blk), polls %d (%d ticks, %d timeouts), retries %d, \
+     faults %d; %s"
+    (c "bus.reads") (c "bus.writes")
+    (c "bus.block_reads" + c "bus.block_writes")
+    (c "poll.runs") (c "poll.ticks") (c "poll.timeouts") (c "retry.attempts")
+    (c "fault.injections") (Trace.summary trace)
+
 let run_trial ~driver ~range:(first, last) ~workload ~fault ~seed =
   let plans = plans_for ~fault ~first ~last in
-  let m = Machine.create ~faults:plans ~fault_seed:seed () in
+  let metrics = Metrics.create () in
+  let trace = Trace.create ~capacity:128 () in
+  let m = Machine.create ~faults:plans ~fault_seed:seed ~metrics ~trace () in
   let verdict =
     (* Anything the driver raises counts as detected: the failure is
        visible to the caller, which is the property under test. *)
@@ -160,7 +179,8 @@ let run_trial ~driver ~range:(first, last) ~workload ~fault ~seed =
     | Corrupt d -> ((if injections = 0 then Clean else Silent), d)
     | Reported d -> (Detected, d)
   in
-  { driver; fault; seed; injections; outcome; detail }
+  let trace_summary = summarize ~metrics ~trace in
+  { driver; fault; seed; injections; outcome; detail; trace_summary }
 
 let default_seeds = [ 1; 2; 3 ]
 
@@ -170,7 +190,10 @@ let run ?(seeds = default_seeds) () =
   let saved = Policy.default_deadline () in
   Policy.set_default_deadline 20_000;
   Fun.protect
-    ~finally:(fun () -> Policy.set_default_deadline saved)
+    ~finally:(fun () ->
+      Policy.set_default_deadline saved;
+      (* Each trial installed its own short-lived observer. *)
+      Policy.unobserve ())
     (fun () ->
       let trials =
         List.concat_map
@@ -231,5 +254,6 @@ let pp_report fmt report =
   List.iter
     (fun t ->
       Format.fprintf fmt "  silent: %s / %s seed %d (%d injections): %s@."
-        t.driver t.fault t.seed t.injections t.detail)
+        t.driver t.fault t.seed t.injections t.detail;
+      Format.fprintf fmt "    observed: %s@." t.trace_summary)
     silent

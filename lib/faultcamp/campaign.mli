@@ -28,6 +28,11 @@ type trial = {
   injections : int;  (** Faults fired during the trial. *)
   outcome : outcome;
   detail : string;  (** Error text, mismatch description, or summary. *)
+  trace_summary : string;
+      (** One-line observability digest of the trial: bus traffic,
+          poll/retry activity and injection counts from the trial's
+          {!Devil_runtime.Metrics} registry plus the
+          {!Devil_runtime.Trace} retention stats. *)
 }
 
 type report = { trials : trial list }

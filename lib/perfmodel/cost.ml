@@ -17,3 +17,13 @@ let dma_time { singles; block_items; irqs } ~bytes =
   (float_of_int (singles + block_items) *. t_isa_io)
   +. (float_of_int irqs *. t_irq)
   +. (float_of_int bytes /. disk_rate)
+
+module Metrics = Devil_runtime.Metrics
+
+let sample_of_metrics ?(irqs = 0) m =
+  let c = Metrics.count m in
+  {
+    singles = c "bus.reads" + c "bus.writes";
+    block_items = c "bus.read_items" + c "bus.write_items";
+    irqs;
+  }

@@ -40,3 +40,12 @@ val pio_time : io_sample -> float
 
 val dma_time : io_sample -> bytes:int -> float
 (** Busmaster transfer: I/O programming plus media time. *)
+
+val sample_of_metrics : ?irqs:int -> Devil_runtime.Metrics.t -> io_sample
+(** Builds a sample from an observability registry: [singles] from
+    [bus.reads + bus.writes], [block_items] from
+    [bus.read_items + bus.write_items]. This is the accounting the
+    model has always used — block {e transactions} are free, the
+    {e elements} they move pay [t_isa_io] each — now read off the
+    shared metrics vocabulary instead of an ad-hoc counting bus.
+    [irqs] cannot be observed on the bus and defaults to 0. *)

@@ -78,7 +78,9 @@ let test_drop_write () =
   Alcotest.(check int) "one injection" 1 (Fault.injection_count inj)
 
 let test_duplicate_write () =
-  let counted, count = Bus.counting (Bus.memory ()) in
+  let metrics = Devil_runtime.Metrics.create () in
+  let counted = Bus.observed ~metrics (Bus.memory ()) in
+  let count () = Devil_runtime.Metrics.count metrics "bus.writes" in
   let inj =
     Fault.wrap
       ~plans:

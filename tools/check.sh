@@ -1,0 +1,25 @@
+#!/bin/sh
+# The one-command local CI gate: build, run every test suite, and (when
+# the tool and a profile are available) check formatting.
+#
+#   tools/check.sh
+#
+# DEVIL_QCHECK_COUNT can be exported first to deepen the QCheck soaks.
+set -e
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1 && [ -f .ocamlformat ]; then
+  echo "== ocamlformat check =="
+  dune build @fmt
+else
+  echo "== ocamlformat check skipped (no ocamlformat binary or .ocamlformat profile) =="
+fi
+
+echo "== all checks passed =="
