@@ -4,10 +4,18 @@ module Dtype = Devil_ir.Dtype
 module Bitops = Devil_bits.Bitops
 module Mask = Devil_bits.Mask
 
-exception Device_error of string
+exception Device_error = Plan.Device_error
+(* One exception serves both engines, so existing handlers that match
+   [Instance.Device_error] also catch errors raised by compiled plans. *)
 
 let fail fmt = Format.kasprintf (fun s -> raise (Device_error s)) fmt
 
+(* The interpreting engine: re-derives addresses, masks and bit
+   patterns from the IR on every access. Slower than {!Plan}, but its
+   simplicity makes it the differential oracle ([test/test_plan_diff]):
+   the compiled engine must be observationally identical to this
+   module. *)
+module Interp = struct
 type t = {
   device : Ir.device;
   bus : Bus.t;
@@ -174,24 +182,6 @@ let neutral_raw t (v : Ir.var) =
       ignore t;
       None
 
-(* Base image for rewriting a register: idempotent siblings keep their
-   cached bits (zero if never written); a write-trigger sibling's side
-   effect cannot be replayed, so its bits are always rebuilt from its
-   neutral value (paper §2.1). *)
-let compose_base t (r : Ir.reg) =
-  let image =
-    ref (Option.value (Hashtbl.find_opt t.reg_cache r.r_name) ~default:0)
-  in
-  List.iter
-    (fun (v : Ir.var) ->
-      match neutral_raw t v with
-      | None -> ()
-      | Some raw ->
-          scatter_bits v ~raw ~update:(fun reg f ->
-              if String.equal reg r.r_name then image := f !image))
-    (Ir.vars_of_reg t.device r.r_name);
-  !image
-
 (* {1 Register I/O (with pre/post/set actions)} *)
 
 let max_action_depth = 32
@@ -237,6 +227,45 @@ and write_reg_io t (r : Ir.reg) raw =
       run_action ~what:(Trace.Set, r.r_name) t r.r_set;
       Hashtbl.replace t.reg_cache r.r_name raw;
       note_reg_io t r ~write:true raw
+
+(* Base image for rewriting a register: idempotent siblings keep their
+   cached bits (zero if never written); a write-trigger sibling's side
+   effect cannot be replayed, so its bits are always rebuilt from its
+   neutral value (paper §2.1). A [volatile] sibling's cached bits may be
+   stale — the device changes them behind the cache — so when the
+   register can be re-read without side effects (readable, no read
+   trigger on any sibling) it is refreshed first. [exclude] names the
+   variables being rewritten, whose bits are about to be overwritten
+   anyway and so never force the refresh. *)
+and compose_base ?(exclude = []) t (r : Ir.reg) =
+  let siblings = Ir.vars_of_reg t.device r.r_name in
+  let refresh =
+    Ir.reg_readable r
+    && List.exists
+         (fun (v : Ir.var) ->
+           v.v_behaviour.b_volatile && not (List.mem v.v_name exclude))
+         siblings
+    && not
+         (List.exists
+            (fun (v : Ir.var) ->
+              match v.v_behaviour.b_trigger with
+              | Some { tr_read = true; _ } -> true
+              | Some _ | None -> false)
+            siblings)
+  in
+  if refresh then ignore (read_reg_io t r);
+  let image =
+    ref (Option.value (Hashtbl.find_opt t.reg_cache r.r_name) ~default:0)
+  in
+  List.iter
+    (fun (v : Ir.var) ->
+      match neutral_raw t v with
+      | None -> ()
+      | Some raw ->
+          scatter_bits v ~raw ~update:(fun reg f ->
+              if String.equal reg r.r_name then image := f !image))
+    siblings;
+  !image
 
 (* {1 Actions} *)
 
@@ -438,7 +467,7 @@ and set_internal t name value =
     let regs = regs_in_chunk_order t v in
     List.iter
       (fun (r : Ir.reg) ->
-        Hashtbl.replace images r.Ir.r_name (compose_base t r))
+        Hashtbl.replace images r.Ir.r_name (compose_base ~exclude:[ name ] t r))
       regs;
     scatter_bits v ~raw ~update:(fun reg f ->
         match Hashtbl.find_opt images reg with
@@ -493,7 +522,8 @@ and set_struct_internal t name fields =
   let regs = struct_regs t s in
   let images = Hashtbl.create 8 in
   List.iter
-    (fun (r : Ir.reg) -> Hashtbl.replace images r.Ir.r_name (compose_base t r))
+    (fun (r : Ir.reg) ->
+      Hashtbl.replace images r.Ir.r_name (compose_base ~exclude:s.s_fields t r))
     regs;
   (* Encode every field: supplied values first, cached values for the
      rest (a field never written and not supplied is an error). *)
@@ -761,3 +791,120 @@ let read_indexed t ~template ~args =
 let write_indexed t ~template ~args raw =
   let r = instantiate_template t ~template ~args in
   with_depth t (fun () -> write_reg_io t r raw)
+end
+
+(* {1 Engine dispatch}
+
+   The compiled engine is the default — the paper's stubs are compiled,
+   and so is our hot path. [~interpret:true] keeps the interpreter
+   available as the differential oracle and as a debugging aid. *)
+
+type t = Compiled of Plan.t | Interpreted of Interp.t
+
+let create ?(debug = false) ?label ?trace ?metrics ?(interpret = false) device
+    ~bus ~bases =
+  if interpret then
+    Interpreted (Interp.create ~debug ?label ?trace ?metrics device ~bus ~bases)
+  else
+    let label = match label with Some l -> l | None -> device.Ir.d_name in
+    Compiled (Plan.compile ~debug ~label ?trace ?metrics device ~bus ~bases)
+
+let device = function
+  | Compiled p -> Plan.device p
+  | Interpreted i -> Interp.device i
+
+let get t name =
+  match t with
+  | Compiled p -> Plan.get p name
+  | Interpreted i -> Interp.get i name
+
+let set t name value =
+  match t with
+  | Compiled p -> Plan.set p name value
+  | Interpreted i -> Interp.set i name value
+
+let get_struct t name =
+  match t with
+  | Compiled p -> Plan.get_struct p name
+  | Interpreted i -> Interp.get_struct i name
+
+let set_struct t name fields =
+  match t with
+  | Compiled p -> Plan.set_struct p name fields
+  | Interpreted i -> Interp.set_struct i name fields
+
+let read_block t name ~count =
+  match t with
+  | Compiled p -> Plan.read_block p name ~count
+  | Interpreted i -> Interp.read_block i name ~count
+
+let write_block t name data =
+  match t with
+  | Compiled p -> Plan.write_block p name data
+  | Interpreted i -> Interp.write_block i name data
+
+let read_wide t name ~scale =
+  match t with
+  | Compiled p -> Plan.read_wide p name ~scale
+  | Interpreted i -> Interp.read_wide i name ~scale
+
+let write_wide t name ~scale value =
+  match t with
+  | Compiled p -> Plan.write_wide p name ~scale value
+  | Interpreted i -> Interp.write_wide i name ~scale value
+
+let read_block_wide t name ~scale ~count =
+  match t with
+  | Compiled p -> Plan.read_block_wide p name ~scale ~count
+  | Interpreted i -> Interp.read_block_wide i name ~scale ~count
+
+let write_block_wide t name ~scale data =
+  match t with
+  | Compiled p -> Plan.write_block_wide p name ~scale data
+  | Interpreted i -> Interp.write_block_wide i name ~scale data
+
+let read_indexed t ~template ~args =
+  match t with
+  | Compiled p -> Plan.read_indexed p ~template ~args
+  | Interpreted i -> Interp.read_indexed i ~template ~args
+
+let write_indexed t ~template ~args raw =
+  match t with
+  | Compiled p -> Plan.write_indexed p ~template ~args raw
+  | Interpreted i -> Interp.write_indexed i ~template ~args raw
+
+let invalidate_cache = function
+  | Compiled p -> Plan.invalidate_cache p
+  | Interpreted i -> Interp.invalidate_cache i
+
+let cached_raw t reg =
+  match t with
+  | Compiled p -> Plan.cached_raw p reg
+  | Interpreted i -> Interp.cached_raw i reg
+
+(* {1 Pre-resolved handles} *)
+
+type handle = H_plan of Plan.handle | H_interp of string
+
+let handle t name =
+  match t with
+  | Compiled p -> H_plan (Plan.handle p name)
+  | Interpreted i ->
+      ignore (Interp.check_public i name);
+      H_interp name
+
+let get_h t h =
+  match (t, h) with
+  | Compiled p, H_plan h -> Plan.get_h p h
+  | Interpreted i, H_interp name ->
+      Interp.with_depth i (fun () -> Interp.get_internal i name)
+  | Compiled _, H_interp _ | Interpreted _, H_plan _ ->
+      fail "handle was created by a different engine"
+
+let set_h t h value =
+  match (t, h) with
+  | Compiled p, H_plan h -> Plan.set_h p h value
+  | Interpreted i, H_interp name ->
+      Interp.with_depth i (fun () -> Interp.set_internal i name value)
+  | Compiled _, H_interp _ | Interpreted _, H_plan _ ->
+      fail "handle was created by a different engine"

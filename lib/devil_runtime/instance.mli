@@ -36,12 +36,23 @@ val create :
   ?label:string ->
   ?trace:Trace.t ->
   ?metrics:Metrics.t ->
+  ?interpret:bool ->
   Ir.device ->
   bus:Bus.t ->
   bases:(string * int) list ->
   t
 (** [create device ~bus ~bases] binds each port parameter to an
     absolute base address. Every port of the device must be bound.
+
+    By default the device is compiled once into pre-resolved access
+    plans ({!Plan}, DESIGN.md §9): absolute addresses, folded masks,
+    flattened gather/scatter bit plans, index-resolved actions — the
+    per-access path performs no string lookup and no re-derivation.
+    [~interpret:true] selects the original IR interpreter instead,
+    which re-resolves everything on each access; the two are
+    observationally identical (checked by [test/test_plan_diff.ml]),
+    making the interpreter the differential oracle for the compiled
+    fast path.
 
     [label] names the instance in observability output (default: the
     device's name); it prefixes the [io.<label>.*], [reg.<label>.*]
@@ -98,3 +109,16 @@ val invalidate_cache : t -> unit
 
 val cached_raw : t -> string -> int option
 (** Last known raw value of a register, for tests and debugging. *)
+
+type handle
+(** A pre-resolved reference to a public variable: the name lookup and
+    public-interface check are paid once, at {!handle} time — the moral
+    equivalent of the paper's generated C stub referring directly to
+    its cache slot. A handle is only valid with the instance that
+    created it. *)
+
+val handle : t -> string -> handle
+(** Raises {!Device_error} for unknown or private variables. *)
+
+val get_h : t -> handle -> Value.t
+val set_h : t -> handle -> Value.t -> unit

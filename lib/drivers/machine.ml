@@ -48,7 +48,7 @@ let rtc_data_base = 0x71
 let kbd_data_base = 0x60
 let kbd_ctl_base = 0x64
 
-let create ?(debug = false) ?faults ?fault_seed ?trace ?metrics () =
+let create ?(debug = false) ?faults ?fault_seed ?trace ?metrics ?interpret () =
   (* Handles not given explicitly can still be enabled from the
      environment (DEVIL_TRACE / DEVIL_METRICS). *)
   let trace =
@@ -118,7 +118,7 @@ let create ?(debug = false) ?faults ?fault_seed ?trace ?metrics () =
   if Option.is_some trace || Option.is_some metrics then
     Devil_runtime.Policy.observe ?trace ?metrics ();
   let mk label device bases =
-    Instance.create ~debug ~label ?trace ?metrics device ~bus ~bases
+    Instance.create ~debug ~label ?trace ?metrics ?interpret device ~bus ~bases
   in
   {
     space;

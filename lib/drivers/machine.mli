@@ -78,10 +78,13 @@ val create :
   ?fault_seed:int ->
   ?trace:Devil_runtime.Trace.t ->
   ?metrics:Devil_runtime.Metrics.t ->
+  ?interpret:bool ->
   unit ->
   t
 (** Builds the machine. [debug] enables the §3.2 dynamic checks in
-    every Devil instance. [faults] interposes a deterministic fault
+    every Devil instance. [interpret] selects the interpreting runtime
+    engine for every instance instead of the default compiled access
+    plans (see {!Devil_runtime.Instance.create}). [faults] interposes a deterministic fault
     injector (seeded by [fault_seed]) between every driver — Devil or
     handcrafted — and the device models; the resulting injector is
     exposed as {!field-injector}.

@@ -43,10 +43,10 @@ let compile src =
       Alcotest.fail
         (Format.asprintf "bad test spec:@.%a" Devil_syntax.Diagnostics.pp diags)
 
-let make ?(debug = true) src =
+let make ?(debug = true) ?(interpret = false) src =
   let device = compile ("device d (base : bit[8] port @ {0..3}) {" ^ src ^ "}") in
   let bus, log, poke = recording_bus () in
-  (Instance.create ~debug device ~bus ~bases:[ ("base", 0) ], log, poke)
+  (Instance.create ~debug ~interpret device ~bus ~bases:[ ("base", 0) ], log, poke)
 
 let event =
   Alcotest.testable
@@ -310,6 +310,50 @@ let test_indexed_access () =
     [ W (0, 7); R 1; W (0, 9); W (1, 0x55) ]
     (log ())
 
+(* Regression: writing an idempotent variable that shares a register
+   with a [volatile] sibling must not write the sibling's stale cached
+   bits back to the device. When the register can be re-read without
+   side effects, the composing write re-reads it first. *)
+let run_volatile_sibling_refresh ~interpret () =
+  let inst, log, poke =
+    make ~interpret
+      "register r = base @ 0 : bit[8];
+       variable v = r[3..0] : int(4);
+       variable s = r[7..4], volatile : int(4);
+       register o = base @ 1 : bit[8]; variable vo = o : int(8);
+       register p = base @ 2 : bit[8]; variable vp = p : int(8);
+       register q = base @ 3 : bit[8]; variable vq = q : int(8);"
+  in
+  poke 0 0x20;
+  Instance.set inst "v" (Value.Int 3);
+  (* The device flips the volatile nibble behind the cache. *)
+  poke 0 0x93;
+  Instance.set inst "v" (Value.Int 5);
+  (match Instance.get inst "s" with
+  | Value.Int 9 -> ()
+  | v -> Alcotest.fail ("volatile nibble clobbered: " ^ Value.to_string v));
+  check_log "re-read before each composing write"
+    [ R 0; W (0, 0x23); R 0; W (0, 0x95); R 0 ]
+    (log ())
+
+(* The refresh must NOT happen when a sibling has a read trigger: the
+   re-read would fire the side effect. The stale-cache compose is the
+   only safe base there. *)
+let run_no_refresh_with_read_trigger ~interpret () =
+  let inst, log, poke =
+    make ~interpret
+      "register r = base @ 0 : bit[8];
+       variable v = r[2..0] : int(3);
+       variable s = r[5..3], volatile : int(3);
+       variable g = r[7..6], read trigger : int(2);
+       register o = base @ 1 : bit[8]; variable vo = o : int(8);
+       register p = base @ 2 : bit[8]; variable vp = p : int(8);
+       register q = base @ 3 : bit[8]; variable vq = q : int(8);"
+  in
+  poke 0 0xff;
+  Instance.set inst "v" (Value.Int 5);
+  check_log "no side-effecting re-read" [ W (0, 0x05) ] (log ())
+
 let test_invalidate_cache () =
   let inst, log, poke =
     make
@@ -337,6 +381,14 @@ let () =
           case "trigger neutral composition" test_trigger_neutral_composition;
           case "write-only reads from cache" test_write_only_get_uses_cache;
           case "invalidate_cache" test_invalidate_cache;
+          case "volatile sibling refreshed (compiled)"
+            (run_volatile_sibling_refresh ~interpret:false);
+          case "volatile sibling refreshed (interpreted)"
+            (run_volatile_sibling_refresh ~interpret:true);
+          case "read trigger forbids refresh (compiled)"
+            (run_no_refresh_with_read_trigger ~interpret:false);
+          case "read trigger forbids refresh (interpreted)"
+            (run_no_refresh_with_read_trigger ~interpret:true);
         ] );
       ( "structures",
         [

@@ -1,0 +1,289 @@
+(* Schema validator for the PR-3 benchmark artifact (BENCH_pr3.json).
+
+   Usage:
+     benchcheck FILE [--require-speedup]
+
+   Checks that FILE is well-formed JSON matching the DESIGN.md §9
+   schema: a schema_version-1 object whose "workloads" array carries
+   every expected (workload, engine) pair with a numeric-or-null
+   ns_per_op and a non-negative modeled_us. With [--require-speedup]
+   it additionally asserts the acceptance criterion — the compiled
+   engine strictly faster than the interpreter on the register get and
+   set workloads (so it needs real estimates, not a smoke run's
+   nulls).
+
+   The parser below is a deliberately small recursive-descent JSON
+   reader — the toolchain has no JSON library baked in, and the
+   checker needs only enough JSON to falsify a malformed artifact. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+module Parse = struct
+  type st = { s : string; mutable pos : int }
+
+  let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+  let advance st = st.pos <- st.pos + 1
+
+  let rec skip_ws st =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance st;
+        skip_ws st
+    | _ -> ()
+
+  let expect st c =
+    match peek st with
+    | Some c' when c' = c -> advance st
+    | Some c' -> bad "offset %d: expected '%c', found '%c'" st.pos c c'
+    | None -> bad "offset %d: expected '%c', found end of input" st.pos c
+
+  let literal st word value =
+    String.iter (fun c -> expect st c) word;
+    value
+
+  let string_body st =
+    (* Called after the opening quote. The artifact writer only emits
+       %S-escaped strings, so the escapes handled here cover it. *)
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek st with
+      | None -> bad "unterminated string"
+      | Some '"' -> advance st
+      | Some '\\' -> (
+          advance st;
+          match peek st with
+          | Some ('"' as c) | Some ('\\' as c) | Some ('/' as c) ->
+              Buffer.add_char b c;
+              advance st;
+              go ()
+          | Some 'n' ->
+              Buffer.add_char b '\n';
+              advance st;
+              go ()
+          | Some 't' ->
+              Buffer.add_char b '\t';
+              advance st;
+              go ()
+          | Some c -> bad "unsupported escape '\\%c'" c
+          | None -> bad "unterminated escape")
+      | Some c ->
+          Buffer.add_char b c;
+          advance st;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+
+  let number st =
+    let start = st.pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    let rec go () =
+      match peek st with
+      | Some c when is_num_char c ->
+          advance st;
+          go ()
+      | _ -> ()
+    in
+    go ();
+    let text = String.sub st.s start (st.pos - start) in
+    match float_of_string_opt text with
+    | Some f -> Num f
+    | None -> bad "offset %d: bad number %S" start text
+
+  let rec value st =
+    skip_ws st;
+    match peek st with
+    | Some '{' -> obj st
+    | Some '[' -> arr st
+    | Some '"' ->
+        advance st;
+        Str (string_body st)
+    | Some 't' -> literal st "true" (Bool true)
+    | Some 'f' -> literal st "false" (Bool false)
+    | Some 'n' -> literal st "null" Null
+    | Some ('-' | '0' .. '9') -> number st
+    | Some c -> bad "offset %d: unexpected '%c'" st.pos c
+    | None -> bad "unexpected end of input"
+
+  and obj st =
+    expect st '{';
+    skip_ws st;
+    match peek st with
+    | Some '}' ->
+        advance st;
+        Obj []
+    | _ ->
+        let rec members acc =
+          skip_ws st;
+          expect st '"';
+          let key = string_body st in
+          skip_ws st;
+          expect st ':';
+          let v = value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              members ((key, v) :: acc)
+          | Some '}' ->
+              advance st;
+              Obj (List.rev ((key, v) :: acc))
+          | _ -> bad "offset %d: expected ',' or '}'" st.pos
+        in
+        members []
+
+  and arr st =
+    expect st '[';
+    skip_ws st;
+    match peek st with
+    | Some ']' ->
+        advance st;
+        Arr []
+    | _ ->
+        let rec elements acc =
+          let v = value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              elements (v :: acc)
+          | Some ']' ->
+              advance st;
+              Arr (List.rev (v :: acc))
+          | _ -> bad "offset %d: expected ',' or ']'" st.pos
+        in
+        elements []
+
+  let document s =
+    let st = { s; pos = 0 } in
+    let v = value st in
+    skip_ws st;
+    if st.pos <> String.length s then bad "trailing garbage at offset %d" st.pos;
+    v
+end
+
+(* {1 Schema checks} *)
+
+let field name = function
+  | Obj members -> (
+      match List.assoc_opt name members with
+      | Some v -> v
+      | None -> bad "missing field %S" name)
+  | _ -> bad "expected an object around field %S" name
+
+let num name v =
+  match field name v with
+  | Num f -> f
+  | _ -> bad "field %S must be a number" name
+
+let str name v =
+  match field name v with
+  | Str s -> s
+  | _ -> bad "field %S must be a string" name
+
+let expected_workloads =
+  [
+    "reg_get";
+    "reg_set";
+    "reg_get_h";
+    "reg_set_h";
+    "struct_read";
+    "block_write";
+    "ide_read";
+    "gfx_fill";
+  ]
+
+let engines = [ "compiled"; "interpreted" ]
+
+let validate ~require_speedup doc =
+  if num "schema_version" doc <> 1.0 then bad "schema_version must be 1";
+  if str "suite" doc <> "devil_pr3_access_plans" then
+    bad "suite must be \"devil_pr3_access_plans\"";
+  if num "quota_s" doc <= 0.0 then bad "quota_s must be positive";
+  if num "limit" doc < 1.0 then bad "limit must be at least 1";
+  let rows =
+    match field "workloads" doc with
+    | Arr rows -> rows
+    | _ -> bad "field \"workloads\" must be an array"
+  in
+  (* ns_per_op per (workload, engine); None for a smoke run's null. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun row ->
+      let name = str "name" row and engine = str "engine" row in
+      if not (List.mem name expected_workloads) then
+        bad "unknown workload %S" name;
+      if not (List.mem engine engines) then bad "unknown engine %S" engine;
+      if Hashtbl.mem seen (name, engine) then
+        bad "duplicate row for %s/%s" name engine;
+      let ns =
+        match field "ns_per_op" row with
+        | Null -> None
+        | Num f when f >= 0.0 -> Some f
+        | Num _ -> bad "%s/%s: ns_per_op must be non-negative" name engine
+        | _ -> bad "%s/%s: ns_per_op must be a number or null" name engine
+      in
+      if num "modeled_us" row < 0.0 then
+        bad "%s/%s: modeled_us must be non-negative" name engine;
+      Hashtbl.add seen (name, engine) ns)
+    rows;
+  List.iter
+    (fun name ->
+      List.iter
+        (fun engine ->
+          if not (Hashtbl.mem seen (name, engine)) then
+            bad "missing row for %s/%s" name engine)
+        engines)
+    expected_workloads;
+  if require_speedup then
+    List.iter
+      (fun name ->
+        match
+          (Hashtbl.find seen (name, "compiled"),
+           Hashtbl.find seen (name, "interpreted"))
+        with
+        | Some c, Some i when c < i -> ()
+        | Some c, Some i ->
+            bad "%s: compiled (%.1f ns) not faster than interpreter (%.1f ns)"
+              name c i
+        | _ -> bad "%s: --require-speedup needs real estimates, found null" name)
+      [ "reg_get"; "reg_set"; "reg_get_h"; "reg_set_h" ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let require_speedup = List.mem "--require-speedup" args in
+  match List.filter (fun a -> a <> "--require-speedup") args with
+  | [ path ] -> (
+      try
+        validate ~require_speedup (Parse.document (read_file path));
+        Printf.printf "%s: ok\n" path
+      with
+      | Bad m ->
+          Printf.eprintf "%s: invalid benchmark artifact: %s\n" path m;
+          exit 1
+      | Sys_error m ->
+          Printf.eprintf "%s\n" m;
+          exit 1)
+  | _ ->
+      prerr_endline "usage: benchcheck FILE [--require-speedup]";
+      exit 2

@@ -15,6 +15,19 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+# A fast end-to-end pass over the PR-3 benchmark pipeline: run every
+# bechamel workload once on both engines (1-run quota) and validate
+# the JSON artifact against the DESIGN.md §9 schema. The committed
+# BENCH_pr3.json (real numbers) is schema-checked too when present.
+echo "== bench smoke =="
+DEVIL_BENCH_QUOTA=0.001 DEVIL_BENCH_LIMIT=1 \
+  DEVIL_BENCH_OUT=_build/bench_smoke.json \
+  dune exec bench/main.exe -- benchjson > /dev/null
+dune exec tools/benchcheck/benchcheck.exe -- _build/bench_smoke.json
+if [ -f BENCH_pr3.json ]; then
+  dune exec tools/benchcheck/benchcheck.exe -- BENCH_pr3.json
+fi
+
 if command -v ocamlformat >/dev/null 2>&1 && [ -f .ocamlformat ]; then
   echo "== ocamlformat check =="
   dune build @fmt
