@@ -7,7 +7,7 @@
      dune exec bench/main.exe              # everything
      dune exec bench/main.exe -- table1    # one artifact
      (table1 | table2 | table3 | table4 | census | micro | ablation |
-      faultcamp | obs | bechamel | benchjson)
+      faultcamp | obs | obs-json | bechamel | benchjson)
 
    Paper-vs-measured commentary lives in EXPERIMENTS.md. *)
 
@@ -277,33 +277,78 @@ let faultcamp () =
     "Transient faults (aborted accesses) must never corrupt silently: the \
      recovery@.policies retry them with bounded attempts. Silent rows mark \
      data-path faults no@.driver-level check can see — the residue a \
-     language-level approach leaves to@.end-to-end integrity checks.@."
+     language-level approach leaves to@.end-to-end integrity checks.@.";
+  (* Record/replay spot checks: every faultcamp failure must be
+     reproducible from its bus tape alone. One cell per workload,
+     under the nastiest fault class, plus the fault-free smoke pair
+     the check.sh gate diffs with tracetool. *)
+  Format.printf "@.record/replay spot checks (bus-tape determinism):@.";
+  List.iter
+    (fun driver ->
+      let rc =
+        Faultcamp.Campaign.record_replay ~fault:"stuck-bits" ~driver ~seed:1 ()
+      in
+      Format.printf "  %a@." Faultcamp.Campaign.pp_replay_check rc)
+    Faultcamp.Campaign.driver_workloads;
+  match Sys.getenv_opt Faultcamp.Campaign.export_env with
+  | None -> ()
+  | Some dir ->
+      let recorded, replayed =
+        Faultcamp.Campaign.export_replay_smoke ~dir ~driver:"ide-read" ~seed:1
+      in
+      Format.printf "@.wrote replay smoke pair: %s / %s@." recorded replayed
 
 (* {1 Observability: trace + metrics over a mixed driver workload} *)
+
+let obs_workload (m : Machine.t) =
+  let mouse = Drivers.Mouse.Devil_driver.create m.mouse_dev in
+  ignore (Drivers.Mouse.Devil_driver.read_state mouse);
+  let ide = Drivers.Ide.Devil_driver.create ~ide:m.ide_dev ~piix4:m.piix4_dev in
+  ignore
+    (Drivers.Ide.Devil_driver.read_sectors ide ~lba:0 ~count:1 ~mult:1
+       ~path:`Block ~width:`W16);
+  let g = Drivers.Gfx.Devil_driver.create m.gfx_dev in
+  Drivers.Gfx.Devil_driver.set_depth g 8;
+  Drivers.Gfx.Devil_driver.fill_rect g
+    { Drivers.Gfx.x = 0; y = 0; w = 10; h = 10 }
+    ~color:1;
+  let u = Drivers.Serial.Devil_driver.create m.uart_dev in
+  Drivers.Serial.Devil_driver.init u ~baud:115200;
+  ignore (Drivers.Serial.Devil_driver.self_test u)
+
+(* The spec instances the obs workload touches, paired with the
+   instance labels Machine.create hands them. *)
+let obs_coverage_devices () =
+  [
+    ("mouse", Devil_specs.Specs.busmouse ());
+    ("ide", Devil_specs.Specs.ide ());
+    ("piix4", Devil_specs.Specs.piix4_ide ());
+    ("gfx", Devil_specs.Specs.permedia2 ());
+    ("uart", Devil_specs.Specs.uart16550 ());
+  ]
 
 let obs () =
   section "Observability: metrics and trace over a mixed driver workload";
   let trace = Devil_runtime.Trace.create ~capacity:64 () in
   let metrics = Devil_runtime.Metrics.create () in
+  let covs =
+    List.map
+      (fun (dev, device) ->
+        let c = Devil_runtime.Coverage.create ~dev device in
+        Devil_runtime.Coverage.attach c trace;
+        c)
+      (obs_coverage_devices ())
+  in
   let m = Machine.create ~trace ~metrics () in
   Fun.protect ~finally:Devil_runtime.Policy.unobserve (fun () ->
-      let mouse = Drivers.Mouse.Devil_driver.create m.mouse_dev in
-      ignore (Drivers.Mouse.Devil_driver.read_state mouse);
-      let ide =
-        Drivers.Ide.Devil_driver.create ~ide:m.ide_dev ~piix4:m.piix4_dev
-      in
-      ignore
-        (Drivers.Ide.Devil_driver.read_sectors ide ~lba:0 ~count:1 ~mult:1
-           ~path:`Block ~width:`W16);
-      let g = Drivers.Gfx.Devil_driver.create m.gfx_dev in
-      Drivers.Gfx.Devil_driver.set_depth g 8;
-      Drivers.Gfx.Devil_driver.fill_rect g
-        { Drivers.Gfx.x = 0; y = 0; w = 10; h = 10 }
-        ~color:1;
-      let u = Drivers.Serial.Devil_driver.create m.uart_dev in
-      Drivers.Serial.Devil_driver.init u ~baud:115200;
-      ignore (Drivers.Serial.Devil_driver.self_test u));
+      obs_workload m);
   Format.printf "%s@." (Devil_runtime.Metrics.to_json metrics);
+  Format.printf "@.spec coverage of the workload:@.";
+  List.iter
+    (fun c ->
+      Format.printf "  %a@." Devil_runtime.Coverage.pp_report
+        (Devil_runtime.Coverage.report c))
+    covs;
   let sample = Perfmodel.Cost.sample_of_metrics metrics in
   Format.printf
     "@.modeled PIO time for the workload: %.1f us (%d single transfers, %d \
@@ -320,6 +365,19 @@ let obs () =
   List.iter
     (fun e -> Format.printf "  %a@." Devil_runtime.Trace.pp_event e)
     tail
+
+(* The obs workload's metrics registry as bare JSON on stdout —
+   counters and histograms sorted by key, so the output is
+   byte-deterministic and pinned as test/golden/obs_metrics.json.
+   Any change to what the runtime counts (or to what the drivers do)
+   shows up as a reviewable golden diff; accept with `dune promote`. *)
+let obs_json () =
+  let metrics = Devil_runtime.Metrics.create () in
+  let m = Machine.create ~metrics () in
+  Fun.protect ~finally:Devil_runtime.Policy.unobserve (fun () ->
+      obs_workload m);
+  print_string (Devil_runtime.Metrics.to_json metrics);
+  print_newline ()
 
 (* {1 Bechamel micro-benchmarks: one workload per table} *)
 
@@ -604,6 +662,7 @@ let () =
       ("ablation", ablation);
       ("faultcamp", faultcamp);
       ("obs", obs);
+      ("obs-json", obs_json);
       ("bechamel", bechamel_suite);
       ("benchjson", benchjson);
     ]

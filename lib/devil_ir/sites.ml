@@ -1,0 +1,131 @@
+(* The universe of coverable sites of a device: everything in a Devil
+   spec that a workload can exercise at runtime. Mirrors the mutation
+   analysis's view of "places a spec can be wrong" — a site that no
+   workload covers is a site where a mutation survives. *)
+
+type site =
+  | S_reg of { reg : string; access : Ir.access }
+  | S_template of { template : string; access : Ir.access }
+  | S_bits of { reg : string; var : string; ranges : (int * int) list }
+  | S_var of { var : string; access : Ir.access }
+  | S_behaviour of { var : string; behaviour : string }
+  | S_action of { owner : string; phase : string }
+  | S_serial of { owner : string }
+
+let access_label = function Ir.Read -> "read" | Ir.Write -> "write"
+
+let site_id = function
+  | S_reg { reg; access } -> Printf.sprintf "reg:%s:%s" reg (access_label access)
+  | S_template { template; access } ->
+      Printf.sprintf "template:%s:%s" template (access_label access)
+  | S_bits { reg; var; ranges } ->
+      Printf.sprintf "bits:%s:%s:%s" reg var
+        (String.concat ","
+           (List.map (fun (hi, lo) -> Printf.sprintf "%d-%d" hi lo) ranges))
+  | S_var { var; access } -> Printf.sprintf "var:%s:%s" var (access_label access)
+  | S_behaviour { var; behaviour } -> Printf.sprintf "behaviour:%s:%s" var behaviour
+  | S_action { owner; phase } -> Printf.sprintf "action:%s:%s" owner phase
+  | S_serial { owner } -> Printf.sprintf "serial:%s" owner
+
+let pp_site fmt s = Format.pp_print_string fmt (site_id s)
+
+let is_reg_site = function S_reg _ -> true | _ -> false
+
+(* An enum with no case mapping in a direction cannot be accessed that
+   way at all: a '=>' case only encodes (writes) and a '<=' case only
+   decodes, so e.g. a variable whose every case is one-directional
+   write can never be read without a dynamic error. *)
+let type_allows access (v : Ir.var) =
+  match v.v_type with
+  | Dtype.Enum cases ->
+      List.exists
+        (fun (c : Dtype.enum_case) ->
+          match (access, c.dir) with
+          | Ir.Read, (Dtype.Read | Dtype.Both) -> true
+          | Ir.Write, (Dtype.Write | Dtype.Both) -> true
+          | _ -> false)
+        cases
+  | _ -> true
+
+(* A variable is readable (writable) when every register its chunks
+   touch is, and its type maps in that direction; a memory cell is
+   both. *)
+let var_accesses (d : Ir.device) (v : Ir.var) =
+  let reg_accesses =
+    match v.v_chunks with
+    | [] -> [ Ir.Read; Ir.Write ]
+    | chunks ->
+        let regs =
+          List.filter_map (fun (c : Ir.chunk) -> Ir.find_reg d c.c_reg) chunks
+        in
+        let all p = regs <> [] && List.for_all p regs in
+        (if all Ir.reg_readable then [ Ir.Read ] else [])
+        @ if all Ir.reg_writable then [ Ir.Write ] else []
+  in
+  List.filter (fun access -> type_allows access v) reg_accesses
+
+let behaviours_of (v : Ir.var) =
+  let b = v.v_behaviour in
+  (if b.b_volatile then [ "volatile" ] else [])
+  @ (match b.b_trigger with
+    | None -> []
+    | Some tr ->
+        (if tr.tr_read then [ "trigger.read" ] else [])
+        @ if tr.tr_write then [ "trigger.write" ] else [])
+  @ if b.b_block then [ "block" ] else []
+
+let action_sites owner (pre : Ir.action) (post : Ir.action) (set : Ir.action) =
+  (if pre <> [] then [ S_action { owner; phase = "pre" } ] else [])
+  @ (if post <> [] then [ S_action { owner; phase = "post" } ] else [])
+  @ if set <> [] then [ S_action { owner; phase = "set" } ] else []
+
+let universe (d : Ir.device) =
+  let reg_sites =
+    List.concat_map
+      (fun (r : Ir.reg) ->
+        (if Ir.reg_readable r then [ S_reg { reg = r.r_name; access = Read } ]
+         else [])
+        @ (if Ir.reg_writable r then [ S_reg { reg = r.r_name; access = Write } ]
+           else [])
+        @ action_sites r.r_name r.r_pre r.r_post r.r_set)
+      d.d_regs
+  in
+  let template_sites =
+    List.concat_map
+      (fun (t : Ir.template) ->
+        (if t.t_read <> None then
+           [ S_template { template = t.t_name; access = Read } ]
+         else [])
+        @
+        if t.t_write <> None then
+          [ S_template { template = t.t_name; access = Write } ]
+        else [])
+      d.d_templates
+  in
+  let var_sites =
+    List.concat_map
+      (fun (v : Ir.var) ->
+        List.map (fun access -> S_var { var = v.v_name; access })
+          (var_accesses d v)
+        @ List.map
+            (fun (c : Ir.chunk) ->
+              S_bits { reg = c.c_reg; var = v.v_name; ranges = c.c_ranges })
+            v.v_chunks
+        @ List.map
+            (fun behaviour -> S_behaviour { var = v.v_name; behaviour })
+            (behaviours_of v)
+        @ action_sites v.v_name v.v_pre v.v_post v.v_set
+        @ match v.v_serial with
+          | Some _ -> [ S_serial { owner = v.v_name } ]
+          | None -> [])
+      (Ir.public_vars d)
+  in
+  let struct_sites =
+    List.concat_map
+      (fun (s : Ir.strct) ->
+        match s.s_serial with
+        | Some _ -> [ S_serial { owner = s.s_name } ]
+        | None -> [])
+      d.d_structs
+  in
+  reg_sites @ template_sites @ var_sites @ struct_sites

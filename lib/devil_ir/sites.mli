@@ -1,0 +1,41 @@
+(** The universe of coverable sites of a device (DESIGN.md §10).
+
+    A {e site} is a place in a Devil spec that driver activity can
+    exercise: a register in one access direction, a variable and the
+    bit-range chunks its access compiles to, a declared behaviour
+    ([volatile], triggers, [block]), an action, a serialization
+    clause. {!universe} enumerates them; {!Devil_runtime.Coverage}
+    marks them covered from a trace. The vocabulary deliberately
+    parallels the mutation analysis: a site no workload covers is a
+    site where a spec mutation goes undetected. *)
+
+type site =
+  | S_reg of { reg : string; access : Ir.access }
+      (** A declared register, per readable/writable direction
+          (template instances declared in the spec included). *)
+  | S_template of { template : string; access : Ir.access }
+      (** A parameterized register template, covered when any runtime
+          instance of it (e.g. [I(23)]) is accessed. *)
+  | S_bits of { reg : string; var : string; ranges : (int * int) list }
+      (** One chunk of a variable's footprint: the bit ranges it
+          occupies in one register. *)
+  | S_var of { var : string; access : Ir.access }
+      (** A public variable, per direction its registers support. *)
+  | S_behaviour of { var : string; behaviour : string }
+      (** ["volatile"], ["trigger.read"], ["trigger.write"] or
+          ["block"] on a public variable. *)
+  | S_action of { owner : string; phase : string }
+      (** A non-empty pre/post/set action of a register or variable. *)
+  | S_serial of { owner : string }
+      (** A serialization clause of a variable or structure. *)
+
+val universe : Ir.device -> site list
+(** Every coverable site of the device, in declaration order. *)
+
+val site_id : site -> string
+(** A stable, human-readable key, e.g. ["reg:STATUS:read"] — the
+    identity used by coverage reports and the mutated-site mapping. *)
+
+val pp_site : Format.formatter -> site -> unit
+val access_label : Ir.access -> string
+val is_reg_site : site -> bool

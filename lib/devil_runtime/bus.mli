@@ -30,6 +30,56 @@ val memory : ?size:int -> unit -> t
     error a recovery policy can classify, not a bare
     [Invalid_argument] escaping from [Array]. *)
 
+(** {1 Deterministic record/replay (DESIGN.md §10)}
+
+    [recording] captures every transfer a driver issues together with
+    the response the device gave (including raised {!Bus_fault}s), so
+    a failing run — a faultcamp trial, a differential-test mismatch —
+    becomes a self-contained artifact. [replaying] serves the taped
+    responses back without any device behind it, re-raising taped
+    faults, and fails loudly with {!Replay_divergence} the moment the
+    re-executed driver deviates from the recorded interaction. *)
+
+(** One taped bus transfer: the request plus the response the driver
+    observed. [T_fault] is a transfer that raised {!Bus_fault} with
+    the given message. *)
+type transfer =
+  | T_read of { width : int; addr : int; value : int }
+  | T_write of { width : int; addr : int; value : int }
+  | T_read_block of { width : int; addr : int; values : int array }
+  | T_write_block of { width : int; addr : int; values : int array }
+  | T_fault of { op : string; width : int; addr : int; message : string }
+
+type tape
+(** An ordered recording of transfers. Grows while the bus returned by
+    {!recording} is driven; immutable from {!replaying}'s side (a tape
+    can be replayed any number of times). *)
+
+exception Replay_divergence of string
+(** Raised by a replaying bus when the live run's next request does not
+    match the tape: wrong operation, width, address, written value, or
+    block length — or the tape is exhausted. The message names the
+    transfer index and both sides. *)
+
+val recording : t -> tape * t
+(** [recording bus] returns a fresh tape and a wrapper that performs
+    each transfer on [bus] and appends it (with its response) to the
+    tape. Faulted transfers are taped as [T_fault] before the
+    exception propagates. *)
+
+val replaying : tape -> t
+(** A bus serving the taped responses back in order, checking each
+    request against the tape and raising {!Replay_divergence} on any
+    mismatch. Needs no underlying device. *)
+
+val tape_length : tape -> int
+val tape_transfers : tape -> transfer list
+
+val tape_of_transfers : transfer list -> tape
+(** Rebuilds a tape, e.g. from a file parsed by {!Trace_export}. *)
+
+val pp_transfer : Format.formatter -> transfer -> unit
+
 val observed : ?trace:Trace.t -> ?metrics:Metrics.t -> t -> t
 (** [observed ?trace ?metrics bus] wraps a bus so that every transfer
     is recorded into the trace and counted in the registry (see

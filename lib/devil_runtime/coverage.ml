@@ -1,0 +1,132 @@
+(* Spec coverage: marks the coverable sites of one device (see
+   Devil_ir.Sites) covered as trace events for its instance arrive. *)
+
+module Ir = Devil_ir.Ir
+module Sites = Devil_ir.Sites
+
+type t = {
+  dev : string;  (* instance label events are filtered on *)
+  device : Ir.device;
+  universe : Sites.site list;
+  covered : (string, unit) Hashtbl.t;  (* site ids *)
+}
+
+let create ~dev device =
+  {
+    dev;
+    device;
+    universe = Sites.universe device;
+    covered = Hashtbl.create 64;
+  }
+
+let dev t = t.dev
+let mark t site = Hashtbl.replace t.covered (Sites.site_id site) ()
+let is_covered t site = Hashtbl.mem t.covered (Sites.site_id site)
+
+(* A runtime register name is either a declared register or a
+   synthesized template instance like [I(23)]. *)
+let mark_reg t access name =
+  match Ir.find_reg t.device name with
+  | Some _ -> mark t (S_reg { reg = name; access })
+  | None -> (
+      match String.index_opt name '(' with
+      | Some i ->
+          let template = String.sub name 0 i in
+          if Ir.find_template t.device template <> None then
+            mark t (S_template { template; access })
+      | None -> ())
+
+let mark_var t access name =
+  mark t (S_var { var = name; access });
+  match Ir.find_var t.device name with
+  | None -> ()
+  | Some v ->
+      List.iter
+        (fun (c : Ir.chunk) ->
+          mark t (S_bits { reg = c.c_reg; var = name; ranges = c.c_ranges }))
+        v.v_chunks;
+      let b = v.v_behaviour in
+      if b.b_block then begin
+        mark t (S_behaviour { var = name; behaviour = "block" });
+        (* Block transfers go straight to the bus, so no Reg_read /
+           Reg_write events fire for the port register; the Var event
+           is the only witness that the register was exercised. *)
+        if access = Ir.Read then
+          List.iter (fun (c : Ir.chunk) -> mark_reg t Ir.Read c.c_reg) v.v_chunks
+      end;
+      (match (access, b.b_volatile) with
+      | Ir.Read, true ->
+          mark t (S_behaviour { var = name; behaviour = "volatile" })
+      | _ -> ());
+      match b.b_trigger with
+      | Some tr ->
+          if access = Ir.Read && tr.tr_read then
+            mark t (S_behaviour { var = name; behaviour = "trigger.read" });
+          if access = Ir.Write && tr.tr_write then
+            mark t (S_behaviour { var = name; behaviour = "trigger.write" })
+      | None -> ()
+
+let feed t (e : Trace.event) =
+  match e.kind with
+  | Reg_read { dev; reg; _ } when dev = t.dev -> mark_reg t Ir.Read reg
+  | Cache_hit { dev; reg } when dev = t.dev ->
+      (* A cache hit exercises the read path of the register even
+         though no transfer happens. *)
+      mark_reg t Ir.Read reg
+  | Reg_write { dev; reg; _ } when dev = t.dev -> mark_reg t Ir.Write reg
+  | Var_read { dev; var } when dev = t.dev -> mark_var t Ir.Read var
+  | Var_write { dev; var; regs } when dev = t.dev ->
+      mark_var t Ir.Write var;
+      List.iter (mark_reg t Ir.Write) regs
+  | Struct_write { dev; fields; regs; _ } when dev = t.dev ->
+      List.iter (mark_var t Ir.Write) fields;
+      List.iter (mark_reg t Ir.Write) regs
+  | Action { dev; owner; phase; _ } when dev = t.dev ->
+      mark t (S_action { owner; phase = Trace.phase_label phase })
+  | Serialized { dev; owner; _ } when dev = t.dev ->
+      mark t (S_serial { owner })
+  | _ -> ()
+
+let feed_all t events = List.iter (feed t) events
+let attach t trace = Trace.subscribe trace (feed t)
+
+type report = {
+  rp_dev : string;
+  rp_total : int;
+  rp_covered : int;
+  rp_reg_total : int;
+  rp_reg_covered : int;
+  rp_missed : Sites.site list;
+}
+
+let report t =
+  let covered_sites, missed =
+    List.partition (is_covered t) t.universe
+  in
+  let regs = List.filter Sites.is_reg_site t.universe in
+  let regs_covered = List.filter (is_covered t) regs in
+  {
+    rp_dev = t.dev;
+    rp_total = List.length t.universe;
+    rp_covered = List.length covered_sites;
+    rp_reg_total = List.length regs;
+    rp_reg_covered = List.length regs_covered;
+    rp_missed = missed;
+  }
+
+let percent ~covered ~total =
+  if total = 0 then 100.0
+  else 100.0 *. float_of_int covered /. float_of_int total
+
+let reg_percent r = percent ~covered:r.rp_reg_covered ~total:r.rp_reg_total
+let site_percent r = percent ~covered:r.rp_covered ~total:r.rp_total
+
+let pp_report fmt r =
+  Format.fprintf fmt "%-10s sites %3d/%3d (%5.1f%%)  registers %3d/%3d (%5.1f%%)"
+    r.rp_dev r.rp_covered r.rp_total (site_percent r) r.rp_reg_covered
+    r.rp_reg_total (reg_percent r)
+
+let pp_missed fmt r =
+  List.iter
+    (fun s -> Format.fprintf fmt "  missed %a@." Sites.pp_site s)
+    r.rp_missed

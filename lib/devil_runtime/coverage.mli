@@ -1,0 +1,53 @@
+(** Spec coverage from traces (DESIGN.md §10).
+
+    Maps the runtime's trace events back onto the IR: given the device
+    model and the instance label its events carry, marks which of the
+    spec's coverable sites ({!Devil_ir.Sites.universe}) the traced
+    workload exercised — which registers (per direction), variable bit
+    ranges, behaviours, actions and serialization clauses actually
+    ran. Faultcamp and the bench workloads report this per spec, and
+    the mutation analysis uses it to ask whether a workload could even
+    have detected a given mutation. *)
+
+type t
+(** Mutable coverage state for one instance of one device. *)
+
+val create : dev:string -> Devil_ir.Ir.device -> t
+(** [create ~dev device] — [dev] is the instance label (the [?label]
+    given to {!Instance.create}) whose events to attribute. *)
+
+val feed : t -> Trace.event -> unit
+(** Marks whatever sites one event covers; events for other instances
+    are ignored. *)
+
+val feed_all : t -> Trace.event list -> unit
+
+val attach : t -> Trace.t -> unit
+(** Subscribes {!feed} to a live trace (see {!Trace.subscribe}), so
+    coverage accumulates as events are emitted and is immune to ring
+    eviction. *)
+
+val is_covered : t -> Devil_ir.Sites.site -> bool
+val dev : t -> string
+
+type report = {
+  rp_dev : string;
+  rp_total : int;  (** coverable sites in the universe *)
+  rp_covered : int;
+  rp_reg_total : int;  (** register-direction sites only *)
+  rp_reg_covered : int;
+  rp_missed : Devil_ir.Sites.site list;  (** uncovered, declaration order *)
+}
+
+val report : t -> report
+val reg_percent : report -> float
+(** Covered percentage over register sites alone — the figure the
+    [tools/check.sh] coverage gate thresholds. 100.0 for an empty
+    universe. *)
+
+val site_percent : report -> float
+val pp_report : Format.formatter -> report -> unit
+(** One line: covered/total for all sites and for registers. *)
+
+val pp_missed : Format.formatter -> report -> unit
+(** The uncovered sites, one [missed <site-id>] line each. *)

@@ -97,9 +97,30 @@ let note_serialized t ~owner order =
            })
   | None -> ()
 
+let note_var_read t name =
+  match t.trace with
+  | Some tr -> Trace.emit tr (Trace.Var_read { dev = t.label; var = name })
+  | None -> ()
+
+let note_var_write t name regs =
+  match t.trace with
+  | Some tr ->
+      Trace.emit tr (Trace.Var_write { dev = t.label; var = name; regs })
+  | None -> ()
+
+let note_struct_write t name fields regs =
+  match t.trace with
+  | Some tr ->
+      Trace.emit tr
+        (Trace.Struct_write { dev = t.label; strct = name; fields; regs })
+  | None -> ()
+
 let invalidate_cache t =
   Hashtbl.reset t.reg_cache;
-  Hashtbl.reset t.struct_cache
+  Hashtbl.reset t.struct_cache;
+  match t.trace with
+  | Some tr -> Trace.emit tr (Trace.Cache_invalidated { dev = t.label })
+  | None -> ()
 
 let cached_raw t reg = Hashtbl.find_opt t.reg_cache reg
 
@@ -332,6 +353,7 @@ and run_action ?self ?what t (a : Ir.action) =
 
 and get_internal t name : Value.t =
   let v = the_var t name in
+  note_var_read t name;
   if v.v_chunks = [] then
     (* Memory cell. *)
     match Hashtbl.find_opt t.mem name with
@@ -458,7 +480,8 @@ and set_internal t name value =
     (match Dtype.validate_write v.v_type value with
     | Ok () -> ()
     | Error msg -> fail "variable %s: %s" name msg);
-    Hashtbl.replace t.mem name value
+    Hashtbl.replace t.mem name value;
+    note_var_write t name []
   end
   else begin
     let raw = encode_checked v value in
@@ -480,6 +503,10 @@ and set_internal t name value =
     (match v.v_serial with
     | Some _ -> note_serialized t ~owner:name order
     | None -> ());
+    (* Emitted after compose/scatter — refresh reads and nested
+       pre-action writes have already happened — and right before the
+       register writes it announces. *)
+    note_var_write t name (List.map (fun (r : Ir.reg) -> r.Ir.r_name) order);
     List.iter
       (fun (r : Ir.reg) -> write_reg_io t r (Hashtbl.find images r.Ir.r_name))
       order;
@@ -559,6 +586,8 @@ and set_struct_internal t name fields =
   (match s.s_serial with
   | Some _ -> note_serialized t ~owner:name order
   | None -> ());
+  note_struct_write t name s.s_fields
+    (List.map (fun (r : Ir.reg) -> r.Ir.r_name) order);
   List.iter
     (fun (r : Ir.reg) ->
       let image =
@@ -662,6 +691,7 @@ let read_block t name ~count =
   | Some lp ->
       with_depth t (fun () ->
           run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
+          note_var_read t name;
           let into = Array.make count 0 in
           t.bus.Bus.read_block ~width:(point_width t lp)
             ~addr:(point_addr t lp) ~into;
@@ -675,6 +705,7 @@ let write_block t name data =
   | Some lp ->
       with_depth t (fun () ->
           run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
+          note_var_write t name [ r.r_name ];
           t.bus.Bus.write_block ~width:(point_width t lp)
             ~addr:(point_addr t lp) ~from:data;
           run_action ~what:(Trace.Post, r.r_name) t r.r_post;
@@ -687,6 +718,7 @@ let read_wide t name ~scale =
   | Some lp ->
       with_depth t (fun () ->
           run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
+          note_var_read t name;
           let v =
             t.bus.Bus.read ~width:(scale * point_width t lp)
               ~addr:(point_addr t lp)
@@ -701,6 +733,7 @@ let write_wide t name ~scale value =
   | Some lp ->
       with_depth t (fun () ->
           run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
+          note_var_write t name [ r.r_name ];
           t.bus.Bus.write ~width:(scale * point_width t lp)
             ~addr:(point_addr t lp) ~value;
           run_action ~what:(Trace.Post, r.r_name) t r.r_post;
@@ -713,6 +746,7 @@ let read_block_wide t name ~scale ~count =
   | Some lp ->
       with_depth t (fun () ->
           run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
+          note_var_read t name;
           let into = Array.make count 0 in
           t.bus.Bus.read_block ~width:(scale * point_width t lp)
             ~addr:(point_addr t lp) ~into;
@@ -726,6 +760,7 @@ let write_block_wide t name ~scale data =
   | Some lp ->
       with_depth t (fun () ->
           run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
+          note_var_write t name [ r.r_name ];
           t.bus.Bus.write_block ~width:(scale * point_width t lp)
             ~addr:(point_addr t lp) ~from:data;
           run_action ~what:(Trace.Post, r.r_name) t r.r_post;

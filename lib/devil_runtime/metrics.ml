@@ -16,10 +16,26 @@ type t = {
 
 let create () = { counters = Hashtbl.create 64; hists = Hashtbl.create 16 }
 
+let parse_env_value s =
+  match String.lowercase_ascii (String.trim s) with
+  | "" | "0" | "off" | "false" | "no" -> Ok false
+  | "1" | "on" | "true" | "yes" -> Ok true
+  | _ -> Error (Printf.sprintf "%S is not a boolean" s)
+
 let from_env () =
   match Sys.getenv_opt "DEVIL_METRICS" with
-  | None | Some "" | Some "0" -> None
-  | Some _ -> Some (create ())
+  | None -> None
+  | Some s -> (
+      match parse_env_value s with
+      | Ok false -> None
+      | Ok true -> Some (create ())
+      | Error why ->
+          Printf.eprintf
+            "devil: malformed DEVIL_METRICS=%s (%s); accepted forms: 0/off to \
+             disable, 1/on to enable; metrics enabled\n\
+             %!"
+            s why;
+          Some (create ()))
 
 let incr t ?(by = 1) name =
   match Hashtbl.find_opt t.counters name with

@@ -40,8 +40,13 @@ type t
 val create : unit -> t
 
 val from_env : unit -> t option
-(** [Some (create ())] when [DEVIL_METRICS] is set to a non-empty,
-    non-["0"] value. *)
+(** Reads [DEVIL_METRICS]: unset or ["0"]/["off"] (and friends)
+    disable, ["1"]/["on"] enable. A malformed value prints a one-line
+    warning to stderr with the accepted forms and enables metrics. *)
+
+val parse_env_value : string -> (bool, string) result
+(** The pure parser behind {!from_env}: [Ok enabled] or [Error why]
+    for a malformed value. Exposed for testing. *)
 
 val incr : t -> ?by:int -> string -> unit
 (** Adds [by] (default 1) to a counter, creating it at zero first. *)

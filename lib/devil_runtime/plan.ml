@@ -572,6 +572,24 @@ let note_serialized t ~owner (order : reg_plan list) =
            })
   | None -> ()
 
+let note_var_read t name =
+  match t.trace with
+  | Some tr -> Trace.emit tr (Trace.Var_read { dev = t.label; var = name })
+  | None -> ()
+
+let note_var_write t name regs =
+  match t.trace with
+  | Some tr ->
+      Trace.emit tr (Trace.Var_write { dev = t.label; var = name; regs })
+  | None -> ()
+
+let note_struct_write t name fields regs =
+  match t.trace with
+  | Some tr ->
+      Trace.emit tr
+        (Trace.Struct_write { dev = t.label; strct = name; fields; regs })
+  | None -> ()
+
 (* {1 Cache primitives} *)
 
 let cache_store t (rp : reg_plan) raw =
@@ -590,7 +608,10 @@ let invalidate_cache t =
   Array.fill t.cache_valid 0 (Array.length t.cache_valid) false;
   Array.fill t.sactive 0 (Array.length t.sactive) false;
   Array.iter (fun row -> Array.fill row 0 (Array.length row) false) t.spresent;
-  Hashtbl.reset t.rt_raw
+  Hashtbl.reset t.rt_raw;
+  match t.trace with
+  | Some tr -> Trace.emit tr (Trace.Cache_invalidated { dev = t.label })
+  | None -> ()
 
 let cached_raw t reg =
   match Hashtbl.find_opt t.env.ce_reg_idx reg with
@@ -731,6 +752,7 @@ and run_action ?self ?what t (ap : action_plan) =
 and get_internal t i : Value.t =
   let vp = t.vars.(i) in
   let v = vp.vp_var in
+  note_var_read t v.v_name;
   if v.v_chunks = [] then
     match t.mem.(i) with
     | Some value -> value
@@ -853,7 +875,8 @@ and set_internal t i value =
     (match Dtype.validate_write v.v_type value with
     | Ok () -> ()
     | Error msg -> fail "variable %s: %s" v.v_name msg);
-    t.mem.(i) <- Some value
+    t.mem.(i) <- Some value;
+    note_var_write t v.v_name []
   end
   else begin
     let raw = encode_checked v value in
@@ -871,6 +894,10 @@ and set_internal t i value =
     (match vp.vp_serial with
     | Some _ -> note_serialized t ~owner:v.v_name order
     | None -> ());
+    (* Same emission point as the interpreter: after compose/scatter,
+       right before the register writes it announces. *)
+    note_var_write t v.v_name
+      (List.map (fun (rp : reg_plan) -> rp.rp_reg.Ir.r_name) order);
     List.iter
       (fun (rp : reg_plan) ->
         (* List.assoc raising Not_found here matches the interpreter's
@@ -936,6 +963,8 @@ and set_struct_internal t si fields =
   (match st.st_serial with
   | Some _ -> note_serialized t ~owner:s.s_name order
   | None -> ());
+  note_struct_write t s.s_name s.s_fields
+    (List.map (fun (rp : reg_plan) -> rp.rp_reg.Ir.r_name) order);
   List.iter
     (fun (rp : reg_plan) ->
       let image =
@@ -1058,6 +1087,7 @@ let read_block t name ~count =
   | Some pt ->
       with_depth t (fun () ->
           run_action ~what:(Trace.Pre, rp.rp_reg.Ir.r_name) t rp.rp_pre;
+          note_var_read t name;
           let into = Array.make count 0 in
           let pt = ok_point pt in
           t.bus.Bus.read_block ~width:pt.io_width ~addr:pt.io_addr ~into;
@@ -1071,6 +1101,7 @@ let write_block t name data =
   | Some pt ->
       with_depth t (fun () ->
           run_action ~what:(Trace.Pre, rp.rp_reg.Ir.r_name) t rp.rp_pre;
+          note_var_write t name [ rp.rp_reg.Ir.r_name ];
           let pt = ok_point pt in
           t.bus.Bus.write_block ~width:pt.io_width ~addr:pt.io_addr ~from:data;
           run_action ~what:(Trace.Post, rp.rp_reg.Ir.r_name) t rp.rp_post;
@@ -1083,6 +1114,7 @@ let read_wide t name ~scale =
   | Some pt ->
       with_depth t (fun () ->
           run_action ~what:(Trace.Pre, rp.rp_reg.Ir.r_name) t rp.rp_pre;
+          note_var_read t name;
           let pt = ok_point pt in
           let v = t.bus.Bus.read ~width:(scale * pt.io_width) ~addr:pt.io_addr in
           run_action ~what:(Trace.Post, rp.rp_reg.Ir.r_name) t rp.rp_post;
@@ -1095,6 +1127,7 @@ let write_wide t name ~scale value =
   | Some pt ->
       with_depth t (fun () ->
           run_action ~what:(Trace.Pre, rp.rp_reg.Ir.r_name) t rp.rp_pre;
+          note_var_write t name [ rp.rp_reg.Ir.r_name ];
           let pt = ok_point pt in
           t.bus.Bus.write ~width:(scale * pt.io_width) ~addr:pt.io_addr ~value;
           run_action ~what:(Trace.Post, rp.rp_reg.Ir.r_name) t rp.rp_post;
@@ -1107,6 +1140,7 @@ let read_block_wide t name ~scale ~count =
   | Some pt ->
       with_depth t (fun () ->
           run_action ~what:(Trace.Pre, rp.rp_reg.Ir.r_name) t rp.rp_pre;
+          note_var_read t name;
           let into = Array.make count 0 in
           let pt = ok_point pt in
           t.bus.Bus.read_block ~width:(scale * pt.io_width) ~addr:pt.io_addr
@@ -1121,6 +1155,7 @@ let write_block_wide t name ~scale data =
   | Some pt ->
       with_depth t (fun () ->
           run_action ~what:(Trace.Pre, rp.rp_reg.Ir.r_name) t rp.rp_pre;
+          note_var_write t name [ rp.rp_reg.Ir.r_name ];
           let pt = ok_point pt in
           t.bus.Bus.write_block ~width:(scale * pt.io_width) ~addr:pt.io_addr
             ~from:data;

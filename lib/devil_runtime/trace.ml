@@ -32,7 +32,17 @@ module Ring = struct
         | Some x -> x
         | None -> assert false)
 
-  let iter f t = List.iter f (to_list t)
+  (* Iterates the buffer in place, oldest first, without materialising
+     a list — [pp] and other read-only consumers stay allocation-free
+     even on large rings. *)
+  let iter f t =
+    let n = length t in
+    let start = t.total - n in
+    for i = 0 to n - 1 do
+      match t.buf.((start + i) mod t.capacity) with
+      | Some x -> f x
+      | None -> assert false
+    done
 end
 
 type phase = Pre | Post | Set
@@ -44,8 +54,17 @@ type kind =
   | Bus_block_write of { addr : int; width : int; count : int }
   | Reg_read of { dev : string; reg : string; raw : int }
   | Reg_write of { dev : string; reg : string; raw : int }
+  | Var_read of { dev : string; var : string }
+  | Var_write of { dev : string; var : string; regs : string list }
+  | Struct_write of {
+      dev : string;
+      strct : string;
+      fields : string list;
+      regs : string list;
+    }
   | Cache_hit of { dev : string; reg : string }
   | Cache_miss of { dev : string; reg : string }
+  | Cache_invalidated of { dev : string }
   | Action of { dev : string; owner : string; phase : phase; assignments : int }
   | Serialized of { dev : string; owner : string; order : string list }
   | Poll of { label : string; iters : int; ok : bool }
@@ -58,16 +77,27 @@ type kind =
     }
 
 type event = { seq : int; kind : kind }
-type t = { ring : event Ring.t; mutable next_seq : int }
+
+type t = {
+  ring : event Ring.t;
+  mutable next_seq : int;
+  mutable subscribers : (event -> unit) list;
+}
 
 let default_capacity = 1024
 
 let create ?(capacity = default_capacity) () =
-  { ring = Ring.create ~capacity; next_seq = 0 }
+  { ring = Ring.create ~capacity; next_seq = 0; subscribers = [] }
+
+let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
 
 let emit t kind =
-  Ring.add t.ring { seq = t.next_seq; kind };
-  t.next_seq <- t.next_seq + 1
+  let e = { seq = t.next_seq; kind } in
+  Ring.add t.ring e;
+  t.next_seq <- t.next_seq + 1;
+  match t.subscribers with
+  | [] -> ()
+  | subs -> List.iter (fun f -> f e) subs
 
 let events t = Ring.to_list t.ring
 let length t = Ring.length t.ring
@@ -79,16 +109,34 @@ let clear t =
   Ring.clear t.ring;
   t.next_seq <- 0
 
+let parse_env_value s =
+  match String.lowercase_ascii (String.trim s) with
+  | "" | "0" | "off" | "false" | "no" -> Ok None
+  | "1" | "on" | "true" | "yes" -> Ok (Some default_capacity)
+  | v -> (
+      match int_of_string_opt v with
+      | Some n when n > 1 -> Ok (Some n)
+      | Some n ->
+          Error (Printf.sprintf "capacity %d is not a positive event count" n)
+      | None -> Error (Printf.sprintf "%S is not an integer or on/off" s))
+
+let env_forms = "0/off to disable, 1/on for the default capacity, or an \
+                 integer capacity > 1"
+
 let from_env () =
   match Sys.getenv_opt "DEVIL_TRACE" with
-  | None | Some "" | Some "0" -> None
-  | Some s ->
-      let capacity =
-        match int_of_string_opt s with
-        | Some n when n > 1 -> n
-        | _ -> default_capacity
-      in
-      Some (create ~capacity ())
+  | None -> None
+  | Some s -> (
+      match parse_env_value s with
+      | Ok None -> None
+      | Ok (Some capacity) -> Some (create ~capacity ())
+      | Error why ->
+          Printf.eprintf
+            "devil: malformed DEVIL_TRACE=%s (%s); accepted forms: %s; \
+             tracing with the default capacity %d\n\
+             %!"
+            s why env_forms default_capacity;
+          Some (create ~capacity:default_capacity ()))
 
 let phase_label = function Pre -> "pre" | Post -> "post" | Set -> "set"
 
@@ -105,8 +153,18 @@ let pp_kind fmt = function
       Format.fprintf fmt "%s: reg %s -> %#x" dev reg raw
   | Reg_write { dev; reg; raw } ->
       Format.fprintf fmt "%s: reg %s <- %#x" dev reg raw
+  | Var_read { dev; var } -> Format.fprintf fmt "%s: var %s read" dev var
+  | Var_write { dev; var; regs } ->
+      Format.fprintf fmt "%s: var %s write (regs: %s)" dev var
+        (String.concat ", " regs)
+  | Struct_write { dev; strct; fields; regs } ->
+      Format.fprintf fmt "%s: struct %s write (fields: %s; regs: %s)" dev strct
+        (String.concat ", " fields)
+        (String.concat ", " regs)
   | Cache_hit { dev; reg } -> Format.fprintf fmt "%s: cache hit on %s" dev reg
   | Cache_miss { dev; reg } -> Format.fprintf fmt "%s: cache miss on %s" dev reg
+  | Cache_invalidated { dev } ->
+      Format.fprintf fmt "%s: register cache invalidated" dev
   | Action { dev; owner; phase; assignments } ->
       Format.fprintf fmt "%s: %s-action of %s (%d assignment%s)" dev
         (phase_label phase) owner assignments

@@ -33,6 +33,9 @@ module Ring : sig
   (** Retained items, oldest first. *)
 
   val iter : ('a -> unit) -> 'a t -> unit
+  (** Applies to every retained item, oldest first, in place — no
+      intermediate list is built. *)
+
   val length : 'a t -> int
   val capacity : 'a t -> int
 
@@ -59,9 +62,31 @@ type kind =
   | Reg_write of { dev : string; reg : string; raw : int }
       (** Register-level I/O performed by an {!Instance} (the raw value
           cached, i.e. before masking for the wire). *)
+  | Var_read of { dev : string; var : string }
+      (** A device variable was read through the public API. Emitted
+          before the register reads it induces. *)
+  | Var_write of { dev : string; var : string; regs : string list }
+      (** A device variable write is about to issue its register
+          writes; [regs] lists the registers the scatter will touch, in
+          issue order. Emitted after the variable's pre-action and the
+          compose/scatter phase (so refresh reads and nested
+          action-driven writes precede it) and immediately before the
+          register-write loop. *)
+  | Struct_write of {
+      dev : string;
+      strct : string;
+      fields : string list;
+      regs : string list;
+    }
+      (** The structure analogue of [Var_write]: [fields] are the
+          structure's field variables (all of which the rebuilt
+          registers may carry), [regs] the registers about to be
+          written. *)
   | Cache_hit of { dev : string; reg : string }
   | Cache_miss of { dev : string; reg : string }
       (** Idempotent-register cache outcome on a variable read. *)
+  | Cache_invalidated of { dev : string }
+      (** {!Instance.invalidate_cache} dropped every cached raw. *)
   | Action of { dev : string; owner : string; phase : phase; assignments : int }
   | Serialized of { dev : string; owner : string; order : string list }
       (** A serialization clause ordered a multi-register write. *)
@@ -89,10 +114,28 @@ val default_capacity : int
 val create : ?capacity:int -> unit -> t
 
 val from_env : unit -> t option
-(** [Some (create ~capacity)] when [DEVIL_TRACE] is set to a non-empty,
-    non-["0"] value; an integer value > 1 is used as the capacity. *)
+(** Reads [DEVIL_TRACE]: unset, ["0"]/["off"] (and friends) disable;
+    ["1"]/["on"] enable with {!default_capacity}; an integer > 1 is
+    used as the capacity. A malformed value prints a one-line warning
+    to stderr listing the accepted forms and enables tracing with the
+    default capacity. *)
+
+val parse_env_value : string -> (int option, string) result
+(** The pure parser behind {!from_env}: [Ok None] means disabled,
+    [Ok (Some capacity)] enabled, [Error why] malformed (in which case
+    {!from_env} warns and falls back to {!default_capacity}). Exposed
+    for testing. *)
 
 val emit : t -> kind -> unit
+
+val subscribe : t -> (event -> unit) -> unit
+(** Registers a callback invoked synchronously from {!emit} with each
+    event as it is recorded, in subscription order. This is the O(1)
+    way to consume a live stream — e.g. the {!Monitor} attaches here —
+    as opposed to polling {!events}, which snapshots the whole ring
+    (O(capacity)) on every call and misses evicted events between
+    polls. Subscribers survive {!clear} and cannot be removed; create
+    a fresh trace to drop them. *)
 
 val events : t -> event list
 (** Retained events, oldest first. *)

@@ -1,0 +1,64 @@
+(** Persistence for traces and bus tapes (DESIGN.md §10).
+
+    Two line-oriented, versioned formats plus one visualization export:
+
+    - {b Trace JSONL}: header line [{"devil_trace_version":1}] followed
+      by one JSON object per event ([seq] plus a ["kind"] tag naming
+      one of the {!Trace.kind} constructors and its fields).
+    - {b Tape JSONL}: header line [{"devil_tape_version":1}] followed
+      by one JSON object per {!Bus.transfer}, for {!Bus.replaying}.
+    - {b Chrome trace JSON}: the [about://tracing] / Perfetto event
+      array — one thread per instance label, sequence numbers as
+      timestamps, polls/retries/block transfers as duration spans.
+
+    Parsing is total: malformed input yields [Error] with a position
+    and reason, never an exception. A file whose version is newer than
+    this build is rejected rather than misread. *)
+
+(** The minimal JSON tree both formats share. Numbers are OCaml [int]s
+    — the runtime never traces anything wider. *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val version : int
+(** The schema version written by this build (1). *)
+
+val json_to_string : json -> string
+val json_of_string : string -> (json, string) result
+
+(** {1 Events} *)
+
+val event_to_json : Trace.event -> json
+val event_of_json : json -> (Trace.event, string) result
+
+val events_to_jsonl : Trace.event list -> string
+(** Header line plus one event per line. *)
+
+val to_jsonl : Trace.t -> string
+(** [events_to_jsonl (Trace.events t)]. *)
+
+val events_of_jsonl : string -> (Trace.event list, string) result
+
+val to_chrome : Trace.event list -> string
+(** The [{"traceEvents": [...]}] JSON Chrome's [about://tracing] and
+    Perfetto load directly. *)
+
+(** {1 Tapes} *)
+
+val transfer_to_json : Bus.transfer -> json
+val transfer_of_json : json -> (Bus.transfer, string) result
+val tape_to_jsonl : Bus.tape -> string
+val tape_of_jsonl : string -> (Bus.tape, string) result
+
+(** {1 Files} *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents] — plain [open_out]/[output_string]. *)
+
+val events_of_file : string -> (Trace.event list, string) result
+val tape_of_file : string -> (Bus.tape, string) result

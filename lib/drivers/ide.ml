@@ -119,6 +119,26 @@ module Devil_driver = struct
           (fun d -> Instance.write_wide t.ide "Ide_data" ~scale:2 d)
           (dwords_of_words words)
 
+  let set_features t v =
+    Instance.set t.ide "features" (Value.Int (v land 0xff))
+
+  (* The error-locate path of a real driver: the task file still
+     addresses the block a command stopped at, so reading it back
+     after a failure names the failing sector. *)
+  let read_task_file t =
+    let geti name =
+      match Instance.get t.ide name with Value.Int n -> n | _ -> 0
+    in
+    ignore (Instance.get t.ide "drive_select");
+    let count = geti "sector_count" in
+    let lba =
+      geti "lba_low"
+      lor (geti "lba_mid" lsl 8)
+      lor (geti "lba_high" lsl 16)
+      lor (geti "head" lsl 24)
+    in
+    (count, lba)
+
   let identify t =
     wait_not_busy t;
     Instance.set t.ide "command" (Value.Enum "IDENTIFY");

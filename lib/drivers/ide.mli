@@ -21,6 +21,15 @@ module Devil_driver : sig
   val identify : t -> string
   (** Model name from the IDENTIFY data. *)
 
+  val set_features : t -> int -> unit
+  (** Programs the features register (the pre-command parameter byte;
+      0 is the don't-care value for plain PIO transfers). *)
+
+  val read_task_file : t -> int * int
+  (** [(sector_count, lba)] read back from the task file — the
+      error-locate path: after a failed command the task file still
+      addresses the block the device stopped at. *)
+
   val read_sectors :
     t ->
     lba:int ->

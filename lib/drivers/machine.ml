@@ -48,7 +48,8 @@ let rtc_data_base = 0x71
 let kbd_data_base = 0x60
 let kbd_ctl_base = 0x64
 
-let create ?(debug = false) ?faults ?fault_seed ?trace ?metrics ?interpret () =
+let create ?(debug = false) ?faults ?fault_seed ?trace ?metrics ?interpret
+    ?(wrap_bus = Fun.id) () =
   (* Handles not given explicitly can still be enabled from the
      environment (DEVIL_TRACE / DEVIL_METRICS). *)
   let trace =
@@ -111,9 +112,10 @@ let create ?(debug = false) ?faults ?fault_seed ?trace ?metrics ?interpret () =
      trace carry the post-fault values the drivers actually saw. *)
   let bus =
     Devil_runtime.Bus.observed ?trace ?metrics
-      (match injector with
-      | None -> raw_bus
-      | Some inj -> Devil_runtime.Fault.bus inj)
+      (wrap_bus
+         (match injector with
+         | None -> raw_bus
+         | Some inj -> Devil_runtime.Fault.bus inj))
   in
   if Option.is_some trace || Option.is_some metrics then
     Devil_runtime.Policy.observe ?trace ?metrics ();

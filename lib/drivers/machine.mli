@@ -79,6 +79,7 @@ val create :
   ?trace:Devil_runtime.Trace.t ->
   ?metrics:Devil_runtime.Metrics.t ->
   ?interpret:bool ->
+  ?wrap_bus:(Devil_runtime.Bus.t -> Devil_runtime.Bus.t) ->
   unit ->
   t
 (** Builds the machine. [debug] enables the §3.2 dynamic checks in
@@ -88,6 +89,14 @@ val create :
     injector (seeded by [fault_seed]) between every driver — Devil or
     handcrafted — and the device models; the resulting injector is
     exposed as {!field-injector}.
+
+    [wrap_bus] interposes one more layer between the (possibly
+    fault-injected) device bus and the observability wrapper — the
+    record/replay hook: pass [Devil_runtime.Bus.recording] to tape a
+    run, or [fun _ -> Devil_runtime.Bus.replaying tape] to re-run the
+    machine against a tape instead of the simulated hardware (the
+    device models then see no traffic at all, so back-door state
+    checks are meaningless under replay).
 
     [trace]/[metrics] switch on the observability layer: the bus is
     wrapped with {!Devil_runtime.Bus.observed} (outside the fault

@@ -3,6 +3,9 @@ module Fault = Devil_runtime.Fault
 module Policy = Devil_runtime.Policy
 module Trace = Devil_runtime.Trace
 module Metrics = Devil_runtime.Metrics
+module Bus = Devil_runtime.Bus
+module Coverage = Devil_runtime.Coverage
+module Trace_export = Devil_runtime.Trace_export
 
 type outcome = Clean | Recovered | Detected | Silent
 
@@ -22,7 +25,12 @@ type trial = {
   trace_summary : string;
 }
 
-type report = { trials : trial list }
+type report = {
+  trials : trial list;
+  coverage : Coverage.report list;
+      (* Spec coverage aggregated across the whole matrix, one report
+         per instrumented device. *)
+}
 
 (* {1 Fault classes}
 
@@ -92,6 +100,10 @@ let ide_read (m : Machine.t) =
     Drivers.Ide.Devil_driver.read_sectors d ~lba:100 ~count ~mult:1
       ~path:`Loop ~width:`W16
   in
+  (* Post-transfer probe: the error-locate readback real drivers run
+     when a command stops early (exercised here unconditionally so the
+     campaign covers the task-file read path). *)
+  ignore (Drivers.Ide.Devil_driver.read_task_file d);
   if Bytes.equal got expected then Verified
   else Corrupt "read data differs from disk contents"
 
@@ -99,6 +111,7 @@ let ide_write (m : Machine.t) =
   let count = 4 in
   let data = pattern (count * sector_bytes) in
   let d = Drivers.Ide.Devil_driver.create ~ide:m.ide_dev ~piix4:m.piix4_dev in
+  Drivers.Ide.Devil_driver.set_features d 0;
   Drivers.Ide.Devil_driver.write_sectors d ~lba:200 ~count ~mult:1 ~path:`Loop
     ~width:`W16 data;
   let ok = ref true in
@@ -125,7 +138,62 @@ let net_loopback (m : Machine.t) =
   | Some _ -> Corrupt "received frame differs from the one sent"
   | None -> Reported "no frame in the receive ring after send"
 
-let driver_workloads = [ "ide-read"; "ide-write"; "serial"; "net" ]
+(* The Permedia2 render workload exercises every path of the gfx
+   driver: the software framebuffer aperture (block stubs, both
+   directions), an engine fill through the independent-variable path
+   (8 bpp) and an engine copy through the grouped-structure path
+   (24 bpp). Back-door checks are accumulated — never branched on —
+   so the driver issues the same bus traffic whatever the device
+   state, which record/replay relies on. *)
+let gfx_render (m : Machine.t) =
+  let module G = Drivers.Gfx.Devil_driver in
+  let module P = Hwsim.Permedia2 in
+  let g = G.create m.gfx_dev in
+  let bad = ref [] in
+  let check what ok = if not ok then bad := what :: !bad in
+  (* Software path: the aperture cursor starts at pixel (0, 0). *)
+  let ramp = Array.init 8 (fun i -> 0x30 + i) in
+  Devil_runtime.Instance.write_block m.gfx_dev "fb_data" ramp;
+  check "software fill through the fb aperture"
+    (Array.for_all Fun.id
+       (Array.mapi (fun i v -> P.pixel m.gfx ~x:i ~y:0 = v) ramp));
+  for i = 0 to 3 do
+    P.set_pixel m.gfx ~x:(8 + i) ~y:0 (0x60 + i)
+  done;
+  let back = Devil_runtime.Instance.read_block m.gfx_dev "fb_data" ~count:4 in
+  check "software read-back through the fb aperture"
+    (back = Array.init 4 (fun i -> 0x60 + i));
+  (* Engine fill, 8 bpp: one write per coordinate variable. *)
+  let rx = 2 and ry = 4 and rw = 6 and rh = 3 in
+  G.set_depth g 8;
+  G.fill_rect g { Drivers.Gfx.x = rx; y = ry; w = rw; h = rh } ~color:0x5a;
+  G.sync g;
+  let rect_filled x y color =
+    let ok = ref true in
+    for py = y to y + rh - 1 do
+      for px = x to x + rw - 1 do
+        if P.pixel m.gfx ~x:px ~y:py <> color then ok := false
+      done
+    done;
+    !ok
+  in
+  check "engine fill" (rect_filled rx ry 0x5a);
+  check "engine fill clipped to the rectangle"
+    (P.pixel m.gfx ~x:(rx + rw) ~y:ry = 0);
+  (* Engine copy, 24 bpp: grouped structure stubs, destination
+     displaced from the filled rectangle by (dx, dy). *)
+  G.set_depth g 24;
+  G.copy_rect g
+    { Drivers.Gfx.x = rx + 10; y = ry; w = rw; h = rh }
+    ~dx:10 ~dy:0;
+  G.sync g;
+  check "engine copy" (rect_filled (rx + 10) ry 0x5a);
+  check "no FIFO overflow" (P.overflows m.gfx = 0);
+  match List.rev !bad with
+  | [] -> Verified
+  | faults -> Corrupt (String.concat "; " faults)
+
+let driver_workloads = [ "ide-read"; "ide-write"; "serial"; "net"; "gfx" ]
 
 let workloads =
   [
@@ -133,6 +201,19 @@ let workloads =
     ("ide-write", (Machine.ide_base, Machine.ide_base + 7), ide_write);
     ("serial", (Machine.uart_base, Machine.uart_base + 7), serial_self_test);
     ("net", (Machine.ne2000_base, Machine.ne2000_base + 31), net_loopback);
+    ("gfx", (Machine.gfx_mmio_base, Machine.gfx_mmio_base + 15), gfx_render);
+  ]
+
+(* The devices whose spec coverage the campaign aggregates: one
+   (instance label, compiled spec) pair per device the workloads
+   drive. *)
+let coverage_devices () =
+  [
+    ("ide", Devil_specs.Specs.ide ());
+    ("piix4", Devil_specs.Specs.piix4_ide ());
+    ("uart", Devil_specs.Specs.uart16550 ());
+    ("ne2000", Devil_specs.Specs.ne2000 ());
+    ("gfx", Devil_specs.Specs.permedia2 ());
   ]
 
 (* {1 Trial runner} *)
@@ -151,21 +232,26 @@ let summarize ~(metrics : Metrics.t) ~(trace : Trace.t) =
     (c "poll.runs") (c "poll.ticks") (c "poll.timeouts") (c "retry.attempts")
     (c "fault.injections") (Trace.summary trace)
 
-let run_trial ~driver ~range:(first, last) ~workload ~fault ~seed =
+(* Anything the driver raises counts as detected: the failure is
+   visible to the caller, which is the property under test. *)
+let run_workload m workload =
+  try workload m with
+  | Policy.Driver_error e -> Reported (Policy.error_to_string e)
+  | Fault.Bus_fault msg -> Reported ("unhandled bus fault: " ^ msg)
+  | Bus.Replay_divergence msg -> Reported ("replay divergence: " ^ msg)
+  | Devil_runtime.Instance.Device_error msg -> Reported ("device error: " ^ msg)
+  | Failure msg -> Reported msg
+
+let run_trial ?(covs = []) ~driver ~range:(first, last) ~workload ~fault ~seed
+    () =
   let plans = plans_for ~fault ~first ~last in
   let metrics = Metrics.create () in
   let trace = Trace.create ~capacity:128 () in
+  (* Coverage observers hook the live stream (O(1) per event), so the
+     small retention ring above does not bound what they see. *)
+  List.iter (fun cov -> Coverage.attach cov trace) covs;
   let m = Machine.create ~faults:plans ~fault_seed:seed ~metrics ~trace () in
-  let verdict =
-    (* Anything the driver raises counts as detected: the failure is
-       visible to the caller, which is the property under test. *)
-    try workload m with
-    | Policy.Driver_error e -> Reported (Policy.error_to_string e)
-    | Fault.Bus_fault msg -> Reported ("unhandled bus fault: " ^ msg)
-    | Devil_runtime.Instance.Device_error msg ->
-        Reported ("device error: " ^ msg)
-    | Failure msg -> Reported msg
-  in
+  let verdict = run_workload m workload in
   let injections =
     match m.injector with Some i -> Fault.injection_count i | None -> 0
   in
@@ -184,7 +270,10 @@ let run_trial ~driver ~range:(first, last) ~workload ~fault ~seed =
 
 let default_seeds = [ 1; 2; 3 ]
 
-let run ?(seeds = default_seeds) () =
+(* Runs [f] with the short poll deadline every campaign entry point
+   uses, restoring it (and the global policy observer each trial
+   installs) on the way out. *)
+let with_campaign_policy f =
   (* Timeout trials would otherwise spin the full default deadline;
      20k status polls keep the whole matrix under a second. *)
   let saved = Policy.default_deadline () in
@@ -192,21 +281,201 @@ let run ?(seeds = default_seeds) () =
   Fun.protect
     ~finally:(fun () ->
       Policy.set_default_deadline saved;
-      (* Each trial installed its own short-lived observer. *)
       Policy.unobserve ())
-    (fun () ->
+    f
+
+(* {1 Record / replay}
+
+   A trial re-run with [Bus.recording] interposed (inside the
+   observability wrapper, outside the fault injector) yields a tape of
+   every transfer the drivers issued with the response — including
+   injected faults — they observed. [record_replay] then re-runs the
+   same workload against [Bus.replaying tape]: no simulated hardware,
+   no injector, just the taped responses. The driver-visible outcome
+   and the event stream must come out identical.
+
+   Two normalizations when comparing the streams: [Fault_injected]
+   events are the injector's own bookkeeping (the replay has no
+   injector; the faults' effects are on the tape), so they are
+   dropped; and sequence numbers are ignored since dropping shifts
+   them. Back-door data checks (disk contents, framebuffer pixels) are
+   NOT compared — a replaying bus never touches the device models, so
+   only what the driver itself observed is meaningful. *)
+
+type replay_check = {
+  rc_driver : string;
+  rc_fault : string option;
+  rc_seed : int;
+  rc_tape_length : int;
+  rc_live : string;
+  rc_replayed : string;
+  rc_outcome_match : bool;
+  rc_trace_match : bool;
+  rc_mismatch : string option;
+}
+
+let driver_visible = function
+  | Verified | Corrupt _ -> "completed"
+  | Reported d -> "failed: " ^ d
+
+let comparable_kinds trace =
+  List.filter_map
+    (fun (e : Trace.event) ->
+      match e.kind with Trace.Fault_injected _ -> None | k -> Some k)
+    (Trace.events trace)
+
+let find_workload driver =
+  match List.find_opt (fun (d, _, _) -> d = driver) workloads with
+  | Some w -> w
+  | None -> invalid_arg ("Campaign: unknown driver workload " ^ driver)
+
+let first_kind_mismatch ka kb =
+  let rec go i = function
+    | [], [] -> None
+    | k :: _, [] ->
+        Some
+          (Format.asprintf "event %d only in live run: %a" i Trace.pp_kind k)
+    | [], k :: _ ->
+        Some (Format.asprintf "event %d only in replay: %a" i Trace.pp_kind k)
+    | a :: ra, b :: rb ->
+        if a = b then go (i + 1) (ra, rb)
+        else
+          Some
+            (Format.asprintf "event %d differs: live %a, replay %a" i
+               Trace.pp_kind a Trace.pp_kind b)
+  in
+  go 0 (ka, kb)
+
+let record_trial ?fault ~driver ~seed () =
+  let _, (first, last), workload = find_workload driver in
+  let faults = Option.map (fun f -> plans_for ~fault:f ~first ~last) fault in
+  let trace = Trace.create ~capacity:262_144 () in
+  let metrics = Metrics.create () in
+  let tape = ref None in
+  let wrap_bus b =
+    let t, b' = Bus.recording b in
+    tape := Some t;
+    b'
+  in
+  let m =
+    Machine.create ?faults ~fault_seed:seed ~trace ~metrics ~wrap_bus ()
+  in
+  let verdict = run_workload m workload in
+  (Option.get !tape, trace, verdict)
+
+let replay_trial ~driver ~tape () =
+  let _, _, workload = find_workload driver in
+  let trace = Trace.create ~capacity:262_144 () in
+  let metrics = Metrics.create () in
+  let m =
+    Machine.create ~trace ~metrics
+      ~wrap_bus:(fun _ -> Bus.replaying tape)
+      ()
+  in
+  let verdict = run_workload m workload in
+  (trace, verdict)
+
+let record_replay ?fault ~driver ~seed () =
+  with_campaign_policy (fun () ->
+      let tape, live_trace, live = record_trial ?fault ~driver ~seed () in
+      Policy.unobserve ();
+      let replay_trace, replayed = replay_trial ~driver ~tape () in
+      let live_v = driver_visible live
+      and replayed_v = driver_visible replayed in
+      let ka = comparable_kinds live_trace
+      and kb = comparable_kinds replay_trace in
+      let mismatch = first_kind_mismatch ka kb in
+      {
+        rc_driver = driver;
+        rc_fault = fault;
+        rc_seed = seed;
+        rc_tape_length = Bus.tape_length tape;
+        rc_live = live_v;
+        rc_replayed = replayed_v;
+        rc_outcome_match = live_v = replayed_v;
+        rc_trace_match = mismatch = None;
+        rc_mismatch = mismatch;
+      })
+
+(* {1 Export}
+
+   With [DEVIL_FAULTCAMP_EXPORT] set to a directory, [run] re-records
+   every failing (detected or silent) trial and writes its artifacts
+   there: the event trace and the bus tape as versioned JSONL (the
+   tracetool / [Bus.replaying] inputs) plus the Chrome-viewable trace
+   JSON. *)
+
+let export_env = "DEVIL_FAULTCAMP_EXPORT"
+
+let export_trial ~dir ?fault ~driver ~seed () =
+  with_campaign_policy (fun () ->
+      let tape, trace, _ = record_trial ?fault ~driver ~seed () in
+      let base =
+        Filename.concat dir
+          (Printf.sprintf "%s-%s-seed%d" driver
+             (Option.value fault ~default:"clean")
+             seed)
+      in
+      let files =
+        [
+          (base ^ ".trace.jsonl", Trace_export.to_jsonl trace);
+          (base ^ ".tape.jsonl", Trace_export.tape_to_jsonl tape);
+          (base ^ ".chrome.json", Trace_export.to_chrome (Trace.events trace));
+        ]
+      in
+      List.iter (fun (path, data) -> Trace_export.write_file path data) files;
+      List.map fst files)
+
+(* For the check.sh replay gate: record a fault-free trial, replay its
+   tape, and persist both event streams. With no injector in the
+   picture the two JSONL files must be byte-identical — an empty
+   [tracetool diff]. *)
+let export_replay_smoke ~dir ~driver ~seed =
+  with_campaign_policy (fun () ->
+      let tape, live_trace, _ = record_trial ~driver ~seed () in
+      Policy.unobserve ();
+      let replay_trace, _ = replay_trial ~driver ~tape () in
+      let recorded =
+        Filename.concat dir (Printf.sprintf "%s-smoke.recorded.jsonl" driver)
+      in
+      let replayed =
+        Filename.concat dir (Printf.sprintf "%s-smoke.replayed.jsonl" driver)
+      in
+      Trace_export.write_file recorded (Trace_export.to_jsonl live_trace);
+      Trace_export.write_file replayed (Trace_export.to_jsonl replay_trace);
+      (recorded, replayed))
+
+let run ?(seeds = default_seeds) () =
+  with_campaign_policy (fun () ->
+      let covs =
+        List.map (fun (dev, device) -> Coverage.create ~dev device)
+          (coverage_devices ())
+      in
       let trials =
         List.concat_map
           (fun (driver, range, workload) ->
             List.concat_map
               (fun fault ->
                 List.map
-                  (fun seed -> run_trial ~driver ~range ~workload ~fault ~seed)
+                  (fun seed ->
+                    run_trial ~covs ~driver ~range ~workload ~fault ~seed ())
                   seeds)
               fault_classes)
           workloads
       in
-      { trials })
+      (match Sys.getenv_opt export_env with
+      | None | Some "" -> ()
+      | Some dir ->
+          List.iter
+            (fun t ->
+              match t.outcome with
+              | Detected | Silent ->
+                  ignore
+                    (export_trial ~dir ~fault:t.fault ~driver:t.driver
+                       ~seed:t.seed ())
+              | Clean | Recovered -> ())
+            trials);
+      { trials; coverage = List.map Coverage.report covs })
 
 (* {1 Reporting} *)
 
@@ -256,4 +525,25 @@ let pp_report fmt report =
       Format.fprintf fmt "  silent: %s / %s seed %d (%d injections): %s@."
         t.driver t.fault t.seed t.injections t.detail;
       Format.fprintf fmt "    observed: %s@." t.trace_summary)
-    silent
+    silent;
+  if report.coverage <> [] then begin
+    Format.fprintf fmt "@.spec coverage across the matrix:@.";
+    List.iter
+      (fun (r : Coverage.report) ->
+        Format.fprintf fmt
+          "coverage %-8s registers %d/%d (%.1f%%)  sites %d/%d (%.1f%%)@."
+          r.rp_dev r.rp_reg_covered r.rp_reg_total (Coverage.reg_percent r)
+          r.rp_covered r.rp_total (Coverage.site_percent r))
+      report.coverage
+  end
+
+let pp_replay_check fmt rc =
+  Format.fprintf fmt
+    "%s%s seed %d: tape %d transfers; live %s, replay %s; outcomes %s, \
+     traces %s%s"
+    rc.rc_driver
+    (match rc.rc_fault with Some f -> " / " ^ f | None -> " (no faults)")
+    rc.rc_seed rc.rc_tape_length rc.rc_live rc.rc_replayed
+    (if rc.rc_outcome_match then "match" else "DIVERGE")
+    (if rc.rc_trace_match then "match" else "DIVERGE")
+    (match rc.rc_mismatch with Some m -> ": " ^ m | None -> "")

@@ -35,14 +35,20 @@ type trial = {
           {!Devil_runtime.Trace} retention stats. *)
 }
 
-type report = { trials : trial list }
+type report = {
+  trials : trial list;
+  coverage : Devil_runtime.Coverage.report list;
+      (** Spec coverage aggregated across the whole matrix (every
+          workload, fault class and seed), one report per instrumented
+          device: [ide], [piix4], [uart], [ne2000], [gfx]. *)
+}
 
 val fault_classes : string list
 (** ["stuck-bits"; "read-flip"; "dropped-write"; "dup-write";
     "transient"]. *)
 
 val driver_workloads : string list
-(** ["ide-read"; "ide-write"; "serial"; "net"]. *)
+(** ["ide-read"; "ide-write"; "serial"; "net"; "gfx"]. *)
 
 val default_seeds : int list
 (** [[1; 2; 3]]. *)
@@ -50,7 +56,11 @@ val default_seeds : int list
 val run : ?seeds:int list -> unit -> report
 (** Runs the full matrix: every workload under every fault class, once
     per seed. Poll deadlines are temporarily shortened (and restored on
-    exit) so timeout trials complete quickly. *)
+    exit) so timeout trials complete quickly.
+
+    With the {!export_env} environment variable set to a directory,
+    every failing (detected or silent) trial is re-recorded and its
+    artifacts written there — see {!export_trial}. *)
 
 val count : report -> driver:string -> fault:string -> outcome -> int
 
@@ -60,4 +70,60 @@ val silent_trials : report -> trial list
 val pp_report : Format.formatter -> report -> unit
 (** The Table-1-style matrix: one row per driver × fault class, with
     detected / recovered / silent / clean tallies and a verdict
-    column. *)
+    column, followed by the aggregated spec-coverage lines
+    ([coverage <dev> registers a/b (p%) sites c/d (q%)] — the format
+    the check.sh coverage gate parses). *)
+
+(** {1 Deterministic record / replay of trials (DESIGN.md §10)}
+
+    A trial re-run with {!Devil_runtime.Bus.recording} interposed
+    between the fault injector and the observability wrapper tapes
+    every transfer with the response the drivers saw — injected
+    faults included. Replaying the tape with
+    {!Devil_runtime.Bus.replaying} re-runs the same workload with no
+    simulated hardware and no injector, and must reproduce the
+    driver-visible outcome and the event stream exactly (modulo the
+    injector's own [Fault_injected] bookkeeping events, which have no
+    counterpart under replay; back-door device state is not compared —
+    a replaying bus never touches the device models). *)
+
+type replay_check = {
+  rc_driver : string;
+  rc_fault : string option;  (** [None]: recorded without an injector. *)
+  rc_seed : int;
+  rc_tape_length : int;
+  rc_live : string;  (** Driver-visible outcome of the recorded run. *)
+  rc_replayed : string;  (** Driver-visible outcome of the replay. *)
+  rc_outcome_match : bool;
+  rc_trace_match : bool;
+  rc_mismatch : string option;
+      (** First event-stream divergence, when [rc_trace_match] is
+          false. *)
+}
+
+val record_replay :
+  ?fault:string -> driver:string -> seed:int -> unit -> replay_check
+(** Records one trial of [driver] (under fault class [fault], when
+    given) and immediately replays its tape. *)
+
+val pp_replay_check : Format.formatter -> replay_check -> unit
+
+val export_env : string
+(** ["DEVIL_FAULTCAMP_EXPORT"]. *)
+
+val export_trial :
+  dir:string -> ?fault:string -> driver:string -> seed:int -> unit ->
+  string list
+(** Re-records the given trial and writes
+    [<driver>-<fault>-seed<n>.trace.jsonl] (the event trace),
+    [....tape.jsonl] (the bus tape, a {!Devil_runtime.Bus.replaying}
+    input) and [....chrome.json] (the [about://tracing] view) under
+    [dir], returning the paths written. *)
+
+val export_replay_smoke :
+  dir:string -> driver:string -> seed:int -> string * string
+(** Records one fault-free trial, replays its tape, and writes both
+    event streams as trace JSONL under [dir], returning
+    [(recorded_path, replayed_path)]. With no injector involved the
+    two files are byte-identical on a deterministic runtime — the
+    check.sh gate diffs them with tracetool. *)

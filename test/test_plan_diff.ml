@@ -25,6 +25,7 @@ module Dtype = Devil_ir.Dtype
 module Instance = Devil_runtime.Instance
 module Bus = Devil_runtime.Bus
 module Trace = Devil_runtime.Trace
+module Monitor = Devil_runtime.Monitor
 module Specs = Devil_specs.Specs
 
 let qcount d =
@@ -323,6 +324,17 @@ let diff_property name (device : Ir.device) =
       if ec <> ei then
         QCheck.Test.fail_reportf "trace divergence: %s"
           (explain_trace_divergence tc ti);
+      (* Third oracle: the online protocol monitor re-derives the
+         interface disciplines from the IR alone; a clean run must
+         produce zero violations. *)
+      let mon = Monitor.create ~devices:[ ("diff", device) ] in
+      Monitor.feed_all mon ec;
+      (match Monitor.violations mon with
+      | [] -> ()
+      | v :: _ ->
+          QCheck.Test.fail_reportf "monitor: %a (of %d violation(s))"
+            Monitor.pp_violation v
+            (Monitor.violation_count mon));
       (* Post-condition: every statically known register holds the same
          cached raw on both engines. *)
       List.iter

@@ -28,6 +28,29 @@ if [ -f BENCH_pr3.json ]; then
   dune exec tools/benchcheck/benchcheck.exe -- BENCH_pr3.json
 fi
 
+# Observability gates (ISSUE 4): the fault campaign's aggregated spec
+# coverage must stay high on the two drivers whose workloads claim
+# full register reach, and a recorded fault-free trial must replay to
+# a byte-identical trace (an empty tracetool diff).
+echo "== coverage + replay gates =="
+EXPORT_DIR=_build/faultcamp_export
+rm -rf "$EXPORT_DIR" && mkdir -p "$EXPORT_DIR"
+DEVIL_FAULTCAMP_EXPORT="$EXPORT_DIR" \
+  dune exec bench/main.exe -- faultcamp > _build/faultcamp_smoke.out
+for dev in ide gfx; do
+  line=$(grep "^coverage $dev " _build/faultcamp_smoke.out)
+  pct=$(printf '%s\n' "$line" | sed -n 's/.*registers [0-9]*\/[0-9]* (\([0-9]*\)\(\.[0-9]*\)\?%).*/\1/p')
+  if [ -z "$pct" ] || [ "$pct" -lt 90 ]; then
+    echo "FAIL: $dev register coverage below 90%: $line"
+    exit 1
+  fi
+  echo "ok: $line"
+done
+dune exec tools/tracetool/tracetool.exe -- diff \
+  "$EXPORT_DIR/ide-read-smoke.recorded.jsonl" \
+  "$EXPORT_DIR/ide-read-smoke.replayed.jsonl"
+echo "ok: recorded and replayed smoke traces are identical"
+
 if command -v ocamlformat >/dev/null 2>&1 && [ -f .ocamlformat ]; then
   echo "== ocamlformat check =="
   dune build @fmt

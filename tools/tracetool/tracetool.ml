@@ -1,0 +1,193 @@
+(* Offline trace toolkit for the Devil runtime's JSONL trace format
+   (DESIGN.md §10).
+
+   Usage:
+     tracetool print    FILE
+     tracetool convert  FILE [-o OUT]             JSONL -> Chrome JSON
+     tracetool filter   FILE [--dev D] [--reg R] [-o OUT]
+     tracetool diff     A B                       exit 1 on divergence
+     tracetool coverage FILE --spec NAME [--dev LABEL]
+                        [--min-reg PCT] [--missed]
+
+   [print] renders a trace the way the runtime's pretty-printer does.
+   [convert] emits the about://tracing / Perfetto event array.
+   [filter] keeps the events belonging to one instance and/or touching
+   one register and re-emits trace JSONL (bus-level events carry no
+   instance and are dropped by --dev).
+   [diff] compares two traces event by event and reports the first
+   divergence — the record/replay gate: a recorded trial and its
+   replay must diff empty.
+   [coverage] maps a trace back onto a bundled specification and
+   reports which of its coverable sites the trace exercised;
+   [--min-reg] turns it into a gate (exit 1 below the threshold) and
+   [--missed] lists every uncovered site. *)
+
+module Trace = Devil_runtime.Trace
+module Trace_export = Devil_runtime.Trace_export
+module Coverage = Devil_runtime.Coverage
+module Specs = Devil_specs.Specs
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("tracetool: " ^ m); exit 2) fmt
+
+let events_of_file path =
+  match Trace_export.events_of_file path with
+  | Ok evs -> evs
+  | Error why -> die "%s: %s" path why
+
+let output ~out data =
+  match out with
+  | None -> print_string data
+  | Some path -> Trace_export.write_file path data
+
+(* {1 Event classification for --dev / --reg} *)
+
+let event_dev (k : Trace.kind) =
+  match k with
+  | Bus_read _ | Bus_write _ | Bus_block_read _ | Bus_block_write _ -> None
+  | Reg_read { dev; _ } | Reg_write { dev; _ }
+  | Var_read { dev; _ } | Var_write { dev; _ }
+  | Struct_write { dev; _ }
+  | Cache_hit { dev; _ } | Cache_miss { dev; _ }
+  | Cache_invalidated { dev }
+  | Action { dev; _ } | Serialized { dev; _ } ->
+      Some dev
+  | Poll { label; _ } | Retry { label; _ } ->
+      (* Policy labels are "<dev>: <condition>". *)
+      (match String.index_opt label ':' with
+      | Some i -> Some (String.sub label 0 i)
+      | None -> None)
+  | Fault_injected _ -> None
+
+let event_regs (k : Trace.kind) =
+  match k with
+  | Reg_read { reg; _ } | Reg_write { reg; _ }
+  | Cache_hit { reg; _ } | Cache_miss { reg; _ } ->
+      [ reg ]
+  | Var_write { regs; _ } | Struct_write { regs; _ } -> regs
+  | _ -> []
+
+let matches ~dev ~reg (e : Trace.event) =
+  (match dev with None -> true | Some d -> event_dev e.kind = Some d)
+  && match reg with None -> true | Some r -> List.mem r (event_regs e.kind)
+
+(* {1 Commands} *)
+
+let cmd_print file =
+  List.iter
+    (fun e -> Format.printf "%a@." Trace.pp_event e)
+    (events_of_file file)
+
+let cmd_convert file ~out =
+  output ~out (Trace_export.to_chrome (events_of_file file))
+
+let cmd_filter file ~dev ~reg ~out =
+  let kept = List.filter (matches ~dev ~reg) (events_of_file file) in
+  output ~out (Trace_export.events_to_jsonl kept)
+
+let cmd_diff a b =
+  let ea = events_of_file a and eb = events_of_file b in
+  let pp_ev fmt (e : Trace.event) =
+    Format.fprintf fmt "#%d %a" e.seq Trace.pp_kind e.kind
+  in
+  let rec go i (xs : Trace.event list) (ys : Trace.event list) =
+    match (xs, ys) with
+    | [], [] -> 0
+    | x :: _, [] ->
+        Format.printf "event %d only in %s: %a@." i a pp_ev x;
+        1
+    | [], y :: _ ->
+        Format.printf "event %d only in %s: %a@." i b pp_ev y;
+        1
+    | x :: xs', y :: ys' ->
+        if x = y then go (i + 1) xs' ys'
+        else begin
+          Format.printf "event %d differs:@.  %s: %a@.  %s: %a@." i a pp_ev x
+            b pp_ev y;
+          1
+        end
+  in
+  go 0 ea eb
+
+let spec_device name =
+  (* pic8259 carries a configuration parameter; everything else
+     compiles as-is from the bundled source. *)
+  if name = "pic8259" then Specs.pic8259 ()
+  else
+    match List.assoc_opt name Specs.all with
+    | Some src -> Specs.compile_exn ~name src
+    | None ->
+        die "unknown spec %s (have: %s)" name
+          (String.concat ", " (List.map fst Specs.all))
+
+let cmd_coverage file ~spec ~dev ~min_reg ~missed =
+  let spec =
+    match spec with Some s -> s | None -> die "coverage needs --spec NAME"
+  in
+  let dev = Option.value dev ~default:spec in
+  let cov = Coverage.create ~dev (spec_device spec) in
+  Coverage.feed_all cov (events_of_file file);
+  let r = Coverage.report cov in
+  Format.printf "%a@." Coverage.pp_report r;
+  if missed then Format.printf "%a" Coverage.pp_missed r;
+  match min_reg with
+  | Some threshold when Coverage.reg_percent r < threshold ->
+      Format.printf "FAIL: register coverage %.1f%% below threshold %.1f%%@."
+        (Coverage.reg_percent r) threshold;
+      1
+  | _ -> 0
+
+(* {1 Argument parsing} *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  (* collect --opt value pairs and positionals *)
+  let opts = Hashtbl.create 8 in
+  let positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--missed" :: rest ->
+        Hashtbl.replace opts "--missed" "";
+        parse rest
+    | (("--dev" | "--reg" | "--spec" | "--min-reg" | "-o") as o) :: v :: rest
+      ->
+        Hashtbl.replace opts o v;
+        parse rest
+    | o :: [] when String.length o > 1 && o.[0] = '-' ->
+        die "option %s needs a value" o
+    | f :: rest ->
+        positional := f :: !positional;
+        parse rest
+  in
+  (match args with [] -> die "no command (print | convert | filter | diff | coverage)" | _ :: rest -> parse rest);
+  let positional = List.rev !positional in
+  let opt name = Hashtbl.find_opt opts name in
+  let code =
+    match (List.hd args, positional) with
+    | "print", [ f ] ->
+        cmd_print f;
+        0
+    | "convert", [ f ] ->
+        cmd_convert f ~out:(opt "-o");
+        0
+    | "filter", [ f ] ->
+        cmd_filter f ~dev:(opt "--dev") ~reg:(opt "--reg") ~out:(opt "-o");
+        0
+    | "diff", [ a; b ] -> cmd_diff a b
+    | "coverage", [ f ] ->
+        cmd_coverage f ~spec:(opt "--spec") ~dev:(opt "--dev")
+          ~min_reg:
+            (Option.map
+               (fun s ->
+                 try float_of_string s
+                 with _ -> die "--min-reg %s: not a number" s)
+               (opt "--min-reg"))
+          ~missed:(Hashtbl.mem opts "--missed")
+    | cmd, _ ->
+        die
+          "usage: tracetool (print FILE | convert FILE [-o OUT] | filter FILE \
+           [--dev D] [--reg R] [-o OUT] | diff A B | coverage FILE --spec \
+           NAME [--dev LABEL] [--min-reg PCT] [--missed]) — got %s with %d \
+           file argument(s)"
+          cmd (List.length positional)
+  in
+  exit code
