@@ -179,14 +179,32 @@ let replaying tape =
 
 let bytes_of ~width n = n * ((width + 7) / 8)
 
-let observed ?trace ?metrics bus =
-  match (trace, metrics) with
-  | None, None -> bus
+let observed ?trace ?metrics ?profile bus =
+  match (trace, metrics, profile) with
+  | None, None, None -> bus
   | _ ->
+      (* The bus transfer is the leaf of the span hierarchy: the
+         wrapper times the underlying call precisely and records it as
+         a child of whatever span is open. Faults propagate before
+         anything is recorded — the trace and the profile hold only
+         transfers that completed. *)
+      let timed key f =
+        match profile with
+        | None -> f ()
+        | Some p ->
+            let s = Profile.enter p key in
+            (match f () with
+            | v ->
+                Profile.exit p s;
+                v
+            | exception e ->
+                Profile.exit p s;
+                raise e)
+      in
       {
         read =
           (fun ~width ~addr ->
-            let value = bus.read ~width ~addr in
+            let value = timed "bus:read" (fun () -> bus.read ~width ~addr) in
             (match metrics with
             | Some m ->
                 Metrics.incr m "bus.reads";
@@ -198,7 +216,7 @@ let observed ?trace ?metrics bus =
             value);
         write =
           (fun ~width ~addr ~value ->
-            bus.write ~width ~addr ~value;
+            timed "bus:write" (fun () -> bus.write ~width ~addr ~value);
             (match metrics with
             | Some m ->
                 Metrics.incr m "bus.writes";
@@ -209,7 +227,8 @@ let observed ?trace ?metrics bus =
             | None -> ());
         read_block =
           (fun ~width ~addr ~into ->
-            bus.read_block ~width ~addr ~into;
+            timed "bus:block_read" (fun () ->
+                bus.read_block ~width ~addr ~into);
             let count = Array.length into in
             (match metrics with
             | Some m ->
@@ -224,7 +243,8 @@ let observed ?trace ?metrics bus =
             | None -> ());
         write_block =
           (fun ~width ~addr ~from ->
-            bus.write_block ~width ~addr ~from;
+            timed "bus:block_write" (fun () ->
+                bus.write_block ~width ~addr ~from);
             let count = Array.length from in
             (match metrics with
             | Some m ->

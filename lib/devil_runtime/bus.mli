@@ -80,13 +80,17 @@ val tape_of_transfers : transfer list -> tape
 
 val pp_transfer : Format.formatter -> transfer -> unit
 
-val observed : ?trace:Trace.t -> ?metrics:Metrics.t -> t -> t
-(** [observed ?trace ?metrics bus] wraps a bus so that every transfer
-    is recorded into the trace and counted in the registry (see
+val observed : ?trace:Trace.t -> ?metrics:Metrics.t -> ?profile:Profile.t -> t -> t
+(** [observed ?trace ?metrics ?profile bus] wraps a bus so that every
+    transfer is recorded into the trace, counted in the registry (see
     {!Metrics} for the counter vocabulary: single transfers, block
-    transactions, block elements and bytes are all counted
-    separately). With neither handle supplied the wrapper is the
-    identity — the very same closure record is returned, so the
-    disabled path costs nothing and is trivially transparent. Faults
-    raised by the underlying bus propagate before anything is
-    recorded: the trace holds only transfers that completed. *)
+    transactions, block elements and bytes are all counted separately)
+    and, with a profiler, timed as a leaf span (["bus:read"],
+    ["bus:write"], ["bus:block_read"], ["bus:block_write"]) under
+    whatever span is open — the precise alternative to
+    {!Profile.attach}'s gap estimate. With no handle supplied the
+    wrapper is the identity — the very same closure record is
+    returned, so the disabled path costs nothing and is trivially
+    transparent. Faults raised by the underlying bus propagate before
+    anything is recorded: the trace holds only transfers that
+    completed. *)

@@ -1,0 +1,24 @@
+(* Shared scaffolding for the observability opt-in environment
+   variables (DEVIL_TRACE / DEVIL_METRICS / DEVIL_PROFILE): one lookup
+   helper owning the getenv + parse + warn-and-fall-back protocol, so
+   the three from_env readers cannot drift apart. *)
+
+let parse_bool s =
+  match String.lowercase_ascii (String.trim s) with
+  | "" | "0" | "off" | "false" | "no" -> Ok false
+  | "1" | "on" | "true" | "yes" -> Ok true
+  | _ -> Error (Printf.sprintf "%S is not a boolean" s)
+
+let bool_forms = "0/off to disable, 1/on to enable"
+
+let lookup ~var ~parse ~accepted ~fallback ~fallback_note =
+  match Sys.getenv_opt var with
+  | None -> None
+  | Some s -> (
+      match parse s with
+      | Ok v -> Some v
+      | Error why ->
+          Printf.eprintf
+            "devil: malformed %s=%s (%s); accepted forms: %s; %s\n%!" var s
+            why accepted fallback_note;
+          Some fallback)

@@ -1,0 +1,30 @@
+(** Shared parsing for the observability opt-in environment variables
+    ([DEVIL_TRACE], [DEVIL_METRICS], [DEVIL_PROFILE]).
+
+    All three follow the same protocol: unset means disabled, a
+    well-formed value is obeyed, and a malformed value prints a
+    one-line warning naming the variable, the reason and the accepted
+    forms — then falls back to {e enabled} with defaults, on the theory
+    that someone who set the variable at all wanted the feature. The
+    protocol lives here so {!Trace.from_env}, {!Metrics.from_env} and
+    {!Profile.from_env} cannot drift apart. *)
+
+val parse_bool : string -> (bool, string) result
+(** ["0"]/["off"]/["false"]/["no"]/[""] are [Ok false];
+    ["1"]/["on"]/["true"]/["yes"] are [Ok true] (case-insensitive,
+    trimmed); anything else is [Error why]. *)
+
+val bool_forms : string
+(** The accepted-forms phrase for boolean variables, for warnings. *)
+
+val lookup :
+  var:string ->
+  parse:(string -> ('a, string) result) ->
+  accepted:string ->
+  fallback:'a ->
+  fallback_note:string ->
+  'a option
+(** [lookup ~var ~parse ~accepted ~fallback ~fallback_note] reads
+    [var] from the environment: [None] when unset, [Some v] when
+    [parse] accepts the value, and [Some fallback] (after warning on
+    stderr with [accepted] and [fallback_note]) when it does not. *)

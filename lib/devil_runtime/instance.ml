@@ -24,6 +24,7 @@ type t = {
   label : string;  (* names the instance in traces and metrics *)
   trace : Trace.t option;
   metrics : Metrics.t option;
+  profile : Profile.t option;
   reg_cache : (string, int) Hashtbl.t;
   struct_cache : (string, (string, int) Hashtbl.t) Hashtbl.t;
   mem : (string, Value.t) Hashtbl.t;  (* memory-cell variables *)
@@ -32,7 +33,7 @@ type t = {
 
 let device t = t.device
 
-let create ?(debug = false) ?label ?trace ?metrics device ~bus ~bases =
+let create ?(debug = false) ?label ?trace ?metrics ?profile device ~bus ~bases =
   List.iter
     (fun (p : Ir.port) ->
       if not (List.mem_assoc p.p_name bases) then
@@ -46,6 +47,7 @@ let create ?(debug = false) ?label ?trace ?metrics device ~bus ~bases =
     label = (match label with Some l -> l | None -> device.Ir.d_name);
     trace;
     metrics;
+    profile;
     reg_cache = Hashtbl.create 17;
     struct_cache = Hashtbl.create 7;
     mem = Hashtbl.create 7;
@@ -315,6 +317,27 @@ and operand_value t ?self (o : Ir.operand) ~(target : Ir.var) : Value.t =
 and run_action ?self ?what t (a : Ir.action) =
   match a with
   | [] -> ()
+  | _ -> (
+      (* Span keys mirror the compiled engine's; the interpreter builds
+         them on the fly (it re-derives everything else per access
+         too), but only after matching the handle, so the disabled path
+         still allocates nothing. *)
+      match (t.profile, what) with
+      | Some p, Some (phase, owner) ->
+          let s =
+            Profile.enter p
+              (t.label ^ "/action:" ^ owner ^ ":" ^ Trace.phase_label phase)
+          in
+          (match run_action_body ?self ?what t a with
+          | () -> Profile.exit p s
+          | exception e ->
+              Profile.exit p s;
+              raise e)
+      | _ -> run_action_body ?self ?what t a)
+
+and run_action_body ?self ?what t (a : Ir.action) =
+  match a with
+  | [] -> ()
   | _ ->
       (match (t.trace, what) with
       | Some tr, Some (phase, owner) ->
@@ -352,6 +375,19 @@ and run_action ?self ?what t (a : Ir.action) =
 (* {1 Variable reads} *)
 
 and get_internal t name : Value.t =
+  match t.profile with
+  | None -> get_internal_body t name
+  | Some p ->
+      let s = Profile.enter p (t.label ^ "/var:" ^ name ^ ":read") in
+      (match get_internal_body t name with
+      | v ->
+          Profile.exit p s;
+          v
+      | exception e ->
+          Profile.exit p s;
+          raise e)
+
+and get_internal_body t name : Value.t =
   let v = the_var t name in
   note_var_read t name;
   if v.v_chunks = [] then
@@ -474,6 +510,17 @@ and ordered_regs t ?self ~(serial : Ir.serial_item list option) ~default () =
         items
 
 and set_internal t name value =
+  match t.profile with
+  | None -> set_internal_body t name value
+  | Some p ->
+      let s = Profile.enter p (t.label ^ "/var:" ^ name ^ ":write") in
+      (match set_internal_body t name value with
+      | () -> Profile.exit p s
+      | exception e ->
+          Profile.exit p s;
+          raise e)
+
+and set_internal_body t name value =
   let v = the_var t name in
   if v.v_chunks = [] then begin
     (* Memory cell: validate against the type, then store. *)
@@ -540,6 +587,17 @@ and struct_regs t (s : Ir.strct) =
     s.s_fields
 
 and set_struct_internal t name fields =
+  match t.profile with
+  | None -> set_struct_internal_body t name fields
+  | Some p ->
+      let sp = Profile.enter p (t.label ^ "/struct:" ^ name ^ ":write") in
+      (match set_struct_internal_body t name fields with
+      | () -> Profile.exit p sp
+      | exception e ->
+          Profile.exit p sp;
+          raise e)
+
+and set_struct_internal_body t name fields =
   let s = the_struct t name in
   List.iter
     (fun (f, _) ->
@@ -639,15 +697,23 @@ and get_cached_field t (v : Ir.var) : Value.t option =
     in
     match Dtype.decode v.v_type raw with Ok v -> Some v | Error _ -> None
 
-let get_struct t name =
-  let s = the_struct t name in
-  if s.s_private then fail "structure %s is private" name;
+let get_struct_body t name (s : Ir.strct) =
   let images = Hashtbl.create 8 in
   List.iter
     (fun (r : Ir.reg) ->
       Hashtbl.replace images r.Ir.r_name (read_reg_io t r))
     (struct_regs t s);
   Hashtbl.replace t.struct_cache name images
+
+let get_struct t name =
+  let s = the_struct t name in
+  if s.s_private then fail "structure %s is private" name;
+  match t.profile with
+  | None -> get_struct_body t name s
+  | Some p ->
+      Profile.span p
+        (t.label ^ "/struct:" ^ name ^ ":read")
+        (fun () -> get_struct_body t name s)
 
 (* {1 Public entry points} *)
 
@@ -689,82 +755,116 @@ let read_block t name ~count =
   match r.r_read with
   | None -> fail "register %s is not readable" r.r_name
   | Some lp ->
-      with_depth t (fun () ->
-          run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
-          note_var_read t name;
-          let into = Array.make count 0 in
-          t.bus.Bus.read_block ~width:(point_width t lp)
-            ~addr:(point_addr t lp) ~into;
-          run_action ~what:(Trace.Post, r.r_name) t r.r_post;
-          into)
+      let body () =
+        with_depth t (fun () ->
+            run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
+            note_var_read t name;
+            let into = Array.make count 0 in
+            t.bus.Bus.read_block ~width:(point_width t lp)
+              ~addr:(point_addr t lp) ~into;
+            run_action ~what:(Trace.Post, r.r_name) t r.r_post;
+            into)
+      in
+      (match t.profile with
+      | None -> body ()
+      | Some p ->
+          Profile.span p (t.label ^ "/var:" ^ name ^ ":block_read") body)
 
 let write_block t name data =
   let r = block_reg t name in
   match r.r_write with
   | None -> fail "register %s is not writable" r.r_name
   | Some lp ->
-      with_depth t (fun () ->
-          run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
-          note_var_write t name [ r.r_name ];
-          t.bus.Bus.write_block ~width:(point_width t lp)
-            ~addr:(point_addr t lp) ~from:data;
-          run_action ~what:(Trace.Post, r.r_name) t r.r_post;
-          run_action ~what:(Trace.Set, r.r_name) t r.r_set)
+      let body () =
+        with_depth t (fun () ->
+            run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
+            note_var_write t name [ r.r_name ];
+            t.bus.Bus.write_block ~width:(point_width t lp)
+              ~addr:(point_addr t lp) ~from:data;
+            run_action ~what:(Trace.Post, r.r_name) t r.r_post;
+            run_action ~what:(Trace.Set, r.r_name) t r.r_set)
+      in
+      (match t.profile with
+      | None -> body ()
+      | Some p ->
+          Profile.span p (t.label ^ "/var:" ^ name ^ ":block_write") body)
 
 let read_wide t name ~scale =
   let r = block_reg t name in
   match r.r_read with
   | None -> fail "register %s is not readable" r.r_name
   | Some lp ->
-      with_depth t (fun () ->
-          run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
-          note_var_read t name;
-          let v =
-            t.bus.Bus.read ~width:(scale * point_width t lp)
-              ~addr:(point_addr t lp)
-          in
-          run_action ~what:(Trace.Post, r.r_name) t r.r_post;
-          v)
+      let body () =
+        with_depth t (fun () ->
+            run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
+            note_var_read t name;
+            let v =
+              t.bus.Bus.read ~width:(scale * point_width t lp)
+                ~addr:(point_addr t lp)
+            in
+            run_action ~what:(Trace.Post, r.r_name) t r.r_post;
+            v)
+      in
+      (match t.profile with
+      | None -> body ()
+      | Some p -> Profile.span p (t.label ^ "/var:" ^ name ^ ":read") body)
 
 let write_wide t name ~scale value =
   let r = block_reg t name in
   match r.r_write with
   | None -> fail "register %s is not writable" r.r_name
   | Some lp ->
-      with_depth t (fun () ->
-          run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
-          note_var_write t name [ r.r_name ];
-          t.bus.Bus.write ~width:(scale * point_width t lp)
-            ~addr:(point_addr t lp) ~value;
-          run_action ~what:(Trace.Post, r.r_name) t r.r_post;
-          run_action ~what:(Trace.Set, r.r_name) t r.r_set)
+      let body () =
+        with_depth t (fun () ->
+            run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
+            note_var_write t name [ r.r_name ];
+            t.bus.Bus.write ~width:(scale * point_width t lp)
+              ~addr:(point_addr t lp) ~value;
+            run_action ~what:(Trace.Post, r.r_name) t r.r_post;
+            run_action ~what:(Trace.Set, r.r_name) t r.r_set)
+      in
+      (match t.profile with
+      | None -> body ()
+      | Some p -> Profile.span p (t.label ^ "/var:" ^ name ^ ":write") body)
 
 let read_block_wide t name ~scale ~count =
   let r = block_reg t name in
   match r.r_read with
   | None -> fail "register %s is not readable" r.r_name
   | Some lp ->
-      with_depth t (fun () ->
-          run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
-          note_var_read t name;
-          let into = Array.make count 0 in
-          t.bus.Bus.read_block ~width:(scale * point_width t lp)
-            ~addr:(point_addr t lp) ~into;
-          run_action ~what:(Trace.Post, r.r_name) t r.r_post;
-          into)
+      let body () =
+        with_depth t (fun () ->
+            run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
+            note_var_read t name;
+            let into = Array.make count 0 in
+            t.bus.Bus.read_block ~width:(scale * point_width t lp)
+              ~addr:(point_addr t lp) ~into;
+            run_action ~what:(Trace.Post, r.r_name) t r.r_post;
+            into)
+      in
+      (match t.profile with
+      | None -> body ()
+      | Some p ->
+          Profile.span p (t.label ^ "/var:" ^ name ^ ":block_read") body)
 
 let write_block_wide t name ~scale data =
   let r = block_reg t name in
   match r.r_write with
   | None -> fail "register %s is not writable" r.r_name
   | Some lp ->
-      with_depth t (fun () ->
-          run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
-          note_var_write t name [ r.r_name ];
-          t.bus.Bus.write_block ~width:(scale * point_width t lp)
-            ~addr:(point_addr t lp) ~from:data;
-          run_action ~what:(Trace.Post, r.r_name) t r.r_post;
-          run_action ~what:(Trace.Set, r.r_name) t r.r_set)
+      let body () =
+        with_depth t (fun () ->
+            run_action ~what:(Trace.Pre, r.r_name) t r.r_pre;
+            note_var_write t name [ r.r_name ];
+            t.bus.Bus.write_block ~width:(scale * point_width t lp)
+              ~addr:(point_addr t lp) ~from:data;
+            run_action ~what:(Trace.Post, r.r_name) t r.r_post;
+            run_action ~what:(Trace.Set, r.r_name) t r.r_set)
+      in
+      (match t.profile with
+      | None -> body ()
+      | Some p ->
+          Profile.span p (t.label ^ "/var:" ^ name ^ ":block_write") body)
 
 (* {1 Indexed (parameterized) register access} *)
 
@@ -821,11 +921,21 @@ let instantiate_template t ~template ~args : Ir.reg =
 
 let read_indexed t ~template ~args =
   let r = instantiate_template t ~template ~args in
-  with_depth t (fun () -> read_reg_io t r)
+  match t.profile with
+  | None -> with_depth t (fun () -> read_reg_io t r)
+  | Some p ->
+      Profile.span p
+        (t.label ^ "/template:" ^ template ^ ":read")
+        (fun () -> with_depth t (fun () -> read_reg_io t r))
 
 let write_indexed t ~template ~args raw =
   let r = instantiate_template t ~template ~args in
-  with_depth t (fun () -> write_reg_io t r raw)
+  match t.profile with
+  | None -> with_depth t (fun () -> write_reg_io t r raw)
+  | Some p ->
+      Profile.span p
+        (t.label ^ "/template:" ^ template ^ ":write")
+        (fun () -> with_depth t (fun () -> write_reg_io t r raw))
 end
 
 (* {1 Engine dispatch}
@@ -836,13 +946,15 @@ end
 
 type t = Compiled of Plan.t | Interpreted of Interp.t
 
-let create ?(debug = false) ?label ?trace ?metrics ?(interpret = false) device
-    ~bus ~bases =
+let create ?(debug = false) ?label ?trace ?metrics ?profile
+    ?(interpret = false) device ~bus ~bases =
   if interpret then
-    Interpreted (Interp.create ~debug ?label ?trace ?metrics device ~bus ~bases)
+    Interpreted
+      (Interp.create ~debug ?label ?trace ?metrics ?profile device ~bus ~bases)
   else
     let label = match label with Some l -> l | None -> device.Ir.d_name in
-    Compiled (Plan.compile ~debug ~label ?trace ?metrics device ~bus ~bases)
+    Compiled
+      (Plan.compile ~debug ~label ?trace ?metrics ?profile device ~bus ~bases)
 
 let device = function
   | Compiled p -> Plan.device p

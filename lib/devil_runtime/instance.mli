@@ -36,6 +36,7 @@ val create :
   ?label:string ->
   ?trace:Trace.t ->
   ?metrics:Metrics.t ->
+  ?profile:Profile.t ->
   ?interpret:bool ->
   Ir.device ->
   bus:Bus.t ->
@@ -60,7 +61,14 @@ val create :
     event. When [trace]/[metrics] are given the instance records
     register-level I/O, idempotent-cache hits and misses, pre/post/set
     action runs and serialization orderings; when omitted (the
-    default) no instrumentation runs and nothing is allocated. *)
+    default) no instrumentation runs and nothing is allocated.
+
+    With [profile] every access runs inside a hierarchical {!Profile}
+    span keyed by its site (["<label>/var:<name>:read"],
+    ["<label>/struct:<name>:write"],
+    ["<label>/action:<owner>:<phase>"], ... — see {!Plan.compile}),
+    in both engines, so nested accesses made by actions are attributed
+    to their own site under their parent's. *)
 
 val device : t -> Ir.device
 

@@ -16,26 +16,15 @@ type t = {
 
 let create () = { counters = Hashtbl.create 64; hists = Hashtbl.create 16 }
 
-let parse_env_value s =
-  match String.lowercase_ascii (String.trim s) with
-  | "" | "0" | "off" | "false" | "no" -> Ok false
-  | "1" | "on" | "true" | "yes" -> Ok true
-  | _ -> Error (Printf.sprintf "%S is not a boolean" s)
+let parse_env_value = Env.parse_bool
 
 let from_env () =
-  match Sys.getenv_opt "DEVIL_METRICS" with
-  | None -> None
-  | Some s -> (
-      match parse_env_value s with
-      | Ok false -> None
-      | Ok true -> Some (create ())
-      | Error why ->
-          Printf.eprintf
-            "devil: malformed DEVIL_METRICS=%s (%s); accepted forms: 0/off to \
-             disable, 1/on to enable; metrics enabled\n\
-             %!"
-            s why;
-          Some (create ()))
+  match
+    Env.lookup ~var:"DEVIL_METRICS" ~parse:parse_env_value
+      ~accepted:Env.bool_forms ~fallback:true ~fallback_note:"metrics enabled"
+  with
+  | None | Some false -> None
+  | Some true -> Some (create ())
 
 let incr t ?(by = 1) name =
   match Hashtbl.find_opt t.counters name with
@@ -75,26 +64,75 @@ let observe t name v =
   let b = bucket_of v in
   h.buckets.(b) <- h.buckets.(b) + 1
 
+(* {1 Percentiles}
+
+   The buckets are power-of-two wide, so a quantile can only be located
+   to its bucket; we report the bucket's upper bound (a conservative
+   "no more than" estimate), clamped into the histogram's observed
+   [min, max] so single-sample and narrow registries come out exact. *)
+
+let bucket_upper i = if i <= 0 then 0 else (1 lsl i) - 1
+
+let bucket_percentile ~count ~min_value ~max_value buckets q =
+  if count <= 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int count)) in
+      if r < 1 then 1 else if r > count then count else r
+    in
+    let n = Array.length buckets in
+    let rec locate i cum =
+      if i >= n then n - 1
+      else
+        let cum = cum + buckets.(i) in
+        if cum >= rank then i else locate (i + 1) cum
+    in
+    let est = bucket_upper (locate 0 0) in
+    let est = if est < min_value then min_value else est in
+    if est > max_value then max_value else est
+  end
+
 type hist_snapshot = {
   count : int;
   sum : int;
   min : int;
   max : int;
   mean : float;
+  p50 : int;
+  p95 : int;
+  p99 : int;
 }
 
 let snapshot h =
-  if h.h_count = 0 then { count = 0; sum = 0; min = 0; max = 0; mean = 0.0 }
+  if h.h_count = 0 then
+    { count = 0; sum = 0; min = 0; max = 0; mean = 0.0; p50 = 0; p95 = 0;
+      p99 = 0 }
   else
+    let pct q =
+      bucket_percentile ~count:h.h_count ~min_value:h.h_min ~max_value:h.h_max
+        h.buckets q
+    in
     {
       count = h.h_count;
       sum = h.h_sum;
       min = h.h_min;
       max = h.h_max;
       mean = float_of_int h.h_sum /. float_of_int h.h_count;
+      p50 = pct 0.50;
+      p95 = pct 0.95;
+      p99 = pct 0.99;
     }
 
 let histogram t name = Option.map snapshot (Hashtbl.find_opt t.hists name)
+
+let percentile t name q =
+  match Hashtbl.find_opt t.hists name with
+  | None -> None
+  | Some h when h.h_count = 0 -> None
+  | Some h ->
+      Some
+        (bucket_percentile ~count:h.h_count ~min_value:h.h_min
+           ~max_value:h.h_max h.buckets q)
 
 let sorted_bindings tbl =
   List.sort
@@ -144,8 +182,9 @@ let to_json t =
       Buffer.add_string b
         (Printf.sprintf
            "\n    \"%s\": { \"count\": %d, \"sum\": %d, \"min\": %d, \"max\": \
-            %d, \"mean\": %.3f }"
-           (json_escape name) s.count s.sum s.min s.max s.mean))
+            %d, \"mean\": %.3f, \"p50\": %d, \"p95\": %d, \"p99\": %d }"
+           (json_escape name) s.count s.sum s.min s.max s.mean s.p50 s.p95
+           s.p99))
     (histograms t);
   Buffer.add_string b "\n  }\n}";
   Buffer.contents b

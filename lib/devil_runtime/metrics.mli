@@ -31,6 +31,11 @@
     {e Faults} (from {!Fault}): [fault.injections] and
     [fault.<plan>.injections].
 
+    {e Spans} (from {!Profile}, when a registry is attached to the
+    profiler): histogram [span.<key>.ns] — wall time per completed span
+    at each profiling site, so the JSON export carries
+    [span.<key>.ns.p95]-style summaries.
+
     Like tracing, metrics are strictly opt-in: no layer counts anything
     unless a registry was passed in (or created from the
     [DEVIL_METRICS] environment variable via {!from_env}). *)
@@ -63,9 +68,43 @@ type hist_snapshot = {
   min : int;
   max : int;
   mean : float;
+  p50 : int;  (** Median estimate — see {!percentile}. *)
+  p95 : int;
+  p99 : int;
 }
 
 val histogram : t -> string -> hist_snapshot option
+
+val percentile : t -> string -> float -> int option
+(** [percentile t name q] estimates the [q]-quantile ([0 < q <= 1]) of
+    a histogram from its power-of-two buckets: the estimate is the
+    upper bound of the bucket holding the [ceil (q * count)]-th sample,
+    clamped into the observed [min, max] (so a single-sample histogram
+    reports that sample exactly). [None] when the histogram does not
+    exist or is empty. *)
+
+(** {2 Bucket layer}
+
+    The histogram bucketing, exposed so {!Profile} aggregates its span
+    latencies with the same layout and percentile semantics. *)
+
+val bucket_count : int
+(** Number of power-of-two buckets (24). *)
+
+val bucket_of : int -> int
+(** The bucket index for a sample: bucket 0 holds [v <= 0], bucket [i]
+    holds [2^(i-1) <= v < 2^i], the last bucket everything above. *)
+
+val bucket_upper : int -> int
+(** The largest value bucket [i] can hold ([2^i - 1]; 0 for bucket 0).
+    The last bucket is open-ended, which is why {!percentile} clamps to
+    the observed maximum. *)
+
+val bucket_percentile :
+  count:int -> min_value:int -> max_value:int -> int array -> float -> int
+(** The pure estimator behind {!percentile}, usable on any bucket array
+    laid out by {!bucket_of}. *)
+
 val counters : t -> (string * int) list
 (** All counters, sorted by name. *)
 

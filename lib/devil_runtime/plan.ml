@@ -91,6 +91,10 @@ type var_plan = {
   vp_post : action_plan;
   vp_set : action_plan;
   vp_block : (int, string) result;  (** block-capable register slot *)
+  vp_k_read : string;  (** precomputed span keys: "<label>/var:<name>:..." *)
+  vp_k_write : string;
+  vp_k_bread : string;
+  vp_k_bwrite : string;
 }
 
 type struct_plan = {
@@ -98,6 +102,8 @@ type struct_plan = {
   st_regs : (write_reg list, string) result;
   st_fields : (string * (int, string) result) list;
   st_serial : serial_plan;
+  st_k_read : string;  (** precomputed span keys *)
+  st_k_write : string;
 }
 
 (* The compile environment survives in [t] so parameterized-register
@@ -118,6 +124,7 @@ type t = {
   label : string;
   trace : Trace.t option;
   metrics : Metrics.t option;
+  profile : Profile.t option;
   regs : reg_plan array;
   vars : var_plan array;
   structs : struct_plan array;
@@ -443,6 +450,10 @@ let compile_var env regs (v : Ir.var) =
     vp_post = compile_action env v.v_post;
     vp_set = compile_action env v.v_set;
     vp_block;
+    vp_k_read = env.ce_label ^ "/var:" ^ v.v_name ^ ":read";
+    vp_k_write = env.ce_label ^ "/var:" ^ v.v_name ^ ":write";
+    vp_k_bread = env.ce_label ^ "/var:" ^ v.v_name ^ ":block_read";
+    vp_k_bwrite = env.ce_label ^ "/var:" ^ v.v_name ^ ":block_write";
   }
 
 let compile_struct env regs (s : Ir.strct) =
@@ -468,10 +479,12 @@ let compile_struct env regs (s : Ir.strct) =
     st_regs;
     st_fields = List.map (fun f -> (f, resolve_var env f)) s.s_fields;
     st_serial = compile_serial env s.s_serial;
+    st_k_read = env.ce_label ^ "/struct:" ^ s.s_name ^ ":read";
+    st_k_write = env.ce_label ^ "/struct:" ^ s.s_name ^ ":write";
   }
 
-let compile ?(debug = false) ~label ?trace ?metrics (device : Ir.device) ~bus
-    ~bases =
+let compile ?(debug = false) ~label ?trace ?metrics ?profile
+    (device : Ir.device) ~bus ~bases =
   List.iter
     (fun (p : Ir.port) ->
       if not (List.mem_assoc p.p_name bases) then
@@ -508,6 +521,7 @@ let compile ?(debug = false) ~label ?trace ?metrics (device : Ir.device) ~bus
     label;
     trace;
     metrics;
+    profile;
     regs;
     vars;
     structs;
@@ -712,6 +726,22 @@ and eval_operand ?self t (op : operand_plan) : Value.t =
 and run_action ?self ?what t (ap : action_plan) =
   if ap.ap_count = 0 then ()
   else begin
+    match (t.profile, what) with
+    | Some p, Some (phase, owner) ->
+        let s =
+          Profile.enter p
+            (t.label ^ "/action:" ^ owner ^ ":" ^ Trace.phase_label phase)
+        in
+        (match run_action_body ?self ?what t ap with
+        | () -> Profile.exit p s
+        | exception e ->
+            Profile.exit p s;
+            raise e)
+    | _ -> run_action_body ?self ?what t ap
+  end
+
+and run_action_body ?self ?what t (ap : action_plan) =
+  begin
     (match (t.trace, what) with
     | Some tr, Some (phase, owner) ->
         Trace.emit tr
@@ -750,6 +780,24 @@ and run_action ?self ?what t (ap : action_plan) =
   end
 
 and get_internal t i : Value.t =
+  (* The span wrappers below match the profile handle before anything
+     else, so the disabled path costs one branch and a tail call — no
+     closure, mirroring the note_* hooks. Spans sit on the internal
+     accessors (not just the public entry points) so nested accesses
+     made by actions are attributed to their own site. *)
+  match t.profile with
+  | None -> get_internal_body t i
+  | Some p ->
+      let s = Profile.enter p t.vars.(i).vp_k_read in
+      (match get_internal_body t i with
+      | v ->
+          Profile.exit p s;
+          v
+      | exception e ->
+          Profile.exit p s;
+          raise e)
+
+and get_internal_body t i : Value.t =
   let vp = t.vars.(i) in
   let v = vp.vp_var in
   note_var_read t v.v_name;
@@ -869,6 +917,17 @@ and ordered_regs t ?self ~(serial : serial_plan) ~default () =
         items
 
 and set_internal t i value =
+  match t.profile with
+  | None -> set_internal_body t i value
+  | Some p ->
+      let s = Profile.enter p t.vars.(i).vp_k_write in
+      (match set_internal_body t i value with
+      | () -> Profile.exit p s
+      | exception e ->
+          Profile.exit p s;
+          raise e)
+
+and set_internal_body t i value =
   let vp = t.vars.(i) in
   let v = vp.vp_var in
   if v.v_chunks = [] then begin
@@ -918,6 +977,17 @@ and set_internal t i value =
   end
 
 and set_struct_internal t si fields =
+  match t.profile with
+  | None -> set_struct_internal_body t si fields
+  | Some p ->
+      let s = Profile.enter p t.structs.(si).st_k_write in
+      (match set_struct_internal_body t si fields with
+      | () -> Profile.exit p s
+      | exception e ->
+          Profile.exit p s;
+          raise e)
+
+and set_struct_internal_body t si fields =
   let st = t.structs.(si) in
   let s = st.st_strct in
   List.iter
@@ -1020,14 +1090,7 @@ and get_cached_field t (vp : var_plan) : Value.t option =
     | Ok v -> Some v
     | Error _ -> None
 
-let get_struct t name =
-  let si =
-    match Hashtbl.find_opt t.env.ce_struct_idx name with
-    | Some i -> i
-    | None -> fail "unknown structure %s" name
-  in
-  let st = t.structs.(si) in
-  if st.st_strct.s_private then fail "structure %s is private" name;
+let get_struct_slot t si (st : struct_plan) =
   let wrs = match st.st_regs with Ok l -> l | Error m -> fail_str m in
   let read =
     List.map (fun wr -> (wr.wr_rp.rp_slot, read_reg_io t wr.wr_rp)) wrs
@@ -1041,6 +1104,26 @@ let get_struct t name =
       t.spresent.(si).(slot) <- true)
     read;
   t.sactive.(si) <- true
+
+let get_struct t name =
+  let si =
+    match Hashtbl.find_opt t.env.ce_struct_idx name with
+    | Some i -> i
+    | None -> fail "unknown structure %s" name
+  in
+  let st = t.structs.(si) in
+  if st.st_strct.s_private then fail "structure %s is private" name;
+  match t.profile with
+  | None -> get_struct_slot t si st
+  | Some p -> Profile.span p st.st_k_read (fun () -> get_struct_slot t si st)
+
+(* Block and indexed entry points pair the depth guard with a span in
+   one step; disabled, this is [with_depth] plus one branch (the inner
+   closure below is the one [with_depth] always took). *)
+let with_depth_profiled t key f =
+  match t.profile with
+  | None -> with_depth t f
+  | Some p -> Profile.span p key (fun () -> with_depth t f)
 
 (* {1 Public entry points} *)
 
@@ -1076,16 +1159,17 @@ let block_plan t name =
     | Some i -> i
     | None -> fail "unknown device variable %s" name
   in
-  match t.vars.(i).vp_block with
-  | Ok ri -> t.regs.(ri)
+  let vp = t.vars.(i) in
+  match vp.vp_block with
+  | Ok ri -> (vp, t.regs.(ri))
   | Error m -> fail_str m
 
 let read_block t name ~count =
-  let rp = block_plan t name in
+  let vp, rp = block_plan t name in
   match rp.rp_read with
   | None -> fail "register %s is not readable" rp.rp_reg.Ir.r_name
   | Some pt ->
-      with_depth t (fun () ->
+      with_depth_profiled t vp.vp_k_bread (fun () ->
           run_action ~what:(Trace.Pre, rp.rp_reg.Ir.r_name) t rp.rp_pre;
           note_var_read t name;
           let into = Array.make count 0 in
@@ -1095,11 +1179,11 @@ let read_block t name ~count =
           into)
 
 let write_block t name data =
-  let rp = block_plan t name in
+  let vp, rp = block_plan t name in
   match rp.rp_write with
   | None -> fail "register %s is not writable" rp.rp_reg.Ir.r_name
   | Some pt ->
-      with_depth t (fun () ->
+      with_depth_profiled t vp.vp_k_bwrite (fun () ->
           run_action ~what:(Trace.Pre, rp.rp_reg.Ir.r_name) t rp.rp_pre;
           note_var_write t name [ rp.rp_reg.Ir.r_name ];
           let pt = ok_point pt in
@@ -1108,11 +1192,11 @@ let write_block t name data =
           run_action ~what:(Trace.Set, rp.rp_reg.Ir.r_name) t rp.rp_set)
 
 let read_wide t name ~scale =
-  let rp = block_plan t name in
+  let vp, rp = block_plan t name in
   match rp.rp_read with
   | None -> fail "register %s is not readable" rp.rp_reg.Ir.r_name
   | Some pt ->
-      with_depth t (fun () ->
+      with_depth_profiled t vp.vp_k_read (fun () ->
           run_action ~what:(Trace.Pre, rp.rp_reg.Ir.r_name) t rp.rp_pre;
           note_var_read t name;
           let pt = ok_point pt in
@@ -1121,11 +1205,11 @@ let read_wide t name ~scale =
           v)
 
 let write_wide t name ~scale value =
-  let rp = block_plan t name in
+  let vp, rp = block_plan t name in
   match rp.rp_write with
   | None -> fail "register %s is not writable" rp.rp_reg.Ir.r_name
   | Some pt ->
-      with_depth t (fun () ->
+      with_depth_profiled t vp.vp_k_write (fun () ->
           run_action ~what:(Trace.Pre, rp.rp_reg.Ir.r_name) t rp.rp_pre;
           note_var_write t name [ rp.rp_reg.Ir.r_name ];
           let pt = ok_point pt in
@@ -1134,11 +1218,11 @@ let write_wide t name ~scale value =
           run_action ~what:(Trace.Set, rp.rp_reg.Ir.r_name) t rp.rp_set)
 
 let read_block_wide t name ~scale ~count =
-  let rp = block_plan t name in
+  let vp, rp = block_plan t name in
   match rp.rp_read with
   | None -> fail "register %s is not readable" rp.rp_reg.Ir.r_name
   | Some pt ->
-      with_depth t (fun () ->
+      with_depth_profiled t vp.vp_k_bread (fun () ->
           run_action ~what:(Trace.Pre, rp.rp_reg.Ir.r_name) t rp.rp_pre;
           note_var_read t name;
           let into = Array.make count 0 in
@@ -1149,11 +1233,11 @@ let read_block_wide t name ~scale ~count =
           into)
 
 let write_block_wide t name ~scale data =
-  let rp = block_plan t name in
+  let vp, rp = block_plan t name in
   match rp.rp_write with
   | None -> fail "register %s is not writable" rp.rp_reg.Ir.r_name
   | Some pt ->
-      with_depth t (fun () ->
+      with_depth_profiled t vp.vp_k_bwrite (fun () ->
           run_action ~what:(Trace.Pre, rp.rp_reg.Ir.r_name) t rp.rp_pre;
           note_var_write t name [ rp.rp_reg.Ir.r_name ];
           let pt = ok_point pt in
@@ -1231,8 +1315,18 @@ let indexed_plan t ~template ~args =
 
 let read_indexed t ~template ~args =
   let rp = indexed_plan t ~template ~args in
-  with_depth t (fun () -> read_reg_io t rp)
+  match t.profile with
+  | None -> with_depth t (fun () -> read_reg_io t rp)
+  | Some p ->
+      Profile.span p
+        (t.label ^ "/template:" ^ template ^ ":read")
+        (fun () -> with_depth t (fun () -> read_reg_io t rp))
 
 let write_indexed t ~template ~args raw =
   let rp = indexed_plan t ~template ~args in
-  with_depth t (fun () -> write_reg_io t rp raw)
+  match t.profile with
+  | None -> with_depth t (fun () -> write_reg_io t rp raw)
+  | Some p ->
+      Profile.span p
+        (t.label ^ "/template:" ^ template ^ ":write")
+        (fun () -> with_depth t (fun () -> write_reg_io t rp raw))

@@ -45,6 +45,7 @@ val compile :
   label:string ->
   ?trace:Trace.t ->
   ?metrics:Metrics.t ->
+  ?profile:Profile.t ->
   Ir.device ->
   bus:Bus.t ->
   bases:(string * int) list ->
@@ -54,7 +55,16 @@ val compile :
     Resolution failures that the interpreter only reports on access
     (unknown names in malformed hand-built IR, unresolved wildcard
     operands) are preserved as failing thunks raised at the same access
-    point with the same message. *)
+    point with the same message.
+
+    With [?profile], every access runs inside a span named after its
+    site — ["<label>/var:<name>:read"], [":write"], [":block_read"],
+    [":block_write"], ["<label>/struct:<name>:read"], [":write"],
+    ["<label>/template:<tmpl>:read"], [":write"] — and every non-empty
+    triggered action inside ["<label>/action:<owner>:<phase>"]. The
+    span keys for variables and structures are precomputed at compile
+    time; the disabled path costs one branch per access and allocates
+    nothing. *)
 
 val device : t -> Ir.device
 

@@ -38,14 +38,17 @@ let set_default_attempts n = if n > 0 then retry_attempts := n
 
 let trace_hook : Trace.t option ref = ref None
 let metrics_hook : Metrics.t option ref = ref None
+let profile_hook : Profile.t option ref = ref None
 
-let observe ?trace ?metrics () =
+let observe ?trace ?metrics ?profile () =
   trace_hook := trace;
-  metrics_hook := metrics
+  metrics_hook := metrics;
+  profile_hook := profile
 
 let unobserve () =
   trace_hook := None;
-  metrics_hook := None
+  metrics_hook := None;
+  profile_hook := None
 
 let is_transient = function
   | Fault.Bus_fault _ -> true
@@ -88,7 +91,9 @@ let with_retries ?attempts ?(retry_on = is_transient)
         go (attempt + 1)
       end
   in
-  go 1
+  match !profile_hook with
+  | None -> go 1
+  | Some p -> Profile.span p ("retry:" ^ label) (fun () -> go 1)
 
 let no_backoff (_ : int) = 0
 let linear_backoff step i = max 0 (step * i)
@@ -109,7 +114,11 @@ let poll_core ?deadline ?(backoff = no_backoff) ~label cond =
     else if cond () then (true, i + 1)
     else go (i + 1) (spent + 1 + max 0 (backoff i))
   in
-  let ok, iters = go 0 0 in
+  let ok, iters =
+    match !profile_hook with
+    | None -> go 0 0
+    | Some p -> Profile.span p ("poll:" ^ label) (fun () -> go 0 0)
+  in
   (match !metrics_hook with
   | Some m ->
       Metrics.incr m "poll.runs";

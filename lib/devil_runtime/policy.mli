@@ -123,9 +123,14 @@ val guarded : label:string -> (unit -> 'a) -> 'a
     emits a {!Trace.Poll} event and each retry a {!Trace.Retry}
     event. *)
 
-val observe : ?trace:Trace.t -> ?metrics:Metrics.t -> unit -> unit
+val observe :
+  ?trace:Trace.t -> ?metrics:Metrics.t -> ?profile:Profile.t -> unit -> unit
 (** Install (or replace) the module-level observer. Omitted handles are
-    cleared, so [observe ()] is equivalent to {!unobserve}. *)
+    cleared, so [observe ()] is equivalent to {!unobserve}. With a
+    profiler installed every poll runs inside a ["poll:<label>"] span
+    and every {!with_retries} body inside a ["retry:<label>"] span, so
+    the condition's bus traffic is attributed to the poll that issued
+    it. *)
 
 val unobserve : unit -> unit
 (** Remove the observer. Owners of short-lived handles (tests,

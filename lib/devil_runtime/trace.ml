@@ -124,19 +124,15 @@ let env_forms = "0/off to disable, 1/on for the default capacity, or an \
                  integer capacity > 1"
 
 let from_env () =
-  match Sys.getenv_opt "DEVIL_TRACE" with
-  | None -> None
-  | Some s -> (
-      match parse_env_value s with
-      | Ok None -> None
-      | Ok (Some capacity) -> Some (create ~capacity ())
-      | Error why ->
-          Printf.eprintf
-            "devil: malformed DEVIL_TRACE=%s (%s); accepted forms: %s; \
-             tracing with the default capacity %d\n\
-             %!"
-            s why env_forms default_capacity;
-          Some (create ~capacity:default_capacity ()))
+  match
+    Env.lookup ~var:"DEVIL_TRACE" ~parse:parse_env_value ~accepted:env_forms
+      ~fallback:(Some default_capacity)
+      ~fallback_note:
+        (Printf.sprintf "tracing with the default capacity %d"
+           default_capacity)
+  with
+  | None | Some None -> None
+  | Some (Some capacity) -> Some (create ~capacity ())
 
 let phase_label = function Pre -> "pre" | Post -> "post" | Set -> "set"
 

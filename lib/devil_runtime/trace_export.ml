@@ -620,6 +620,89 @@ let tape_of_jsonl s =
     (Ok []) body
   |> Result.map (fun rev -> Bus.tape_of_transfers (List.rev rev))
 
+(* {1 Profile exporters} *)
+
+(* Folded stacks, one "root;child;leaf self_ns" line per trie node with
+   self time — the input format of flamegraph.pl and of speedscope's
+   importer. Span keys contain no ';' (they use '/' and ':'), so no
+   quoting is needed. *)
+let profile_to_folded profile =
+  let b = Buffer.create 1024 in
+  let rec walk stack node =
+    let stack = Profile.node_name node :: stack in
+    let self = Profile.node_self_ns node in
+    if self > 0 then begin
+      Buffer.add_string b (String.concat ";" (List.rev stack));
+      Buffer.add_char b ' ';
+      Buffer.add_string b (string_of_int self);
+      Buffer.add_char b '\n'
+    end;
+    List.iter (walk stack) (Profile.node_children node)
+  in
+  List.iter (walk []) (Profile.roots profile);
+  Buffer.contents b
+
+(* Speedscope's "sampled" profile: every trie node with self time
+   becomes one weighted sample whose stack is the node's path. Frames
+   are interned by name (the same key under two parents shares a
+   frame, which is what makes speedscope's left-heavy view merge
+   them). *)
+let profile_to_speedscope ?(name = "devil profile") profile =
+  let frames = Hashtbl.create 64 in
+  let frame_names = ref [] in
+  let frame_of key =
+    match Hashtbl.find_opt frames key with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length frames in
+        Hashtbl.add frames key i;
+        frame_names := key :: !frame_names;
+        i
+  in
+  let samples = ref [] and weights = ref [] in
+  let rec walk stack node =
+    let stack = frame_of (Profile.node_name node) :: stack in
+    let self = Profile.node_self_ns node in
+    if self > 0 then begin
+      samples := List (List.rev_map (fun i -> Int i) stack) :: !samples;
+      weights := Int self :: !weights
+    end;
+    List.iter (walk stack) (Profile.node_children node)
+  in
+  List.iter (walk []) (Profile.roots profile);
+  let total = List.fold_left (fun a -> function Int w -> a + w | _ -> a) 0 !weights in
+  json_to_string
+    (Obj
+       [
+         ( "$schema",
+           String "https://www.speedscope.app/file-format-schema.json" );
+         ( "shared",
+           Obj
+             [
+               ( "frames",
+                 List
+                   (List.rev_map
+                      (fun key -> Obj [ ("name", String key) ])
+                      !frame_names) );
+             ] );
+         ( "profiles",
+           List
+             [
+               Obj
+                 [
+                   ("type", String "sampled");
+                   ("name", String name);
+                   ("unit", String "nanoseconds");
+                   ("startValue", Int 0);
+                   ("endValue", Int total);
+                   ("samples", List (List.rev !samples));
+                   ("weights", List (List.rev !weights));
+                 ];
+             ] );
+         ("exporter", String "devil");
+         ("name", String name);
+       ])
+
 (* {1 Files} *)
 
 let write_file path contents =

@@ -48,6 +48,24 @@ val to_chrome : Trace.event list -> string
 (** The [{"traceEvents": [...]}] JSON Chrome's [about://tracing] and
     Perfetto load directly. *)
 
+(** {1 Profiles}
+
+    Visualization exports for {!Profile}'s call-path trie (DESIGN.md
+    §11). Both walk the trie and emit one entry per node with self
+    time, so the rendered flame widths sum to the profiler's
+    {!Profile.attributed_ns}. *)
+
+val profile_to_folded : Profile.t -> string
+(** Folded-stack lines (["root;child;leaf self_ns\n"]) —
+    flamegraph.pl's input format, also accepted by speedscope. *)
+
+val profile_to_speedscope : ?name:string -> Profile.t -> string
+(** A speedscope JSON document (schema
+    [https://www.speedscope.app/file-format-schema.json]): one
+    ["sampled"] profile in nanoseconds whose samples are the trie
+    paths weighted by self time. [name] titles the profile in the
+    speedscope UI. *)
+
 (** {1 Tapes} *)
 
 val transfer_to_json : Bus.transfer -> json

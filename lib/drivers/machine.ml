@@ -7,6 +7,7 @@ type t = {
   injector : Devil_runtime.Fault.t option;
   trace : Devil_runtime.Trace.t option;
   metrics : Devil_runtime.Metrics.t option;
+  profile : Devil_runtime.Profile.t option;
   mouse : Hwsim.Busmouse.t;
   disk : Hwsim.Ide_disk.t;
   busmaster : Hwsim.Piix4.t;
@@ -48,10 +49,10 @@ let rtc_data_base = 0x71
 let kbd_data_base = 0x60
 let kbd_ctl_base = 0x64
 
-let create ?(debug = false) ?faults ?fault_seed ?trace ?metrics ?interpret
-    ?(wrap_bus = Fun.id) () =
+let create ?(debug = false) ?faults ?fault_seed ?trace ?metrics ?profile
+    ?interpret ?(wrap_bus = Fun.id) () =
   (* Handles not given explicitly can still be enabled from the
-     environment (DEVIL_TRACE / DEVIL_METRICS). *)
+     environment (DEVIL_TRACE / DEVIL_METRICS / DEVIL_PROFILE). *)
   let trace =
     match trace with Some _ -> trace | None -> Devil_runtime.Trace.from_env ()
   in
@@ -59,6 +60,13 @@ let create ?(debug = false) ?faults ?fault_seed ?trace ?metrics ?interpret
     match metrics with
     | Some _ -> metrics
     | None -> Devil_runtime.Metrics.from_env ()
+  in
+  (* After metrics, so an env-enabled profiler feeds span.<key>.ns
+     histograms into an env-enabled registry. *)
+  let profile =
+    match profile with
+    | Some _ -> profile
+    | None -> Devil_runtime.Profile.from_env ?metrics ()
   in
   let space = Io_space.create () in
   let mouse = Hwsim.Busmouse.create () in
@@ -111,16 +119,17 @@ let create ?(debug = false) ?faults ?fault_seed ?trace ?metrics ?interpret
   (* The observer wraps outside the injector, so the bus events in the
      trace carry the post-fault values the drivers actually saw. *)
   let bus =
-    Devil_runtime.Bus.observed ?trace ?metrics
+    Devil_runtime.Bus.observed ?trace ?metrics ?profile
       (wrap_bus
          (match injector with
          | None -> raw_bus
          | Some inj -> Devil_runtime.Fault.bus inj))
   in
-  if Option.is_some trace || Option.is_some metrics then
-    Devil_runtime.Policy.observe ?trace ?metrics ();
+  if Option.is_some trace || Option.is_some metrics || Option.is_some profile
+  then Devil_runtime.Policy.observe ?trace ?metrics ?profile ();
   let mk label device bases =
-    Instance.create ~debug ~label ?trace ?metrics ?interpret device ~bus ~bases
+    Instance.create ~debug ~label ?trace ?metrics ?profile ?interpret device
+      ~bus ~bases
   in
   {
     space;
@@ -128,6 +137,7 @@ let create ?(debug = false) ?faults ?fault_seed ?trace ?metrics ?interpret
     injector;
     trace;
     metrics;
+    profile;
     mouse;
     disk;
     busmaster;

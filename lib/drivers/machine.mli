@@ -14,6 +14,8 @@ type t = {
       (** The unified event trace, when observability is on. *)
   metrics : Devil_runtime.Metrics.t option;
       (** The counter/histogram registry, when observability is on. *)
+  profile : Devil_runtime.Profile.t option;
+      (** The hierarchical span profiler, when profiling is on. *)
   (* device models *)
   mouse : Hwsim.Busmouse.t;
   disk : Hwsim.Ide_disk.t;
@@ -78,6 +80,7 @@ val create :
   ?fault_seed:int ->
   ?trace:Devil_runtime.Trace.t ->
   ?metrics:Devil_runtime.Metrics.t ->
+  ?profile:Devil_runtime.Profile.t ->
   ?interpret:bool ->
   ?wrap_bus:(Devil_runtime.Bus.t -> Devil_runtime.Bus.t) ->
   unit ->
@@ -105,9 +108,14 @@ val create :
     the injector mirrors into the same stream, and the
     {!Devil_runtime.Policy} observer is installed — callers owning
     short-lived handles should {!Devil_runtime.Policy.unobserve} when
-    done. Handles not supplied are taken from the [DEVIL_TRACE] and
-    [DEVIL_METRICS] environment variables; with neither, the machine
-    is exactly the uninstrumented one. *)
+    done. [profile] additionally times every layer as hierarchical
+    {!Devil_runtime.Profile} spans: stub accesses and actions in both
+    engines, polls and retries in the policy layer, and each bus
+    transfer as a leaf (via [Bus.observed ?profile] — precise timing,
+    not {!Devil_runtime.Profile.attach}'s gap estimate). Handles not
+    supplied are taken from the [DEVIL_TRACE], [DEVIL_METRICS] and
+    [DEVIL_PROFILE] environment variables; with none of them, the
+    machine is exactly the uninstrumented one. *)
 
 val reset_io_stats : t -> unit
 val io_ops : t -> int

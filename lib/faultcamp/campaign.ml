@@ -242,15 +242,17 @@ let run_workload m workload =
   | Devil_runtime.Instance.Device_error msg -> Reported ("device error: " ^ msg)
   | Failure msg -> Reported msg
 
-let run_trial ?(covs = []) ~driver ~range:(first, last) ~workload ~fault ~seed
-    () =
+let run_trial ?(covs = []) ?profile ~driver ~range:(first, last) ~workload
+    ~fault ~seed () =
   let plans = plans_for ~fault ~first ~last in
   let metrics = Metrics.create () in
   let trace = Trace.create ~capacity:128 () in
   (* Coverage observers hook the live stream (O(1) per event), so the
      small retention ring above does not bound what they see. *)
   List.iter (fun cov -> Coverage.attach cov trace) covs;
-  let m = Machine.create ~faults:plans ~fault_seed:seed ~metrics ~trace () in
+  let m =
+    Machine.create ~faults:plans ~fault_seed:seed ~metrics ~trace ?profile ()
+  in
   let verdict = run_workload m workload in
   let injections =
     match m.injector with Some i -> Fault.injection_count i | None -> 0
@@ -445,7 +447,7 @@ let export_replay_smoke ~dir ~driver ~seed =
       Trace_export.write_file replayed (Trace_export.to_jsonl replay_trace);
       (recorded, replayed))
 
-let run ?(seeds = default_seeds) () =
+let run ?(seeds = default_seeds) ?profile () =
   with_campaign_policy (fun () ->
       let covs =
         List.map (fun (dev, device) -> Coverage.create ~dev device)
@@ -458,7 +460,8 @@ let run ?(seeds = default_seeds) () =
               (fun fault ->
                 List.map
                   (fun seed ->
-                    run_trial ~covs ~driver ~range ~workload ~fault ~seed ())
+                    run_trial ~covs ?profile ~driver ~range ~workload ~fault
+                      ~seed ())
                   seeds)
               fault_classes)
           workloads

@@ -53,10 +53,16 @@ val driver_workloads : string list
 val default_seeds : int list
 (** [[1; 2; 3]]. *)
 
-val run : ?seeds:int list -> unit -> report
+val run :
+  ?seeds:int list -> ?profile:Devil_runtime.Profile.t -> unit -> report
 (** Runs the full matrix: every workload under every fault class, once
     per seed. Poll deadlines are temporarily shortened (and restored on
-    exit) so timeout trials complete quickly.
+    exit) so timeout trials complete quickly. With [profile], every
+    trial's machine feeds the same span profiler, so a whole campaign
+    can be attributed (e.g. how much time recovery polls consume). Note
+    the per-trial machines each re-install the {!Devil_runtime.Policy}
+    observer; the last trial's handles win until
+    {!Devil_runtime.Policy.unobserve}.
 
     With the {!export_env} environment variable set to a directory,
     every failing (detected or silent) trial is re-recorded and its

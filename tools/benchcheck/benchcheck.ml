@@ -1,16 +1,32 @@
-(* Schema validator for the PR-3 benchmark artifact (BENCH_pr3.json).
+(* Schema validator and regression gate for the benchmark artifacts
+   (BENCH_pr3.json, BENCH_pr5.json, ...).
 
    Usage:
      benchcheck FILE [--require-speedup]
+     benchcheck compare OLD.json NEW.json [--max-regression PCT]
+     benchcheck speedscope FILE
 
-   Checks that FILE is well-formed JSON matching the DESIGN.md §9
-   schema: a schema_version-1 object whose "workloads" array carries
-   every expected (workload, engine) pair with a numeric-or-null
-   ns_per_op and a non-negative modeled_us. With [--require-speedup]
-   it additionally asserts the acceptance criterion — the compiled
-   engine strictly faster than the interpreter on the register get and
-   set workloads (so it needs real estimates, not a smoke run's
-   nulls).
+   The first form checks that FILE is well-formed JSON matching the
+   DESIGN.md §9 schema: a schema_version-1 object whose "workloads"
+   array carries every expected (workload, engine) pair with a
+   numeric-or-null ns_per_op and a non-negative modeled_us. With
+   [--require-speedup] it additionally asserts the acceptance
+   criterion — the compiled engine strictly faster than the
+   interpreter on the register get and set workloads (so it needs real
+   estimates, not a smoke run's nulls).
+
+   [compare] is the perf-regression gate (DESIGN.md §11): for every
+   (workload, engine) pair with a real estimate in BOTH files, fail
+   (exit 1) when NEW's ns/op exceeds OLD's by more than PCT percent
+   (default 10). Null estimates are skipped; at least one comparable
+   pair is required.
+
+   [speedscope] validates a Trace_export.profile_to_speedscope file
+   against the speedscope JSON expectations: the $schema URL, interned
+   frames, and per-profile type/unit plus samples/weights arrays of
+   equal length whose frame indices are in range.
+
+   Exit codes: 0 ok, 1 failed check or malformed artifact, 2 usage.
 
    The parser below is a deliberately small recursive-descent JSON
    reader — the toolchain has no JSON library baked in, and the
@@ -209,10 +225,12 @@ let expected_workloads =
 
 let engines = [ "compiled"; "interpreted" ]
 
+let suites = [ "devil_pr3_access_plans"; "devil_pr5_span_profiler" ]
+
 let validate ~require_speedup doc =
   if num "schema_version" doc <> 1.0 then bad "schema_version must be 1";
-  if str "suite" doc <> "devil_pr3_access_plans" then
-    bad "suite must be \"devil_pr3_access_plans\"";
+  if not (List.mem (str "suite" doc) suites) then
+    bad "suite must be one of: %s" (String.concat ", " suites);
   if num "quota_s" doc <= 0.0 then bad "quota_s must be positive";
   if num "limit" doc < 1.0 then bad "limit must be at least 1";
   let rows =
@@ -269,21 +287,186 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* {1 compare: the perf-regression gate} *)
+
+let ns_rows doc =
+  let rows =
+    match field "workloads" doc with
+    | Arr rows -> rows
+    | _ -> bad "field \"workloads\" must be an array"
+  in
+  List.filter_map
+    (fun row ->
+      let name = str "name" row and engine = str "engine" row in
+      match field "ns_per_op" row with
+      | Num f when f >= 0.0 -> Some ((name, engine), f)
+      | Null -> None
+      | Num _ -> bad "%s/%s: ns_per_op must be non-negative" name engine
+      | _ -> bad "%s/%s: ns_per_op must be a number or null" name engine)
+    rows
+
+let compare_cmd ~old_path ~new_path ~max_pct =
+  let olds = ns_rows (Parse.document (read_file old_path)) in
+  let news = ns_rows (Parse.document (read_file new_path)) in
+  let shared =
+    List.filter_map
+      (fun (key, old_ns) ->
+        Option.map (fun new_ns -> (key, old_ns, new_ns)) (List.assoc_opt key news))
+      olds
+  in
+  if shared = [] then
+    bad "no (workload, engine) pair has a real estimate in both files";
+  Printf.printf "%-14s %-12s %12s %12s %9s\n" "workload" "engine" "old ns/op"
+    "new ns/op" "delta";
+  let regressions =
+    List.fold_left
+      (fun acc ((name, engine), old_ns, new_ns) ->
+        let delta_pct = 100.0 *. (new_ns -. old_ns) /. old_ns in
+        let regressed = new_ns > old_ns *. (1.0 +. (max_pct /. 100.0)) in
+        Printf.printf "%-14s %-12s %12.1f %12.1f %+8.1f%%%s\n" name engine
+          old_ns new_ns delta_pct
+          (if regressed then "  REGRESSED" else "");
+        if regressed then acc + 1 else acc)
+      0 shared
+  in
+  if regressions > 0 then (
+    Printf.eprintf
+      "%d workload(s) regressed by more than %.1f%% (%s -> %s)\n" regressions
+      max_pct old_path new_path;
+    exit 1);
+  Printf.printf "ok: %d pair(s) within %.1f%% of %s\n" (List.length shared)
+    max_pct old_path
+
+(* {1 speedscope: exporter-format validation} *)
+
+let speedscope_cmd path =
+  let doc = Parse.document (read_file path) in
+  if str "$schema" doc <> "https://www.speedscope.app/file-format-schema.json"
+  then bad "$schema must be the speedscope file-format-schema URL";
+  let frames =
+    match field "frames" (field "shared" doc) with
+    | Arr frames -> frames
+    | _ -> bad "shared.frames must be an array"
+  in
+  List.iteri
+    (fun i f ->
+      if str "name" f = "" then bad "shared.frames[%d]: empty frame name" i)
+    frames;
+  let n_frames = List.length frames in
+  let profiles =
+    match field "profiles" doc with
+    | Arr (_ :: _ as ps) -> ps
+    | Arr [] -> bad "profiles must be non-empty"
+    | _ -> bad "field \"profiles\" must be an array"
+  in
+  List.iteri
+    (fun i p ->
+      if str "type" p <> "sampled" then bad "profiles[%d]: type must be \"sampled\"" i;
+      if str "unit" p <> "nanoseconds" then
+        bad "profiles[%d]: unit must be \"nanoseconds\"" i;
+      let start_v = num "startValue" p and end_v = num "endValue" p in
+      if end_v < start_v then bad "profiles[%d]: endValue < startValue" i;
+      let samples =
+        match field "samples" p with
+        | Arr s -> s
+        | _ -> bad "profiles[%d]: samples must be an array" i
+      in
+      let weights =
+        match field "weights" p with
+        | Arr w -> w
+        | _ -> bad "profiles[%d]: weights must be an array" i
+      in
+      if List.length samples <> List.length weights then
+        bad "profiles[%d]: %d samples but %d weights" i (List.length samples)
+          (List.length weights);
+      List.iteri
+        (fun j s ->
+          match s with
+          | Arr stack ->
+              if stack = [] then bad "profiles[%d].samples[%d]: empty stack" i j;
+              List.iter
+                (fun frame ->
+                  match frame with
+                  | Num f
+                    when Float.is_integer f && f >= 0.0
+                         && int_of_float f < n_frames ->
+                      ()
+                  | Num f ->
+                      bad
+                        "profiles[%d].samples[%d]: frame index %g out of range \
+                         (%d frames)"
+                        i j f n_frames
+                  | _ ->
+                      bad "profiles[%d].samples[%d]: frame index must be a number"
+                        i j)
+                stack
+          | _ -> bad "profiles[%d].samples[%d]: must be a stack array" i j)
+        samples;
+      List.iteri
+        (fun j w ->
+          match w with
+          | Num f when f >= 0.0 -> ()
+          | _ -> bad "profiles[%d].weights[%d]: must be a non-negative number" i j)
+        weights)
+    profiles;
+  Printf.printf "%s: ok (%d frames, %d profile(s))\n" path n_frames
+    (List.length profiles)
+
+(* {1 Entry point} *)
+
+let usage () =
+  prerr_endline "usage: benchcheck FILE [--require-speedup]";
+  prerr_endline
+    "       benchcheck compare OLD.json NEW.json [--max-regression PCT]";
+  prerr_endline "       benchcheck speedscope FILE";
+  exit 2
+
+let checked path f =
+  try f () with
+  | Bad m ->
+      Printf.eprintf "%s: invalid benchmark artifact: %s\n" path m;
+      exit 1
+  | Sys_error m ->
+      Printf.eprintf "%s\n" m;
+      exit 1
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let require_speedup = List.mem "--require-speedup" args in
-  match List.filter (fun a -> a <> "--require-speedup") args with
-  | [ path ] -> (
-      try
-        validate ~require_speedup (Parse.document (read_file path));
-        Printf.printf "%s: ok\n" path
-      with
-      | Bad m ->
-          Printf.eprintf "%s: invalid benchmark artifact: %s\n" path m;
-          exit 1
-      | Sys_error m ->
-          Printf.eprintf "%s\n" m;
-          exit 1)
-  | _ ->
-      prerr_endline "usage: benchcheck FILE [--require-speedup]";
-      exit 2
+  match List.tl (Array.to_list Sys.argv) with
+  | "compare" :: rest ->
+      let max_pct = ref 10.0 in
+      let files = ref [] in
+      let rec go = function
+        | [] -> ()
+        | "--max-regression" :: v :: tl ->
+            (match float_of_string_opt v with
+            | Some p when p >= 0.0 -> max_pct := p
+            | _ ->
+                Printf.eprintf "benchcheck compare: bad --max-regression %S\n" v;
+                usage ());
+            go tl
+        | [ "--max-regression" ] ->
+            prerr_endline "benchcheck compare: --max-regression needs a value";
+            usage ()
+        | a :: _ when String.length a > 0 && a.[0] = '-' ->
+            Printf.eprintf "benchcheck compare: unknown option %s\n" a;
+            usage ()
+        | a :: tl ->
+            files := a :: !files;
+            go tl
+      in
+      go rest;
+      (match List.rev !files with
+      | [ old_path; new_path ] ->
+          checked new_path (fun () ->
+              compare_cmd ~old_path ~new_path ~max_pct:!max_pct)
+      | _ -> usage ())
+  | [ "speedscope"; path ] -> checked path (fun () -> speedscope_cmd path)
+  | "speedscope" :: _ -> usage ()
+  | args -> (
+      let require_speedup = List.mem "--require-speedup" args in
+      match List.filter (fun a -> a <> "--require-speedup") args with
+      | [ path ] ->
+          checked path (fun () ->
+              validate ~require_speedup (Parse.document (read_file path));
+              Printf.printf "%s: ok\n" path)
+      | _ -> usage ())

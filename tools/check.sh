@@ -51,6 +51,30 @@ dune exec tools/tracetool/tracetool.exe -- diff \
   "$EXPORT_DIR/ide-read-smoke.replayed.jsonl"
 echo "ok: recorded and replayed smoke traces are identical"
 
+# Span-profiler gates (ISSUE 5): the disabled profiler must be
+# invisible (the dedicated test suite checks Bus.observed identity and
+# the QCheck transparency property), the perf-regression gate must
+# pass on the committed trajectory and fail on the synthetic regressed
+# fixture, and an exported speedscope profile must validate.
+echo "== profile gates =="
+dune build @profile
+if [ -f BENCH_pr3.json ] && [ -f BENCH_pr5.json ]; then
+  dune exec tools/benchcheck/benchcheck.exe -- compare \
+    BENCH_pr3.json BENCH_pr5.json --max-regression 10
+fi
+if dune exec tools/benchcheck/benchcheck.exe -- compare \
+    BENCH_pr3.json test/golden/bench_regressed.json --max-regression 10 \
+    > /dev/null 2>&1; then
+  echo "FAIL: compare accepted the synthetic regressed artifact"
+  exit 1
+fi
+echo "ok: compare rejects the synthetic regressed artifact"
+rm -rf _build/profile_export
+dune exec bench/main.exe -- profile --iters 5 --out _build/profile_export \
+  ide_read > /dev/null
+dune exec tools/benchcheck/benchcheck.exe -- speedscope \
+  _build/profile_export/ide_read.speedscope.json
+
 if command -v ocamlformat >/dev/null 2>&1 && [ -f .ocamlformat ]; then
   echo "== ocamlformat check =="
   dune build @fmt

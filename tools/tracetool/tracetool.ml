@@ -29,6 +29,33 @@ module Specs = Devil_specs.Specs
 
 let die fmt = Printf.ksprintf (fun m -> prerr_endline ("tracetool: " ^ m); exit 2) fmt
 
+let usage_text =
+  "usage: tracetool COMMAND FILE... [flags]\n\
+   commands:\n\
+  \  print    FILE                               render a JSONL trace\n\
+  \  convert  FILE [-o OUT]                      JSONL -> Chrome JSON\n\
+  \  filter   FILE [--dev D] [--reg R] [-o OUT]  keep matching events\n\
+  \  diff     A B                                exit 1 on divergence\n\
+  \  coverage FILE --spec NAME [--dev LABEL] [--min-reg PCT] [--missed]\n\
+   flags:\n\
+  \  -o OUT          write output to OUT instead of stdout\n\
+  \  --dev D         keep events of instance label D\n\
+  \  --reg R         keep events touching register R\n\
+  \  --spec NAME     bundled specification to cover\n\
+  \  --min-reg PCT   fail (exit 1) below PCT register coverage\n\
+  \  --missed        list every uncovered site"
+
+(* Usage errors print the accepted commands and flags; like [die] they
+   exit 2, leaving exit 1 to the gates (diff divergence, coverage below
+   threshold). *)
+let usage_die fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("tracetool: " ^ m);
+      prerr_endline usage_text;
+      exit 2)
+    fmt
+
 let events_of_file path =
   match Trace_export.events_of_file path with
   | Ok evs -> evs
@@ -152,42 +179,43 @@ let () =
       ->
         Hashtbl.replace opts o v;
         parse rest
-    | o :: [] when String.length o > 1 && o.[0] = '-' ->
-        die "option %s needs a value" o
+    | [ (("--dev" | "--reg" | "--spec" | "--min-reg" | "-o") as o) ] ->
+        usage_die "option %s needs a value" o
+    | o :: _ when String.length o > 1 && o.[0] = '-' ->
+        usage_die "unknown option %s" o
     | f :: rest ->
         positional := f :: !positional;
         parse rest
   in
-  (match args with [] -> die "no command (print | convert | filter | diff | coverage)" | _ :: rest -> parse rest);
+  (match args with [] -> usage_die "no command" | _ :: rest -> parse rest);
   let positional = List.rev !positional in
   let opt name = Hashtbl.find_opt opts name in
   let code =
-    match (List.hd args, positional) with
-    | "print", [ f ] ->
-        cmd_print f;
-        0
-    | "convert", [ f ] ->
-        cmd_convert f ~out:(opt "-o");
-        0
-    | "filter", [ f ] ->
-        cmd_filter f ~dev:(opt "--dev") ~reg:(opt "--reg") ~out:(opt "-o");
-        0
-    | "diff", [ a; b ] -> cmd_diff a b
-    | "coverage", [ f ] ->
-        cmd_coverage f ~spec:(opt "--spec") ~dev:(opt "--dev")
-          ~min_reg:
-            (Option.map
-               (fun s ->
-                 try float_of_string s
-                 with _ -> die "--min-reg %s: not a number" s)
-               (opt "--min-reg"))
-          ~missed:(Hashtbl.mem opts "--missed")
-    | cmd, _ ->
-        die
-          "usage: tracetool (print FILE | convert FILE [-o OUT] | filter FILE \
-           [--dev D] [--reg R] [-o OUT] | diff A B | coverage FILE --spec \
-           NAME [--dev LABEL] [--min-reg PCT] [--missed]) — got %s with %d \
-           file argument(s)"
-          cmd (List.length positional)
+    try
+      match (List.hd args, positional) with
+      | "print", [ f ] ->
+          cmd_print f;
+          0
+      | "convert", [ f ] ->
+          cmd_convert f ~out:(opt "-o");
+          0
+      | "filter", [ f ] ->
+          cmd_filter f ~dev:(opt "--dev") ~reg:(opt "--reg") ~out:(opt "-o");
+          0
+      | "diff", [ a; b ] -> cmd_diff a b
+      | "coverage", [ f ] ->
+          cmd_coverage f ~spec:(opt "--spec") ~dev:(opt "--dev")
+            ~min_reg:
+              (Option.map
+                 (fun s ->
+                   try float_of_string s
+                   with _ -> usage_die "--min-reg %s: not a number" s)
+                 (opt "--min-reg"))
+            ~missed:(Hashtbl.mem opts "--missed")
+      | (("print" | "convert" | "filter" | "diff" | "coverage") as cmd), _ ->
+          usage_die "%s: wrong number of file arguments (%d)" cmd
+            (List.length positional)
+      | cmd, _ -> usage_die "unknown command %s" cmd
+    with Sys_error m -> die "%s" m
   in
   exit code
