@@ -96,6 +96,61 @@ val wrap :
     the [fault.injections] and [fault.<plan>.injections] counters are
     maintained. *)
 
+(** {1 Scheduled (exhaustive-exploration) mode}
+
+    The deterministic counterpart of a plan: instead of a probability
+    draw, an {!injection} names the exact covered operation — the
+    [at]-th access (0-based) matching its direction and address window
+    — that must fault. Probability fields inside the {!kind} are
+    ignored; a scheduled decision always takes effect when its ordinal
+    is reached. Block transfers count one covered operation per
+    element, and a scheduled [Transient] aborts the whole burst before
+    the device is touched, exactly like the seeded mode. This is the
+    injection surface {!Explore} enumerates. *)
+
+type injection = {
+  sx_label : string;  (** Names the decision in traces and counters. *)
+  sx_op : op;
+  sx_at : int;  (** 0-based ordinal among the covered operations. *)
+  sx_first : int;  (** First address covered (inclusive). *)
+  sx_last : int;  (** Last address covered (inclusive). *)
+  sx_kind : kind;
+}
+
+val injection :
+  ?label:string -> op:op -> at:int -> first:int -> last:int -> kind ->
+  injection
+(** Constructor; the default label encodes direction, first address
+    and ordinal. Raises [Invalid_argument] on an empty window or a
+    negative ordinal. *)
+
+val scheduled :
+  ?trace_capacity:int ->
+  ?sink:Trace.t ->
+  ?metrics:Metrics.t ->
+  injections:injection list ->
+  Bus.t ->
+  t
+(** [scheduled ~injections bus] builds a schedule-driven injector: no
+    PRNG, no plans — every listed decision fires exactly once when (and
+    only when) its ordinal is reached. An injection whose ordinal lies
+    beyond the traffic the workload generates simply never fires
+    ({!scheduled_misses}); the explorer uses that, plus {!seen_for}, to
+    bound its search to feasible schedules. *)
+
+val scheduled_hits : t -> int
+(** Scheduled decisions that took effect so far. *)
+
+val scheduled_misses : t -> injection list
+(** Scheduled decisions whose ordinal was never reached. *)
+
+val seen_for : t -> string -> int
+(** Covered operations counted so far by the injection(s) with the
+    given label (the maximum across duplicates) — the per-site traffic
+    horizon: an ordinal at or beyond it can never fire on this
+    workload. An injection with [at = max_int] is a pure probe that
+    counts without ever firing. *)
+
 val bus : t -> Bus.t
 (** The faulty bus to hand to drivers and instances. *)
 
@@ -104,10 +159,10 @@ val operations : t -> int
     flowed through the injector. *)
 
 val injection_count : t -> int
-(** Total faults fired across all plans. *)
+(** Total faults fired across all plans and scheduled injections. *)
 
 val injections_for : t -> string -> int
-(** Faults fired by the plans with the given label. *)
+(** Faults fired by the plans or injections with the given label. *)
 
 val events : t -> event list
 (** The retained injection trace, oldest first. At most the trace
@@ -118,7 +173,24 @@ val dropped_events : t -> int
 (** Injection events evicted by the trace bound. *)
 
 val reset : t -> unit
-(** Clears counters and the trace; plan budgets are restored to their
-    initial allowance. The PRNG state is {e not} rewound. *)
+(** Rewinds the injector to its initial state: counters and the trace
+    are cleared, plan budgets restored to their initial allowance,
+    scheduled decisions re-armed, and the PRNG rewound to the seed — so
+    one injector can be reused across thousands of explored schedules
+    and a reset run reproduces the original exactly. *)
+
+type snapshot
+(** A point-in-time capture of the injector's mutable state: PRNG
+    position, operation count, per-plan budgets and counters, and
+    per-injection progress. The injection trace ring is {e not}
+    captured. *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Rewinds the injector to a {!snapshot} taken from the same injector
+    (same plans, same injections — [Invalid_argument] otherwise). The
+    injection trace ring is cleared, since events after the snapshot
+    cannot be un-evicted. *)
 
 val pp_event : Format.formatter -> event -> unit

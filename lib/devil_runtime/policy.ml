@@ -50,6 +50,39 @@ let unobserve () =
   metrics_hook := None;
   profile_hook := None
 
+(* {1 Exploration decision points}
+
+   Every poll completion and every retry is a branch point the
+   exploration engine can force down its failure edge: a poll can time
+   out even though the device would have answered, a retry can be
+   denied even though the budget remains. The decider sees each branch
+   point with a per-kind ordinal (0-based, counted from the last
+   [set_decider]/[reset_decision_points]) and answers [true] to force
+   the adverse outcome. Forced outcomes stay inside the classified
+   error vocabulary: a forced poll behaves as an ordinary timeout, a
+   denied retry fails [Degraded] — so exploration never teaches
+   drivers a new failure shape, it only schedules the existing ones. *)
+
+type decision =
+  | Poll_decision of { label : string; ordinal : int }
+  | Retry_decision of { label : string; attempt : int; ordinal : int }
+
+let decider_hook : (decision -> bool) option ref = ref None
+let poll_ix = ref 0
+let retry_ix = ref 0
+
+let reset_decision_points () =
+  poll_ix := 0;
+  retry_ix := 0
+
+let set_decider f =
+  decider_hook := Some f;
+  reset_decision_points ()
+
+let clear_decider () = decider_hook := None
+let poll_points () = !poll_ix
+let retry_points () = !retry_ix
+
 let is_transient = function
   | Fault.Bus_fault _ -> true
   | Driver_error (Bus_fault _ | Device_fault _) -> true
@@ -79,16 +112,37 @@ let with_retries ?attempts ?(retry_on = is_transient)
                 attempts (describe_exn e)))
       end
       else begin
-        (match !metrics_hook with
-        | Some m -> Metrics.incr m "retry.attempts"
-        | None -> ());
-        (match !trace_hook with
-        | Some tr ->
-            Trace.emit tr
-              (Trace.Retry { label; attempt; reason = describe_exn e })
-        | None -> ());
-        on_retry ~attempt e;
-        go (attempt + 1)
+        let denied =
+          match !decider_hook with
+          | None -> false
+          | Some d ->
+              let ordinal = !retry_ix in
+              incr retry_ix;
+              d (Retry_decision { label; attempt; ordinal })
+        in
+        if denied then begin
+          (match !metrics_hook with
+          | Some m ->
+              Metrics.incr m "retry.denied";
+              Metrics.incr m "retry.exhausted"
+          | None -> ());
+          fail
+            (Degraded
+               (Printf.sprintf "%s: retry denied after attempt %d (last: %s)"
+                  label attempt (describe_exn e)))
+        end
+        else begin
+          (match !metrics_hook with
+          | Some m -> Metrics.incr m "retry.attempts"
+          | None -> ());
+          (match !trace_hook with
+          | Some tr ->
+              Trace.emit tr
+                (Trace.Retry { label; attempt; reason = describe_exn e })
+          | None -> ());
+          on_retry ~attempt e;
+          go (attempt + 1)
+        end
       end
   in
   match !profile_hook with
@@ -109,21 +163,32 @@ let poll_core ?deadline ?(backoff = no_backoff) ~label cond =
   let deadline =
     match deadline with Some d -> d | None -> !poll_deadline
   in
+  let forced =
+    match !decider_hook with
+    | None -> false
+    | Some d ->
+        let ordinal = !poll_ix in
+        incr poll_ix;
+        d (Poll_decision { label; ordinal })
+  in
   let rec go i spent =
     if spent >= deadline then (false, i)
     else if cond () then (true, i + 1)
     else go (i + 1) (spent + 1 + max 0 (backoff i))
   in
   let ok, iters =
-    match !profile_hook with
-    | None -> go 0 0
-    | Some p -> Profile.span p ("poll:" ^ label) (fun () -> go 0 0)
+    if forced then (false, 0)
+    else
+      match !profile_hook with
+      | None -> go 0 0
+      | Some p -> Profile.span p ("poll:" ^ label) (fun () -> go 0 0)
   in
   (match !metrics_hook with
   | Some m ->
       Metrics.incr m "poll.runs";
       Metrics.incr m ~by:iters "poll.ticks";
       if not ok then Metrics.incr m "poll.timeouts";
+      if forced then Metrics.incr m "poll.forced";
       Metrics.observe m "poll.iters" iters
   | None -> ());
   (match !trace_hook with

@@ -135,3 +135,46 @@ val observe :
 val unobserve : unit -> unit
 (** Remove the observer. Owners of short-lived handles (tests,
     campaign trials) must call this before discarding them. *)
+
+(** {1 Exploration decision points}
+
+    Every poll completion and every retry is a branch point the
+    exploration engine ({!Explore}) can force down its failure edge: a
+    poll can be made to time out even though the device would have
+    answered, a retry can be denied even though attempts remain. The
+    installed decider sees each branch point with a per-kind 0-based
+    ordinal and returns [true] to force the adverse outcome. Forced
+    outcomes stay inside the classified error vocabulary — a forced
+    poll is an ordinary [Timeout] (or [false] from {!try_poll}), a
+    denied retry fails [Degraded] with a [retry.denied] counter — so
+    exploration only schedules failure paths drivers already have.
+
+    Like the observer, the decider is module-level state: one at a
+    time, installed around a run and removed with {!clear_decider}. *)
+
+type decision =
+  | Poll_decision of { label : string; ordinal : int }
+      (** About to run the poll named [label]; [true] forces an
+          immediate timeout (0 condition evaluations). *)
+  | Retry_decision of { label : string; attempt : int; ordinal : int }
+      (** A transient failure at [attempt] would normally be retried;
+          [true] denies the retry and fails [Degraded]. *)
+
+val set_decider : (decision -> bool) -> unit
+(** Install the decider and reset both ordinal counters. *)
+
+val clear_decider : unit -> unit
+(** Remove the decider; the ordinal counters keep their values so a
+    finished run can still read them. *)
+
+val reset_decision_points : unit -> unit
+(** Reset the poll/retry ordinal counters to 0 without touching the
+    decider. *)
+
+val poll_points : unit -> int
+(** Poll decision points encountered since the counters were last
+    reset — the poll-axis horizon of the run just finished. *)
+
+val retry_points : unit -> int
+(** Retry decision points encountered since the counters were last
+    reset. *)

@@ -17,6 +17,16 @@ module Devil_driver = struct
 
   let create inst = { inst; depth = 8 }
 
+  (* Every public operation runs inside a guarded retry boundary: a
+     transient bus fault anywhere in the sequence — a FIFO-space poll
+     read included — is retried from the top (the sequences only
+     buffer state until the final trigger write, and a transient
+     aborts before the device is touched, so re-sending is safe), and
+     whatever survives retrying surfaces as a classified
+     [Policy.Driver_error], never a raw [Bus_fault]. *)
+  let protected label f =
+    Policy.guarded ~label (fun () -> Policy.with_retries ~label f)
+
   let free_entries t =
     match Instance.get t.inst "free_entries" with
     | Value.Int n -> n
@@ -26,15 +36,17 @@ module Devil_driver = struct
     Policy.poll_until ~label:"gfx: FIFO space" (fun () -> free_entries t >= n)
 
   let set_depth t depth =
-    wait_fifo t 1;
-    Instance.set t.inst "pixel_depth" (Value.Int depth);
+    protected "gfx: set_depth" (fun () ->
+        wait_fifo t 1;
+        Instance.set t.inst "pixel_depth" (Value.Int depth));
     t.depth <- depth
 
   let sync t =
-    Policy.poll_until ~label:"gfx: engine idle" (fun () ->
-        match Instance.get t.inst "engine_busy" with
-        | Value.Bool true -> false
-        | _ -> true)
+    protected "gfx: sync" (fun () ->
+        Policy.poll_until ~label:"gfx: engine idle" (fun () ->
+            match Instance.get t.inst "engine_busy" with
+            | Value.Bool true -> false
+            | _ -> true))
 
   let send_state t ~color =
     Instance.set t.inst "raster_op" (Value.Int 0x3);
@@ -60,22 +72,24 @@ module Devil_driver = struct
     end
 
   let fill_rect t r ~color =
-    wait_fifo t state_entries;
-    send_state t ~color;
-    wait_fifo t param_entries;
-    send_rect t r;
-    wait_fifo t 1;
-    Instance.set t.inst "render_op" (Value.Enum "OP_FILL")
+    protected "gfx: fill_rect" (fun () ->
+        wait_fifo t state_entries;
+        send_state t ~color;
+        wait_fifo t param_entries;
+        send_rect t r;
+        wait_fifo t 1;
+        Instance.set t.inst "render_op" (Value.Enum "OP_FILL"))
 
   let copy_rect t r ~dx ~dy =
-    wait_fifo t state_entries;
-    send_state t ~color:0;
-    wait_fifo t copy_param_entries;
-    send_rect t r;
-    Instance.set_struct t.inst "copy_vector"
-      [ ("copy_dx", Value.Int dx); ("copy_dy", Value.Int dy) ];
-    wait_fifo t 1;
-    Instance.set t.inst "render_op" (Value.Enum "OP_COPY")
+    protected "gfx: copy_rect" (fun () ->
+        wait_fifo t state_entries;
+        send_state t ~color:0;
+        wait_fifo t copy_param_entries;
+        send_rect t r;
+        Instance.set_struct t.inst "copy_vector"
+          [ ("copy_dx", Value.Int dx); ("copy_dy", Value.Int dy) ];
+        wait_fifo t 1;
+        Instance.set t.inst "render_op" (Value.Enum "OP_COPY"))
 end
 
 module Handcrafted = struct

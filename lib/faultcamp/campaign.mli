@@ -53,6 +53,34 @@ val driver_workloads : string list
 val default_seeds : int list
 (** [[1; 2; 3]]. *)
 
+(** {1 Workloads as values}
+
+    The exploration layer ([Excamp]) re-runs the campaign's workloads
+    under exhaustively enumerated fault schedules, so the workload
+    table and its verdict vocabulary are exposed. *)
+
+type verdict =
+  | Verified  (** Driver reported success and the data checks out. *)
+  | Corrupt of string  (** Driver reported success but the data is wrong. *)
+  | Reported of string  (** Driver surfaced a failure. *)
+
+val workloads :
+  (string * (int * int) * (Drivers.Machine.t -> verdict)) list
+(** [(name, (first, last), workload)] — the fault window is the
+    device's register range; each workload checks its result against
+    simulator back-door ground truth, so [Corrupt] means silent
+    corruption. *)
+
+val run_workload : Drivers.Machine.t -> (Drivers.Machine.t -> verdict) -> verdict
+(** Runs a workload, converting anything it raises ([Driver_error],
+    [Bus_fault], [Replay_divergence], [Device_error], [Failure]) into
+    [Reported] — an escaped structured failure counts as detected. *)
+
+val with_campaign_policy : (unit -> 'a) -> 'a
+(** Runs [f] under the campaign's shortened poll deadline (20k ticks,
+    so forced-timeout runs stay fast), restoring the deadline and
+    removing the global {!Devil_runtime.Policy} observer on exit. *)
+
 val run :
   ?seeds:int list -> ?profile:Devil_runtime.Profile.t -> unit -> report
 (** Runs the full matrix: every workload under every fault class, once

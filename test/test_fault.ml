@@ -177,6 +177,192 @@ let test_reset_restores_budget () =
   in
   Alcotest.(check bool) "budget restored by reset" true refired
 
+(* {1 Scheduled (exploration) mode}
+
+   The deterministic injection surface Explore enumerates: an
+   injection names the exact covered ordinal that must fault, so every
+   expectation here is exact. *)
+
+let test_scheduled_exact_ordinal () =
+  let inj =
+    Fault.scheduled
+      ~injections:
+        [
+          Fault.injection ~op:Fault.Read ~at:2 ~first:0 ~last:0
+            (Fault.Transient { probability = 0.0 });
+        ]
+      (Bus.memory ())
+  in
+  let bus = Fault.bus inj in
+  wr bus ~addr:0 0x42;
+  Alcotest.(check int) "ordinal 0 passes" 0x42 (rd bus ~addr:0);
+  Alcotest.(check int) "ordinal 1 passes" 0x42 (rd bus ~addr:0);
+  let aborted =
+    match rd bus ~addr:0 with
+    | _ -> false
+    | exception Fault.Bus_fault _ -> true
+  in
+  Alcotest.(check bool) "exactly ordinal 2 aborts" true aborted;
+  Alcotest.(check int) "ordinal 3 passes again" 0x42 (rd bus ~addr:0);
+  Alcotest.(check int) "one scheduled hit" 1 (Fault.scheduled_hits inj);
+  Alcotest.(check int) "no misses" 0 (List.length (Fault.scheduled_misses inj))
+
+let test_scheduled_window_and_direction () =
+  let inj =
+    Fault.scheduled
+      ~injections:
+        [
+          Fault.injection ~label:"w" ~op:Fault.Write ~at:1 ~first:4 ~last:7
+            (Fault.Transient { probability = 0.0 });
+        ]
+      (Bus.memory ())
+  in
+  let bus = Fault.bus inj in
+  (* Outside the window and wrong direction: never counted. *)
+  wr bus ~addr:0 1;
+  wr bus ~addr:3 2;
+  ignore (rd bus ~addr:5);
+  wr bus ~addr:5 3 (* covered ordinal 0 *);
+  Alcotest.(check int) "ordinal 0 landed" 3 (rd bus ~addr:5);
+  let aborted =
+    match wr bus ~addr:6 9 with
+    | _ -> false
+    | exception Fault.Bus_fault _ -> true
+  in
+  Alcotest.(check bool) "second covered write aborts" true aborted;
+  Alcotest.(check int) "aborted write never landed" 0 (rd bus ~addr:6);
+  Alcotest.(check int) "covered traffic counted" 2 (Fault.seen_for inj "w")
+
+let test_scheduled_miss_reported () =
+  let inj =
+    Fault.scheduled
+      ~injections:
+        [
+          Fault.injection ~label:"far" ~op:Fault.Read ~at:10 ~first:0 ~last:0
+            (Fault.Transient { probability = 0.0 });
+        ]
+      (Bus.memory ())
+  in
+  let bus = Fault.bus inj in
+  ignore (rd bus ~addr:0);
+  ignore (rd bus ~addr:0);
+  Alcotest.(check int) "never reached: no hit" 0 (Fault.scheduled_hits inj);
+  (match Fault.scheduled_misses inj with
+  | [ m ] -> Alcotest.(check string) "the miss is reported" "far" m.Fault.sx_label
+  | ms -> Alcotest.failf "expected one miss, got %d" (List.length ms));
+  Alcotest.(check int) "horizon is the traffic seen" 2
+    (Fault.seen_for inj "far")
+
+let test_scheduled_block_element () =
+  let inj =
+    Fault.scheduled
+      ~injections:
+        [
+          Fault.injection ~op:Fault.Read ~at:2 ~first:0 ~last:0
+            (Fault.Flip_bits { mask = 0x80; probability = 0.0 });
+        ]
+      (Bus.memory ())
+  in
+  let bus = Fault.bus inj in
+  wr bus ~addr:0 0x11;
+  let into = Array.make 4 0 in
+  bus.Bus.read_block ~width:8 ~addr:0 ~into;
+  Alcotest.(check (array int)) "only element 2 of the burst is flipped"
+    [| 0x11; 0x11; 0x91; 0x11 |] into;
+  Alcotest.(check int) "one hit" 1 (Fault.scheduled_hits inj)
+
+let test_scheduled_transient_aborts_burst () =
+  let inj =
+    Fault.scheduled
+      ~injections:
+        [
+          Fault.injection ~op:Fault.Write ~at:2 ~first:0 ~last:0
+            (Fault.Transient { probability = 0.0 });
+        ]
+      (Bus.memory ())
+  in
+  let bus = Fault.bus inj in
+  let aborted =
+    match bus.Bus.write_block ~width:8 ~addr:0 ~from:[| 1; 2; 3; 4 |] with
+    | () -> false
+    | exception Fault.Bus_fault _ -> true
+  in
+  Alcotest.(check bool) "mid-burst transient aborts the burst" true aborted;
+  (* Pre-device abort: no element of the burst landed. *)
+  Alcotest.(check int) "no element landed" 0 (rd bus ~addr:0);
+  Fault.reset inj;
+  let refired =
+    match bus.Bus.write_block ~width:8 ~addr:0 ~from:[| 1; 2; 3; 4 |] with
+    | () -> false
+    | exception Fault.Bus_fault _ -> true
+  in
+  Alcotest.(check bool) "reset rearms the schedule" true refired;
+  Alcotest.(check int) "rearmed hit counted" 1 (Fault.scheduled_hits inj)
+
+(* {1 Snapshot / restore and PRNG rewind} *)
+
+(* The firing pattern of a probabilistic plan over [n] reads — the
+   PRNG fingerprint used to check rewind semantics. *)
+let fire_pattern bus inj n =
+  List.init n (fun _ ->
+      let before = Fault.injection_count inj in
+      ignore (rd bus ~addr:0);
+      Fault.injection_count inj > before)
+
+let test_reset_rewinds_prng () =
+  let inj =
+    Fault.wrap ~seed:11
+      ~plans:
+        [
+          Fault.plan ~label:"flip" ~ops:[ Fault.Read ] ~first:0 ~last:0
+            (Fault.Flip_bits { mask = 0x01; probability = 0.5 });
+        ]
+      (Bus.memory ())
+  in
+  let bus = Fault.bus inj in
+  let a = fire_pattern bus inj 32 in
+  Fault.reset inj;
+  let b = fire_pattern bus inj 32 in
+  Alcotest.(check (list bool)) "reset rewinds the PRNG: identical pattern" a b;
+  Alcotest.(check bool) "the pattern is non-trivial" true
+    (List.mem true a && List.mem false a)
+
+let test_snapshot_restore () =
+  let inj =
+    Fault.wrap ~seed:3
+      ~plans:
+        [
+          Fault.plan ~label:"flip" ~ops:[ Fault.Read ] ~budget:6 ~first:0
+            ~last:0
+            (Fault.Flip_bits { mask = 0x01; probability = 0.5 });
+        ]
+      (Bus.memory ())
+  in
+  let bus = Fault.bus inj in
+  ignore (fire_pattern bus inj 8);
+  let snap = Fault.snapshot inj in
+  let mid_count = Fault.injection_count inj in
+  let a = fire_pattern bus inj 16 in
+  Fault.restore inj snap;
+  Alcotest.(check int) "restore rewinds the counters" mid_count
+    (Fault.injection_count inj);
+  let b = fire_pattern bus inj 16 in
+  Alcotest.(check (list bool)) "restore rewinds PRNG and budgets" a b
+
+let test_restore_validates_shape () =
+  let mk plans = Fault.wrap ~plans (Bus.memory ()) in
+  let inj1 =
+    mk [ Fault.plan ~label:"a" ~first:0 ~last:0 (Fault.Transient { probability = 1.0 }) ]
+  in
+  let inj2 = mk [] in
+  let snap = Fault.snapshot inj1 in
+  let rejected =
+    match Fault.restore inj2 snap with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "foreign snapshot rejected" true rejected
+
 (* {1 Recovery combinators against a faulty bus} *)
 
 let test_with_retries_recovers () =
@@ -215,6 +401,111 @@ let test_with_retries_exhausts () =
   Alcotest.(check int) "one injection per attempt"
     (Policy.default_attempts ())
     (Fault.injection_count inj)
+
+(* {1 Nested recovery boundaries}
+
+   Drivers compose [guarded] and [with_retries] — a protected entry
+   point calling another protected helper. The budgets must compose
+   additively (the inner exhaustion is terminal, not transparently
+   retried by the outer layer) and the classification must keep the
+   innermost label. *)
+
+let test_nested_retries_compose_not_multiply () =
+  let inj =
+    Fault.wrap
+      ~plans:
+        [
+          Fault.plan ~label:"t" ~first:0 ~last:0
+            (Fault.Transient { probability = 1.0 });
+        ]
+      (Bus.memory ())
+  in
+  let bus = Fault.bus inj in
+  let degraded =
+    match
+      Policy.with_retries ~attempts:3 ~label:"outer" (fun () ->
+          Policy.with_retries ~attempts:2 ~label:"inner" (fun () ->
+              rd bus ~addr:0))
+    with
+    | _ -> false
+    | exception Policy.Driver_error (Policy.Degraded _) -> true
+  in
+  Alcotest.(check bool) "ends Degraded" true degraded;
+  (* Degraded is not transient, so the outer layer must not retry the
+     inner exhaustion: 2 bus attempts, not 3 * 2. *)
+  Alcotest.(check int) "inner budget only — bounds add, not multiply" 2
+    (Fault.injection_count inj)
+
+let test_nested_guarded_keeps_inner_label () =
+  let inj =
+    Fault.scheduled
+      ~injections:
+        [
+          Fault.injection ~op:Fault.Read ~at:0 ~first:0 ~last:0
+            (Fault.Transient { probability = 0.0 });
+        ]
+      (Bus.memory ())
+  in
+  let bus = Fault.bus inj in
+  let msg =
+    match
+      Policy.guarded ~label:"outer" (fun () ->
+          Policy.guarded ~label:"inner" (fun () -> rd bus ~addr:0))
+    with
+    | _ -> "no error"
+    | exception Policy.Driver_error (Policy.Bus_fault m) -> m
+  in
+  Alcotest.(check bool) "classified once, at the inner boundary" true
+    (String.length msg >= 5 && String.sub msg 0 5 = "inner");
+  Alcotest.(check bool) "not rewrapped by the outer boundary" true
+    (not
+       (String.length msg >= 5
+       && String.sub msg 0 5 = "outer"))
+
+let test_nested_exhaustion_counters () =
+  let metrics = Devil_runtime.Metrics.create () in
+  Policy.observe ~metrics ();
+  Fun.protect ~finally:Policy.unobserve @@ fun () ->
+  let inj =
+    Fault.wrap
+      ~plans:
+        [
+          Fault.plan ~label:"t" ~first:0 ~last:0
+            (Fault.Transient { probability = 1.0 });
+        ]
+      (Bus.memory ())
+  in
+  let bus = Fault.bus inj in
+  (try
+     Policy.guarded ~label:"outer" (fun () ->
+         Policy.with_retries ~attempts:4 ~label:"outer" (fun () ->
+             Policy.with_retries ~attempts:2 ~label:"inner" (fun () ->
+                 ignore (rd bus ~addr:0))))
+   with Policy.Driver_error _ -> ());
+  Alcotest.(check int) "exactly one exhaustion — the inner one" 1
+    (Devil_runtime.Metrics.count metrics "retry.exhausted");
+  Alcotest.(check int) "one retry attempt before exhaustion" 1
+    (Devil_runtime.Metrics.count metrics "retry.attempts")
+
+let test_nested_recovery_under_scheduled_fault () =
+  let inj =
+    Fault.scheduled
+      ~injections:
+        [
+          Fault.injection ~op:Fault.Read ~at:0 ~first:0 ~last:0
+            (Fault.Transient { probability = 0.0 });
+        ]
+      (Bus.memory ())
+  in
+  let bus = Fault.bus inj in
+  (* The gfx/ide driver shape: guarded retries around the access. *)
+  let v =
+    Policy.guarded ~label:"drv" (fun () ->
+        Policy.with_retries ~label:"drv" (fun () -> rd bus ~addr:0))
+  in
+  Alcotest.(check int) "second attempt reads through" 0 v;
+  Alcotest.(check int) "the scheduled fault fired once" 1
+    (Fault.scheduled_hits inj)
 
 (* {1 End to end: the IDE sector read path recovers} *)
 
@@ -274,15 +565,33 @@ let () =
           case "duplicated write" test_duplicate_write;
           case "transient" test_transient;
         ] );
+      ( "scheduled",
+        [
+          case "exact ordinal" test_scheduled_exact_ordinal;
+          case "window and direction" test_scheduled_window_and_direction;
+          case "miss reported" test_scheduled_miss_reported;
+          case "block element precision" test_scheduled_block_element;
+          case "transient aborts the burst" test_scheduled_transient_aborts_burst;
+        ] );
       ( "trace",
         [
           case "events and counters" test_trace_and_reset;
           case "reset restores budgets" test_reset_restores_budget;
+          case "reset rewinds the PRNG" test_reset_rewinds_prng;
+          case "snapshot and restore" test_snapshot_restore;
+          case "restore validates shape" test_restore_validates_shape;
         ] );
       ( "policy",
         [
           case "retries absorb a burst" test_with_retries_recovers;
           case "retries exhaust to Degraded" test_with_retries_exhausts;
+        ] );
+      ( "nested",
+        [
+          case "bounds add, not multiply" test_nested_retries_compose_not_multiply;
+          case "inner label wins" test_nested_guarded_keeps_inner_label;
+          case "one exhaustion counter" test_nested_exhaustion_counters;
+          case "guarded retries recover" test_nested_recovery_under_scheduled_fault;
         ] );
       ( "end-to-end",
         [ case "IDE sector read" test_ide_read_recovers_transient_burst ] );

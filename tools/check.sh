@@ -75,6 +75,21 @@ dune exec bench/main.exe -- profile --iters 5 --out _build/profile_export \
 dune exec tools/benchcheck/benchcheck.exe -- speedscope \
   _build/profile_export/ide_read.speedscope.json
 
+# Exploration gates (ISSUE 6): the bounded exhaustive fault/policy
+# exploration must finish its stated bound on the ide and gfx
+# workloads with zero violations (exit 0 is the gate), the seeded
+# regression must still be found, shrunk and reproduced byte-for-byte
+# from the committed tape fixture, and the dedicated test suite (the
+# engine, the decider, the campaign, the seeded acceptance) must pass.
+echo "== explore gates =="
+dune exec bench/main.exe -- explore --depth 4 --budget 2 --sites 3 \
+  > _build/explore_smoke.out
+tail -1 _build/explore_smoke.out
+dune exec bench/main.exe -- explore --seeded-bug \
+  --fixture test/golden/explore_counterexample.tape.jsonl > /dev/null
+echo "ok: seeded regression found, shrunk and reproduced from the fixture"
+dune build @explore
+
 if command -v ocamlformat >/dev/null 2>&1 && [ -f .ocamlformat ]; then
   echo "== ocamlformat check =="
   dune build @fmt

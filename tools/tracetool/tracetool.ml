@@ -14,9 +14,14 @@
    [filter] keeps the events belonging to one instance and/or touching
    one register and re-emits trace JSONL (bus-level events carry no
    instance and are dropped by --dev).
-   [diff] compares two traces event by event and reports the first
-   divergence — the record/replay gate: a recorded trial and its
-   replay must diff empty.
+   [diff] compares two trace JSONL files — or two tape JSONL files —
+   record by record and reports the first divergence with its line
+   number. Exit codes form a contract the gates rely on: 0 means the
+   files are identical, 1 means they are both readable but diverge
+   (the record/replay gate: a recorded trial and its replay must diff
+   empty), and 2 means a file was unreadable or the two files are not
+   the same format. Counterexample tapes from [bench explore] diff the
+   same way as traces.
    [coverage] maps a trace back onto a bundled specification and
    reports which of its coverable sites the trace exercised;
    [--min-reg] turns it into a gate (exit 1 below the threshold) and
@@ -35,7 +40,7 @@ let usage_text =
   \  print    FILE                               render a JSONL trace\n\
   \  convert  FILE [-o OUT]                      JSONL -> Chrome JSON\n\
   \  filter   FILE [--dev D] [--reg R] [-o OUT]  keep matching events\n\
-  \  diff     A B                                exit 1 on divergence\n\
+  \  diff     A B                                trace or tape JSONL\n\
   \  coverage FILE --spec NAME [--dev LABEL] [--min-reg PCT] [--missed]\n\
    flags:\n\
   \  -o OUT          write output to OUT instead of stdout\n\
@@ -43,7 +48,11 @@ let usage_text =
   \  --reg R         keep events touching register R\n\
   \  --spec NAME     bundled specification to cover\n\
   \  --min-reg PCT   fail (exit 1) below PCT register coverage\n\
-  \  --missed        list every uncovered site"
+  \  --missed        list every uncovered site\n\
+   diff exit codes:\n\
+  \  0  the files are identical\n\
+  \  1  both readable, but they diverge (the diverging line is printed)\n\
+  \  2  a file is unreadable, or the two files are not the same format"
 
 (* Usage errors print the accepted commands and flags; like [die] they
    exit 2, leaving exit 1 to the gates (diff divergence, coverage below
@@ -111,29 +120,61 @@ let cmd_filter file ~dev ~reg ~out =
   let kept = List.filter (matches ~dev ~reg) (events_of_file file) in
   output ~out (Trace_export.events_to_jsonl kept)
 
-let cmd_diff a b =
-  let ea = events_of_file a and eb = events_of_file b in
-  let pp_ev fmt (e : Trace.event) =
-    Format.fprintf fmt "#%d %a" e.seq Trace.pp_kind e.kind
-  in
-  let rec go i (xs : Trace.event list) (ys : Trace.event list) =
+(* A diff operand is either trace JSONL or tape JSONL; the header line
+   disambiguates. Unreadable-in-both-formats is a [die] (exit 2), as is
+   mixing one of each — a divergence verdict only makes sense between
+   records of the same kind. *)
+type diffable =
+  | D_trace of Trace.event list
+  | D_tape of Devil_runtime.Bus.transfer list
+
+let diffable_of_file path =
+  match Trace_export.events_of_file path with
+  | Ok evs -> D_trace evs
+  | Error trace_why -> (
+      match Trace_export.tape_of_file path with
+      | Ok tape -> D_tape (Devil_runtime.Bus.tape_transfers tape)
+      | Error tape_why ->
+          die "%s: not a readable trace (%s) nor tape (%s)" path trace_why
+            tape_why)
+
+(* Both JSONL formats put record [i] on line [i + 2]: line 1 is the
+   version header. *)
+let line_of_record i = i + 2
+
+let diff_records ~what ~pp a b xs ys =
+  let rec go i xs ys =
     match (xs, ys) with
     | [], [] -> 0
     | x :: _, [] ->
-        Format.printf "event %d only in %s: %a@." i a pp_ev x;
+        Format.printf "%s %d (line %d) only in %s: %a@." what i
+          (line_of_record i) a pp x;
         1
     | [], y :: _ ->
-        Format.printf "event %d only in %s: %a@." i b pp_ev y;
+        Format.printf "%s %d (line %d) only in %s: %a@." what i
+          (line_of_record i) b pp y;
         1
     | x :: xs', y :: ys' ->
         if x = y then go (i + 1) xs' ys'
         else begin
-          Format.printf "event %d differs:@.  %s: %a@.  %s: %a@." i a pp_ev x
-            b pp_ev y;
+          Format.printf "%s %d (line %d) differs:@.  %s: %a@.  %s: %a@." what
+            i (line_of_record i) a pp x b pp y;
           1
         end
   in
-  go 0 ea eb
+  go 0 xs ys
+
+let cmd_diff a b =
+  let pp_ev fmt (e : Trace.event) =
+    Format.fprintf fmt "#%d %a" e.seq Trace.pp_kind e.kind
+  in
+  match (diffable_of_file a, diffable_of_file b) with
+  | D_trace ea, D_trace eb -> diff_records ~what:"event" ~pp:pp_ev a b ea eb
+  | D_tape ta, D_tape tb ->
+      diff_records ~what:"transfer" ~pp:Devil_runtime.Bus.pp_transfer a b ta
+        tb
+  | D_trace _, D_tape _ -> die "%s is a trace but %s is a tape" a b
+  | D_tape _, D_trace _ -> die "%s is a tape but %s is a trace" a b
 
 let spec_device name =
   (* pic8259 carries a configuration parameter; everything else
