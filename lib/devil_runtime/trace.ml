@@ -75,6 +75,10 @@ type kind =
       width : int;
       detail : string;
     }
+  | Irq_raised of { line : int; dev : string }
+  | Irq_delivered of { line : int; dev : string }
+  | Queue_submitted of { dev : string; label : string; depth : int }
+  | Queue_completed of { dev : string; label : string; depth : int; ok : bool }
 
 type event = { seq : int; kind : kind }
 
@@ -177,6 +181,16 @@ let pp_kind fmt = function
   | Fault_injected { plan; addr; width; detail } ->
       Format.fprintf fmt "fault %s: %d-bit access [%#x]: %s" plan width addr
         detail
+  | Irq_raised { line; dev } ->
+      Format.fprintf fmt "irq %d raised (%s)" line dev
+  | Irq_delivered { line; dev } ->
+      Format.fprintf fmt "irq %d delivered to %s" line dev
+  | Queue_submitted { dev; label; depth } ->
+      Format.fprintf fmt "%s: queued %s (depth %d)" dev label depth
+  | Queue_completed { dev; label; depth; ok } ->
+      Format.fprintf fmt "%s: %s %s (depth %d)" dev label
+        (if ok then "completed" else "failed")
+        depth
 
 let pp_event fmt e = Format.fprintf fmt "#%d %a" e.seq pp_kind e.kind
 

@@ -101,6 +101,20 @@ type kind =
       width : int;
       detail : string;
     }
+  | Irq_raised of { line : int; dev : string }
+      (** A device's INT pin asserted PIC line [line] — the {!Sched}
+          loop saw the line's source go high (edge, not level: one
+          event per assertion, however many ticks it stays high). *)
+  | Irq_delivered of { line : int; dev : string }
+      (** The scheduler acknowledged [line] at the interrupt controller
+          and is about to run the handler registered for [dev]. *)
+  | Queue_submitted of { dev : string; label : string; depth : int }
+      (** A request entered [dev]'s queue; [depth] counts queued plus
+          in-flight requests after the submit. *)
+  | Queue_completed of { dev : string; label : string; depth : int; ok : bool }
+      (** A request left [dev]'s queue: [ok = true] is a completion
+          reported by the driver's interrupt handler, [ok = false] a
+          classified failure (timeout or handler-reported error). *)
 
 type event = { seq : int; kind : kind }
 (** [seq] increases by one per recorded event and is never reused, so

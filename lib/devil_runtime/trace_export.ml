@@ -301,6 +301,17 @@ let kind_to_json (k : Trace.kind) =
       tag "fault_injected"
         [ ("plan", String plan); ("addr", Int addr); ("width", Int width);
           ("detail", String detail) ]
+  | Irq_raised { line; dev } ->
+      tag "irq_raised" [ ("line", Int line); ("dev", String dev) ]
+  | Irq_delivered { line; dev } ->
+      tag "irq_delivered" [ ("line", Int line); ("dev", String dev) ]
+  | Queue_submitted { dev; label; depth } ->
+      tag "queue_submitted"
+        [ ("dev", String dev); ("label", String label); ("depth", Int depth) ]
+  | Queue_completed { dev; label; depth; ok } ->
+      tag "queue_completed"
+        [ ("dev", String dev); ("label", String label); ("depth", Int depth);
+          ("ok", Bool ok) ]
 
 let event_to_json (e : Trace.event) =
   match kind_to_json e.kind with
@@ -400,6 +411,25 @@ let kind_of_json j : (Trace.kind, string) result =
       let* width = as_int "width" j in
       let* detail = as_string "detail" j in
       Ok (Trace.Fault_injected { plan; addr; width; detail })
+  | "irq_raised" ->
+      let* line = as_int "line" j in
+      let* dev = as_string "dev" j in
+      Ok (Trace.Irq_raised { line; dev })
+  | "irq_delivered" ->
+      let* line = as_int "line" j in
+      let* dev = as_string "dev" j in
+      Ok (Trace.Irq_delivered { line; dev })
+  | "queue_submitted" ->
+      let* dev = as_string "dev" j in
+      let* label = as_string "label" j in
+      let* depth = as_int "depth" j in
+      Ok (Trace.Queue_submitted { dev; label; depth })
+  | "queue_completed" ->
+      let* dev = as_string "dev" j in
+      let* label = as_string "label" j in
+      let* depth = as_int "depth" j in
+      let* ok = as_bool "ok" j in
+      Ok (Trace.Queue_completed { dev; label; depth; ok })
   | t -> Error (Printf.sprintf "unknown event kind %S" t)
 
 let event_of_json j : (Trace.event, string) result =
@@ -540,7 +570,20 @@ let to_chrome events =
               [ ("attempt", Int attempt); ("reason", String reason) ]
         | Fault_injected { plan; addr; width; detail } ->
             entry ~name:("fault " ^ plan) ~cat:"fault" ~ts ~tid:(tid_of "fault")
-              [ ("addr", Int addr); ("width", Int width); ("detail", String detail) ])
+              [ ("addr", Int addr); ("width", Int width); ("detail", String detail) ]
+        | Irq_raised { line; dev } ->
+            entry ~name:(Printf.sprintf "irq %d raised" line) ~cat:"irq" ~ts
+              ~tid:(tid_of "sched") [ ("dev", String dev) ]
+        | Irq_delivered { line; dev } ->
+            entry ~name:(Printf.sprintf "irq %d -> %s" line dev) ~cat:"irq"
+              ~ts ~tid:(tid_of "sched") [ ("dev", String dev) ]
+        | Queue_submitted { dev; label; depth } ->
+            entry ~name:("submit " ^ label) ~cat:"queue" ~ts ~tid:(tid_of dev)
+              [ ("depth", Int depth) ]
+        | Queue_completed { dev; label; depth; ok } ->
+            entry ~ph:"X" ~dur:1 ~name:("complete " ^ label) ~cat:"queue" ~ts
+              ~tid:(tid_of dev)
+              [ ("depth", Int depth); ("ok", Bool ok) ])
       events
   in
   let metadata =

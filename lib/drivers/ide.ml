@@ -350,3 +350,139 @@ module Handcrafted = struct
     Policy.with_retries ~label:"ide: write_dma" (fun () ->
         dma_common t ~lba ~count ~to_memory:false ~cmd:0xca)
 end
+
+(* The queued, interrupt-driven DMA driver: commands are submitted to
+   a Devil_runtime.Sched FIFO and the busmaster-complete interrupt —
+   not a status poll — finishes each one, so while a transfer is on
+   the wire the only I/O the driver performs is the interrupt
+   acknowledge path. The synchronous driver's failure taxonomy is
+   preserved: a transient engine fault re-issues the command up to
+   Policy.default_attempts (exhaustion degrades), and a lost interrupt
+   surfaces as the same classified [Timeout] a poll would raise. *)
+module Async = struct
+  module Sched = Devil_runtime.Sched
+
+  let dev = "ide"
+
+  type op = {
+    op_lba : int;
+    op_count : int;
+    op_to_memory : bool;
+    op_data : Bytes.t option;  (* write payload, re-blitted on re-issue *)
+    op_on_data : (Bytes.t -> unit) option;
+    mutable op_attempts : int;  (* command re-issues consumed so far *)
+  }
+
+  type t = {
+    drv : Devil_driver.t;
+    memory : Bytes.t;
+    sched : Sched.t;
+    ops : op Queue.t;  (* mirrors the scheduler's FIFO for this device *)
+  }
+
+  (* Issuing is the retry unit, exactly as in the synchronous driver:
+     a fresh command resets the device's transfer state. *)
+  let issue t op =
+    (match op.op_data with
+    | Some data -> Bytes.blit data 0 t.memory 0 (Bytes.length data)
+    | None -> ());
+    Devil_driver.setup_command t.drv ~lba:op.op_lba ~count:op.op_count
+      ~cmd:(if op.op_to_memory then "READ_DMA" else "WRITE_DMA");
+    let p = t.drv.Devil_driver.piix4 in
+    Instance.set p "prd_address" (Value.Int 0);
+    Instance.set p "bm_direction"
+      (Value.Enum (if op.op_to_memory then "BM_TO_MEMORY" else "BM_FROM_MEMORY"));
+    Instance.set p "bm_engine" (Value.Enum "BM_START")
+
+  let stop_engine t =
+    Instance.set t.drv.Devil_driver.piix4 "bm_engine" (Value.Enum "BM_STOP")
+
+  (* The interrupt service routine: check the engine, clear both
+     interrupt sources (the busmaster status bit and, via the status
+     read, the disk's INTRQ), then complete — or re-issue — the
+     in-flight command. *)
+  let handle t () =
+    let p = t.drv.Devil_driver.piix4 in
+    let irq_raised =
+      match Instance.get p "bm_irq" with Value.Enum "RAISED" -> true | _ -> false
+    in
+    ignore (Devil_driver.poll_status t.drv);
+    if irq_raised then begin
+      let engine_fault =
+        match Instance.get p "bm_error" with
+        | Value.Enum "FAULT" -> true
+        | _ -> false
+      in
+      Instance.set p "bm_irq" (Value.Enum "CLEAR_IRQ");
+      Instance.set p "bm_engine" (Value.Enum "BM_STOP");
+      match Queue.peek_opt t.ops with
+      | None ->
+          (* A late interrupt whose request already timed out: complete
+             into the empty queue so the loop accounts it as unhandled. *)
+          Sched.complete t.sched ~dev (Ok ())
+      | Some op ->
+          if engine_fault then
+            if op.op_attempts + 1 < Policy.default_attempts () then begin
+              op.op_attempts <- op.op_attempts + 1;
+              issue t op
+            end
+            else
+              Sched.complete t.sched ~dev
+                (Error
+                   (Policy.Degraded
+                      "ide dma: engine fault, attempts exhausted"))
+          else begin
+            (match op.op_on_data with
+            | Some f -> f (Bytes.sub t.memory 0 (op.op_count * sector_bytes))
+            | None -> ());
+            Sched.complete t.sched ~dev (Ok ())
+          end
+    end
+
+  let create ~sched ~line ~memory ~ide ~piix4 =
+    let t =
+      {
+        drv = Devil_driver.create ~ide ~piix4;
+        memory;
+        sched;
+        ops = Queue.create ();
+      }
+    in
+    Sched.set_handler sched ~line ~dev (handle t);
+    t
+
+  let submit t ~label op =
+    Queue.add op t.ops;
+    Sched.submit t.sched ~dev ~label
+      ~start:(fun () -> Policy.with_retries ~label (fun () -> issue t op))
+      ~abort:(fun () -> stop_engine t)
+      ~on_done:(fun _ -> ignore (Queue.take_opt t.ops))
+      ()
+
+  let read_dma t ~lba ~count ?on_data () =
+    submit t ~label:"ide: read_dma"
+      {
+        op_lba = lba;
+        op_count = count;
+        op_to_memory = true;
+        op_data = None;
+        op_on_data = on_data;
+        op_attempts = 0;
+      }
+
+  let write_dma t ~lba ~count data =
+    if Bytes.length data <> count * sector_bytes then
+      invalid_arg "ide dma write: data size mismatch";
+    submit t ~label:"ide: write_dma"
+      {
+        op_lba = lba;
+        op_count = count;
+        op_to_memory = false;
+        op_data = Some data;
+        op_on_data = None;
+        op_attempts = 0;
+      }
+
+  let await t rq = Sched.await t.sched rq
+  let drain t = Sched.drain t.sched
+end

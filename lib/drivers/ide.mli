@@ -88,3 +88,47 @@ module Handcrafted : sig
   val read_dma : t -> memory:Bytes.t -> lba:int -> count:int -> Bytes.t
   val write_dma : t -> memory:Bytes.t -> lba:int -> count:int -> Bytes.t -> unit
 end
+
+(** The queued, interrupt-driven DMA driver over a
+    {!Devil_runtime.Sched} loop. Commands are submitted to a per-device
+    FIFO; the busmaster-complete interrupt — not a status poll —
+    finishes each one, and the next command's setup overlaps the
+    completion processing of the previous. The synchronous driver's
+    failure taxonomy carries over: transient faults re-issue the
+    command up to {!Devil_runtime.Policy.default_attempts} (exhaustion
+    is [Degraded]), and a lost interrupt is the same classified
+    [Timeout] a poll would raise. *)
+module Async : sig
+  type t
+
+  val create :
+    sched:Devil_runtime.Sched.t ->
+    line:int ->
+    memory:Bytes.t ->
+    ide:Devil_runtime.Instance.t ->
+    piix4:Devil_runtime.Instance.t ->
+    t
+  (** Registers the interrupt handler for [line] on [sched]. [memory]
+      is the busmaster's system memory (the DMA target). *)
+
+  val read_dma :
+    t ->
+    lba:int ->
+    count:int ->
+    ?on_data:(Bytes.t -> unit) ->
+    unit ->
+    Devil_runtime.Sched.request
+  (** Queues a multi-sector DMA read; [on_data] receives the sectors
+      from inside the completion handler. *)
+
+  val write_dma : t -> lba:int -> count:int -> Bytes.t -> Devil_runtime.Sched.request
+  (** Queues a multi-sector DMA write; the payload is copied to DMA
+      memory when the command reaches the head of the queue (so queued
+      writes may overlap safely). *)
+
+  val await : t -> Devil_runtime.Sched.request -> unit
+  (** {!Devil_runtime.Sched.await} on this driver's loop. *)
+
+  val drain : t -> unit
+  (** Ticks the loop until no request is outstanding. *)
+end

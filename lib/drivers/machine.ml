@@ -30,6 +30,7 @@ type t = {
   uart_dev : Instance.t;
   rtc_dev : Instance.t;
   kbd_dev : Instance.t;
+  mutable sched_ : Devil_runtime.Sched.t option;
 }
 
 let mouse_base = 0x23c
@@ -48,6 +49,26 @@ let rtc_index_base = 0x70
 let rtc_data_base = 0x71
 let kbd_data_base = 0x60
 let kbd_ctl_base = 0x64
+
+(* Interrupt request lines at the (single, master) 8259A — the classic
+   assignments folded onto lines 1..7 (line 0 stays free for a timer). *)
+let irq_kbd = 1
+let irq_gfx = 2
+let irq_net = 3
+let irq_uart = 4
+let irq_sound = 5
+let irq_ide = 6
+let irq_mouse = 7
+
+let irq_line = function
+  | "kbd" -> Some irq_kbd
+  | "gfx" -> Some irq_gfx
+  | "ne2000" -> Some irq_net
+  | "uart" -> Some irq_uart
+  | "sound" -> Some irq_sound
+  | "ide" -> Some irq_ide
+  | "mouse" -> Some irq_mouse
+  | _ -> None
 
 let create ?(debug = false) ?faults ?fault_seed ?trace ?metrics ?profile
     ?interpret ?(wrap_bus = Fun.id) () =
@@ -176,7 +197,57 @@ let create ?(debug = false) ?faults ?fault_seed ?trace ?metrics ?profile
     kbd_dev =
       mk "kbd" (Devil_specs.Specs.i8042 ())
         [ ("data", kbd_data_base); ("ctl", kbd_ctl_base) ];
+    sched_ = None;
   }
+
+(* The event loop over this machine, built on first use.
+
+   The controller closures split along the hardware's own seam: raising
+   a line is a wire from the device's INT pin (no bus traffic), while
+   acknowledge and EOI are programmed I/O against the 8259A — the OCW3
+   poll-command handshake and a specific-EOI OCW2 — so interrupt
+   delivery goes through the same observed, fault-injectable bus as
+   every other access the driver makes. *)
+let sched t =
+  match t.sched_ with
+  | Some s -> s
+  | None ->
+      let module Sched = Devil_runtime.Sched in
+      let ctl_raise ~line = Hwsim.Pic8259.raise_irq t.pic ~line in
+      let ctl_ack () =
+        (* OCW3 with the poll bit: the next read acts as INTA. *)
+        t.bus.write ~width:1 ~addr:pic_base ~value:0x0c;
+        let v = t.bus.read ~width:1 ~addr:pic_base in
+        if v land 0x80 <> 0 then Some (v land 0x7) else None
+      in
+      let ctl_eoi ~line =
+        t.bus.write ~width:1 ~addr:pic_base ~value:(0x60 lor (line land 0x7))
+      in
+      let s =
+        Sched.create ?trace:t.trace ?metrics:t.metrics ?profile:t.profile
+          { Sched.ctl_raise; ctl_ack; ctl_eoi }
+      in
+      (* Program the controller the way a kernel would: ICW1..ICW4
+         (edge-triggered, single, 8086 mode, vectors at 0x20), then
+         unmask every line. *)
+      if not (Hwsim.Pic8259.initialized t.pic) then begin
+        t.bus.write ~width:1 ~addr:pic_base ~value:0x11;
+        t.bus.write ~width:1 ~addr:(pic_base + 1) ~value:0x20;
+        t.bus.write ~width:1 ~addr:(pic_base + 1) ~value:0x04;
+        t.bus.write ~width:1 ~addr:(pic_base + 1) ~value:0x01;
+        t.bus.write ~width:1 ~addr:(pic_base + 1) ~value:0x00
+      end;
+      Hwsim.Pic8259.set_int_callback t.pic (fun level -> Sched.note_int s level);
+      (* The IDE line wire-ORs the disk's own INTRQ with the busmaster's
+         transfer-complete status, as on a PIIX4 board. *)
+      Sched.add_source s ~line:irq_ide ~dev:"ide" (fun () ->
+          Hwsim.Ide_disk.irq_pending t.disk || Hwsim.Piix4.irq_seen t.busmaster);
+      Sched.add_source s ~line:irq_net ~dev:"ne2000" (fun () ->
+          Hwsim.Ne2000.irq_asserted t.nic);
+      (* The busmaster's deferred DMA engine advances with virtual time. *)
+      Sched.add_ticker s (fun () -> Hwsim.Piix4.tick t.busmaster);
+      t.sched_ <- Some s;
+      s
 
 let reset_io_stats t = Io_space.reset_stats t.space
 let io_ops t = Io_space.io_ops t.space

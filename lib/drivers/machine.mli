@@ -40,6 +40,8 @@ type t = {
   uart_dev : Instance.t;
   rtc_dev : Instance.t;
   kbd_dev : Instance.t;
+  mutable sched_ : Devil_runtime.Sched.t option;
+      (** Lazily-built event loop; use {!sched}, not this field. *)
 }
 
 val mouse_base : int  (** 0x23c *)
@@ -73,6 +75,40 @@ val rtc_data_base : int  (** 0x71 *)
 val kbd_data_base : int  (** 0x60 *)
 
 val kbd_ctl_base : int  (** 0x64 *)
+
+(** {1 Interrupt lines}
+
+    The classic single-PIC assignments, folded onto lines 1..7 of the
+    machine's master 8259A (line 0 stays free for a timer). *)
+
+val irq_kbd : int  (** 1 *)
+
+val irq_gfx : int  (** 2 *)
+
+val irq_net : int  (** 3 *)
+
+val irq_uart : int  (** 4 *)
+
+val irq_sound : int  (** 5 *)
+
+val irq_ide : int  (** 6 *)
+
+val irq_mouse : int  (** 7 *)
+
+val irq_line : string -> int option
+(** The line of an instance label ([ide], [ne2000], …), if it has one. *)
+
+val sched : t -> Devil_runtime.Sched.t
+(** The machine's event loop (DESIGN.md §13), built on first call.
+    Building it programs the 8259A through the bus (ICW1..ICW4,
+    vectors at 0x20, all lines unmasked), wires the controller's INT
+    output to the loop, and registers the interrupt sources: the IDE
+    line ({!irq_ide}) wire-ORs the disk INTRQ with the PIIX4
+    transfer-complete status, the network line ({!irq_net}) follows
+    the NE2000's masked ISR. Acknowledge and EOI run as real bus
+    traffic (8259A poll-command and specific EOI), so they are traced,
+    profiled and fault-injectable like any driver I/O. A ticker
+    advances the PIIX4's deferred DMA engine with virtual time. *)
 
 val create :
   ?debug:bool ->

@@ -6,6 +6,23 @@ let tx_page = 0x40
 let rx_start = 0x46
 let rx_stop = 0x80
 
+(* Copy the body of the frame whose ring header sits at page [bnry]
+   out of the receive ring: the body starts 4 bytes past the header
+   and, when it reaches [rx_stop], wraps to [rx_start]. [read] is the
+   driver's remote-DMA read. Both drivers reassemble through this one
+   helper, so a frame that straddles the ring end comes back
+   byte-identical whichever driver drained it. *)
+let ring_copy ~read ~bnry ~body_len =
+  let start = (bnry * 256) + 4 in
+  let ring_end = rx_stop * 256 in
+  if start + body_len <= ring_end then read ~addr:start ~len:body_len
+  else begin
+    let first = ring_end - start in
+    let a = read ~addr:start ~len:first in
+    let b = read ~addr:(rx_start * 256) ~len:(body_len - first) in
+    Bytes.cat a b
+  end
+
 let get_int inst name =
   match Instance.get inst name with
   | Value.Int v -> v
@@ -118,20 +135,7 @@ module Devil_driver = struct
         lor (Char.code (Bytes.get header 3) lsl 8)
       in
       let body_len = max 0 (len - 4) in
-      let start = (bnry * 256) + 4 in
-      let ring_end = rx_stop * 256 in
-      let frame =
-        if start + body_len <= ring_end then
-          remote_read t ~addr:start ~len:body_len
-        else begin
-          let first = ring_end - start in
-          let a = remote_read t ~addr:start ~len:first in
-          let b =
-            remote_read t ~addr:(rx_start * 256) ~len:(body_len - first)
-          in
-          Bytes.cat a b
-        end
-      in
+      let frame = ring_copy ~read:(remote_read t) ~bnry ~body_len in
       Instance.set t "boundary" (Value.Int next);
       Instance.set t "prx" (Value.Enum "CLEAR_PRX");
       Some (Bytes.to_string frame)
@@ -221,22 +225,76 @@ module Handcrafted = struct
         lor (Char.code (Bytes.get header 3) lsl 8)
       in
       let body_len = max 0 (len - 4) in
-      let start = (bnry * 256) + 4 in
-      let ring_end = rx_stop * 256 in
-      let frame =
-        if start + body_len <= ring_end then
-          remote_read t ~addr:start ~len:body_len
-        else begin
-          let first = ring_end - start in
-          let a = remote_read t ~addr:start ~len:first in
-          let b =
-            remote_read t ~addr:(rx_start * 256) ~len:(body_len - first)
-          in
-          Bytes.cat a b
-        end
-      in
+      let frame = ring_copy ~read:(remote_read t) ~bnry ~body_len in
       outb t 3 next;
       outb t 7 0x01;  (* ack PRX *)
       Some (Bytes.to_string frame)
     end
+end
+
+(* The interrupt-driven NE2000 driver: the receive ring is drained in
+   a burst when the PRX interrupt fires, and transmissions are queued
+   requests completed by the PTX interrupt — the driver never polls
+   CURR/BNRY while idle. *)
+module Async = struct
+  module Sched = Devil_runtime.Sched
+
+  let dev = "ne2000"
+
+  type t = {
+    drv : Devil_driver.t;
+    sched : Sched.t;
+    mutable on_frame : string -> unit;
+    mutable tx_inflight : bool;
+  }
+
+  let handle t () =
+    let raised name tag =
+      match Instance.get t.drv name with
+      | Value.Enum e -> e = tag
+      | _ -> false
+    in
+    let prx = raised "prx" "RAISED_PRX" in
+    let ptx = raised "ptx" "RAISED_PTX" in
+    (if prx then
+       (* Burst drain: one interrupt services every frame the ring
+          holds, however many arrived since the last one. *)
+       let rec drain () =
+         match Devil_driver.receive t.drv with
+         | Some frame ->
+             t.on_frame frame;
+             drain ()
+         | None -> ()
+       in
+       drain ());
+    Devil_driver.ack_interrupts t.drv;
+    if ptx && t.tx_inflight then begin
+      t.tx_inflight <- false;
+      Sched.complete t.sched ~dev (Ok ())
+    end
+
+  let create ~sched ~line inst =
+    let t =
+      {
+        drv = Devil_driver.create inst;
+        sched;
+        on_frame = ignore;
+        tx_inflight = false;
+      }
+    in
+    Sched.set_handler sched ~line ~dev (handle t);
+    t
+
+  let on_frame t f = t.on_frame <- f
+
+  let send t frame =
+    Sched.submit t.sched ~dev ~label:"net: send"
+      ~start:(fun () ->
+        Devil_driver.send t.drv frame;
+        t.tx_inflight <- true)
+      ~on_done:(fun _ -> t.tx_inflight <- false)
+      ()
+
+  let await t rq = Sched.await t.sched rq
+  let drain t = Sched.drain t.sched
 end

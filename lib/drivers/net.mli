@@ -1,6 +1,14 @@
 (** NE2000 Ethernet drivers: initialization, packet transmission and
     receive-ring service through the remote-DMA engine. *)
 
+val ring_copy :
+  read:(addr:int -> len:int -> Bytes.t) -> bnry:int -> body_len:int -> Bytes.t
+(** Reassembles the frame body whose ring header sits at page [bnry]:
+    [body_len] bytes starting 4 past the header, wrapping from the ring
+    end back to the ring start when the frame straddles it. [read] is
+    the driver's remote-DMA read. Shared by both drivers so wrapped
+    frames reassemble byte-identically. *)
+
 module Devil_driver : sig
   type t
 
@@ -38,4 +46,31 @@ module Handcrafted : sig
   val station_address : t -> string
   val send : t -> string -> unit
   val receive : t -> string option
+end
+
+(** The interrupt-driven driver over {!Devil_driver} and a
+    {!Devil_runtime.Sched} loop: the receive ring is drained in a
+    burst when the PRX interrupt fires (one interrupt, however many
+    frames), transmissions are queued requests completed by PTX, and
+    the driver never polls CURR/BNRY while idle. *)
+module Async : sig
+  type t
+
+  val create :
+    sched:Devil_runtime.Sched.t -> line:int -> Devil_runtime.Instance.t -> t
+  (** Registers the interrupt handler for [line] on [sched]. The
+      underlying device should be initialized with
+      {!Devil_driver.init} (same instance) before frames flow. *)
+
+  val on_frame : t -> (string -> unit) -> unit
+  (** Sets the receive callback, invoked once per drained frame from
+      inside the interrupt handler. *)
+
+  val send : t -> string -> Devil_runtime.Sched.request
+  (** Queues a transmission; the request completes when the PTX
+      interrupt is serviced, or times out through the classified
+      {!Devil_runtime.Policy} path like any queued request. *)
+
+  val await : t -> Devil_runtime.Sched.request -> unit
+  val drain : t -> unit
 end

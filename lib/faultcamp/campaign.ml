@@ -102,8 +102,19 @@ let ide_read (m : Machine.t) =
   in
   (* Post-transfer probe: the error-locate readback real drivers run
      when a command stops early (exercised here unconditionally so the
-     campaign covers the task-file read path). *)
-  ignore (Drivers.Ide.Devil_driver.read_task_file d);
+     campaign covers the task-file read path). The task file must
+     still address the command we issued — the device never rewrites
+     it during PIO — so a mismatch means the probe the driver would
+     lean on after a real failure is itself untrustworthy, and the
+     driver reports that rather than ignoring the readback. *)
+  let tf_count, tf_lba = Drivers.Ide.Devil_driver.read_task_file d in
+  if tf_count <> count || tf_lba <> 100 then
+    Policy.fail
+      (Policy.Device_fault
+         (Printf.sprintf
+            "ide: task file reads back (count=%d, lba=%d), not the issued \
+             (count=%d, lba=100)"
+            tf_count tf_lba count));
   if Bytes.equal got expected then Verified
   else Corrupt "read data differs from disk contents"
 
@@ -193,7 +204,104 @@ let gfx_render (m : Machine.t) =
   | [] -> Verified
   | faults -> Corrupt (String.concat "; " faults)
 
-let driver_workloads = [ "ide-read"; "ide-write"; "serial"; "net"; "gfx" ]
+(* {2 Asynchronous (interrupt-driven) workloads}
+
+   The queued drivers under the same adversarial bus as their polling
+   counterparts. Interrupt delivery itself — the 8259A poll-command
+   acknowledge and the EOI — runs as bus traffic outside the faulted
+   range, mirroring real boards where the interrupt controller does
+   not share the device's bus segment. *)
+
+let ide_dma_async (m : Machine.t) =
+  let count = 2 and lba0 = 300 and commands = 2 in
+  let total = commands * count in
+  let expected = pattern (total * sector_bytes) in
+  for s = 0 to total - 1 do
+    Hwsim.Ide_disk.write_sector m.disk ~lba:(lba0 + s)
+      (Bytes.sub expected (s * sector_bytes) sector_bytes)
+  done;
+  Hwsim.Piix4.set_latency m.busmaster 4;
+  let sched = Machine.sched m in
+  let d =
+    Drivers.Ide.Async.create ~sched ~line:Machine.irq_ide
+      ~memory:(Hwsim.Piix4.memory m.busmaster) ~ide:m.ide_dev
+      ~piix4:m.piix4_dev
+  in
+  let got = Bytes.make (total * sector_bytes) '\000' in
+  let rqs =
+    List.init commands (fun i ->
+        Drivers.Ide.Async.read_dma d ~lba:(lba0 + (i * count)) ~count
+          ~on_data:(fun b ->
+            Bytes.blit b 0 got (i * count * sector_bytes) (Bytes.length b))
+          ())
+  in
+  List.iter (fun rq -> Drivers.Ide.Async.await d rq) rqs;
+  (* The same error-locate probe as the synchronous workload: the task
+     file must still address the last command the queue issued. *)
+  let last_lba = lba0 + ((commands - 1) * count) in
+  let ide_drv = Drivers.Ide.Devil_driver.create ~ide:m.ide_dev ~piix4:m.piix4_dev in
+  let tf_count, tf_lba = Drivers.Ide.Devil_driver.read_task_file ide_drv in
+  if tf_count <> count || tf_lba <> last_lba then
+    Policy.fail
+      (Policy.Device_fault
+         (Printf.sprintf
+            "ide: task file reads back (count=%d, lba=%d), not the issued \
+             (count=%d, lba=%d)"
+            tf_count tf_lba count last_lba));
+  if Bytes.equal got expected then Verified
+  else Corrupt "DMA data differs from disk contents"
+
+let net_async (m : Machine.t) =
+  let sched = Machine.sched m in
+  let inst = m.ne2000_dev in
+  let sync = Drivers.Net.Devil_driver.create inst in
+  let a = Drivers.Net.Async.create ~sched ~line:Machine.irq_net inst in
+  Drivers.Net.Devil_driver.init sync ~mac:"\x02\x00\x00\x00\x00\x02";
+  let got = ref [] in
+  Drivers.Net.Async.on_frame a (fun f -> got := f :: !got);
+  let frames =
+    List.init 3 (fun i ->
+        String.init 40 (fun j -> Char.chr (((i * 40) + (j * 3) + 5) land 0xff)))
+  in
+  List.iter
+    (fun f ->
+      if not (Hwsim.Ne2000.inject_frame m.nic f) then
+        failwith "net async: receive ring rejected an injected frame")
+    frames;
+  let budget = ref 64 in
+  while List.length !got < List.length frames && !budget > 0 do
+    Devil_runtime.Sched.tick sched;
+    decr budget
+  done;
+  if List.length !got < List.length frames then
+    Policy.fail
+      (Policy.Device_fault
+         (Printf.sprintf "net: %d of %d frames drained before the deadline"
+            (List.length !got) (List.length frames)));
+  (* One transmission through the queue, completed by the PTX irq. *)
+  let tx = "devil fault campaign async tx frame" in
+  Drivers.Net.Async.await a (Drivers.Net.Async.send a tx);
+  if List.rev !got <> frames then
+    Corrupt "drained frames differ from the ones injected"
+  else
+    match Hwsim.Ne2000.take_transmitted m.nic with
+    | [ sent ] when sent = tx -> Verified
+    | [ _ ] -> Corrupt "transmitted frame differs from the one sent"
+    | l ->
+        Reported
+          (Printf.sprintf "expected 1 transmitted frame, found %d"
+             (List.length l))
+
+let driver_workloads =
+  [ "ide-read"; "ide-write"; "serial"; "net"; "gfx"; "ide-dma-async"; "net-async" ]
+
+(* A bus tape carries transfers, not interrupt wires: under
+   [Bus.replaying] the device models see no traffic, so a source
+   sampling a model's INT pin never asserts and an interrupt-driven
+   workload can only time out. Replay guarantees therefore cover the
+   polling workloads, where everything the driver observed IS on the
+   tape. *)
+let replayable_workloads = [ "ide-read"; "ide-write"; "serial"; "net"; "gfx" ]
 
 let workloads =
   [
@@ -202,6 +310,12 @@ let workloads =
     ("serial", (Machine.uart_base, Machine.uart_base + 7), serial_self_test);
     ("net", (Machine.ne2000_base, Machine.ne2000_base + 31), net_loopback);
     ("gfx", (Machine.gfx_mmio_base, Machine.gfx_mmio_base + 15), gfx_render);
+    ( "ide-dma-async",
+      (Machine.ide_base, Machine.ide_base + 7),
+      ide_dma_async );
+    ( "net-async",
+      (Machine.ne2000_base, Machine.ne2000_base + 31),
+      net_async );
   ]
 
 (* The devices whose spec coverage the campaign aggregates: one

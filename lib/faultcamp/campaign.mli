@@ -48,7 +48,18 @@ val fault_classes : string list
     "transient"]. *)
 
 val driver_workloads : string list
-(** ["ide-read"; "ide-write"; "serial"; "net"; "gfx"]. *)
+(** ["ide-read"; "ide-write"; "serial"; "net"; "gfx"; "ide-dma-async";
+    "net-async"] — the last two drive the interrupt-driven queued
+    drivers ({!Drivers.Ide.Async}, {!Drivers.Net.Async}) through the
+    machine's {!Drivers.Machine.sched} event loop under the same fault
+    matrix as their polling counterparts. *)
+
+val replayable_workloads : string list
+(** The polling subset of {!driver_workloads}, whose trials replay
+    from a bus tape alone. The interrupt-driven workloads are excluded
+    by construction: a tape carries bus transfers, not interrupt
+    wires, so under {!Devil_runtime.Bus.replaying} a source sampling a
+    device model's INT pin never asserts. *)
 
 val default_seeds : int list
 (** [[1; 2; 3]]. *)

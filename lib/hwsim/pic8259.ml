@@ -15,6 +15,8 @@ type t = {
   mutable read_isr : bool;  (* OCW3 read selection *)
   mutable special_mask : bool;
   mutable poll : bool;
+  mutable int_callback : (bool -> unit) option;
+  mutable last_int : bool;  (* last INT level the callback observed *)
 }
 
 let create () =
@@ -33,6 +35,8 @@ let create () =
     read_isr = false;
     special_mask = false;
     poll = false;
+    int_callback = None;
+    last_int = false;
   }
 
 let initialized t = t.initialized
@@ -41,9 +45,6 @@ let imr t = t.imr
 let irr t = t.irr
 let isr t = t.isr
 let auto_eoi t = t.icw4 land 0x02 <> 0
-
-let raise_irq t ~line = t.irr <- t.irr lor (1 lsl (line land 7))
-let lower_irq t ~line = t.irr <- t.irr land lnot (1 lsl (line land 7))
 
 let highest_bit v =
   let rec go i = if i > 7 then None else if v land (1 lsl i) <> 0 then Some i else go (i + 1) in
@@ -62,13 +63,44 @@ let pending t =
 
 let int_asserted t = t.initialized && Option.is_some (pending t)
 
+(* Re-evaluate the INT output after any state change and report edges
+   to the attached CPU/scheduler. Crucially this runs after an EOI
+   clears an ISR bit: with a higher-priority line leaving service, a
+   queued lower-priority request must re-assert INT immediately — real
+   8259A priority-resolution behaviour the callback consumer (the
+   event loop) depends on to drain wire-OR'd lines. *)
+let update_int t =
+  let level = int_asserted t in
+  if level <> t.last_int then begin
+    t.last_int <- level;
+    match t.int_callback with Some f -> f level | None -> ()
+  end
+
+let set_int_callback t f =
+  t.int_callback <- Some f;
+  (* Sync the consumer with the current level, whatever it is. *)
+  t.last_int <- int_asserted t;
+  f t.last_int
+
+let raise_irq t ~line =
+  t.irr <- t.irr lor (1 lsl (line land 7));
+  update_int t
+
+let lower_irq t ~line =
+  t.irr <- t.irr land lnot (1 lsl (line land 7));
+  update_int t
+
 let inta t =
-  match pending t with
-  | None -> None
-  | Some line ->
-      t.irr <- t.irr land lnot (1 lsl line);
-      if not (auto_eoi t) then t.isr <- t.isr lor (1 lsl line);
-      Some (t.vector_base + line)
+  let result =
+    match pending t with
+    | None -> None
+    | Some line ->
+        t.irr <- t.irr land lnot (1 lsl line);
+        if not (auto_eoi t) then t.isr <- t.isr lor (1 lsl line);
+        Some (t.vector_base + line)
+  in
+  update_int t;
+  result
 
 let start_init t v =
   t.state <- Want_icw2;
@@ -112,7 +144,7 @@ let write_ocw3 t v =
 
 let write t ~width:_ ~offset ~value =
   let v = value land 0xff in
-  match offset with
+  (match offset with
   | 0 ->
       if v land 0x10 <> 0 then start_init t v
       else if v land 0x08 <> 0 then write_ocw3 t v
@@ -131,13 +163,15 @@ let write t ~width:_ ~offset ~value =
           t.icw4 <- v;
           finish_init t
       | Ready -> t.imr <- v)
-  | _ -> ()
+  | _ -> ());
+  update_int t
 
 let read t ~width:_ ~offset =
   match offset with
   | 0 ->
       if t.poll then begin
         t.poll <- false;
+        (* [inta] itself re-evaluates INT. *)
         match inta t with
         | Some vector -> 0x80 lor (vector - t.vector_base)
         | None -> 0

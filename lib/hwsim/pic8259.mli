@@ -19,6 +19,15 @@ val lower_irq : t -> line:int -> unit
 val int_asserted : t -> bool
 (** True when an unmasked request is pending and would drive INT. *)
 
+val set_int_callback : t -> (bool -> unit) -> unit
+(** Attaches the CPU-side INT pin: the callback fires on every edge of
+    {!int_asserted} — after a request is raised or lowered, after an
+    INTA, and after every register write, {e including an EOI that
+    uncovers a queued lower-priority request} (the controller
+    re-resolves priority the moment an ISR bit clears). Registering
+    immediately reports the current level. One callback; the last
+    registration wins. *)
+
 val inta : t -> int option
 (** CPU interrupt acknowledge: moves the highest-priority pending
     request into service and returns its vector (base + line). *)

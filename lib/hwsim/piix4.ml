@@ -6,6 +6,8 @@ type t = {
   mutable direction_to_memory : bool;
   mutable status_irq : bool;
   mutable status_error : bool;
+  mutable latency : int;  (* work units per transfer; 0 = instantaneous *)
+  mutable countdown : int option;  (* remaining work of a deferred transfer *)
 }
 
 let create ~disk ~memory_size =
@@ -17,7 +19,11 @@ let create ~disk ~memory_size =
     direction_to_memory = false;
     status_irq = false;
     status_error = false;
+    latency = 0;
+    countdown = None;
   }
+
+let set_latency t n = t.latency <- max 0 n
 
 let memory t = t.memory
 let irq_seen t = t.status_irq
@@ -58,12 +64,31 @@ let run_transfer t =
           t.status_error <- true;
           t.running <- false)
 
+(* One unit of engine progress. A latency-deferred transfer still
+   executes atomically when its countdown expires — the deferral
+   models the bus time a real transfer takes, during which a polling
+   driver burns a status read per unit while a queued driver runs the
+   scheduler loop and hears about completion through the IRQ line. *)
+let tick t =
+  match t.countdown with
+  | Some n when t.running ->
+      if n <= 1 then begin
+        t.countdown <- None;
+        run_transfer t
+      end
+      else t.countdown <- Some (n - 1)
+  | _ -> ()
+
 let bm_read t ~width:_ ~offset =
   match offset with
   | 0 ->
       (if t.running then 0x01 else 0x00)
       lor if t.direction_to_memory then 0x08 else 0x00
   | 2 ->
+      (* A status poll is itself a bus cycle, so it advances a deferred
+         transfer one unit: polling still terminates with latency > 0,
+         it just pays an I/O operation per unit of progress. *)
+      tick t;
       (if t.running then 0x01 else 0x00)
       lor (if t.status_error then 0x02 else 0x00)
       lor if t.status_irq then 0x04 else 0x00
@@ -75,9 +100,13 @@ let bm_write t ~width:_ ~offset ~value =
       t.direction_to_memory <- value land 0x08 <> 0;
       if value land 0x01 <> 0 then begin
         t.running <- true;
-        run_transfer t
+        if t.latency = 0 then run_transfer t
+        else t.countdown <- Some t.latency
       end
-      else t.running <- false
+      else begin
+        t.running <- false;
+        t.countdown <- None
+      end
   | 2 ->
       (* Write-1-to-clear status bits. *)
       if value land 0x02 <> 0 then t.status_error <- false;

@@ -24,3 +24,16 @@ val memory : t -> Bytes.t
 (** The simulated system memory DMA reads/writes. *)
 
 val irq_seen : t -> bool
+
+val set_latency : t -> int -> unit
+(** Work units a started transfer takes before completing. The default
+    0 keeps the historical instantaneous behaviour (the transfer runs
+    inside the engine-start write). With [n > 0] the engine completes
+    after [n] calls to {!tick} — or [n] busmaster-status reads, each of
+    which advances it one unit, so a polling driver still terminates
+    but pays one I/O operation per unit while an interrupt-driven
+    driver pays none. *)
+
+val tick : t -> unit
+(** One unit of engine progress; no effect unless a latency-deferred
+    transfer is running. Wired as a {!Devil_runtime.Sched} ticker. *)

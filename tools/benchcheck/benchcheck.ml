@@ -5,6 +5,7 @@
      benchcheck FILE [--require-speedup]
      benchcheck compare OLD.json NEW.json [--max-regression PCT]
      benchcheck speedscope FILE
+     benchcheck async FILE
 
    The first form checks that FILE is well-formed JSON matching the
    DESIGN.md §9 schema: a schema_version-1 object whose "workloads"
@@ -20,6 +21,11 @@
    (exit 1) when NEW's ns/op exceeds OLD's by more than PCT percent
    (default 10). Null estimates are skipped; at least one comparable
    pair is required.
+
+   [async] validates a `bench async` artifact (suite devil_pr7_async)
+   and gates the queued-driver acceptance: ide-queued-dma at >= 2.0x
+   the polling row's sustainable command rate, net-burst-rx no slower
+   than its polling counterpart.
 
    [speedscope] validates a Trace_export.profile_to_speedscope file
    against the speedscope JSON expectations: the $schema URL, interned
@@ -337,6 +343,69 @@ let compare_cmd ~old_path ~new_path ~max_pct =
   Printf.printf "ok: %d pair(s) within %.1f%% of %s\n" (List.length shared)
     max_pct old_path
 
+(* {1 async: the queued-driver acceptance gate (DESIGN.md §13)} *)
+
+let async_expected_rows =
+  [ "ide-sync-poll"; "ide-queued-dma"; "net-poll-rx"; "net-burst-rx" ]
+
+let async_cmd path =
+  let doc = Parse.document (read_file path) in
+  if num "schema_version" doc <> 1.0 then bad "schema_version must be 1";
+  if str "suite" doc <> "devil_pr7_async" then
+    bad "suite must be \"devil_pr7_async\"";
+  if num "dma_latency" doc < 1.0 then bad "dma_latency must be at least 1";
+  let rows =
+    match field "rows" doc with
+    | Arr rows -> rows
+    | _ -> bad "field \"rows\" must be an array"
+  in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun row ->
+      let name = str "name" row in
+      if not (List.mem name async_expected_rows) then
+        bad "unknown row %S" name;
+      if Hashtbl.mem seen name then bad "duplicate row %S" name;
+      if num "ops" row < 1.0 then bad "%s: ops must be at least 1" name;
+      List.iter
+        (fun f ->
+          if num f row < 0.0 then bad "%s: %s must be non-negative" name f)
+        [
+          "singles_per_op"; "block_per_op"; "irqs_per_op"; "wait_ticks_per_op";
+          "p99_wait_ticks";
+        ];
+      if num "cpu_us_per_op" row <= 0.0 then
+        bad "%s: cpu_us_per_op must be positive" name;
+      if num "ops_per_s" row <= 0.0 then bad "%s: ops_per_s must be positive" name;
+      let ratio =
+        match field "ratio_vs_sync" row with
+        | Null -> None
+        | Num f when f > 0.0 -> Some f
+        | Num _ -> bad "%s: ratio_vs_sync must be positive" name
+        | _ -> bad "%s: ratio_vs_sync must be a number or null" name
+      in
+      Hashtbl.add seen name ratio)
+    rows;
+  List.iter
+    (fun name ->
+      if not (Hashtbl.mem seen name) then bad "missing row %S" name)
+    async_expected_rows;
+  (* The acceptance criterion: queued DMA sustains at least twice the
+     polling driver's command rate under the same cost model. *)
+  (match Hashtbl.find seen "ide-queued-dma" with
+  | Some r when r >= 2.0 -> ()
+  | Some r ->
+      bad "ide-queued-dma: %.2fx vs ide-sync-poll, acceptance needs >= 2.0x" r
+  | None -> bad "ide-queued-dma: ratio_vs_sync must be a real number");
+  (match Hashtbl.find seen "net-burst-rx" with
+  | Some r when r >= 1.0 -> ()
+  | Some r ->
+      bad "net-burst-rx: %.2fx vs net-poll-rx, must not be slower than polling"
+        r
+  | None -> bad "net-burst-rx: ratio_vs_sync must be a real number");
+  let ide_ratio = Option.get (Hashtbl.find seen "ide-queued-dma") in
+  Printf.printf "%s: ok (ide-queued-dma %.2fx vs sync poll)\n" path ide_ratio
+
 (* {1 speedscope: exporter-format validation} *)
 
 let speedscope_cmd path =
@@ -419,6 +488,7 @@ let usage () =
   prerr_endline
     "       benchcheck compare OLD.json NEW.json [--max-regression PCT]";
   prerr_endline "       benchcheck speedscope FILE";
+  prerr_endline "       benchcheck async FILE";
   exit 2
 
 let checked path f =
@@ -462,6 +532,8 @@ let () =
       | _ -> usage ())
   | [ "speedscope"; path ] -> checked path (fun () -> speedscope_cmd path)
   | "speedscope" :: _ -> usage ()
+  | [ "async"; path ] -> checked path (fun () -> async_cmd path)
+  | "async" :: _ -> usage ()
   | args -> (
       let require_speedup = List.mem "--require-speedup" args in
       match List.filter (fun a -> a <> "--require-speedup") args with

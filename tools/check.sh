@@ -90,6 +90,21 @@ dune exec bench/main.exe -- explore --seeded-bug \
 echo "ok: seeded regression found, shrunk and reproduced from the fixture"
 dune build @explore
 
+# Async-driver gates (ISSUE 7): the scheduler / interrupt-driven
+# driver suite must pass (queues, timers, dispatch, the 8259A EOI
+# regression, the rx-ring straddle, the sync/async failure-taxonomy
+# equivalence, the IRQ-path fault cases, the Monitor oracle), and a
+# fresh `bench async` run must validate against the devil_pr7_async
+# schema with queued DMA at >= 2x the polling driver's command rate.
+# The committed BENCH_async.json is gated too when present.
+echo "== async gates =="
+dune build @async
+dune exec bench/main.exe -- async --out _build/bench_async.json > /dev/null
+dune exec tools/benchcheck/benchcheck.exe -- async _build/bench_async.json
+if [ -f BENCH_async.json ]; then
+  dune exec tools/benchcheck/benchcheck.exe -- async BENCH_async.json
+fi
+
 if command -v ocamlformat >/dev/null 2>&1 && [ -f .ocamlformat ]; then
   echo "== ocamlformat check =="
   dune build @fmt

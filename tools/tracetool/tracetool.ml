@@ -39,13 +39,16 @@ let usage_text =
    commands:\n\
   \  print    FILE                               render a JSONL trace\n\
   \  convert  FILE [-o OUT]                      JSONL -> Chrome JSON\n\
-  \  filter   FILE [--dev D] [--reg R] [-o OUT]  keep matching events\n\
+  \  filter   FILE [--dev D] [--reg R] [--kind K] [-o OUT]\n\
+  \                                              keep matching events\n\
   \  diff     A B                                trace or tape JSONL\n\
   \  coverage FILE --spec NAME [--dev LABEL] [--min-reg PCT] [--missed]\n\
    flags:\n\
   \  -o OUT          write output to OUT instead of stdout\n\
   \  --dev D         keep events of instance label D\n\
   \  --reg R         keep events touching register R\n\
+  \  --kind K        keep one event family: bus, reg, var, cache,\n\
+  \                  action, policy, fault, irq, queue\n\
   \  --spec NAME     bundled specification to cover\n\
   \  --min-reg PCT   fail (exit 1) below PCT register coverage\n\
   \  --missed        list every uncovered site\n\
@@ -93,6 +96,27 @@ let event_dev (k : Trace.kind) =
       | Some i -> Some (String.sub label 0 i)
       | None -> None)
   | Fault_injected _ -> None
+  | Irq_raised { dev; _ } | Irq_delivered { dev; _ }
+  | Queue_submitted { dev; _ } | Queue_completed { dev; _ } ->
+      Some dev
+
+(* The coarse families [--kind] selects between; scheduler events get
+   their own families so an interrupt-delivery or queue-depth question
+   doesn't have to wade through register traffic. *)
+let event_kind (k : Trace.kind) =
+  match k with
+  | Bus_read _ | Bus_write _ | Bus_block_read _ | Bus_block_write _ -> "bus"
+  | Reg_read _ | Reg_write _ -> "reg"
+  | Var_read _ | Var_write _ | Struct_write _ -> "var"
+  | Cache_hit _ | Cache_miss _ | Cache_invalidated _ -> "cache"
+  | Action _ | Serialized _ -> "action"
+  | Poll _ | Retry _ -> "policy"
+  | Fault_injected _ -> "fault"
+  | Irq_raised _ | Irq_delivered _ -> "irq"
+  | Queue_submitted _ | Queue_completed _ -> "queue"
+
+let kind_families =
+  [ "bus"; "reg"; "var"; "cache"; "action"; "policy"; "fault"; "irq"; "queue" ]
 
 let event_regs (k : Trace.kind) =
   match k with
@@ -102,9 +126,10 @@ let event_regs (k : Trace.kind) =
   | Var_write { regs; _ } | Struct_write { regs; _ } -> regs
   | _ -> []
 
-let matches ~dev ~reg (e : Trace.event) =
+let matches ~dev ~reg ~kind (e : Trace.event) =
   (match dev with None -> true | Some d -> event_dev e.kind = Some d)
-  && match reg with None -> true | Some r -> List.mem r (event_regs e.kind)
+  && (match reg with None -> true | Some r -> List.mem r (event_regs e.kind))
+  && match kind with None -> true | Some k -> event_kind e.kind = k
 
 (* {1 Commands} *)
 
@@ -116,8 +141,13 @@ let cmd_print file =
 let cmd_convert file ~out =
   output ~out (Trace_export.to_chrome (events_of_file file))
 
-let cmd_filter file ~dev ~reg ~out =
-  let kept = List.filter (matches ~dev ~reg) (events_of_file file) in
+let cmd_filter file ~dev ~reg ~kind ~out =
+  (match kind with
+  | Some k when not (List.mem k kind_families) ->
+      usage_die "--kind %s: unknown family (have: %s)" k
+        (String.concat ", " kind_families)
+  | _ -> ());
+  let kept = List.filter (matches ~dev ~reg ~kind) (events_of_file file) in
   output ~out (Trace_export.events_to_jsonl kept)
 
 (* A diff operand is either trace JSONL or tape JSONL; the header line
@@ -216,11 +246,12 @@ let () =
     | "--missed" :: rest ->
         Hashtbl.replace opts "--missed" "";
         parse rest
-    | (("--dev" | "--reg" | "--spec" | "--min-reg" | "-o") as o) :: v :: rest
-      ->
+    | (("--dev" | "--reg" | "--kind" | "--spec" | "--min-reg" | "-o") as o)
+      :: v :: rest ->
         Hashtbl.replace opts o v;
         parse rest
-    | [ (("--dev" | "--reg" | "--spec" | "--min-reg" | "-o") as o) ] ->
+    | [ (("--dev" | "--reg" | "--kind" | "--spec" | "--min-reg" | "-o") as o) ]
+      ->
         usage_die "option %s needs a value" o
     | o :: _ when String.length o > 1 && o.[0] = '-' ->
         usage_die "unknown option %s" o
@@ -241,7 +272,8 @@ let () =
           cmd_convert f ~out:(opt "-o");
           0
       | "filter", [ f ] ->
-          cmd_filter f ~dev:(opt "--dev") ~reg:(opt "--reg") ~out:(opt "-o");
+          cmd_filter f ~dev:(opt "--dev") ~reg:(opt "--reg")
+            ~kind:(opt "--kind") ~out:(opt "-o");
           0
       | "diff", [ a; b ] -> cmd_diff a b
       | "coverage", [ f ] ->
