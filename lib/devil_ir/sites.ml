@@ -31,6 +31,11 @@ let pp_site fmt s = Format.pp_print_string fmt (site_id s)
 
 let is_reg_site = function S_reg _ -> true | _ -> false
 
+let site_access = function
+  | S_reg { access; _ } | S_template { access; _ } | S_var { access; _ } ->
+      Some access
+  | S_bits _ | S_behaviour _ | S_action _ | S_serial _ -> None
+
 (* An enum with no case mapping in a direction cannot be accessed that
    way at all: a '=>' case only encodes (writes) and a '<=' case only
    decodes, so e.g. a variable whose every case is one-directional
@@ -63,6 +68,28 @@ let var_accesses (d : Ir.device) (v : Ir.var) =
         @ if all Ir.reg_writable then [ Ir.Write ] else []
   in
   List.filter (fun access -> type_allows access v) reg_accesses
+
+(* The write-side seed corpus: every value is in-type and writable, so
+   a generator drawing from it never trips the §3.2 dynamic checks. *)
+let canonical_writes (v : Ir.var) =
+  match v.v_type with
+  | Dtype.Bool -> [ Value.Bool false; Value.Bool true ]
+  | Dtype.Int { signed; bits } ->
+      let bits = min bits 30 in
+      if signed then
+        let hi = (1 lsl (bits - 1)) - 1 in
+        List.sort_uniq compare [ Value.Int 0; Value.Int hi; Value.Int (-hi - 1) ]
+      else
+        let hi = (1 lsl bits) - 1 in
+        List.sort_uniq compare [ Value.Int 0; Value.Int hi; Value.Int (hi / 2) ]
+  | Dtype.Int_set { values; _ } ->
+      List.filteri (fun i _ -> i < 8) (List.map (fun n -> Value.Int n) values)
+  | Dtype.Enum cases ->
+      List.filter_map
+        (fun (c : Dtype.enum_case) ->
+          if Dtype.writable_case c.dir then Some (Value.Enum c.case_name)
+          else None)
+        cases
 
 let behaviours_of (v : Ir.var) =
   let b = v.v_behaviour in

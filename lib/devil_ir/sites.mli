@@ -39,3 +39,30 @@ val site_id : site -> string
 val pp_site : Format.formatter -> site -> unit
 val access_label : Ir.access -> string
 val is_reg_site : site -> bool
+
+(** {1 Site metadata}
+
+    Enough structure for a harness generator to synthesize, from the
+    universe alone, operations that can cover each site: which
+    directions a variable supports, which direction a site is scoped
+    to, and an in-type seed corpus for the write side. *)
+
+val site_access : site -> Ir.access option
+(** The access direction a site is scoped to: [Some] for register,
+    template and variable sites, [None] for bit-range, behaviour,
+    action and serialization sites (those are covered through whichever
+    direction reaches them). *)
+
+val var_accesses : Ir.device -> Ir.var -> Ir.access list
+(** Directions the variable supports through the public interface: a
+    variable is readable (writable) when every register its chunks
+    touch is and its type maps in that direction — an enum all of whose
+    cases are write-only ([=>]) can never be read. A pure memory cell
+    supports both. *)
+
+val canonical_writes : Ir.var -> Value.t list
+(** A small, deterministic, in-type seed corpus for writing the
+    variable — direction-filtered at the type level: both booleans, an
+    integer type's extremes and zero, every member of a small set type
+    (capped at 8), every {e writable} enum case and nothing else. Empty
+    only for an enum with no writable case. *)

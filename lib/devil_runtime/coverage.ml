@@ -96,6 +96,10 @@ type report = {
   rp_covered : int;
   rp_reg_total : int;
   rp_reg_covered : int;
+  rp_read_total : int;
+  rp_read_covered : int;
+  rp_write_total : int;
+  rp_write_covered : int;
   rp_missed : Sites.site list;
 }
 
@@ -105,12 +109,20 @@ let report t =
   in
   let regs = List.filter Sites.is_reg_site t.universe in
   let regs_covered = List.filter (is_covered t) regs in
+  let direction access l =
+    List.filter (fun s -> Sites.is_reg_site s && Sites.site_access s = Some access) l
+  in
+  let reads = direction Ir.Read regs and writes = direction Ir.Write regs in
   {
     rp_dev = t.dev;
     rp_total = List.length t.universe;
     rp_covered = List.length covered_sites;
     rp_reg_total = List.length regs;
     rp_reg_covered = List.length regs_covered;
+    rp_read_total = List.length reads;
+    rp_read_covered = List.length (List.filter (is_covered t) reads);
+    rp_write_total = List.length writes;
+    rp_write_covered = List.length (List.filter (is_covered t) writes);
     rp_missed = missed;
   }
 
@@ -120,11 +132,16 @@ let percent ~covered ~total =
 
 let reg_percent r = percent ~covered:r.rp_reg_covered ~total:r.rp_reg_total
 let site_percent r = percent ~covered:r.rp_covered ~total:r.rp_total
+let read_percent r = percent ~covered:r.rp_read_covered ~total:r.rp_read_total
+let write_percent r = percent ~covered:r.rp_write_covered ~total:r.rp_write_total
 
 let pp_report fmt r =
-  Format.fprintf fmt "%-10s sites %3d/%3d (%5.1f%%)  registers %3d/%3d (%5.1f%%)"
+  Format.fprintf fmt
+    "%-10s sites %3d/%3d (%5.1f%%)  registers %3d/%3d (%5.1f%%)  read %d/%d  \
+     write %d/%d"
     r.rp_dev r.rp_covered r.rp_total (site_percent r) r.rp_reg_covered
-    r.rp_reg_total (reg_percent r)
+    r.rp_reg_total (reg_percent r) r.rp_read_covered r.rp_read_total
+    r.rp_write_covered r.rp_write_total
 
 let pp_missed fmt r =
   List.iter

@@ -36,8 +36,16 @@ type report = {
   rp_covered : int;
   rp_reg_total : int;  (** register-direction sites only *)
   rp_reg_covered : int;
+  rp_read_total : int;  (** read-direction register sites *)
+  rp_read_covered : int;
+  rp_write_total : int;  (** write-direction register sites *)
+  rp_write_covered : int;
   rp_missed : Devil_ir.Sites.site list;  (** uncovered, declaration order *)
 }
+(** The register tallies are additionally broken out per access
+    direction ([rp_reg_total = rp_read_total + rp_write_total]), so a
+    generated obligation can tell a write-only trigger register it can
+    never read back from readable state it simply failed to visit. *)
 
 val report : t -> report
 val reg_percent : report -> float
@@ -46,6 +54,11 @@ val reg_percent : report -> float
     universe. *)
 
 val site_percent : report -> float
+
+val read_percent : report -> float
+(** Covered percentage over read-direction register sites alone. *)
+
+val write_percent : report -> float
 val pp_report : Format.formatter -> report -> unit
 (** One line: covered/total for all sites and for registers. *)
 

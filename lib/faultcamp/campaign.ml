@@ -648,9 +648,11 @@ let pp_report fmt report =
     List.iter
       (fun (r : Coverage.report) ->
         Format.fprintf fmt
-          "coverage %-8s registers %d/%d (%.1f%%)  sites %d/%d (%.1f%%)@."
+          "coverage %-8s registers %d/%d (%.1f%%)  sites %d/%d (%.1f%%)  \
+           read %d/%d  write %d/%d@."
           r.rp_dev r.rp_reg_covered r.rp_reg_total (Coverage.reg_percent r)
-          r.rp_covered r.rp_total (Coverage.site_percent r))
+          r.rp_covered r.rp_total (Coverage.site_percent r) r.rp_read_covered
+          r.rp_read_total r.rp_write_covered r.rp_write_total)
       report.coverage
   end
 

@@ -1,0 +1,110 @@
+(* The per-spec battery: obligations + random differential sequences +
+   the generated fault campaign, all feeding one coverage accumulator.
+   Everything is derived from the compiled IR — a new spec added to
+   Devil_specs gets its battery for free. *)
+
+module Ir = Devil_ir.Ir
+module Value = Devil_ir.Value
+module Coverage = Devil_runtime.Coverage
+module Specs = Devil_specs.Specs
+
+let all_devices () =
+  List.map
+    (fun (name, source) ->
+      let config =
+        (* The one spec with a mandatory configuration parameter. *)
+        if name = "pic8259" then [ ("is_master", Value.Bool true) ] else []
+      in
+      (name, Specs.compile_exn ~config ~name source))
+    Specs.all
+
+type report = {
+  bt_name : string;
+  bt_obligations : int;
+  bt_obligation_errors : (string * string) list;
+      (* obligation label, error outcome *)
+  bt_sequences : int;
+  bt_ops : int;  (* operations across the random sequences *)
+  bt_divergences : string list;  (* from the bulk differential runs *)
+  bt_fault : Faultbat.report;
+  bt_coverage : Coverage.report;
+}
+
+let run ?(qcount = 10) ?(seed = 0) ~name (device : Ir.device) : report =
+  let cov = Coverage.create ~dev:Diffbat.label device in
+  (* 1. Deterministic coverage obligations, one burst per site the
+     universe says a workload can reach. *)
+  let obligations = Opgen.obligations device in
+  let obligation_errors =
+    List.concat_map
+      (fun (label, ops) ->
+        let outcomes = Diffbat.covered_run ~coverage:cov device ~seed ops in
+        List.filter_map
+          (function
+            | Opgen.O_error m -> Some (label, m) | _ -> None)
+          outcomes)
+      obligations
+  in
+  (* 2. Random valid sequences, run differentially (compiled vs
+     interpreter vs monitor) with coverage observing the compiled
+     engine. *)
+  let divergences = ref [] in
+  let total_ops = ref 0 in
+  for i = 0 to qcount - 1 do
+    let s = (seed * 1000) + i in
+    let rand = Random.State.make [| 0xba77e47; s |] in
+    let ops = QCheck.Gen.generate1 ~rand (Opgen.gen_ops device) in
+    total_ops := !total_ops + List.length ops;
+    match Diffbat.run_diff ~coverage:cov device ~seed:s ops with
+    | None -> ()
+    | Some d ->
+        divergences :=
+          Printf.sprintf "sequence %d: %s" i d.Diffbat.dv_detail :: !divergences
+  done;
+  (* 3. The generated fault campaign; its clean baseline also feeds the
+     coverage accumulator. *)
+  let fault = Faultbat.campaign ~coverage:cov ~seed:(seed + 7) device in
+  {
+    bt_name = name;
+    bt_obligations = List.length obligations;
+    bt_obligation_errors = obligation_errors;
+    bt_sequences = qcount;
+    bt_ops = !total_ops;
+    bt_divergences = List.rev !divergences;
+    bt_fault = fault;
+    bt_coverage = Coverage.report cov;
+  }
+
+let run_all ?qcount ?seed () =
+  List.map (fun (name, device) -> run ?qcount ?seed ~name device)
+    (all_devices ())
+
+let pp_report fmt (r : report) =
+  Format.fprintf fmt
+    "harness %-10s obligations %3d (%d error outcome(s))  sequences %d (%d \
+     ops, %d divergence(s))@.        fault: %a@.        %a"
+    r.bt_name r.bt_obligations
+    (List.length r.bt_obligation_errors)
+    r.bt_sequences r.bt_ops
+    (List.length r.bt_divergences)
+    Faultbat.pp_report r.bt_fault Coverage.pp_report r.bt_coverage
+
+(* The pass/fail verdict the check.sh harness gate and `bench harness`
+   apply: full register coverage gate plus zero violations. *)
+let gate ?(threshold = 90.0) (r : report) : (unit, string) result =
+  let pct = Coverage.reg_percent r.bt_coverage in
+  if pct < threshold then
+    Error
+      (Printf.sprintf "%s: generated register coverage %.1f%% < %.1f%%"
+         r.bt_name pct threshold)
+  else if r.bt_divergences <> [] then
+    Error
+      (Printf.sprintf "%s: %d differential divergence(s): %s" r.bt_name
+         (List.length r.bt_divergences)
+         (List.hd r.bt_divergences))
+  else if r.bt_fault.Faultbat.fb_violations <> [] then
+    Error
+      (Printf.sprintf "%s: %d fault violation(s): %s" r.bt_name
+         (List.length r.bt_fault.Faultbat.fb_violations)
+         (List.hd r.bt_fault.Faultbat.fb_violations).Faultbat.fv_detail)
+  else Ok ()

@@ -1,0 +1,43 @@
+(** The per-spec generated test battery (DESIGN.md §14).
+
+    Composes the three generated layers over one shared coverage
+    accumulator: deterministic {!Opgen.obligations}, random
+    differential sequences ({!Diffbat}), and the generated fault
+    campaign ({!Faultbat}). Zero per-spec code — {!all_devices}
+    enumerates every bundled specification, so a spec added to
+    {!Devil_specs.Specs.all} automatically joins the battery, the
+    [bench harness] table and the [tools/check.sh] coverage gate. *)
+
+module Ir = Devil_ir.Ir
+
+val all_devices : unit -> (string * Ir.device) list
+(** Every bundled spec, compiled (pic8259 configured as master — the
+    only spec with a mandatory configuration parameter). *)
+
+type report = {
+  bt_name : string;
+  bt_obligations : int;
+  bt_obligation_errors : (string * string) list;
+      (** Obligations whose outcome was an error (informational: e.g. a
+          seeded raw that decodes to no enum case); coverage still
+          accumulates from the register traffic. *)
+  bt_sequences : int;
+  bt_ops : int;
+  bt_divergences : string list;
+      (** Compiled/interpreter/monitor disagreements — must be empty. *)
+  bt_fault : Faultbat.report;
+  bt_coverage : Devil_runtime.Coverage.report;
+}
+
+val run : ?qcount:int -> ?seed:int -> name:string -> Ir.device -> report
+(** Runs the full battery for one spec. [qcount] scales the number of
+    random differential sequences (default 10). *)
+
+val run_all : ?qcount:int -> ?seed:int -> unit -> report list
+
+val pp_report : Format.formatter -> report -> unit
+
+val gate : ?threshold:float -> report -> (unit, string) result
+(** The acceptance verdict: generated register coverage at or above
+    [threshold] percent (default 90), zero differential divergences,
+    zero fault violations. *)

@@ -1,0 +1,70 @@
+(** The generated fault campaign (DESIGN.md §14).
+
+    For any compiled device, derives a deterministic {!Opgen.workload},
+    finds its busiest bus addresses per direction, and explores
+    scheduled fault injections over them ({!Devil_runtime.Fault.scheduled}
+    enumerated by {!Devil_runtime.Explore}) with the workload running
+    inside the full {!Devil_runtime.Policy} stack. The invariant pair:
+
+    - a {e transient} fault that fired must be fully absorbed — the
+      policy-wrapped workload's outcomes must equal the clean run's;
+    - no raw exception may escape the policy boundary, for any kind.
+
+    Value-corrupting kinds (stuck bits, flips, dropped and duplicated
+    writes) may legitimately change outcomes on a protocol-less memory
+    bus; they are tallied as [detected] (a classified error surfaced)
+    or [corrupt], not as violations. Violations are minimized with
+    {!Devil_runtime.Explore.shrink} before reporting. *)
+
+module Ir = Devil_ir.Ir
+module Fault = Devil_runtime.Fault
+
+type choice = {
+  c_op : Fault.op;
+  c_addr : int;
+  c_kind : Fault.kind;
+  c_label : string;
+}
+(** One injectable decision: a fault kind at one address in one
+    direction; the slot of a schedule decision picks the covered
+    ordinal. *)
+
+val pp_choice : Format.formatter -> choice -> unit
+
+type violation = {
+  fv_detail : string;
+  fv_schedule : string;  (** minimized, replayable decision list *)
+  fv_shrink_runs : int;  (** candidate runs the minimizer spent *)
+}
+
+type report = {
+  fb_ops : int;
+  fb_choices : int;
+  fb_runs : int;
+  fb_recovered : int;
+  fb_detected : int;
+  fb_corrupt : int;
+  fb_infeasible : int;
+  fb_violations : violation list;
+}
+
+val campaign :
+  ?coverage:Devil_runtime.Coverage.t ->
+  ?depth:int ->
+  ?budget:int ->
+  ?sites_per_dir:int ->
+  ?attempts:int ->
+  ?seed:int ->
+  ?length:int ->
+  Ir.device ->
+  report
+(** [campaign device] runs the generated campaign. [depth] bounds the
+    injection ordinal (default 3), [budget] the decisions per schedule
+    (default 1 — every single-injection schedule), [sites_per_dir] the
+    busiest addresses kept per direction (default 2). [attempts]
+    overrides the retry budget of the policy stack; [attempts:1]
+    disables retries and is the self-test knob that turns every fired
+    transient into a reportable, shrinkable violation. The clean
+    baseline's trace feeds [coverage]. *)
+
+val pp_report : Format.formatter -> report -> unit

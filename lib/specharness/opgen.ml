@@ -1,0 +1,379 @@
+(* Site-aware operation generation (DESIGN.md §14).
+
+   Everything here is derived from the IR and the site universe alone:
+   which variables can be read or written, which values are legal to
+   write, which access shapes (volatile re-reads, block gather/scatter,
+   indexed templates) the spec declares. No per-spec code — a new spec
+   dropped into the library gets its operation vocabulary for free. *)
+
+module Ir = Devil_ir.Ir
+module Dtype = Devil_ir.Dtype
+module Value = Devil_ir.Value
+module Sites = Devil_ir.Sites
+module Instance = Devil_runtime.Instance
+module Bus = Devil_runtime.Bus
+
+type op =
+  | Get of string
+  | Set of string * Value.t
+  | Get_struct of string
+  | Set_struct of string * (string * Value.t) list
+  | Read_block of string * int
+  | Write_block of string * int array
+  | Read_wide of string * int
+  | Write_wide of string * int * int
+  | Read_indexed of string * int list
+  | Write_indexed of string * int list * int
+  | Invalidate
+
+let pp_op = function
+  | Get n -> "get " ^ n
+  | Set (n, v) -> Printf.sprintf "set %s := %s" n (Value.to_string v)
+  | Get_struct n -> "get_struct " ^ n
+  | Set_struct (n, fs) ->
+      Printf.sprintf "set_struct %s {%s}" n
+        (String.concat "; "
+           (List.map (fun (f, v) -> f ^ " = " ^ Value.to_string v) fs))
+  | Read_block (n, c) -> Printf.sprintf "read_block %s count:%d" n c
+  | Write_block (n, d) ->
+      Printf.sprintf "write_block %s [%s]" n
+        (String.concat ";" (Array.to_list (Array.map string_of_int d)))
+  | Read_wide (n, s) -> Printf.sprintf "read_wide %s scale:%d" n s
+  | Write_wide (n, s, v) -> Printf.sprintf "write_wide %s scale:%d %d" n s v
+  | Read_indexed (t, a) ->
+      Printf.sprintf "read_indexed %s(%s)" t
+        (String.concat "," (List.map string_of_int a))
+  | Write_indexed (t, a, v) ->
+      Printf.sprintf "write_indexed %s(%s) := %d" t
+        (String.concat "," (List.map string_of_int a))
+        v
+  | Invalidate -> "invalidate_cache"
+
+(* {1 Executing operations} *)
+
+type outcome =
+  | O_unit
+  | O_value of Value.t
+  | O_int of int
+  | O_array of int array
+  | O_error of string
+
+let pp_outcome = function
+  | O_unit -> "()"
+  | O_value v -> Value.to_string v
+  | O_int n -> string_of_int n
+  | O_array a ->
+      "[" ^ String.concat ";" (Array.to_list (Array.map string_of_int a)) ^ "]"
+  | O_error m -> "error: " ^ m
+
+(* Raw execution: usage and device errors propagate as exceptions, so a
+   policy boundary above us can classify them. *)
+let run_op_raw inst op : outcome =
+  match op with
+  | Get n -> O_value (Instance.get inst n)
+  | Set (n, v) ->
+      Instance.set inst n v;
+      O_unit
+  | Get_struct n ->
+      Instance.get_struct inst n;
+      O_unit
+  | Set_struct (n, fs) ->
+      Instance.set_struct inst n fs;
+      O_unit
+  | Read_block (n, count) -> O_array (Instance.read_block inst n ~count)
+  | Write_block (n, data) ->
+      Instance.write_block inst n data;
+      O_unit
+  | Read_wide (n, scale) -> O_int (Instance.read_wide inst n ~scale)
+  | Write_wide (n, scale, v) ->
+      Instance.write_wide inst n ~scale v;
+      O_unit
+  | Read_indexed (template, args) ->
+      O_int (Instance.read_indexed inst ~template ~args)
+  | Write_indexed (template, args, v) ->
+      Instance.write_indexed inst ~template ~args v;
+      O_unit
+  | Invalidate ->
+      Instance.invalidate_cache inst;
+      O_unit
+
+(* Caught execution, for the differential battery: both engines must
+   produce the same outcome, errors included. *)
+let run_op inst op : outcome =
+  try run_op_raw inst op with
+  | Instance.Device_error m -> O_error ("device: " ^ m)
+  | Bus.Bus_fault m -> O_error ("bus: " ^ m)
+  | Not_found -> O_error "Not_found"
+  | Invalid_argument m -> O_error ("invalid: " ^ m)
+
+(* {1 The per-device generation universe}
+
+   Derived facts the generators and the obligations share. *)
+
+let readable d v = List.mem Ir.Read (Sites.var_accesses d v)
+let writable d v = List.mem Ir.Write (Sites.var_accesses d v)
+let is_volatile (v : Ir.var) = v.Ir.v_behaviour.Ir.b_volatile
+let is_block (v : Ir.var) = v.Ir.v_behaviour.Ir.b_block
+
+let struct_fields d (s : Ir.strct) =
+  List.filter_map (fun f -> Ir.find_var d f) s.Ir.s_fields
+
+(* First legal argument vector of a template, when every parameter has
+   at least one legal value. *)
+let template_args (tp : Ir.template) =
+  let legal = List.map (fun (_, vals) -> vals) tp.Ir.t_params in
+  if List.exists (fun vals -> vals = []) legal then None
+  else Some (List.map List.hd legal)
+
+let first_write (v : Ir.var) =
+  match Sites.canonical_writes v with w :: _ -> Some w | [] -> None
+
+(* {1 Deterministic coverage obligations}
+
+   One (label, ops) pair per thing the universe says a workload can
+   exercise, ordered reads-first so idempotent caches are warm before
+   sibling writes need them. Running them all and feeding the trace to
+   a Coverage accumulator is the generated analogue of the hand-curated
+   per-driver campaign workloads. *)
+
+let obligations (d : Ir.device) : (string * op list) list =
+  let pub = Ir.public_vars d in
+  let structs = Ir.public_structs d in
+  let reads =
+    List.filter_map
+      (fun (v : Ir.var) ->
+        if not (readable d v) then None
+        else if is_volatile v then
+          (* A volatile variable must reach the bus on every read: the
+             pair proves the re-read. *)
+          Some ("get2:" ^ v.v_name, [ Get v.v_name; Get v.v_name ])
+        else Some ("get:" ^ v.v_name, [ Get v.v_name ]))
+      pub
+  in
+  let struct_reads =
+    List.filter_map
+      (fun (s : Ir.strct) ->
+        if List.for_all (readable d) (struct_fields d s) then
+          Some ("get_struct:" ^ s.s_name, [ Get_struct s.s_name ])
+        else None)
+      structs
+  in
+  let writes =
+    List.filter_map
+      (fun (v : Ir.var) ->
+        if not (writable d v) then None
+        else
+          match first_write v with
+          | None -> None
+          | Some value ->
+              let readback = if readable d v then [ Get v.v_name ] else [] in
+              Some ("set:" ^ v.v_name, Set (v.v_name, value) :: readback))
+      pub
+  in
+  let struct_writes =
+    List.filter_map
+      (fun (s : Ir.strct) ->
+        let fields = struct_fields d s in
+        if fields = [] || not (List.for_all (writable d) fields) then None
+        else
+          let assigns =
+            List.filter_map
+              (fun (v : Ir.var) ->
+                Option.map (fun w -> (v.Ir.v_name, w)) (first_write v))
+              fields
+          in
+          if List.length assigns <> List.length fields then None
+          else Some ("set_struct:" ^ s.s_name, [ Set_struct (s.s_name, assigns) ]))
+      structs
+  in
+  let blocks =
+    List.concat_map
+      (fun (v : Ir.var) ->
+        if not (is_block v) then []
+        else
+          (if readable d v then
+             [
+               ("read_block:" ^ v.v_name, [ Read_block (v.v_name, 4) ]);
+               ("read_wide:" ^ v.v_name, [ Read_wide (v.v_name, 2) ]);
+             ]
+           else [])
+          @
+          if writable d v then
+            [
+              ( "write_block:" ^ v.v_name,
+                [ Write_block (v.v_name, [| 1; 2; 3; 4 |]) ] );
+              ("write_wide:" ^ v.v_name, [ Write_wide (v.v_name, 2, 0x1234) ]);
+            ]
+          else [])
+      pub
+  in
+  let indexed =
+    List.concat_map
+      (fun (tp : Ir.template) ->
+        match template_args tp with
+        | None -> []
+        | Some args ->
+            (if tp.t_read <> None then
+               [ ("read_indexed:" ^ tp.t_name, [ Read_indexed (tp.t_name, args) ]) ]
+             else [])
+            @
+            if tp.t_write <> None then
+              [
+                ( "write_indexed:" ^ tp.t_name,
+                  [ Write_indexed (tp.t_name, args, 0) ] );
+              ]
+            else [])
+      d.d_templates
+  in
+  reads @ struct_reads @ writes @ struct_writes @ blocks @ indexed
+  @ [ ("invalidate", [ Invalidate ]) ]
+
+(* {1 Site-aware random generation}
+
+   Unlike the error-path differential suite (test_plan_diff), every
+   generated operation is direction- and type-correct: writes draw from
+   the writable-case corpus, reads only target readable variables, so a
+   sequence exercises the protocol rather than the dynamic checks.
+   Volatile variables generate paired reads; block variables generate
+   gather/scatter shapes of varying counts and widths. *)
+
+let gen_write_value (v : Ir.var) : Value.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let corpus = Sites.canonical_writes v in
+  let uniform =
+    match v.Ir.v_type with
+    | Dtype.Int { signed; bits } ->
+        let bits = min bits 16 in
+        let hi = (1 lsl bits) - 1 in
+        if signed then
+          Some (map (fun n -> Value.Int n) (int_range (-((hi + 1) / 2)) (hi / 2)))
+        else Some (map (fun n -> Value.Int n) (int_range 0 hi))
+    | _ -> None
+  in
+  match (corpus, uniform) with
+  | [], Some u -> u
+  | [], None -> return (Value.Int 0) (* unreachable for writable vars *)
+  | corpus, Some u -> frequency [ (1, oneofl corpus); (2, u) ]
+  | corpus, None -> oneofl corpus
+
+(* A snippet is a short burst of related operations; sequences are
+   concatenations of snippets. *)
+let gen_snippets (d : Ir.device) : (int * op list QCheck.Gen.t) list =
+  let open QCheck.Gen in
+  let pub = Ir.public_vars d in
+  let var_snippets =
+    List.concat_map
+      (fun (v : Ir.var) ->
+        let n = v.Ir.v_name in
+        (if readable d v then
+           if is_volatile v then
+             (* volatile-aware: re-reads must hit the device again *)
+             [ (2, return [ Get n ]); (2, return [ Get n; Get n ]) ]
+           else [ (3, return [ Get n ]) ]
+         else [])
+        @
+        if writable d v then
+          let set = map (fun w -> Set (n, w)) (gen_write_value v) in
+          (3, map (fun s -> [ s ]) set)
+          ::
+          (if readable d v then
+             (* write-then-read-back exercises cache refresh rules *)
+             [ (1, map (fun s -> [ s; Get n ]) set) ]
+           else [])
+        else [])
+      pub
+  in
+  let struct_snippets =
+    List.concat_map
+      (fun (s : Ir.strct) ->
+        let fields = struct_fields d s in
+        (if fields <> [] && List.for_all (readable d) fields then
+           [ (2, return [ Get_struct s.Ir.s_name ]) ]
+         else [])
+        @
+        if fields <> [] && List.for_all (writable d) fields then
+          let gen_assigns =
+            flatten_l
+              (List.map
+                 (fun (v : Ir.var) ->
+                   map (fun w -> (v.Ir.v_name, w)) (gen_write_value v))
+                 fields)
+          in
+          [ (2, map (fun fs -> [ Set_struct (s.Ir.s_name, fs) ]) gen_assigns) ]
+        else [])
+      (Ir.public_structs d)
+  in
+  let block_snippets =
+    List.concat_map
+      (fun (v : Ir.var) ->
+        if not (is_block v) then []
+        else
+          let n = v.Ir.v_name in
+          (if readable d v then
+             [
+               (1, map (fun c -> [ Read_block (n, c) ]) (int_range 1 6));
+               (1, map (fun s -> [ Read_wide (n, s) ]) (oneofl [ 1; 2; 4 ]));
+             ]
+           else [])
+          @
+          if writable d v then
+            [
+              ( 1,
+                map
+                  (fun l -> [ Write_block (n, Array.of_list l) ])
+                  (list_size (int_range 1 6) (int_range 0 0xffff)) );
+              ( 1,
+                map
+                  (fun (s, value) -> [ Write_wide (n, s, value) ])
+                  (pair (oneofl [ 1; 2; 4 ]) (int_range 0 0xffff)) );
+            ]
+          else [])
+      pub
+  in
+  let indexed_snippets =
+    List.concat_map
+      (fun (tp : Ir.template) ->
+        let gen_args =
+          flatten_l (List.map (fun (_, legal) -> oneofl legal) tp.Ir.t_params)
+        in
+        match template_args tp with
+        | None -> []
+        | Some _ ->
+            (if tp.t_read <> None then
+               [ (1, map (fun args -> [ Read_indexed (tp.t_name, args) ]) gen_args) ]
+             else [])
+            @
+            if tp.t_write <> None then
+              [
+                ( 1,
+                  map
+                    (fun (args, v) -> [ Write_indexed (tp.t_name, args, v) ])
+                    (pair gen_args (int_range 0 0xff)) );
+              ]
+            else [])
+      d.d_templates
+  in
+  var_snippets @ struct_snippets @ block_snippets @ indexed_snippets
+  @ [ (1, return [ Invalidate ]) ]
+
+let gen_ops ?(min_len = 1) ?(max_len = 30) (d : Ir.device) :
+    op list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let snippets = gen_snippets d in
+  map List.concat (list_size (int_range min_len max_len) (frequency snippets))
+
+(* A deterministic workload: the same (device, seed, length) always
+   produces the same operation list — the fault battery explores fault
+   schedules against it. *)
+let workload (d : Ir.device) ~seed ~length : op list =
+  let rand = Random.State.make [| 0x5eed; seed |] in
+  let ops =
+    QCheck.Gen.generate1 ~rand (gen_ops ~min_len:length ~max_len:length d)
+  in
+  (* Invalidate snippets add noise without traffic; keep them, but make
+     sure the workload ends with reads so late faults stay visible. *)
+  ops
+  @ List.filter_map
+      (fun (v : Ir.var) ->
+        if readable d v && not (is_block v) then Some (Get v.Ir.v_name) else None)
+      (Ir.public_vars d)

@@ -1,0 +1,80 @@
+(** Site-aware operation generation (DESIGN.md §14).
+
+    Derives, from a compiled device's IR and site universe alone, the
+    vocabulary of driver operations a harness can perform on it:
+    what can legally be read, what can legally be written and with
+    which values, and which access shapes (volatile re-reads, block
+    gather/scatter, wide transfers, indexed templates) the spec
+    declares. Zero per-spec code: every generator and obligation below
+    is computed from {!Devil_ir.Sites} metadata. *)
+
+module Ir = Devil_ir.Ir
+module Value = Devil_ir.Value
+
+(** The operation alphabet — one constructor per public entry point of
+    {!Devil_runtime.Instance}. *)
+type op =
+  | Get of string
+  | Set of string * Value.t
+  | Get_struct of string
+  | Set_struct of string * (string * Value.t) list
+  | Read_block of string * int
+  | Write_block of string * int array
+  | Read_wide of string * int
+  | Write_wide of string * int * int
+  | Read_indexed of string * int list
+  | Write_indexed of string * int list * int
+  | Invalidate
+
+val pp_op : op -> string
+
+type outcome =
+  | O_unit
+  | O_value of Value.t
+  | O_int of int
+  | O_array of int array
+  | O_error of string
+
+val pp_outcome : outcome -> string
+
+val run_op_raw : Devil_runtime.Instance.t -> op -> outcome
+(** Executes one operation; device/bus exceptions propagate, so a
+    {!Devil_runtime.Policy} boundary above can classify them — the
+    execution mode of the fault battery. *)
+
+val run_op : Devil_runtime.Instance.t -> op -> outcome
+(** Executes one operation, catching [Device_error], [Bus_fault],
+    [Not_found] and [Invalid_argument] into [O_error] — the execution
+    mode of the differential battery, where both engines must fail
+    identically. *)
+
+val readable : Ir.device -> Ir.var -> bool
+val writable : Ir.device -> Ir.var -> bool
+
+val obligations : Ir.device -> (string * op list) list
+(** Deterministic coverage obligations: one labelled operation burst
+    per thing the site universe says a workload can exercise — every
+    readable variable (volatile ones read twice to witness the
+    re-read), every fully readable structure, every writable variable
+    (with read-back when legal), every fully writable structure, block
+    and wide transfers on [block] variables, and the first legal
+    instance of each register template. Ordered reads-first so caches
+    warm before sibling writes consult them. Running them all against a
+    coverage-attached instance is the generated analogue of a
+    hand-curated per-driver campaign workload. *)
+
+val gen_ops : ?min_len:int -> ?max_len:int -> Ir.device -> op list QCheck.Gen.t
+(** Random {e valid} operation sequences: direction-filtered (reads
+    only of readable variables, writes only of writable ones),
+    type-correct write values biased towards {!Devil_ir.Sites.canonical_writes},
+    volatile variables emitted as paired reads, block variables as
+    gather/scatter bursts of varying count and width, templates with
+    legal argument vectors only. Unlike the error-path differential
+    suite, a generated sequence exercises the protocol, not the dynamic
+    checks. *)
+
+val workload : Ir.device -> seed:int -> length:int -> op list
+(** A deterministic workload: the same (device, seed, length) always
+    yields the same list — the replayable substrate the fault battery
+    explores schedules against. Ends with a sweep of scalar reads so
+    late injections remain observable. *)

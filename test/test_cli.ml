@@ -102,6 +102,83 @@ let test_failures () =
   Alcotest.(check bool) "diagnostic printed" true
     (contains (output ()) "error")
 
+(* {1 tracetool: the --kind family filter}
+
+   The scheduler taught the trace vocabulary irq and queue events;
+   pin the CLI surface: every declared family is accepted, irq/queue
+   filtering keeps exactly its events, and an unknown family is a
+   usage error (exit 2), leaving exit 1 to the gates. *)
+
+let tracetool =
+  List.find_opt Sys.file_exists
+    [ "../tools/tracetool/tracetool.exe";
+      "_build/default/tools/tracetool/tracetool.exe" ]
+  |> Option.value ~default:"../tools/tracetool/tracetool.exe"
+
+let run_tracetool args =
+  Sys.command (Filename.quote_command tracetool args ^ " > cli_out.txt 2>&1")
+
+let mixed_trace_file () =
+  let open Devil_runtime.Trace in
+  let events =
+    List.mapi
+      (fun i kind -> { seq = i; kind })
+      [
+        Reg_read { dev = "uart"; reg = "LSR"; raw = 0x60 };
+        Irq_raised { line = 4; dev = "uart" };
+        Irq_delivered { line = 4; dev = "uart" };
+        Queue_submitted { dev = "ide"; label = "read#0"; depth = 1 };
+        Bus_write { addr = 0x1f0; width = 16; value = 0xbeef };
+        Queue_completed { dev = "ide"; label = "read#0"; depth = 0; ok = true };
+      ]
+  in
+  let oc = open_out_bin "cli_mixed_trace.jsonl" in
+  output_string oc (Devil_runtime.Trace_export.events_to_jsonl events);
+  close_out oc;
+  "cli_mixed_trace.jsonl"
+
+let test_tracetool_kind_filters () =
+  if not (Sys.file_exists tracetool) then
+    Alcotest.fail "tracetool binary not found (dune deps missing)";
+  let file = mixed_trace_file () in
+  Alcotest.(check int) "--kind irq exits 0" 0
+    (run_tracetool [ "filter"; file; "--kind"; "irq" ]);
+  let irq = output () in
+  Alcotest.(check bool) "irq keeps Irq_raised" true (contains irq "irq_raised");
+  Alcotest.(check bool) "irq keeps Irq_delivered" true
+    (contains irq "irq_delivered");
+  Alcotest.(check bool) "irq drops queue events" false (contains irq "queue_");
+  Alcotest.(check bool) "irq drops reg events" false (contains irq "reg_read");
+  Alcotest.(check int) "--kind queue exits 0" 0
+    (run_tracetool [ "filter"; file; "--kind"; "queue" ]);
+  let queue = output () in
+  Alcotest.(check bool) "queue keeps submit" true
+    (contains queue "queue_submitted");
+  Alcotest.(check bool) "queue keeps completion" true
+    (contains queue "queue_completed");
+  Alcotest.(check bool) "queue drops irq events" false (contains queue "irq_")
+
+let test_tracetool_kind_families () =
+  let file = mixed_trace_file () in
+  (* Every documented family is a valid selector. *)
+  List.iter
+    (fun k ->
+      Alcotest.(check int)
+        (Printf.sprintf "--kind %s accepted" k)
+        0
+        (run_tracetool [ "filter"; file; "--kind"; k ]))
+    [ "bus"; "reg"; "var"; "cache"; "action"; "policy"; "fault"; "irq";
+      "queue" ]
+
+let test_tracetool_unknown_kind () =
+  let file = mixed_trace_file () in
+  Alcotest.(check int) "unknown family is a usage error" 2
+    (run_tracetool [ "filter"; file; "--kind"; "bogus" ]);
+  Alcotest.(check bool) "names the bad family" true
+    (contains (output ()) "unknown family");
+  Alcotest.(check bool) "lists the accepted families" true
+    (contains (output ()) "irq")
+
 let test_list () =
   Alcotest.(check int) "list" 0 (run [ "list" ]);
   let out = output () in
@@ -123,5 +200,11 @@ let () =
           case "dump round-trips" test_dump_roundtrips;
           case "failure modes" test_failures;
           case "list" test_list;
+        ] );
+      ( "tracetool",
+        [
+          case "--kind irq/queue filter" test_tracetool_kind_filters;
+          case "every family accepted" test_tracetool_kind_families;
+          case "unknown family exits 2" test_tracetool_unknown_kind;
         ] );
     ]

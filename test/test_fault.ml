@@ -349,6 +349,56 @@ let test_snapshot_restore () =
   let b = fire_pattern bus inj 16 in
   Alcotest.(check (list bool)) "restore rewinds PRNG and budgets" a b
 
+(* Snapshot/restore in scheduled mode with a pending ordinal: the
+   per-injection progress (operations seen, fired-or-not) must rewind
+   with the snapshot, so an exploration can re-drive the same decision
+   from a mid-workload checkpoint and see it fire at the same covered
+   operation again. *)
+let test_scheduled_snapshot_restore_pending () =
+  let inj =
+    Fault.scheduled
+      ~injections:
+        [
+          Fault.injection ~label:"t2" ~op:Fault.Read ~at:2 ~first:0 ~last:0
+            (Fault.Transient { probability = 0.0 });
+        ]
+      (Bus.memory ())
+  in
+  let bus = Fault.bus inj in
+  wr bus ~addr:0 0x5a;
+  ignore (rd bus ~addr:0);
+  (* Checkpoint with the decision pending: one covered op seen, ordinal
+     2 still ahead. *)
+  let snap = Fault.snapshot inj in
+  Alcotest.(check int) "one covered op at the checkpoint" 1
+    (Fault.seen_for inj "t2");
+  ignore (rd bus ~addr:0);
+  let fired_first =
+    match rd bus ~addr:0 with
+    | _ -> false
+    | exception Fault.Bus_fault _ -> true
+  in
+  Alcotest.(check bool) "fires at ordinal 2 on the first drive" true
+    fired_first;
+  Alcotest.(check int) "hit recorded" 1 (Fault.scheduled_hits inj);
+  Fault.restore inj snap;
+  Alcotest.(check int) "restore rewinds the hit count" 0
+    (Fault.scheduled_hits inj);
+  Alcotest.(check int) "restore rewinds the covered-op counter" 1
+    (Fault.seen_for inj "t2");
+  (* Re-drive: the decision must fire again, at the same ordinal. *)
+  Alcotest.(check int) "ordinal 1 passes again" 0x5a (rd bus ~addr:0);
+  let fired_again =
+    match rd bus ~addr:0 with
+    | _ -> false
+    | exception Fault.Bus_fault _ -> true
+  in
+  Alcotest.(check bool) "fires at ordinal 2 on the re-drive" true fired_again;
+  Alcotest.(check int) "exactly one hit after the re-drive" 1
+    (Fault.scheduled_hits inj);
+  Alcotest.(check int) "no misses outstanding" 0
+    (List.length (Fault.scheduled_misses inj))
+
 let test_restore_validates_shape () =
   let mk plans = Fault.wrap ~plans (Bus.memory ()) in
   let inj1 =
@@ -579,6 +629,8 @@ let () =
           case "reset restores budgets" test_reset_restores_budget;
           case "reset rewinds the PRNG" test_reset_rewinds_prng;
           case "snapshot and restore" test_snapshot_restore;
+          case "scheduled snapshot/restore with a pending ordinal"
+            test_scheduled_snapshot_restore_pending;
           case "restore validates shape" test_restore_validates_shape;
         ] );
       ( "policy",

@@ -1,0 +1,186 @@
+(* The generated harness battery (lib/specharness, DESIGN.md §14).
+
+   Everything under test here is derived from the compiled IR and its
+   site universe with zero per-spec harness code:
+
+   - the site-aware QCheck differential: generated valid operation
+     sequences must behave identically on the compiled and interpreting
+     engines, with identical traces, identical cached raws and zero
+     monitor violations, for every bundled spec;
+   - the generated coverage obligations: running them (plus a small
+     random battery) must reach the full register-coverage gate (>= 90%,
+     empirically 100%) on every spec, including the extension devices
+     uart16550 and mc146818 that the hand-written faultcamp workloads
+     never covered;
+   - the generated fault campaign: scheduled injections over the
+     workload's busiest sites must hold the recovery invariant (fired
+     transients fully absorbed by the policy stack, no exception
+     escapes), and weakening the stack (attempts:1) must produce a
+     violation that Explore.shrink minimizes to a single decision —
+     the self-test that the campaign can actually find and shrink bugs;
+   - the per-direction register coverage breakout (read + write totals
+     partition the register universe).
+
+   DEVIL_QCHECK_COUNT scales the differential sequence counts. *)
+
+module Sites = Devil_ir.Sites
+module Coverage = Devil_runtime.Coverage
+module Opgen = Specharness.Opgen
+module Diffbat = Specharness.Diffbat
+module Faultbat = Specharness.Faultbat
+module Battery = Specharness.Battery
+
+let qcount d =
+  match Sys.getenv_opt "DEVIL_QCHECK_COUNT" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> d)
+  | None -> d
+
+let devices = Battery.all_devices ()
+
+(* {1 The generated differential property, per spec} *)
+
+let diff_tests =
+  List.map
+    (fun (name, device) ->
+      QCheck_alcotest.to_alcotest
+        (Diffbat.qcheck_test ~count:(qcount 25) ~name device))
+    devices
+
+(* {1 Obligations and the coverage gate, per spec} *)
+
+(* One battery run per spec, shared by the coverage and fault checks
+   below (the battery is deterministic). *)
+let batteries =
+  lazy
+    (List.map
+       (fun (name, device) -> (name, Battery.run ~qcount:3 ~name device))
+       devices)
+
+let battery name = List.assoc name (Lazy.force batteries)
+
+let coverage_case (name, device) =
+  Alcotest.test_case (name ^ " generated coverage >= 90%") `Slow (fun () ->
+      let r = battery name in
+      let cov = r.Battery.bt_coverage in
+      let pct = Coverage.reg_percent cov in
+      if pct < 90.0 then
+        Alcotest.failf "%s: generated register coverage %.1f%% < 90%%:@.%a"
+          name pct
+          (fun fmt () -> Coverage.pp_missed fmt cov)
+          ();
+      (* The battery really did run generated work in every layer. *)
+      Alcotest.(check bool) "has obligations" true (r.Battery.bt_obligations > 0);
+      Alcotest.(check bool) "ran sequences" true (r.Battery.bt_ops > 0);
+      Alcotest.(check (list string)) "no divergences" [] r.Battery.bt_divergences;
+      (* And the obligations are derivable for any device: at least one
+         per readable or writable public variable. *)
+      let eligible =
+        List.filter
+          (fun v -> Opgen.readable device v || Opgen.writable device v)
+          (Devil_ir.Ir.public_vars device)
+      in
+      Alcotest.(check bool)
+        "one obligation per reachable public var" true
+        (r.Battery.bt_obligations >= List.length eligible))
+
+let direction_case (name, _device) =
+  Alcotest.test_case (name ^ " per-direction breakout") `Quick (fun () ->
+      let r = (battery name).Battery.bt_coverage in
+      Alcotest.(check int)
+        "read + write totals partition the register universe"
+        r.Coverage.rp_reg_total
+        (r.Coverage.rp_read_total + r.Coverage.rp_write_total);
+      Alcotest.(check int)
+        "read + write covered partition covered registers"
+        r.Coverage.rp_reg_covered
+        (r.Coverage.rp_read_covered + r.Coverage.rp_write_covered);
+      (* Directional percentages are consistent with the aggregate. *)
+      if r.Coverage.rp_reg_total > 0 then begin
+        let lo = min (Coverage.read_percent r) (Coverage.write_percent r) in
+        let hi = max (Coverage.read_percent r) (Coverage.write_percent r) in
+        let agg = Coverage.reg_percent r in
+        Alcotest.(check bool)
+          "aggregate between directional extremes" true
+          (agg >= lo -. 1e-6 && agg <= hi +. 1e-6)
+      end)
+
+(* {1 The generated fault campaign, per spec} *)
+
+let fault_case (name, _device) =
+  Alcotest.test_case (name ^ " fault campaign holds invariants") `Slow
+    (fun () ->
+      let f = (battery name).Battery.bt_fault in
+      Alcotest.(check bool) "explored choices" true (f.Faultbat.fb_choices > 0);
+      Alcotest.(check bool) "ran schedules" true (f.Faultbat.fb_runs > 1);
+      (match f.Faultbat.fb_violations with
+      | [] -> ()
+      | v :: _ ->
+          Alcotest.failf "%s: %d violation(s), e.g. %s (minimized: %s)" name
+            (List.length f.Faultbat.fb_violations)
+            v.Faultbat.fv_detail v.Faultbat.fv_schedule);
+      (* Injections actually landed: every campaign must demonstrate
+         at least one recovered transient. *)
+      Alcotest.(check bool) "recovered at least once" true
+        (f.Faultbat.fb_recovered > 0))
+
+(* The self-test: with the retry budget cut to a single attempt, a
+   fired transient is no longer absorbed — the campaign must find the
+   violation and shrink it to a single-decision schedule. *)
+let shrink_self_test =
+  Alcotest.test_case "weakened policy: violation found and minimized" `Slow
+    (fun () ->
+      let device = Devil_specs.Specs.uart16550 () in
+      let f = Faultbat.campaign ~attempts:1 ~depth:2 ~sites_per_dir:1 device in
+      Alcotest.(check bool) "found at least one violation" true
+        (f.Faultbat.fb_violations <> []);
+      List.iter
+        (fun (v : Faultbat.violation) ->
+          Alcotest.(check bool)
+            "minimized schedule mentions a transient decision" true
+            (let s = v.Faultbat.fv_schedule in
+             let has sub =
+               let n = String.length sub and m = String.length s in
+               let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+               go 0
+             in
+             has "transient"))
+        f.Faultbat.fb_violations)
+
+(* {1 Site metadata consistency}
+
+   The generator layer leans on the Sites enrichment; pin its
+   contract for every spec. *)
+
+let metadata_case (name, device) =
+  Alcotest.test_case (name ^ " site metadata") `Quick (fun () ->
+      List.iter
+        (fun site ->
+          match (site, Sites.site_access site) with
+          | (Sites.S_reg _ | S_template _ | S_var _), None ->
+              Alcotest.failf "directional site %s has no access"
+                (Sites.site_id site)
+          | (Sites.S_bits _ | S_behaviour _ | S_action _ | S_serial _), Some _
+            ->
+              Alcotest.failf "directionless site %s has an access"
+                (Sites.site_id site)
+          | _ -> ())
+        (Sites.universe device);
+      List.iter
+        (fun v ->
+          if Opgen.writable device v then
+            Alcotest.(check bool)
+              (Printf.sprintf "writable %s has a canonical corpus" v.Devil_ir.Ir.v_name)
+              true
+              (Sites.canonical_writes v <> []))
+        (Devil_ir.Ir.public_vars device))
+
+let () =
+  Alcotest.run "harness"
+    [
+      ("generated differential", diff_tests);
+      ("site metadata", List.map metadata_case devices);
+      ("generated coverage", List.map coverage_case devices);
+      ("direction breakout", List.map direction_case devices);
+      ("generated fault campaign", List.map fault_case devices);
+      ("shrink self-test", [ shrink_self_test ]);
+    ]

@@ -137,6 +137,59 @@ let test_timer_beyond_one_revolution () =
   Sched.tick t;
   Alcotest.(check bool) "fires on its revolution" true !fired
 
+(* The wheel has 256 buckets; a deadline exactly one wheel size away
+   lands in the bucket the clock is currently on, so the very first
+   visit to that bucket (tick 1 of a fresh scheduler is bucket 1, the
+   deadline's bucket comes around 255 ticks later... ) must not fire it
+   early: the deadline comparison, not bucket membership, is what
+   gates firing. *)
+let test_timer_exact_wheel_size () =
+  let t, _ = quiet_sched () in
+  let fired = ref false in
+  let _ = Sched.after t ~ticks:256 (fun () -> fired := true) in
+  for _ = 1 to 255 do
+    Sched.tick t
+  done;
+  Alcotest.(check bool) "silent through the first revolution" false !fired;
+  Sched.tick t;
+  Alcotest.(check bool) "fires exactly at one wheel size" true !fired
+
+(* Two timers sharing a bucket, one revolution apart: visiting the
+   bucket for the near deadline must leave the far one armed. *)
+let test_timer_shared_bucket_one_revolution_apart () =
+  let t, _ = quiet_sched () in
+  let log = ref [] in
+  let _near = Sched.after t ~ticks:4 (fun () -> log := "near" :: !log) in
+  let _far = Sched.after t ~ticks:260 (fun () -> log := "far" :: !log) in
+  for _ = 1 to 4 do
+    Sched.tick t
+  done;
+  Alcotest.(check (list string)) "bucket visit fires only the due timer"
+    [ "near" ] (List.rev !log);
+  for _ = 5 to 259 do
+    Sched.tick t
+  done;
+  Alcotest.(check (list string)) "far timer still pending at 259" [ "near" ]
+    (List.rev !log);
+  Sched.tick t;
+  Alcotest.(check (list string)) "far timer fires one revolution later"
+    [ "near"; "far" ] (List.rev !log)
+
+(* A timer armed just before the clock's low byte wraps (clock 255 ->
+   256) must survive the modulo boundary: deadline 257 lives in bucket
+   1, which the wheel reaches after passing bucket 0. *)
+let test_timer_across_wrap_boundary () =
+  let t, _ = quiet_sched () in
+  for _ = 1 to 255 do
+    Sched.tick t
+  done;
+  let fired = ref false in
+  let _ = Sched.after t ~ticks:2 (fun () -> fired := true) in
+  Sched.tick t;
+  Alcotest.(check bool) "not at the wrap tick (clock 256)" false !fired;
+  Sched.tick t;
+  Alcotest.(check bool) "fires just past the wrap (clock 257)" true !fired
+
 (* {1 Dispatch: toy interrupt delivery and the storm bound} *)
 
 let test_dispatch_delivers_and_completes () =
@@ -659,6 +712,10 @@ let () =
         [
           case "deadline then creation order; cancel" test_timer_order_and_cancel;
           case "wheel wrap-around" test_timer_beyond_one_revolution;
+          case "deadline exactly one wheel size away" test_timer_exact_wheel_size;
+          case "shared bucket, one revolution apart"
+            test_timer_shared_bucket_one_revolution_apart;
+          case "armed across the 256-boundary" test_timer_across_wrap_boundary;
         ] );
       ( "dispatch",
         [

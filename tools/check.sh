@@ -105,6 +105,18 @@ if [ -f BENCH_async.json ]; then
   dune exec tools/benchcheck/benchcheck.exe -- async BENCH_async.json
 fi
 
+# Harness gates (ISSUE 8): the generated per-spec battery — site-aware
+# differential sequences, coverage obligations and the generated fault
+# campaign, all derived from the IR with zero per-spec harness code —
+# must pass its suite, and `bench harness` must reach >= 90% generated
+# register coverage on every bundled spec (all 11, including the
+# extension devices) with zero divergences and zero fault violations
+# (exit 1 is the gate).
+echo "== harness gates =="
+DEVIL_QCHECK_COUNT=5 dune build @harness
+dune exec bench/main.exe -- harness --qcount 5 > _build/harness_smoke.out
+tail -1 _build/harness_smoke.out
+
 if command -v ocamlformat >/dev/null 2>&1 && [ -f .ocamlformat ]; then
   echo "== ocamlformat check =="
   dune build @fmt
