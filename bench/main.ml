@@ -17,6 +17,8 @@
                                           # the seeded-regression pipeline
      dune exec bench/main.exe -- async [--out FILE]
                                           # queued/interrupt-driven vs polling
+     dune exec bench/main.exe -- latency [--out FILE] [--trace-dir DIR]
+                                          # per-stage request-latency accounting
 
    Paper-vs-measured commentary lives in EXPERIMENTS.md. *)
 
@@ -1098,6 +1100,260 @@ let async_cmd args =
       List.iter (Format.eprintf "async invariant violated: %s@.") (List.rev fs);
       exit 1
 
+(* {1 bench latency: per-stage request-latency accounting (DESIGN.md §15)}
+
+   Runs the two queued workloads (the async suite's shapes) on a
+   lifecycle-instrumented machine — trace + metrics + the
+   {!Devil_runtime.Lifecycle} reconstructor on its default monotonic
+   nanosecond clock — and reports, per workload, the
+   [lifecycle.<dev>.<stage>.ns] histograms: where a request's wall
+   time goes between submit and completion (queue wait, device
+   service, interrupt delivery, completion handler).
+
+   In-process invariants (exit 1): every byte verified against ground
+   truth, every submitted request completed (zero orphans), no late
+   completions, and the machine's {!Devil_runtime.Health} verdict Ok
+   at the end of each workload. The JSON artifact (devil_pr9_latency)
+   embeds the health reports; tools/benchcheck `latency` validates it
+   and re-checks the gates offline, so the committed
+   BENCH_latency.json keeps a healthy run on record. *)
+
+let latency_net_frames = 24
+let latency_net_window = 4
+
+type latency_wl = {
+  lw_name : string;
+  lw_dev : string;
+  lw_requests : int;
+  lw_completed : int;
+  lw_orphans : int;
+  lw_lost : int;
+  lw_spurious : int;
+  lw_stages : (string * Devil_runtime.Metrics.hist_snapshot) list;
+  lw_health : Devil_runtime.Health.report;
+}
+
+let latency_machine () =
+  let trace = Devil_runtime.Trace.create ~capacity:8192 () in
+  let metrics = Devil_runtime.Metrics.create () in
+  (Machine.create ~trace ~metrics ~lifecycle:true (), metrics, trace)
+
+let latency_result ~name ~dev (m : Machine.t) metrics =
+  let lc =
+    match m.Machine.lifecycle with
+    | Some lc -> lc
+    | None -> failwith "latency: machine built without a lifecycle handle"
+  in
+  let stages =
+    List.filter_map
+      (fun st ->
+        let label = Devil_runtime.Lifecycle.stage_label st in
+        Option.map
+          (fun h -> (label, h))
+          (Devil_runtime.Metrics.histogram metrics
+             (Printf.sprintf "lifecycle.%s.%s.ns" dev label)))
+      Devil_runtime.Lifecycle.stages
+  in
+  let r =
+    {
+      lw_name = name;
+      lw_dev = dev;
+      lw_requests = Devil_runtime.Lifecycle.submitted lc;
+      lw_completed = Devil_runtime.Lifecycle.completed lc;
+      lw_orphans = List.length (Devil_runtime.Lifecycle.orphans lc);
+      lw_lost = Devil_runtime.Lifecycle.lost_interrupts lc;
+      lw_spurious = Devil_runtime.Lifecycle.spurious_completions lc;
+      lw_stages = stages;
+      lw_health = Machine.health m;
+    }
+  in
+  if r.lw_requests = 0 then async_fail "%s: no requests were submitted" name;
+  if r.lw_completed <> r.lw_requests then
+    async_fail "%s: %d of %d requests completed" name r.lw_completed
+      r.lw_requests;
+  if r.lw_orphans > 0 then
+    async_fail "%s: %d orphaned request(s)" name r.lw_orphans;
+  if r.lw_lost > 0 || r.lw_spurious > 0 then
+    async_fail "%s: late completions on a clean run (%d lost, %d spurious)"
+      name r.lw_lost r.lw_spurious;
+  if not (Devil_runtime.Health.is_ok r.lw_health) then
+    async_fail "%s: health verdict %s" name
+      (Devil_runtime.Health.summary r.lw_health);
+  r
+
+let latency_wl_ide () =
+  let m, metrics, trace = latency_machine () in
+  Fun.protect ~finally:Devil_runtime.Policy.unobserve @@ fun () ->
+  async_fill_disk m;
+  Hwsim.Piix4.set_latency m.busmaster async_dma_latency;
+  let sched = Machine.sched m in
+  let d =
+    Drivers.Ide.Async.create ~sched ~line:Machine.irq_ide
+      ~memory:(Hwsim.Piix4.memory m.busmaster) ~ide:m.ide_dev
+      ~piix4:m.piix4_dev
+  in
+  let pending = ref [] in
+  for i = 0 to async_ide_ops - 1 do
+    let rq =
+      Drivers.Ide.Async.read_dma d
+        ~lba:(1000 + (i * async_ide_count))
+        ~count:async_ide_count
+        ~on_data:(fun got ->
+          async_verify ~row:"ide-dma-async"
+            ~what:(Printf.sprintf "command %d" i)
+            (async_sector_pattern i) got)
+        ()
+    in
+    pending := rq :: !pending;
+    if List.length !pending >= async_ide_window then begin
+      List.iter (Drivers.Ide.Async.await d) !pending;
+      pending := []
+    end
+  done;
+  List.iter (Drivers.Ide.Async.await d) !pending;
+  Drivers.Ide.Async.drain d;
+  (latency_result ~name:"ide-dma-async" ~dev:"ide" m metrics, trace)
+
+let latency_net_frame i =
+  String.init 48 (fun j -> Char.chr (((i * 11) + (j * 3) + 7) land 0xff))
+
+let latency_wl_net () =
+  let m, metrics, trace = latency_machine () in
+  Fun.protect ~finally:Devil_runtime.Policy.unobserve @@ fun () ->
+  let sync = Drivers.Net.Devil_driver.create m.ne2000_dev in
+  let sched = Machine.sched m in
+  let a = Drivers.Net.Async.create ~sched ~line:Machine.irq_net m.ne2000_dev in
+  Drivers.Net.Devil_driver.init sync ~mac:"\x02\x00\x00\x00\x00\x23";
+  let pending = ref [] in
+  for i = 0 to latency_net_frames - 1 do
+    let rq = Drivers.Net.Async.send a (latency_net_frame i) in
+    pending := rq :: !pending;
+    if List.length !pending >= latency_net_window then begin
+      List.iter (Drivers.Net.Async.await a) !pending;
+      pending := []
+    end
+  done;
+  List.iter (Drivers.Net.Async.await a) !pending;
+  Drivers.Net.Async.drain a;
+  let sent = Hwsim.Ne2000.take_transmitted m.nic in
+  if List.length sent <> latency_net_frames then
+    async_fail "net-async: %d of %d frames transmitted" (List.length sent)
+      latency_net_frames
+  else
+    List.iteri
+      (fun i f ->
+        async_verify ~row:"net-async" ~what:(Printf.sprintf "frame %d" i)
+          (Bytes.of_string (latency_net_frame i))
+          (Bytes.of_string f))
+      sent;
+  (latency_result ~name:"net-async" ~dev:"ne2000" m metrics, trace)
+
+let latency_json ~out wls =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema_version\": 1,\n";
+  Buffer.add_string buf "  \"suite\": \"devil_pr9_latency\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"dma_latency\": %d,\n" async_dma_latency);
+  Buffer.add_string buf "  \"workloads\": [\n";
+  let n = List.length wls in
+  List.iteri
+    (fun i w ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"name\": %S, \"dev\": %S, \"requests\": %d, \
+            \"completed\": %d, \"orphans\": %d, \"lost_interrupts\": %d, \
+            \"spurious_completions\": %d,\n"
+           w.lw_name w.lw_dev w.lw_requests w.lw_completed w.lw_orphans
+           w.lw_lost w.lw_spurious);
+      Buffer.add_string buf "      \"stages\": [\n";
+      let ns = List.length w.lw_stages in
+      List.iteri
+        (fun j (label, (h : Devil_runtime.Metrics.hist_snapshot)) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "        { \"stage\": %S, \"count\": %d, \"p50_ns\": %d, \
+                \"p95_ns\": %d, \"p99_ns\": %d, \"mean_ns\": %.1f }%s\n"
+               label h.count h.p50 h.p95 h.p99 h.mean
+               (if j = ns - 1 then "" else ",")))
+        w.lw_stages;
+      Buffer.add_string buf "      ],\n";
+      Buffer.add_string buf
+        (Printf.sprintf "      \"health\": %s }%s\n"
+           (Devil_runtime.Health.to_json w.lw_health)
+           (if i = n - 1 then "" else ",")))
+    wls;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let latency_usage () =
+  Format.eprintf "usage: bench latency [--out FILE] [--trace-dir DIR]@.";
+  exit 2
+
+let latency_cmd args =
+  let out = ref "BENCH_latency.json" in
+  let trace_dir = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: v :: rest ->
+        out := v;
+        parse rest
+    | "--trace-dir" :: v :: rest ->
+        trace_dir := Some v;
+        parse rest
+    | _ -> latency_usage ()
+  in
+  parse args;
+  async_failures := [];
+  section "Request latency: per-stage accounting over the queued drivers";
+  let runs = [ latency_wl_ide (); latency_wl_net () ] in
+  (* The event streams behind the table, replayable through
+     `tracetool lifecycle` / `tracetool convert` — the offline half of
+     the straggler-chasing workflow (README). *)
+  (match !trace_dir with
+  | None -> ()
+  | Some dir ->
+      (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+      List.iter
+        (fun (w, trace) ->
+          let path = Filename.concat dir (w.lw_name ^ ".trace.jsonl") in
+          Devil_runtime.Trace_export.write_file path
+            (Devil_runtime.Trace_export.events_to_jsonl
+               (Devil_runtime.Trace.events trace));
+          Format.printf "wrote %s@." path)
+        runs);
+  let wls = List.map fst runs in
+  List.iter
+    (fun w ->
+      Format.printf
+        "%s (dev %s): %d requests, %d completed, %d orphaned; health %s@."
+        w.lw_name w.lw_dev w.lw_requests w.lw_completed w.lw_orphans
+        (Devil_runtime.Health.summary w.lw_health);
+      Format.printf "  %-14s %7s %12s %12s %12s %12s@." "stage" "count"
+        "p50 ns" "p95 ns" "p99 ns" "mean ns";
+      List.iter
+        (fun (label, (h : Devil_runtime.Metrics.hist_snapshot)) ->
+          Format.printf "  %-14s %7d %12d %12d %12d %12.1f@." label h.count
+            h.p50 h.p95 h.p99 h.mean)
+        w.lw_stages;
+      Format.printf "@.")
+    wls;
+  Format.printf
+    "Stage vocabulary (DESIGN.md §15): queue_wait (submit->start), service \
+     (start->irq),@.irq_delivery (raise->dispatch), completion \
+     (dispatch->done), total (submit->done).@.";
+  latency_json ~out:!out wls;
+  Format.printf "@.wrote %s (%d workloads)@." !out (List.length wls);
+  match !async_failures with
+  | [] -> ()
+  | fs ->
+      List.iter
+        (Format.eprintf "latency invariant violated: %s@.")
+        (List.rev fs);
+      exit 1
+
 (* {1 bench profile: per-workload span attribution (DESIGN.md §11)}
 
    Runs each PR-3 workload on a profiler-instrumented machine and
@@ -1567,6 +1823,7 @@ let () =
   | "profile" :: rest -> profile_cmd rest
   | "explore" :: rest -> explore_cmd rest
   | "async" :: rest -> async_cmd rest
+  | "latency" :: rest -> latency_cmd rest
   | "harness" :: rest -> harness_cmd rest
   | [] ->
       Format.printf

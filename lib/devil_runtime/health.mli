@@ -1,0 +1,74 @@
+(** The health/watchdog layer (DESIGN.md §15).
+
+    A {!report} condenses the run's observability state — lifecycle
+    aggregates from {!Lifecycle}, the [sched.*] and [retry.*] counters
+    from {!Metrics}, ring evictions from {!Trace} — into one verdict
+    with named, thresholded reasons:
+
+    - {!Stalled} — requests are not completing: [request_timeouts]
+      (a queued request hit its deadline), [orphaned_requests]
+      (submitted but never completed);
+    - {!Degraded} — everything completed but the run shows damage:
+      [irq_storms], [unhandled_irqs], [irq_path_faults],
+      [handler_errors], [retries_exhausted], [lost_interrupts],
+      [spurious_completions], [trace_drops];
+    - {!Ok} — none of the above fired.
+
+    The overall verdict is the worst firing reason's. Thresholds
+    default to 0 (any occurrence fires) and can be raised per code —
+    e.g. a soak test that tolerates two retries raises
+    [("retries_exhausted", 2)]. [fault.injections] is reported as an
+    informational counter but is never a reason: an injection is the
+    experiment, not the symptom.
+
+    Campaign runners ({!Faultcamp}, {!Explorecamp}) evaluate a report
+    per trial so campaigns surface health regressions, not just oracle
+    violations; [tools/check.sh] gates on a clean run reporting
+    {!Ok}. *)
+
+type verdict = Ok | Degraded | Stalled
+
+val verdict_label : verdict -> string
+(** ["ok"], ["degraded"], ["stalled"]. *)
+
+type reason = {
+  code : string;  (** Stable machine-readable name, e.g. ["request_timeouts"]. *)
+  count : int;  (** The observed count that breached the threshold. *)
+  detail : string;  (** One human sentence. *)
+}
+
+type report = {
+  verdict : verdict;
+  reasons : reason list;  (** Worst first; empty iff the verdict is {!Ok}. *)
+  counters : (string * int) list;
+      (** Every consulted counter (firing or not) plus informational
+          ones ([fault.injections], [sched.submits],
+          [sched.completions]). *)
+}
+
+val evaluate :
+  ?thresholds:(string * int) list ->
+  ?lifecycle:Lifecycle.t ->
+  ?trace:Trace.t ->
+  ?metrics:Metrics.t ->
+  unit ->
+  report
+(** Reads the given handles and produces a report. Any handle may be
+    omitted: a reason whose source is absent simply reads 0 (so
+    [evaluate ()] is vacuously {!Ok}). With a [lifecycle] handle the
+    orphan/lost/spurious reasons use its live state; otherwise they
+    fall back to the [lifecycle.*] metrics counters. [thresholds]
+    overrides per-code thresholds (a reason fires when its count
+    {e exceeds} the threshold). *)
+
+val is_ok : report -> bool
+
+val to_json : report -> string
+(** [{"verdict":..., "reasons":[{"code","count","detail"},...],
+    "counters":{...}}] — the shape campaign reports and
+    [BENCH_latency.json] embed. *)
+
+val summary : report -> string
+(** One line: ["ok"] or e.g. ["stalled (request_timeouts=2, ...)"]. *)
+
+val pp : Format.formatter -> report -> unit

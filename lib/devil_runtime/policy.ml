@@ -50,6 +50,20 @@ let unobserve () =
   metrics_hook := None;
   profile_hook := None
 
+(* {1 Request attribution}
+
+   The scheduler parks the id of the queued request it is currently
+   serving here (around the request's start thunk, its interrupt
+   handler and its timeout abort), so the Poll/Retry trace events the
+   combinators emit on that request's behalf carry its id and the
+   lifecycle layer can attribute them. 0 means "no queued request" —
+   synchronous drivers never see a non-zero id. A bare int ref: the
+   disabled path costs one immediate store, no allocation. *)
+
+let request_hook = ref 0
+let set_current_request rid = request_hook := if rid > 0 then rid else 0
+let current_request () = !request_hook
+
 (* {1 Exploration decision points}
 
    Every poll completion and every retry is a branch point the
@@ -138,7 +152,9 @@ let with_retries ?attempts ?(retry_on = is_transient)
           (match !trace_hook with
           | Some tr ->
               Trace.emit tr
-                (Trace.Retry { label; attempt; reason = describe_exn e })
+                (Trace.Retry
+                   { label; attempt; reason = describe_exn e;
+                     rid = !request_hook })
           | None -> ());
           on_retry ~attempt e;
           go (attempt + 1)
@@ -192,7 +208,8 @@ let poll_core ?deadline ?(backoff = no_backoff) ~label cond =
       Metrics.observe m "poll.iters" iters
   | None -> ());
   (match !trace_hook with
-  | Some tr -> Trace.emit tr (Trace.Poll { label; iters; ok })
+  | Some tr ->
+      Trace.emit tr (Trace.Poll { label; iters; ok; rid = !request_hook })
   | None -> ());
   ok
 

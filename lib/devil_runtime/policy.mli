@@ -136,6 +136,24 @@ val unobserve : unit -> unit
 (** Remove the observer. Owners of short-lived handles (tests,
     campaign trials) must call this before discarding them. *)
 
+(** {1 Request attribution}
+
+    {!Sched} parks the id of the queued request it is currently
+    serving here — around the request's start thunk, its interrupt
+    handler and its timeout abort — so the {!Trace.Poll} and
+    {!Trace.Retry} events emitted on that request's behalf carry the
+    request id and {!Lifecycle} can attribute them to the request's
+    causal arc. Synchronous (non-queued) drivers always run with the
+    id at 0. *)
+
+val set_current_request : int -> unit
+(** Set the request id subsequent poll/retry trace events are tagged
+    with; values [<= 0] clear it. A bare store — the disabled path
+    allocates nothing. *)
+
+val current_request : unit -> int
+(** The currently parked request id, 0 when none. *)
+
 (** {1 Exploration decision points}
 
     Every poll completion and every retry is a branch point the

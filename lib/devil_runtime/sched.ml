@@ -16,6 +16,7 @@ type timer = {
 }
 
 type request = {
+  rq_id : int;  (* minted at submit, monotonically increasing, never reused *)
   rq_dev : string;
   rq_label : string;
   rq_timeout : int;
@@ -27,7 +28,14 @@ type request = {
   mutable rq_timer : timer option;
 }
 
-type queue = { pending : request Queue.t; mutable inflight : request option }
+type queue = {
+  pending : request Queue.t;
+  mutable inflight : request option;
+  (* The most recent request on this queue that finished by timeout and
+     has not yet been matched to a late completion — one timeout
+     explains (at most) one late interrupt, so tagging clears it. *)
+  mutable last_timeout_rid : int;
+}
 
 type source = {
   src_line : int;
@@ -54,6 +62,7 @@ type t = {
   wheel : timer list array;  (* newest first within a bucket *)
   mutable clock : int;
   mutable next_timer_id : int;
+  mutable next_rid : int;
   mutable int_high : bool;
 }
 
@@ -70,6 +79,7 @@ let create ?trace ?metrics ?profile ctl =
     wheel = Array.make wheel_size [];
     clock = 0;
     next_timer_id = 0;
+    next_rid = 1;
     int_high = false;
   }
 
@@ -128,9 +138,18 @@ let queue_of t dev =
   match Hashtbl.find_opt t.queues dev with
   | Some q -> q
   | None ->
-      let q = { pending = Queue.create (); inflight = None } in
+      let q =
+        { pending = Queue.create (); inflight = None; last_timeout_rid = 0 }
+      in
       Hashtbl.add t.queues dev q;
       q
+
+(* The id of [dev]'s in-flight request, 0 when its queue is idle — the
+   request an interrupt on [dev]'s line most plausibly answers. *)
+let inflight_rid t dev =
+  match Hashtbl.find_opt t.queues dev with
+  | Some { inflight = Some rq; _ } -> rq.rq_id
+  | _ -> 0
 
 let depth t ~dev =
   match Hashtbl.find_opt t.queues dev with
@@ -154,13 +173,26 @@ let rec finish t q (rq : request) outcome =
   let ok = match outcome with Ok () -> true | Error _ -> false in
   incr t "sched.completions";
   (match outcome with
-  | Error (Policy.Timeout _) -> incr t "sched.timeouts"
+  | Error (Policy.Timeout _) ->
+      incr t "sched.timeouts";
+      q.last_timeout_rid <- rq.rq_id
   | _ -> ());
   observe t "sched.queue.wait_ticks" (t.clock - rq.rq_submitted);
   emit t
     (Trace.Queue_completed
-       { dev = rq.rq_dev; label = rq.rq_label; depth = depth t ~dev:rq.rq_dev; ok });
-  rq.rq_on_done outcome;
+       {
+         dev = rq.rq_dev;
+         label = rq.rq_label;
+         depth = depth t ~dev:rq.rq_dev;
+         ok;
+         rid = rq.rq_id;
+       });
+  Policy.set_current_request rq.rq_id;
+  (try rq.rq_on_done outcome
+   with e ->
+     Policy.set_current_request 0;
+     raise e);
+  Policy.set_current_request 0;
   start_next t q
 
 and start_next t q =
@@ -174,16 +206,28 @@ and start_next t q =
             (after t ~ticks:rq.rq_timeout (fun () ->
                  match q.inflight with
                  | Some r when r == rq && r.rq_outcome = None ->
+                     Policy.set_current_request rq.rq_id;
                      (try rq.rq_abort () with _ -> ());
+                     Policy.set_current_request 0;
                      finish t q rq (Error (Policy.Timeout rq.rq_label))
                  | _ -> ()));
+        emit t
+          (Trace.Queue_started
+             { dev = rq.rq_dev; label = rq.rq_label; rid = rq.rq_id });
+        Policy.set_current_request rq.rq_id;
         let started =
           try
             Policy.guarded ~label:rq.rq_label rq.rq_start;
+            Policy.set_current_request 0;
             true
-          with Policy.Driver_error e ->
-            finish t q rq (Error e);
-            false
+          with
+          | Policy.Driver_error e ->
+              Policy.set_current_request 0;
+              finish t q rq (Error e);
+              false
+          | e ->
+              Policy.set_current_request 0;
+              raise e
         in
         ignore started
 
@@ -192,8 +236,11 @@ let submit t ~dev ~label ?timeout ~start ?(abort = Fun.id) ?(on_done = ignore)
   let timeout =
     match timeout with Some n -> max 1 n | None -> Policy.default_deadline ()
   in
+  let rid = t.next_rid in
+  t.next_rid <- t.next_rid + 1;
   let rq =
     {
+      rq_id = rid;
       rq_dev = dev;
       rq_label = label;
       rq_timeout = timeout;
@@ -210,14 +257,22 @@ let submit t ~dev ~label ?timeout ~start ?(abort = Fun.id) ?(on_done = ignore)
   incr t "sched.submits";
   let d = depth t ~dev in
   observe t "sched.queue.depth" d;
-  emit t (Trace.Queue_submitted { dev; label; depth = d });
+  emit t (Trace.Queue_submitted { dev; label; depth = d; rid });
   start_next t q;
   rq
+
+let request_id rq = rq.rq_id
 
 let complete t ~dev outcome =
   match Hashtbl.find_opt t.queues dev with
   | Some ({ inflight = Some rq; _ } as q) -> finish t q rq outcome
-  | _ -> incr t "sched.irqs.unhandled"
+  | Some q ->
+      incr t "sched.irqs.unhandled";
+      emit t (Trace.Queue_late { dev; rid = q.last_timeout_rid });
+      q.last_timeout_rid <- 0
+  | None ->
+      incr t "sched.irqs.unhandled";
+      emit t (Trace.Queue_late { dev; rid = 0 })
 
 (* {1 The loop} *)
 
@@ -228,7 +283,16 @@ let sample_sources t =
       if high then begin
         if not src.src_high then begin
           incr t "sched.irqs.raised";
-          emit t (Trace.Irq_raised { line = src.src_line; dev = src.src_dev })
+          match t.trace with
+          | None -> ()
+          | Some tr ->
+              Trace.emit tr
+                (Trace.Irq_raised
+                   {
+                     line = src.src_line;
+                     dev = src.src_dev;
+                     rid = inflight_rid t src.src_dev;
+                   })
         end;
         t.ctl.ctl_raise ~line:src.src_line
       end;
@@ -250,9 +314,12 @@ let deliver_one t =
       (match Hashtbl.find_opt t.handlers line with
       | None ->
           incr t "sched.irqs.unhandled";
-          emit t (Trace.Irq_delivered { line; dev = "?" })
-      | Some (dev, handler) -> (
-          emit t (Trace.Irq_delivered { line; dev });
+          emit t (Trace.Irq_delivered { line; dev = "?"; rid = 0 })
+      | Some (dev, handler) ->
+          let rid = inflight_rid t dev in
+          (match t.trace with
+          | None -> ()
+          | Some tr -> Trace.emit tr (Trace.Irq_delivered { line; dev; rid }));
           let run () =
             match t.profile with
             | None -> Policy.guarded ~label:("irq: " ^ dev) handler
@@ -260,12 +327,18 @@ let deliver_one t =
                 Profile.span p ("irq:" ^ dev) (fun () ->
                     Policy.guarded ~label:("irq: " ^ dev) handler)
           in
-          try run ()
-          with Policy.Driver_error e -> (
-            incr t "sched.handler_errors";
-            match Hashtbl.find_opt t.queues dev with
-            | Some ({ inflight = Some rq; _ } as q) -> finish t q rq (Error e)
-            | _ -> ())));
+          Policy.set_current_request rid;
+          (try run () with
+          | Policy.Driver_error e -> (
+              Policy.set_current_request 0;
+              incr t "sched.handler_errors";
+              match Hashtbl.find_opt t.queues dev with
+              | Some ({ inflight = Some rq; _ } as q) -> finish t q rq (Error e)
+              | _ -> ())
+          | e ->
+              Policy.set_current_request 0;
+              raise e);
+          Policy.set_current_request 0);
       t.ctl.ctl_eoi ~line;
       true
 

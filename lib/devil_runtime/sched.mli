@@ -33,7 +33,16 @@
     each submit) and [sched.queue.wait_ticks] (virtual ticks from
     submit to completion). Trace events: {!Trace.Irq_raised},
     {!Trace.Irq_delivered}, {!Trace.Queue_submitted},
-    {!Trace.Queue_completed}. *)
+    {!Trace.Queue_started}, {!Trace.Queue_completed},
+    {!Trace.Queue_late}.
+
+    Every submitted request is minted a {e request id} — monotonically
+    increasing per scheduler, starting at 1, never reused — threaded
+    through each trace event the request causes (submit, start, the
+    irq that answers it, completion, and the {!Policy} poll/retry
+    events its thunks run, via {!Policy.set_current_request}). The id
+    is what lets {!Lifecycle} reconstruct a request's causal arc from
+    the flat event stream. *)
 
 type controller = {
   ctl_raise : line:int -> unit;
@@ -142,8 +151,16 @@ val submit :
 val complete : t -> dev:string -> (unit, Policy.error) result -> unit
 (** Reports the in-flight request of [dev] finished — called from the
     interrupt handler. A completion with no request in flight counts
-    as [sched.irqs.unhandled] and is otherwise ignored (a late
-    interrupt after a timeout). *)
+    as [sched.irqs.unhandled] and emits {!Trace.Queue_late} tagged
+    with the id of [dev]'s most recent still-unmatched timed-out
+    request (a lost interrupt finally arriving) or 0 when no such
+    request exists (a spurious completion); each timeout explains at
+    most one late completion. *)
+
+val request_id : request -> int
+(** The id minted at {!submit} — monotonically increasing per
+    scheduler, starting at 1, never reused. 0 is never a valid id (it
+    marks "no request" in trace events). *)
 
 val depth : t -> dev:string -> int
 (** Queued plus in-flight requests on [dev]. *)

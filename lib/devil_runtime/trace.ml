@@ -67,18 +67,26 @@ type kind =
   | Cache_invalidated of { dev : string }
   | Action of { dev : string; owner : string; phase : phase; assignments : int }
   | Serialized of { dev : string; owner : string; order : string list }
-  | Poll of { label : string; iters : int; ok : bool }
-  | Retry of { label : string; attempt : int; reason : string }
+  | Poll of { label : string; iters : int; ok : bool; rid : int }
+  | Retry of { label : string; attempt : int; reason : string; rid : int }
   | Fault_injected of {
       plan : string;
       addr : int;
       width : int;
       detail : string;
     }
-  | Irq_raised of { line : int; dev : string }
-  | Irq_delivered of { line : int; dev : string }
-  | Queue_submitted of { dev : string; label : string; depth : int }
-  | Queue_completed of { dev : string; label : string; depth : int; ok : bool }
+  | Irq_raised of { line : int; dev : string; rid : int }
+  | Irq_delivered of { line : int; dev : string; rid : int }
+  | Queue_submitted of { dev : string; label : string; depth : int; rid : int }
+  | Queue_started of { dev : string; label : string; rid : int }
+  | Queue_completed of {
+      dev : string;
+      label : string;
+      depth : int;
+      ok : bool;
+      rid : int;
+    }
+  | Queue_late of { dev : string; rid : int }
 
 type event = { seq : int; kind : kind }
 
@@ -86,19 +94,24 @@ type t = {
   ring : event Ring.t;
   mutable next_seq : int;
   mutable subscribers : (event -> unit) list;
+  mutable on_drop : unit -> unit;
 }
 
 let default_capacity = 1024
 
 let create ?(capacity = default_capacity) () =
-  { ring = Ring.create ~capacity; next_seq = 0; subscribers = [] }
+  { ring = Ring.create ~capacity; next_seq = 0; subscribers = [];
+    on_drop = ignore }
 
 let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
+let set_drop_hook t f = t.on_drop <- f
 
 let emit t kind =
   let e = { seq = t.next_seq; kind } in
+  let evicting = Ring.total t.ring >= Ring.capacity t.ring in
   Ring.add t.ring e;
   t.next_seq <- t.next_seq + 1;
+  if evicting then t.on_drop ();
   match t.subscribers with
   | [] -> ()
   | subs -> List.iter (fun f -> f e) subs
@@ -140,6 +153,10 @@ let from_env () =
 
 let phase_label = function Pre -> "pre" | Post -> "post" | Set -> "set"
 
+(* Request ids are only printed when present (rid 0 is "not on behalf
+   of a queued request"), so pre-scheduler traces render unchanged. *)
+let pp_rid fmt rid = if rid > 0 then Format.fprintf fmt " [req #%d]" rid
+
 let pp_kind fmt = function
   | Bus_read { addr; width; value } ->
       Format.fprintf fmt "bus R%d [%#x] -> %#x" width addr value
@@ -172,25 +189,35 @@ let pp_kind fmt = function
   | Serialized { dev; owner; order } ->
       Format.fprintf fmt "%s: serialized write of %s: %s" dev owner
         (String.concat " -> " order)
-  | Poll { label; iters; ok } ->
-      Format.fprintf fmt "poll %s: %d iteration%s, %s" label iters
+  | Poll { label; iters; ok; rid } ->
+      Format.fprintf fmt "poll %s: %d iteration%s, %s%a" label iters
         (if iters = 1 then "" else "s")
         (if ok then "satisfied" else "timed out")
-  | Retry { label; attempt; reason } ->
-      Format.fprintf fmt "retry %s: attempt %d failed (%s)" label attempt reason
+        pp_rid rid
+  | Retry { label; attempt; reason; rid } ->
+      Format.fprintf fmt "retry %s: attempt %d failed (%s)%a" label attempt
+        reason pp_rid rid
   | Fault_injected { plan; addr; width; detail } ->
       Format.fprintf fmt "fault %s: %d-bit access [%#x]: %s" plan width addr
         detail
-  | Irq_raised { line; dev } ->
-      Format.fprintf fmt "irq %d raised (%s)" line dev
-  | Irq_delivered { line; dev } ->
-      Format.fprintf fmt "irq %d delivered to %s" line dev
-  | Queue_submitted { dev; label; depth } ->
-      Format.fprintf fmt "%s: queued %s (depth %d)" dev label depth
-  | Queue_completed { dev; label; depth; ok } ->
-      Format.fprintf fmt "%s: %s %s (depth %d)" dev label
+  | Irq_raised { line; dev; rid } ->
+      Format.fprintf fmt "irq %d raised (%s)%a" line dev pp_rid rid
+  | Irq_delivered { line; dev; rid } ->
+      Format.fprintf fmt "irq %d delivered to %s%a" line dev pp_rid rid
+  | Queue_submitted { dev; label; depth; rid } ->
+      Format.fprintf fmt "%s: queued %s (depth %d)%a" dev label depth pp_rid
+        rid
+  | Queue_started { dev; label; rid } ->
+      Format.fprintf fmt "%s: started %s%a" dev label pp_rid rid
+  | Queue_completed { dev; label; depth; ok; rid } ->
+      Format.fprintf fmt "%s: %s %s (depth %d)%a" dev label
         (if ok then "completed" else "failed")
-        depth
+        depth pp_rid rid
+  | Queue_late { dev; rid } ->
+      if rid > 0 then
+        Format.fprintf fmt "%s: late completion for timed-out request #%d" dev
+          rid
+      else Format.fprintf fmt "%s: spurious completion (no request)" dev
 
 let pp_event fmt e = Format.fprintf fmt "#%d %a" e.seq pp_kind e.kind
 

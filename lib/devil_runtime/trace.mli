@@ -90,31 +90,54 @@ type kind =
   | Action of { dev : string; owner : string; phase : phase; assignments : int }
   | Serialized of { dev : string; owner : string; order : string list }
       (** A serialization clause ordered a multi-register write. *)
-  | Poll of { label : string; iters : int; ok : bool }
+  | Poll of { label : string; iters : int; ok : bool; rid : int }
       (** A {!Policy} poll completed: how many condition evaluations it
           took and whether it was satisfied ([ok = false] is a
-          timeout). *)
-  | Retry of { label : string; attempt : int; reason : string }
+          timeout). [rid] is the queued request the poll ran on behalf
+          of (see {!Queue_submitted}), 0 when none. *)
+  | Retry of { label : string; attempt : int; reason : string; rid : int }
   | Fault_injected of {
       plan : string;
       addr : int;
       width : int;
       detail : string;
     }
-  | Irq_raised of { line : int; dev : string }
+  | Irq_raised of { line : int; dev : string; rid : int }
       (** A device's INT pin asserted PIC line [line] — the {!Sched}
           loop saw the line's source go high (edge, not level: one
-          event per assertion, however many ticks it stays high). *)
-  | Irq_delivered of { line : int; dev : string }
+          event per assertion, however many ticks it stays high).
+          [rid] is [dev]'s in-flight request when the edge was seen
+          (the request this interrupt most plausibly answers), 0 when
+          the queue was idle. *)
+  | Irq_delivered of { line : int; dev : string; rid : int }
       (** The scheduler acknowledged [line] at the interrupt controller
           and is about to run the handler registered for [dev]. *)
-  | Queue_submitted of { dev : string; label : string; depth : int }
+  | Queue_submitted of { dev : string; label : string; depth : int; rid : int }
       (** A request entered [dev]'s queue; [depth] counts queued plus
-          in-flight requests after the submit. *)
-  | Queue_completed of { dev : string; label : string; depth : int; ok : bool }
+          in-flight requests after the submit. [rid] is the request id
+          {!Sched.submit} minted — monotonically increasing per
+          scheduler, never reused, and threaded through every event
+          this request causes, which is what lets {!Lifecycle}
+          reconstruct the request's causal arc end to end. *)
+  | Queue_started of { dev : string; label : string; rid : int }
+      (** The request left the pending FIFO and its start thunk is
+          about to issue the command — queue wait ends, service
+          begins. *)
+  | Queue_completed of {
+      dev : string;
+      label : string;
+      depth : int;
+      ok : bool;
+      rid : int;
+    }
       (** A request left [dev]'s queue: [ok = true] is a completion
           reported by the driver's interrupt handler, [ok = false] a
           classified failure (timeout or handler-reported error). *)
+  | Queue_late of { dev : string; rid : int }
+      (** A completion arrived with nothing in flight. [rid > 0] names
+          the most recent timed-out request on [dev] — the lost
+          interrupt finally showing up; [rid = 0] means no timed-out
+          predecessor exists, i.e. the completion is spurious. *)
 
 type event = { seq : int; kind : kind }
 (** [seq] increases by one per recorded event and is never reused, so
@@ -150,6 +173,14 @@ val subscribe : t -> (event -> unit) -> unit
     (O(capacity)) on every call and misses evicted events between
     polls. Subscribers survive {!clear} and cannot be removed; create
     a fresh trace to drop them. *)
+
+val set_drop_hook : t -> (unit -> unit) -> unit
+(** Installs a callback invoked from {!emit} each time recording the
+    event evicted the oldest retained one — the O(1) way to surface
+    ring evictions as a live counter (the machine layer wires it to
+    the [trace.dropped_events] metric) instead of polling {!dropped}.
+    One hook per trace (the last installation wins); the default is a
+    no-op, so an unhooked trace behaves exactly as before. *)
 
 val events : t -> event list
 (** Retained events, oldest first. *)

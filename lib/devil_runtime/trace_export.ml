@@ -257,6 +257,11 @@ let as_int_list name j =
 
 let kind_to_json (k : Trace.kind) =
   let tag t rest = Obj (("kind", String t) :: rest) in
+  (* The request id is only written when present, so traces recorded
+     before the scheduler existed (and events not on behalf of any
+     queued request) serialize byte-identically to format version 1
+     files from older builds. *)
+  let with_rid rid fields = if rid > 0 then fields @ [ ("rid", Int rid) ] else fields in
   match k with
   | Bus_read { addr; width; value } ->
       tag "bus_read" [ ("addr", Int addr); ("width", Int width); ("value", Int value) ]
@@ -292,26 +297,38 @@ let kind_to_json (k : Trace.kind) =
       tag "serialized"
         [ ("dev", String dev); ("owner", String owner);
           ("order", List (List.map (fun r -> String r) order)) ]
-  | Poll { label; iters; ok } ->
-      tag "poll" [ ("label", String label); ("iters", Int iters); ("ok", Bool ok) ]
-  | Retry { label; attempt; reason } ->
+  | Poll { label; iters; ok; rid } ->
+      tag "poll"
+        (with_rid rid
+           [ ("label", String label); ("iters", Int iters); ("ok", Bool ok) ])
+  | Retry { label; attempt; reason; rid } ->
       tag "retry"
-        [ ("label", String label); ("attempt", Int attempt); ("reason", String reason) ]
+        (with_rid rid
+           [ ("label", String label); ("attempt", Int attempt);
+             ("reason", String reason) ])
   | Fault_injected { plan; addr; width; detail } ->
       tag "fault_injected"
         [ ("plan", String plan); ("addr", Int addr); ("width", Int width);
           ("detail", String detail) ]
-  | Irq_raised { line; dev } ->
-      tag "irq_raised" [ ("line", Int line); ("dev", String dev) ]
-  | Irq_delivered { line; dev } ->
-      tag "irq_delivered" [ ("line", Int line); ("dev", String dev) ]
-  | Queue_submitted { dev; label; depth } ->
+  | Irq_raised { line; dev; rid } ->
+      tag "irq_raised" (with_rid rid [ ("line", Int line); ("dev", String dev) ])
+  | Irq_delivered { line; dev; rid } ->
+      tag "irq_delivered"
+        (with_rid rid [ ("line", Int line); ("dev", String dev) ])
+  | Queue_submitted { dev; label; depth; rid } ->
       tag "queue_submitted"
-        [ ("dev", String dev); ("label", String label); ("depth", Int depth) ]
-  | Queue_completed { dev; label; depth; ok } ->
+        (with_rid rid
+           [ ("dev", String dev); ("label", String label); ("depth", Int depth) ])
+  | Queue_started { dev; label; rid } ->
+      tag "queue_started"
+        (with_rid rid [ ("dev", String dev); ("label", String label) ])
+  | Queue_completed { dev; label; depth; ok; rid } ->
       tag "queue_completed"
-        [ ("dev", String dev); ("label", String label); ("depth", Int depth);
-          ("ok", Bool ok) ]
+        (with_rid rid
+           [ ("dev", String dev); ("label", String label); ("depth", Int depth);
+             ("ok", Bool ok) ])
+  | Queue_late { dev; rid } ->
+      tag "queue_late" (with_rid rid [ ("dev", String dev) ])
 
 let event_to_json (e : Trace.event) =
   match kind_to_json e.kind with
@@ -320,6 +337,10 @@ let event_to_json (e : Trace.event) =
 
 let kind_of_json j : (Trace.kind, string) result =
   let* tag = as_string "kind" j in
+  (* Absent on events recorded before request ids existed (and on
+     events with no request attribution), so default to 0 rather than
+     bumping the format version. *)
+  let rid = match as_int "rid" j with Ok n when n > 0 -> n | _ -> 0 in
   match tag with
   | "bus_read" ->
       let* addr = as_int "addr" j in
@@ -399,12 +420,12 @@ let kind_of_json j : (Trace.kind, string) result =
       let* label = as_string "label" j in
       let* iters = as_int "iters" j in
       let* ok = as_bool "ok" j in
-      Ok (Trace.Poll { label; iters; ok })
+      Ok (Trace.Poll { label; iters; ok; rid })
   | "retry" ->
       let* label = as_string "label" j in
       let* attempt = as_int "attempt" j in
       let* reason = as_string "reason" j in
-      Ok (Trace.Retry { label; attempt; reason })
+      Ok (Trace.Retry { label; attempt; reason; rid })
   | "fault_injected" ->
       let* plan = as_string "plan" j in
       let* addr = as_int "addr" j in
@@ -414,22 +435,29 @@ let kind_of_json j : (Trace.kind, string) result =
   | "irq_raised" ->
       let* line = as_int "line" j in
       let* dev = as_string "dev" j in
-      Ok (Trace.Irq_raised { line; dev })
+      Ok (Trace.Irq_raised { line; dev; rid })
   | "irq_delivered" ->
       let* line = as_int "line" j in
       let* dev = as_string "dev" j in
-      Ok (Trace.Irq_delivered { line; dev })
+      Ok (Trace.Irq_delivered { line; dev; rid })
   | "queue_submitted" ->
       let* dev = as_string "dev" j in
       let* label = as_string "label" j in
       let* depth = as_int "depth" j in
-      Ok (Trace.Queue_submitted { dev; label; depth })
+      Ok (Trace.Queue_submitted { dev; label; depth; rid })
+  | "queue_started" ->
+      let* dev = as_string "dev" j in
+      let* label = as_string "label" j in
+      Ok (Trace.Queue_started { dev; label; rid })
   | "queue_completed" ->
       let* dev = as_string "dev" j in
       let* label = as_string "label" j in
       let* depth = as_int "depth" j in
       let* ok = as_bool "ok" j in
-      Ok (Trace.Queue_completed { dev; label; depth; ok })
+      Ok (Trace.Queue_completed { dev; label; depth; ok; rid })
+  | "queue_late" ->
+      let* dev = as_string "dev" j in
+      Ok (Trace.Queue_late { dev; rid })
   | t -> Error (Printf.sprintf "unknown event kind %S" t)
 
 let event_of_json j : (Trace.event, string) result =
@@ -490,7 +518,13 @@ let events_of_jsonl s =
    numbers as microsecond timestamps. Polls, retries and block
    transfers render as duration spans ("X" phase: a poll spans its
    iteration count, a block its element count) so waiting and bulk
-   movement are visible as width; everything else is an instant. *)
+   movement are visible as width; everything else is an instant.
+
+   Events carrying a request id additionally emit a flow event (the
+   "s"/"t"/"f" phases, id = the request id) on the same thread and
+   timestamp, so Chrome draws an arrow chain following each queued
+   request from its submit through start/irq/poll steps to its
+   completion — across the device and scheduler tracks. *)
 let to_chrome events =
   let tids = Hashtbl.create 8 in
   let names = ref [] in
@@ -512,11 +546,37 @@ let to_chrome events =
     let base = if ph = "i" then base @ [ ("s", String "t") ] else base in
     Obj (base @ [ ("args", Obj args) ])
   in
+  let flow ~ph ~ts ~tid rid =
+    let base =
+      [ ("name", String (Printf.sprintf "req #%d" rid));
+        ("cat", String "lifecycle"); ("ph", String ph); ("id", Int rid);
+        ("ts", Int ts); ("pid", Int 1); ("tid", Int tid) ]
+    in
+    (* "bp":"e" binds the flow end to the enclosing slice. *)
+    Obj (if ph = "f" then base @ [ ("bp", String "e") ] else base)
+  in
+  (* Which flow phase (if any) an event contributes to its request's
+     arc: the submit starts the flow, the completion ends it,
+     everything in between is a step. The flow id is the request id —
+     unique per request by construction. *)
+  let flow_of (k : Trace.kind) =
+    match k with
+    | Queue_submitted { rid; dev; _ } when rid > 0 -> Some ("s", dev, rid)
+    | Queue_started { rid; dev; _ } when rid > 0 -> Some ("t", dev, rid)
+    | Queue_late { rid; dev } when rid > 0 -> Some ("t", dev, rid)
+    | Irq_raised { rid; _ } when rid > 0 -> Some ("t", "sched", rid)
+    | Irq_delivered { rid; _ } when rid > 0 -> Some ("t", "sched", rid)
+    | Poll { rid; _ } when rid > 0 -> Some ("t", "policy", rid)
+    | Retry { rid; _ } when rid > 0 -> Some ("t", "policy", rid)
+    | Queue_completed { rid; dev; _ } when rid > 0 -> Some ("f", dev, rid)
+    | _ -> None
+  in
   let rows =
-    List.map
+    List.concat_map
       (fun (e : Trace.event) ->
         let ts = e.seq in
-        match e.kind with
+        let main =
+          match e.kind with
         | Bus_read { addr; width; value } ->
             entry ~name:(Printf.sprintf "R%d [%#x]" width addr) ~cat:"bus"
               ~ts ~tid:(tid_of "bus") [ ("value", Int value) ]
@@ -560,30 +620,44 @@ let to_chrome events =
         | Serialized { dev; owner; order } ->
             entry ~name:("serialized " ^ owner) ~cat:"action" ~ts ~tid:(tid_of dev)
               [ ("order", List (List.map (fun r -> String r) order)) ]
-        | Poll { label; iters; ok } ->
+        | Poll { label; iters; ok; rid = _ } ->
             entry ~ph:"X" ~dur:(max 1 iters) ~name:("poll " ^ label)
               ~cat:"policy" ~ts ~tid:(tid_of "policy")
               [ ("iters", Int iters); ("ok", Bool ok) ]
-        | Retry { label; attempt; reason } ->
+        | Retry { label; attempt; reason; rid = _ } ->
             entry ~ph:"X" ~dur:1 ~name:("retry " ^ label) ~cat:"policy" ~ts
               ~tid:(tid_of "policy")
               [ ("attempt", Int attempt); ("reason", String reason) ]
         | Fault_injected { plan; addr; width; detail } ->
             entry ~name:("fault " ^ plan) ~cat:"fault" ~ts ~tid:(tid_of "fault")
               [ ("addr", Int addr); ("width", Int width); ("detail", String detail) ]
-        | Irq_raised { line; dev } ->
+        | Irq_raised { line; dev; rid = _ } ->
             entry ~name:(Printf.sprintf "irq %d raised" line) ~cat:"irq" ~ts
               ~tid:(tid_of "sched") [ ("dev", String dev) ]
-        | Irq_delivered { line; dev } ->
+        | Irq_delivered { line; dev; rid = _ } ->
             entry ~name:(Printf.sprintf "irq %d -> %s" line dev) ~cat:"irq"
               ~ts ~tid:(tid_of "sched") [ ("dev", String dev) ]
-        | Queue_submitted { dev; label; depth } ->
+        | Queue_submitted { dev; label; depth; rid = _ } ->
             entry ~name:("submit " ^ label) ~cat:"queue" ~ts ~tid:(tid_of dev)
               [ ("depth", Int depth) ]
-        | Queue_completed { dev; label; depth; ok } ->
+        | Queue_started { dev; label; rid = _ } ->
+            entry ~name:("start " ^ label) ~cat:"queue" ~ts ~tid:(tid_of dev) []
+        | Queue_completed { dev; label; depth; ok; rid = _ } ->
             entry ~ph:"X" ~dur:1 ~name:("complete " ^ label) ~cat:"queue" ~ts
               ~tid:(tid_of dev)
-              [ ("depth", Int depth); ("ok", Bool ok) ])
+              [ ("depth", Int depth); ("ok", Bool ok) ]
+        | Queue_late { dev; rid } ->
+            entry
+              ~name:
+                (if rid > 0 then Printf.sprintf "late completion (req #%d)" rid
+                 else "spurious completion")
+              ~cat:"queue" ~ts ~tid:(tid_of dev)
+              [ ("rid", Int rid) ]
+        in
+        match flow_of e.kind with
+        | None -> [ main ]
+        | Some (ph, tlabel, rid) ->
+            [ main; flow ~ph ~ts ~tid:(tid_of tlabel) rid ])
       events
   in
   let metadata =

@@ -485,4 +485,5 @@ module Async = struct
 
   let await t rq = Sched.await t.sched rq
   let drain t = Sched.drain t.sched
+  let request_id = Sched.request_id
 end

@@ -131,4 +131,9 @@ module Async : sig
 
   val drain : t -> unit
   (** Ticks the loop until no request is outstanding. *)
+
+  val request_id : Devil_runtime.Sched.request -> int
+  (** The id threading this request's trace events (see
+      {!Devil_runtime.Sched.request_id}) — the key for looking its
+      lifecycle up in {!Devil_runtime.Lifecycle}. *)
 end

@@ -30,6 +30,7 @@ type t = {
   uart_dev : Instance.t;
   rtc_dev : Instance.t;
   kbd_dev : Instance.t;
+  lifecycle : Devil_runtime.Lifecycle.t option;
   mutable sched_ : Devil_runtime.Sched.t option;
 }
 
@@ -71,7 +72,7 @@ let irq_line = function
   | _ -> None
 
 let create ?(debug = false) ?faults ?fault_seed ?trace ?metrics ?profile
-    ?interpret ?(wrap_bus = Fun.id) () =
+    ?interpret ?(wrap_bus = Fun.id) ?(lifecycle = false) ?lifecycle_clock () =
   (* Handles not given explicitly can still be enabled from the
      environment (DEVIL_TRACE / DEVIL_METRICS / DEVIL_PROFILE). *)
   let trace =
@@ -148,6 +149,20 @@ let create ?(debug = false) ?faults ?fault_seed ?trace ?metrics ?profile
   in
   if Option.is_some trace || Option.is_some metrics || Option.is_some profile
   then Devil_runtime.Policy.observe ?trace ?metrics ?profile ();
+  (* Ring evictions become a live counter instead of a value you have
+     to remember to poll off the ring. *)
+  (match (trace, metrics) with
+  | Some tr, Some m ->
+      Devil_runtime.Trace.set_drop_hook tr (fun () ->
+          Devil_runtime.Metrics.incr m "trace.dropped_events")
+  | _ -> ());
+  let lifecycle =
+    match trace with
+    | Some tr when lifecycle ->
+        Some
+          (Devil_runtime.Lifecycle.attach ?clock:lifecycle_clock ?metrics tr)
+    | _ -> None
+  in
   let mk label device bases =
     Instance.create ~debug ~label ?trace ?metrics ?profile ?interpret device
       ~bus ~bases
@@ -197,6 +212,7 @@ let create ?(debug = false) ?faults ?fault_seed ?trace ?metrics ?profile
     kbd_dev =
       mk "kbd" (Devil_specs.Specs.i8042 ())
         [ ("data", kbd_data_base); ("ctl", kbd_ctl_base) ];
+    lifecycle;
     sched_ = None;
   }
 
@@ -248,6 +264,10 @@ let sched t =
       Sched.add_ticker s (fun () -> Hwsim.Piix4.tick t.busmaster);
       t.sched_ <- Some s;
       s
+
+let health ?thresholds t =
+  Devil_runtime.Health.evaluate ?thresholds ?lifecycle:t.lifecycle
+    ?trace:t.trace ?metrics:t.metrics ()
 
 let reset_io_stats t = Io_space.reset_stats t.space
 let io_ops t = Io_space.io_ops t.space

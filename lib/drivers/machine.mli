@@ -40,6 +40,9 @@ type t = {
   uart_dev : Instance.t;
   rtc_dev : Instance.t;
   kbd_dev : Instance.t;
+  lifecycle : Devil_runtime.Lifecycle.t option;
+      (** Live request-lifecycle reconstruction, when the machine was
+          built with [~lifecycle:true] and a trace. *)
   mutable sched_ : Devil_runtime.Sched.t option;
       (** Lazily-built event loop; use {!sched}, not this field. *)
 }
@@ -119,6 +122,8 @@ val create :
   ?profile:Devil_runtime.Profile.t ->
   ?interpret:bool ->
   ?wrap_bus:(Devil_runtime.Bus.t -> Devil_runtime.Bus.t) ->
+  ?lifecycle:bool ->
+  ?lifecycle_clock:(unit -> int) ->
   unit ->
   t
 (** Builds the machine. [debug] enables the §3.2 dynamic checks in
@@ -151,7 +156,25 @@ val create :
     not {!Devil_runtime.Profile.attach}'s gap estimate). Handles not
     supplied are taken from the [DEVIL_TRACE], [DEVIL_METRICS] and
     [DEVIL_PROFILE] environment variables; with none of them, the
-    machine is exactly the uninstrumented one. *)
+    machine is exactly the uninstrumented one.
+
+    [lifecycle] (with a trace present) attaches a
+    {!Devil_runtime.Lifecycle} reconstructor to the trace, so queued
+    requests get per-stage latency accounting as they run;
+    [lifecycle_clock] overrides its clock (tests use the scheduler's
+    virtual tick counter, the latency bench the default monotonic
+    nanoseconds). With both trace and metrics present, ring evictions
+    are additionally surfaced live as the [trace.dropped_events]
+    counter. *)
+
+val health :
+  ?thresholds:(string * int) list -> t -> Devil_runtime.Health.report
+(** The machine's current health verdict, evaluated over its
+    lifecycle/trace/metrics handles (vacuously [Ok] when
+    uninstrumented) — see {!Devil_runtime.Health.evaluate}.
+    [thresholds] raises per-code tolerances, e.g. to ignore
+    [trace_drops] on a machine whose retention ring is deliberately
+    small. *)
 
 val reset_io_stats : t -> unit
 val io_ops : t -> int

@@ -297,4 +297,5 @@ module Async = struct
 
   let await t rq = Sched.await t.sched rq
   let drain t = Sched.drain t.sched
+  let request_id = Sched.request_id
 end

@@ -73,4 +73,8 @@ module Async : sig
 
   val await : t -> Devil_runtime.Sched.request -> unit
   val drain : t -> unit
+
+  val request_id : Devil_runtime.Sched.request -> int
+  (** The id threading this request's trace events (see
+      {!Devil_runtime.Sched.request_id}). *)
 end

@@ -250,6 +250,7 @@ type exec = {
   e_monitor : Monitor.violation list;
   e_events : Trace.event list;
   e_tape : Bus.tape option;
+  e_health : Devil_runtime.Health.report;
 }
 
 let state_fingerprint ~verdict ~trace ~monitor_violations =
@@ -345,8 +346,9 @@ let run_schedule ?(record = false) ?monitor w choices
     Policy.unobserve ();
     (polls, retries)
   in
+  let machine = Machine.create ~trace ~metrics ~wrap_bus ~lifecycle:true () in
   let result =
-    try `Verdict (w.w_run (Machine.create ~trace ~metrics ~wrap_bus ()))
+    try `Verdict (w.w_run machine)
     with
     | Policy.Driver_error e -> `Verdict (Campaign.Reported (Policy.error_to_string e))
     | Bus.Replay_divergence msg ->
@@ -426,6 +428,7 @@ let run_schedule ?(record = false) ?monitor w choices
     e_monitor = monitor_violations;
     e_events = Trace.events trace;
     e_tape = !tape;
+    e_health = Machine.health machine;
   }
 
 let outcome_of_exec (e : exec) : choice Explore.outcome =
@@ -447,6 +450,7 @@ type counterexample = {
   cx_shrink_runs : int;
   cx_tape : Bus.tape;  (* tape of the minimized schedule *)
   cx_events : Trace.event list;
+  cx_health : Devil_runtime.Health.report;  (* of the minimized run *)
 }
 
 type result = {
@@ -489,6 +493,7 @@ let explore_workload ?(bound = default_bound) ?(max_violations = 4) ?on_run w =
               cx_shrink_runs = attempts;
               cx_tape = Option.get final.e_tape;
               cx_events = final.e_events;
+              cx_health = final.e_health;
             })
           report.Explore.rp_violations
       in
@@ -598,7 +603,8 @@ let pp_result fmt r =
 let pp_counterexample fmt cx =
   Format.fprintf fmt
     "@[<v>counterexample (%s): %s@,found as: %a@,minimized to: %a (%d shrink \
-     runs)@,tape: %d transfers@]"
+     runs)@,tape: %d transfers@,health: %s@]"
     cx.cx_workload cx.cx_detail (Explore.pp_schedule pp_choice) cx.cx_found
     (Explore.pp_schedule pp_choice) cx.cx_schedule cx.cx_shrink_runs
     (Bus.tape_length cx.cx_tape)
+    (Devil_runtime.Health.summary cx.cx_health)

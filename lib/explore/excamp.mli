@@ -86,6 +86,11 @@ type exec = {
   e_monitor : Devil_runtime.Monitor.violation list;
   e_events : Devil_runtime.Trace.event list;
   e_tape : Devil_runtime.Bus.tape option;
+  e_health : Devil_runtime.Health.report;
+      (** The watchdog verdict over the run's lifecycle/metrics state
+          (see {!Devil_runtime.Health.evaluate}) — surfaced so the
+          campaign reports health regressions, not just oracle
+          violations. *)
 }
 (** Everything one schedule run produces; the engine outcome is a
     projection ({!outcome_of_exec}). *)
@@ -114,6 +119,9 @@ type counterexample = {
   cx_shrink_runs : int;
   cx_tape : Devil_runtime.Bus.tape;  (** Tape of the minimized run. *)
   cx_events : Devil_runtime.Trace.event list;
+  cx_health : Devil_runtime.Health.report;
+      (** Watchdog verdict of the minimized run — how the violation
+          left the async path (stalled, degraded, …). *)
 }
 
 type result = {

@@ -6,6 +6,7 @@ module Metrics = Devil_runtime.Metrics
 module Bus = Devil_runtime.Bus
 module Coverage = Devil_runtime.Coverage
 module Trace_export = Devil_runtime.Trace_export
+module Health = Devil_runtime.Health
 
 type outcome = Clean | Recovered | Detected | Silent
 
@@ -23,6 +24,7 @@ type trial = {
   outcome : outcome;
   detail : string;
   trace_summary : string;
+  health : Health.report;
 }
 
 type report = {
@@ -365,12 +367,19 @@ let run_trial ?(covs = []) ?profile ~driver ~range:(first, last) ~workload
      small retention ring above does not bound what they see. *)
   List.iter (fun cov -> Coverage.attach cov trace) covs;
   let m =
-    Machine.create ~faults:plans ~fault_seed:seed ~metrics ~trace ?profile ()
+    Machine.create ~faults:plans ~fault_seed:seed ~metrics ~trace ?profile
+      ~lifecycle:true ()
   in
   let verdict = run_workload m workload in
   let injections =
     match m.injector with Some i -> Fault.injection_count i | None -> 0
   in
+  (* The watchdog's view of the same trial: did the run merely fail
+     loudly, or did the async path stall, storm or lose interrupts?
+     Ring evictions are expected here — the 128-entry retention ring
+     above is deliberately small (coverage observes the live stream) —
+     so [trace_drops] alone must not mark a trial unhealthy. *)
+  let health = Machine.health ~thresholds:[ ("trace_drops", max_int) ] m in
   let outcome, detail =
     match verdict with
     | Verified when injections = 0 -> (Clean, "no faults fired")
@@ -382,7 +391,7 @@ let run_trial ?(covs = []) ?profile ~driver ~range:(first, last) ~workload
     | Reported d -> (Detected, d)
   in
   let trace_summary = summarize ~metrics ~trace in
-  { driver; fault; seed; injections; outcome; detail; trace_summary }
+  { driver; fault; seed; injections; outcome; detail; trace_summary; health }
 
 let default_seeds = [ 1; 2; 3 ]
 
@@ -605,6 +614,9 @@ let count report ~driver ~fault outcome =
 let silent_trials report =
   List.filter (fun t -> t.outcome = Silent) report.trials
 
+let unhealthy_trials report =
+  List.filter (fun t -> not (Health.is_ok t.health)) report.trials
+
 let pp_report fmt report =
   Format.fprintf fmt "%-10s %-14s %7s %9s %10s %7s %6s  %s@." "driver"
     "fault class" "trials" "detected" "recovered" "silent" "clean" "verdict";
@@ -643,6 +655,24 @@ let pp_report fmt report =
         t.driver t.fault t.seed t.injections t.detail;
       Format.fprintf fmt "    observed: %s@." t.trace_summary)
     silent;
+  (* Health regressions are a separate axis from the oracle verdicts: a
+     trial can fail safe (detected) yet leave the async path stalled or
+     storming, which is what the watchdog flags. *)
+  let unhealthy = unhealthy_trials report in
+  let stalled =
+    List.length
+      (List.filter (fun t -> t.health.Health.verdict = Health.Stalled) unhealthy)
+  in
+  Format.fprintf fmt "health: %d/%d trials non-ok (%d stalled, %d degraded)@."
+    (List.length unhealthy)
+    (List.length report.trials)
+    stalled
+    (List.length unhealthy - stalled);
+  List.iter
+    (fun t ->
+      Format.fprintf fmt "  health: %s / %s seed %d: %s@." t.driver t.fault
+        t.seed (Health.summary t.health))
+    unhealthy;
   if report.coverage <> [] then begin
     Format.fprintf fmt "@.spec coverage across the matrix:@.";
     List.iter

@@ -33,6 +33,11 @@ type trial = {
           poll/retry activity and injection counts from the trial's
           {!Devil_runtime.Metrics} registry plus the
           {!Devil_runtime.Trace} retention stats. *)
+  health : Devil_runtime.Health.report;
+      (** The watchdog's verdict over the trial's lifecycle/metrics
+          state — a separate axis from {!field-outcome}: a trial can
+          fail safe yet leave the async path stalled (timed-out
+          requests), storming, or losing interrupts. *)
 }
 
 type report = {
@@ -112,10 +117,17 @@ val count : report -> driver:string -> fault:string -> outcome -> int
 val silent_trials : report -> trial list
 (** All trials classified {!Silent}, across the whole matrix. *)
 
+val unhealthy_trials : report -> trial list
+(** All trials whose watchdog verdict is not
+    {!Devil_runtime.Health.Ok}, across the whole matrix — the health
+    axis of the campaign. *)
+
 val pp_report : Format.formatter -> report -> unit
 (** The Table-1-style matrix: one row per driver × fault class, with
     detected / recovered / silent / clean tallies and a verdict
-    column, followed by the aggregated spec-coverage lines
+    column, then a [health: n/m trials non-ok] block listing each
+    non-ok trial's verdict and reasons, followed by the aggregated
+    spec-coverage lines
     ([coverage <dev> registers a/b (p%) sites c/d (q%)] — the format
     the check.sh coverage gate parses). *)
 

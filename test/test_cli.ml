@@ -125,11 +125,12 @@ let mixed_trace_file () =
       (fun i kind -> { seq = i; kind })
       [
         Reg_read { dev = "uart"; reg = "LSR"; raw = 0x60 };
-        Irq_raised { line = 4; dev = "uart" };
-        Irq_delivered { line = 4; dev = "uart" };
-        Queue_submitted { dev = "ide"; label = "read#0"; depth = 1 };
+        Irq_raised { line = 4; dev = "uart"; rid = 0 };
+        Irq_delivered { line = 4; dev = "uart"; rid = 0 };
+        Queue_submitted { dev = "ide"; label = "read#0"; depth = 1; rid = 1 };
         Bus_write { addr = 0x1f0; width = 16; value = 0xbeef };
-        Queue_completed { dev = "ide"; label = "read#0"; depth = 0; ok = true };
+        Queue_completed
+          { dev = "ide"; label = "read#0"; depth = 0; ok = true; rid = 1 };
       ]
   in
   let oc = open_out_bin "cli_mixed_trace.jsonl" in

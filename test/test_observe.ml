@@ -342,7 +342,7 @@ let test_poll_metrics () =
         (List.exists
            (fun (e : Trace.event) ->
              match e.kind with
-             | Trace.Poll { label = "third"; iters = 3; ok = true } -> true
+             | Trace.Poll { label = "third"; iters = 3; ok = true; _ } -> true
              | _ -> false)
            (Trace.events trace)))
 

@@ -353,8 +353,14 @@ let sample_events =
       Cache_invalidated { dev = "ide" };
       Action { dev = "dma"; owner = "addr0_low"; phase = Pre; assignments = 1 };
       Serialized { dev = "dma"; owner = "address0"; order = [ "a"; "b" ] };
-      Poll { label = "ide: BSY clear"; iters = 3; ok = true };
-      Retry { label = "ide: read_sectors"; attempt = 2; reason = "device fault" };
+      Poll { label = "ide: BSY clear"; iters = 3; ok = true; rid = 0 };
+      Retry
+        {
+          label = "ide: read_sectors";
+          attempt = 2;
+          reason = "device fault";
+          rid = 0;
+        };
       Fault_injected
         { plan = "stuck-bits"; addr = 0x1f7; width = 8; detail = "0x50 -> 0x51" };
     ]

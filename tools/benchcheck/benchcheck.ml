@@ -6,6 +6,8 @@
      benchcheck compare OLD.json NEW.json [--max-regression PCT]
      benchcheck speedscope FILE
      benchcheck async FILE
+     benchcheck latency FILE
+     benchcheck latency OLD.json NEW.json [--max-regression PCT]
 
    The first form checks that FILE is well-formed JSON matching the
    DESIGN.md §9 schema: a schema_version-1 object whose "workloads"
@@ -26,6 +28,15 @@
    and gates the queued-driver acceptance: ide-queued-dma at >= 2.0x
    the polling row's sustainable command rate, net-burst-rx no slower
    than its polling counterpart.
+
+   [latency] validates a `bench latency` artifact (suite
+   devil_pr9_latency) and gates the lifecycle acceptance: every
+   submitted request completed, zero orphans, zero late completions,
+   an "ok" embedded health verdict, and monotone per-stage
+   percentiles (p50 <= p95 <= p99). The two-file form is the latency
+   regression gate: fail (exit 1) when a (workload, stage) p99
+   grows by more than PCT percent (default 25 — wall-clock
+   nanoseconds are noisier than the modeled ns/op `compare` gates).
 
    [speedscope] validates a Trace_export.profile_to_speedscope file
    against the speedscope JSON expectations: the $schema URL, interned
@@ -406,6 +417,136 @@ let async_cmd path =
   let ide_ratio = Option.get (Hashtbl.find seen "ide-queued-dma") in
   Printf.printf "%s: ok (ide-queued-dma %.2fx vs sync poll)\n" path ide_ratio
 
+(* {1 latency: the request-lifecycle acceptance gate (DESIGN.md §15)} *)
+
+let latency_workloads = [ ("ide-dma-async", "ide"); ("net-async", "ne2000") ]
+let latency_stages = [ "queue_wait"; "service"; "irq_delivery"; "completion"; "total" ]
+
+(* [irq_delivery] is optional: coalesced interrupts (one raise
+   covering several completions) leave some requests without both
+   boundaries, and a histogram only exists once fed. *)
+let latency_required_stages = [ "queue_wait"; "service"; "completion"; "total" ]
+
+(* Validates the artifact and returns every ((workload, stage), p99)
+   pair — the comparison key of the two-file regression gate. *)
+let latency_rows doc =
+  if num "schema_version" doc <> 1.0 then bad "schema_version must be 1";
+  if str "suite" doc <> "devil_pr9_latency" then
+    bad "suite must be \"devil_pr9_latency\"";
+  if num "dma_latency" doc < 1.0 then bad "dma_latency must be at least 1";
+  let wls =
+    match field "workloads" doc with
+    | Arr wls -> wls
+    | _ -> bad "field \"workloads\" must be an array"
+  in
+  let seen = Hashtbl.create 4 in
+  let p99s = ref [] in
+  List.iter
+    (fun w ->
+      let name = str "name" w in
+      (match List.assoc_opt name latency_workloads with
+      | None -> bad "unknown workload %S" name
+      | Some dev ->
+          if str "dev" w <> dev then bad "%s: dev must be %S" name dev);
+      if Hashtbl.mem seen name then bad "duplicate workload %S" name;
+      Hashtbl.add seen name ();
+      let requests = num "requests" w and completed = num "completed" w in
+      if requests < 1.0 then bad "%s: requests must be at least 1" name;
+      if completed <> requests then
+        bad "%s: only %g of %g requests completed" name completed requests;
+      List.iter
+        (fun f ->
+          if num f w <> 0.0 then
+            bad "%s: %s must be 0 on a committed run (found %g)" name f
+              (num f w))
+        [ "orphans"; "lost_interrupts"; "spurious_completions" ];
+      let verdict = str "verdict" (field "health" w) in
+      if verdict <> "ok" then
+        bad "%s: health verdict %S, a committed run must be \"ok\"" name
+          verdict;
+      let stages =
+        match field "stages" w with
+        | Arr stages -> stages
+        | _ -> bad "%s: field \"stages\" must be an array" name
+      in
+      let seen_stages = Hashtbl.create 8 in
+      List.iter
+        (fun s ->
+          let stage = str "stage" s in
+          if not (List.mem stage latency_stages) then
+            bad "%s: unknown stage %S" name stage;
+          if Hashtbl.mem seen_stages stage then
+            bad "%s: duplicate stage %S" name stage;
+          Hashtbl.add seen_stages stage ();
+          if num "count" s < 1.0 then
+            bad "%s/%s: count must be at least 1" name stage;
+          let p50 = num "p50_ns" s
+          and p95 = num "p95_ns" s
+          and p99 = num "p99_ns" s in
+          if p50 < 0.0 then bad "%s/%s: p50_ns must be non-negative" name stage;
+          if not (p50 <= p95 && p95 <= p99) then
+            bad "%s/%s: percentiles not monotone (p50 %g, p95 %g, p99 %g)"
+              name stage p50 p95 p99;
+          if num "mean_ns" s < 0.0 then
+            bad "%s/%s: mean_ns must be non-negative" name stage;
+          p99s := ((name, stage), p99) :: !p99s)
+        stages;
+      List.iter
+        (fun stage ->
+          if not (Hashtbl.mem seen_stages stage) then
+            bad "%s: missing stage %S" name stage)
+        latency_required_stages)
+    wls;
+  List.iter
+    (fun (name, _) ->
+      if not (Hashtbl.mem seen name) then bad "missing workload %S" name)
+    latency_workloads;
+  List.rev !p99s
+
+let latency_cmd path =
+  let rows = latency_rows (Parse.document (read_file path)) in
+  Printf.printf
+    "%s: ok (%d workloads, %d stage histograms; all requests completed, \
+     zero orphans, health ok)\n"
+    path
+    (List.length latency_workloads)
+    (List.length rows)
+
+let latency_compare_cmd ~old_path ~new_path ~max_pct =
+  let olds = latency_rows (Parse.document (read_file old_path)) in
+  let news = latency_rows (Parse.document (read_file new_path)) in
+  let shared =
+    List.filter_map
+      (fun (key, old_p99) ->
+        match List.assoc_opt key news with
+        (* A zero p99 carries no baseline to regress against. *)
+        | Some new_p99 when old_p99 > 0.0 -> Some (key, old_p99, new_p99)
+        | _ -> None)
+      olds
+  in
+  if shared = [] then
+    bad "no (workload, stage) pair has a comparable p99 in both files";
+  Printf.printf "%-14s %-13s %12s %12s %9s\n" "workload" "stage" "old p99 ns"
+    "new p99 ns" "delta";
+  let regressions =
+    List.fold_left
+      (fun acc ((name, stage), old_p99, new_p99) ->
+        let delta_pct = 100.0 *. (new_p99 -. old_p99) /. old_p99 in
+        let regressed = new_p99 > old_p99 *. (1.0 +. (max_pct /. 100.0)) in
+        Printf.printf "%-14s %-13s %12.0f %12.0f %+8.1f%%%s\n" name stage
+          old_p99 new_p99 delta_pct
+          (if regressed then "  REGRESSED" else "");
+        if regressed then acc + 1 else acc)
+      0 shared
+  in
+  if regressions > 0 then (
+    Printf.eprintf
+      "%d (workload, stage) p99(s) regressed by more than %.1f%% (%s -> %s)\n"
+      regressions max_pct old_path new_path;
+    exit 1);
+  Printf.printf "ok: %d pair(s) within %.1f%% of %s\n" (List.length shared)
+    max_pct old_path
+
 (* {1 speedscope: exporter-format validation} *)
 
 let speedscope_cmd path =
@@ -489,6 +630,9 @@ let usage () =
     "       benchcheck compare OLD.json NEW.json [--max-regression PCT]";
   prerr_endline "       benchcheck speedscope FILE";
   prerr_endline "       benchcheck async FILE";
+  prerr_endline "       benchcheck latency FILE";
+  prerr_endline
+    "       benchcheck latency OLD.json NEW.json [--max-regression PCT]";
   exit 2
 
 let checked path f =
@@ -534,6 +678,35 @@ let () =
   | "speedscope" :: _ -> usage ()
   | [ "async"; path ] -> checked path (fun () -> async_cmd path)
   | "async" :: _ -> usage ()
+  | "latency" :: rest -> (
+      let max_pct = ref 25.0 in
+      let files = ref [] in
+      let rec go = function
+        | [] -> ()
+        | "--max-regression" :: v :: tl ->
+            (match float_of_string_opt v with
+            | Some p when p >= 0.0 -> max_pct := p
+            | _ ->
+                Printf.eprintf "benchcheck latency: bad --max-regression %S\n" v;
+                usage ());
+            go tl
+        | [ "--max-regression" ] ->
+            prerr_endline "benchcheck latency: --max-regression needs a value";
+            usage ()
+        | a :: _ when String.length a > 0 && a.[0] = '-' ->
+            Printf.eprintf "benchcheck latency: unknown option %s\n" a;
+            usage ()
+        | a :: tl ->
+            files := a :: !files;
+            go tl
+      in
+      go rest;
+      match List.rev !files with
+      | [ path ] -> checked path (fun () -> latency_cmd path)
+      | [ old_path; new_path ] ->
+          checked new_path (fun () ->
+              latency_compare_cmd ~old_path ~new_path ~max_pct:!max_pct)
+      | _ -> usage ())
   | args -> (
       let require_speedup = List.mem "--require-speedup" args in
       match List.filter (fun a -> a <> "--require-speedup") args with

@@ -105,6 +105,30 @@ if [ -f BENCH_async.json ]; then
   dune exec tools/benchcheck/benchcheck.exe -- async BENCH_async.json
 fi
 
+# Lifecycle gates (ISSUE 9): the request-lifecycle suite must pass
+# (rid threading, stage accounting, lost-vs-spurious classification,
+# Chrome flow events, the health watchdog), a fresh `bench latency`
+# run must complete 100% of its queued requests with zero orphans and
+# an ok health verdict on both async workloads (the run itself exits 1
+# otherwise, benchcheck re-validates the artifact offline), and the
+# dumped event traces must reconstruct to the same verdict through
+# tracetool's --min-complete gate. The committed BENCH_latency.json is
+# gated too when present.
+echo "== lifecycle gates =="
+dune build @lifecycle
+rm -rf _build/latency_traces
+dune exec bench/main.exe -- latency --out _build/bench_latency.json \
+  --trace-dir _build/latency_traces > /dev/null
+dune exec tools/benchcheck/benchcheck.exe -- latency _build/bench_latency.json
+for w in ide-dma-async net-async; do
+  dune exec tools/tracetool/tracetool.exe -- lifecycle \
+    "_build/latency_traces/$w.trace.jsonl" --min-complete 100 > /dev/null
+  echo "ok: $w lifecycles 100% complete, zero orphans"
+done
+if [ -f BENCH_latency.json ]; then
+  dune exec tools/benchcheck/benchcheck.exe -- latency BENCH_latency.json
+fi
+
 # Harness gates (ISSUE 8): the generated per-spec battery — site-aware
 # differential sequences, coverage obligations and the generated fault
 # campaign, all derived from the IR with zero per-spec harness code —

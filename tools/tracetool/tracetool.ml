@@ -25,11 +25,24 @@
    [coverage] maps a trace back onto a bundled specification and
    reports which of its coverable sites the trace exercised;
    [--min-reg] turns it into a gate (exit 1 below the threshold) and
-   [--missed] lists every uncovered site. *)
+   [--missed] lists every uncovered site.
+   [lifecycle] rebuilds the queued-request arcs the scheduler threads
+   through the trace (DESIGN.md §15): a per-request timeline table
+   with stage durations in trace-sequence ticks, the top stragglers
+   by total latency, every orphan, and the lost-vs-spurious
+   classification of late completions; [--min-complete] turns it into
+   a gate (exit 1 when fewer than PCT% of submitted requests
+   completed).
+
+   Any command that analyzes a trace file warns loudly on stderr when
+   the file was truncated by ring eviction (its first event's sequence
+   number tells how many events were lost): lifecycle arcs, diffs and
+   coverage over a truncated trace are all suspect. *)
 
 module Trace = Devil_runtime.Trace
 module Trace_export = Devil_runtime.Trace_export
 module Coverage = Devil_runtime.Coverage
+module Lifecycle = Devil_runtime.Lifecycle
 module Specs = Devil_specs.Specs
 
 let die fmt = Printf.ksprintf (fun m -> prerr_endline ("tracetool: " ^ m); exit 2) fmt
@@ -43,6 +56,8 @@ let usage_text =
   \                                              keep matching events\n\
   \  diff     A B                                trace or tape JSONL\n\
   \  coverage FILE --spec NAME [--dev LABEL] [--min-reg PCT] [--missed]\n\
+  \  lifecycle FILE [--top N] [--min-complete PCT]\n\
+  \                                              queued-request arcs\n\
    flags:\n\
   \  -o OUT          write output to OUT instead of stdout\n\
   \  --dev D         keep events of instance label D\n\
@@ -52,6 +67,8 @@ let usage_text =
   \  --spec NAME     bundled specification to cover\n\
   \  --min-reg PCT   fail (exit 1) below PCT register coverage\n\
   \  --missed        list every uncovered site\n\
+  \  --top N         stragglers listed by [lifecycle] (default 5)\n\
+  \  --min-complete PCT  fail (exit 1) below PCT completed requests\n\
    diff exit codes:\n\
   \  0  the files are identical\n\
   \  1  both readable, but they diverge (the diverging line is printed)\n\
@@ -68,9 +85,27 @@ let usage_die fmt =
       exit 2)
     fmt
 
+(* The runtime's ring numbers events from 0 and evicts oldest-first,
+   so a trace whose first surviving event has sequence [n > 0] lost
+   exactly [n] events before export. Every analysis command warns: a
+   truncated trace silently understates coverage and breaks lifecycle
+   arcs (submits evicted from under their completions). *)
+let warn_truncation path (evs : Trace.event list) =
+  match evs with
+  | { seq; _ } :: _ when seq > 0 ->
+      Printf.eprintf
+        "tracetool: WARNING: %s is TRUNCATED by ring eviction: %d event%s \
+         lost before the first surviving record (seq %d).\n\
+         tracetool: WARNING: results below may be incomplete; re-record \
+         with a larger trace capacity.\n"
+        path seq (if seq = 1 then "" else "s") seq
+  | _ -> ()
+
 let events_of_file path =
   match Trace_export.events_of_file path with
-  | Ok evs -> evs
+  | Ok evs ->
+      warn_truncation path evs;
+      evs
   | Error why -> die "%s: %s" path why
 
 let output ~out data =
@@ -97,7 +132,8 @@ let event_dev (k : Trace.kind) =
       | None -> None)
   | Fault_injected _ -> None
   | Irq_raised { dev; _ } | Irq_delivered { dev; _ }
-  | Queue_submitted { dev; _ } | Queue_completed { dev; _ } ->
+  | Queue_submitted { dev; _ } | Queue_started { dev; _ }
+  | Queue_completed { dev; _ } | Queue_late { dev; _ } ->
       Some dev
 
 (* The coarse families [--kind] selects between; scheduler events get
@@ -113,7 +149,8 @@ let event_kind (k : Trace.kind) =
   | Poll _ | Retry _ -> "policy"
   | Fault_injected _ -> "fault"
   | Irq_raised _ | Irq_delivered _ -> "irq"
-  | Queue_submitted _ | Queue_completed _ -> "queue"
+  | Queue_submitted _ | Queue_started _ | Queue_completed _ | Queue_late _ ->
+      "queue"
 
 let kind_families =
   [ "bus"; "reg"; "var"; "cache"; "action"; "policy"; "fault"; "irq"; "queue" ]
@@ -160,7 +197,9 @@ type diffable =
 
 let diffable_of_file path =
   match Trace_export.events_of_file path with
-  | Ok evs -> D_trace evs
+  | Ok evs ->
+      warn_truncation path evs;
+      D_trace evs
   | Error trace_why -> (
       match Trace_export.tape_of_file path with
       | Ok tape -> D_tape (Devil_runtime.Bus.tape_transfers tape)
@@ -234,6 +273,98 @@ let cmd_coverage file ~spec ~dev ~min_reg ~missed =
       1
   | _ -> 0
 
+(* Offline reconstruction uses trace sequence numbers as the clock, so
+   every duration below is in {e ticks} (events elapsed), not time —
+   the right unit for a recorded file, where wall-clock gaps between
+   events are an artifact of when the recorder ran. *)
+let cmd_lifecycle file ~top ~min_complete =
+  let lc = Lifecycle.of_events (events_of_file file) in
+  let requests = Lifecycle.requests lc in
+  let submitted = Lifecycle.submitted lc in
+  let completed = Lifecycle.completed lc in
+  if submitted = 0 then begin
+    Format.printf "no queued requests in %s@." file;
+    0
+  end
+  else begin
+    let cell r st =
+      match Lifecycle.stage_ns r st with
+      | Some n -> string_of_int n
+      | None -> "?"
+    in
+    let outcome (r : Lifecycle.record) =
+      if not (Lifecycle.complete r) then "ORPHAN"
+      else if r.late_completion then "lost-irq"
+      else if r.ok then "ok"
+      else "failed"
+    in
+    let print_row (r : Lifecycle.record) =
+      Format.printf "  %-5d %-8s %-22s %-8s %10s %10s %10s %10s %10s@."
+        r.rid r.dev
+        (if String.length r.label > 22 then String.sub r.label 0 22
+         else r.label)
+        (outcome r) (cell r Queue_wait) (cell r Service)
+        (cell r Irq_delivery) (cell r Completion) (cell r Total)
+    in
+    Format.printf "request lifecycles (%s; durations in trace ticks)@." file;
+    Format.printf "  %-5s %-8s %-22s %-8s %10s %10s %10s %10s %10s@." "req"
+      "dev" "label" "outcome" "queue" "service" "irq" "complete" "total";
+    List.iter print_row requests;
+    let pct =
+      if submitted = 0 then 100.0
+      else 100.0 *. float_of_int completed /. float_of_int submitted
+    in
+    Format.printf
+      "summary: %d submitted, %d completed (%.1f%%), %d orphaned@." submitted
+      completed pct
+      (List.length (Lifecycle.orphans lc));
+    let lost = Lifecycle.lost_interrupts lc in
+    let spurious = Lifecycle.spurious_completions lc in
+    if lost > 0 then
+      Format.printf
+        "late completions: %d LOST interrupt%s (completion arrived after \
+         its request timed out)@."
+        lost
+        (if lost = 1 then "" else "s");
+    if spurious > 0 then
+      Format.printf
+        "late completions: %d SPURIOUS (no timed-out request to blame)@."
+        spurious;
+    (* Stragglers: completed requests by total latency, worst first. *)
+    let stragglers =
+      List.filter Lifecycle.complete requests
+      |> List.filter_map (fun r ->
+             Option.map (fun t -> (t, r)) (Lifecycle.stage_ns r Total))
+      |> List.sort (fun (a, _) (b, _) -> compare b a)
+    in
+    (match stragglers with
+    | [] -> ()
+    | _ ->
+        let n = min top (List.length stragglers) in
+        Format.printf "top %d straggler%s by total latency:@." n
+          (if n = 1 then "" else "s");
+        List.iteri
+          (fun i (t, (r : Lifecycle.record)) ->
+            if i < n then
+              Format.printf "  #%d req %d %s \"%s\": %d ticks@." (i + 1)
+                r.rid r.dev r.label t)
+          stragglers);
+    let orphans = Lifecycle.orphans lc in
+    if orphans <> [] then begin
+      Format.printf "orphans (submitted, never completed):@.";
+      List.iter
+        (fun r -> Format.printf "  %a@." Lifecycle.pp_record r)
+        orphans
+    end;
+    match min_complete with
+    | Some threshold when pct < threshold ->
+        Format.printf
+          "FAIL: %.1f%% of requests completed, below threshold %.1f%%@." pct
+          threshold;
+        1
+    | _ -> 0
+  end
+
 (* {1 Argument parsing} *)
 
 let () =
@@ -246,12 +377,13 @@ let () =
     | "--missed" :: rest ->
         Hashtbl.replace opts "--missed" "";
         parse rest
-    | (("--dev" | "--reg" | "--kind" | "--spec" | "--min-reg" | "-o") as o)
+    | (("--dev" | "--reg" | "--kind" | "--spec" | "--min-reg" | "--top"
+       | "--min-complete" | "-o") as o)
       :: v :: rest ->
         Hashtbl.replace opts o v;
         parse rest
-    | [ (("--dev" | "--reg" | "--kind" | "--spec" | "--min-reg" | "-o") as o) ]
-      ->
+    | [ (("--dev" | "--reg" | "--kind" | "--spec" | "--min-reg" | "--top"
+         | "--min-complete" | "-o") as o) ] ->
         usage_die "option %s needs a value" o
     | o :: _ when String.length o > 1 && o.[0] = '-' ->
         usage_die "unknown option %s" o
@@ -285,7 +417,24 @@ let () =
                    with _ -> usage_die "--min-reg %s: not a number" s)
                  (opt "--min-reg"))
             ~missed:(Hashtbl.mem opts "--missed")
-      | (("print" | "convert" | "filter" | "diff" | "coverage") as cmd), _ ->
+      | "lifecycle", [ f ] ->
+          cmd_lifecycle f
+            ~top:
+              (match opt "--top" with
+              | None -> 5
+              | Some s -> (
+                  match int_of_string_opt s with
+                  | Some n when n > 0 -> n
+                  | _ -> usage_die "--top %s: not a positive integer" s))
+            ~min_complete:
+              (Option.map
+                 (fun s ->
+                   try float_of_string s
+                   with _ -> usage_die "--min-complete %s: not a number" s)
+                 (opt "--min-complete"))
+      | ( (("print" | "convert" | "filter" | "diff" | "coverage" | "lifecycle")
+          as cmd),
+          _ ) ->
           usage_die "%s: wrong number of file arguments (%d)" cmd
             (List.length positional)
       | cmd, _ -> usage_die "unknown command %s" cmd
