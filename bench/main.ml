@@ -1354,6 +1354,280 @@ let latency_cmd args =
         (List.rev fs);
       exit 1
 
+(* {1 bench soak: the telemetry acceptance workload (DESIGN.md §16)}
+
+   A mixed sync/async workload under a ticking telemetry sampler: every
+   virtual "second" issues queued IDE DMA reads, async NE2000 sends and
+   a burst of synchronous UART register traffic, then takes one
+   telemetry tick (sampling every counter/histogram plus the health
+   verdict). Every clock in the run is deterministic — the lifecycle
+   clock counts trace events, the telemetry clock counts ticks — so
+   BENCH_telemetry.json and the series dump are byte-stable across
+   runs, which is what lets check.sh gate on the committed artifact.
+
+   In-process invariants (exit 1): every DMA'd byte and transmitted
+   frame verified against ground truth, health ok at the end, and a
+   nonzero completion rate in every tick's window. *)
+
+let soak_ide_per_tick = 4
+let soak_net_per_tick = 4
+let soak_uart_per_tick = 8
+
+let soak_usage () =
+  Format.eprintf
+    "usage: bench soak [--ticks N] [--out FILE] [--series FILE] \
+     [--openmetrics FILE]@.";
+  exit 2
+
+let soak_cmd args =
+  let ticks = ref 6 in
+  let out = ref "BENCH_telemetry.json" in
+  let series_out = ref None in
+  let om_out = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--ticks" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n when n > 0 -> ticks := n
+        | _ -> soak_usage ());
+        parse rest
+    | "--out" :: v :: rest ->
+        out := v;
+        parse rest
+    | "--series" :: v :: rest ->
+        series_out := Some v;
+        parse rest
+    | "--openmetrics" :: v :: rest ->
+        om_out := Some v;
+        parse rest
+    | _ -> soak_usage ()
+  in
+  parse args;
+  async_failures := [];
+  section "Telemetry soak: mixed sync/async workload under a ticking sampler";
+  let trace = Devil_runtime.Trace.create ~capacity:65536 () in
+  let metrics = Devil_runtime.Metrics.create () in
+  let telemetry = Devil_runtime.Telemetry.create ~capacity:256 metrics in
+  let event_clock =
+    let n = ref 0 in
+    fun () ->
+      incr n;
+      !n
+  in
+  let m =
+    Machine.create ~trace ~metrics ~telemetry ~lifecycle:true
+      ~lifecycle_clock:event_clock ()
+  in
+  Fun.protect ~finally:Devil_runtime.Policy.unobserve @@ fun () ->
+  async_fill_disk m;
+  Hwsim.Piix4.set_latency m.busmaster async_dma_latency;
+  let sched = Machine.sched m in
+  let ide =
+    Drivers.Ide.Async.create ~sched ~line:Machine.irq_ide
+      ~memory:(Hwsim.Piix4.memory m.busmaster) ~ide:m.ide_dev
+      ~piix4:m.piix4_dev
+  in
+  let net_sync = Drivers.Net.Devil_driver.create m.ne2000_dev in
+  Drivers.Net.Devil_driver.init net_sync ~mac:"\x02\x00\x00\x00\x00\x42";
+  let net = Drivers.Net.Async.create ~sched ~line:Machine.irq_net m.ne2000_dev in
+  let frames_sent = ref 0 in
+  for t = 0 to !ticks - 1 do
+    let completions_before =
+      Devil_runtime.Metrics.count metrics "sched.queue.completions"
+    in
+    (* Async IDE: a window of queued DMA reads over the pre-filled
+       sectors (command indices wrap, so any tick count replays the
+       same ground truth). *)
+    let pending = ref [] in
+    for k = 0 to soak_ide_per_tick - 1 do
+      let cmd = ((t * soak_ide_per_tick) + k) mod async_ide_ops in
+      let rq =
+        Drivers.Ide.Async.read_dma ide
+          ~lba:(1000 + (cmd * async_ide_count))
+          ~count:async_ide_count
+          ~on_data:(fun got ->
+            async_verify ~row:"soak-ide"
+              ~what:(Printf.sprintf "tick %d command %d" t cmd)
+              (async_sector_pattern cmd) got)
+          ()
+      in
+      pending := rq :: !pending;
+      if List.length !pending >= 2 then begin
+        List.iter (Drivers.Ide.Async.await ide) !pending;
+        pending := []
+      end
+    done;
+    List.iter (Drivers.Ide.Async.await ide) !pending;
+    Drivers.Ide.Async.drain ide;
+    (* Async net: a burst of sends, verified against the NIC's
+       transmit log. *)
+    let rqs =
+      List.init soak_net_per_tick (fun k ->
+          Drivers.Net.Async.send net (latency_net_frame (!frames_sent + k)))
+    in
+    List.iter (Drivers.Net.Async.await net) rqs;
+    Drivers.Net.Async.drain net;
+    let sent = Hwsim.Ne2000.take_transmitted m.nic in
+    if List.length sent <> soak_net_per_tick then
+      async_fail "soak-net: tick %d transmitted %d of %d frames" t
+        (List.length sent) soak_net_per_tick
+    else
+      List.iteri
+        (fun k f ->
+          async_verify ~row:"soak-net"
+            ~what:(Printf.sprintf "tick %d frame %d" t k)
+            (Bytes.of_string (latency_net_frame (!frames_sent + k)))
+            (Bytes.of_string f))
+        sent;
+    frames_sent := !frames_sent + soak_net_per_tick;
+    (* Sync foreground traffic: UART variable and structure reads. *)
+    for _ = 1 to soak_uart_per_tick do
+      ignore (Machine.Instance.get m.uart_dev "parity_mode")
+    done;
+    Machine.Instance.get_struct m.uart_dev "line_status";
+    (* One telemetry tick closes the window. *)
+    Machine.telemetry_tick m;
+    let completions_after =
+      Devil_runtime.Metrics.count metrics "sched.queue.completions"
+    in
+    if completions_after <= completions_before then
+      async_fail "soak: tick %d completed no queued requests" t
+  done;
+  let report = Machine.health m in
+  if not (Devil_runtime.Health.is_ok report) then
+    async_fail "soak: health verdict %s"
+      (Devil_runtime.Health.summary report);
+  let openmetrics =
+    Devil_runtime.Trace_export.to_openmetrics ~health:report ~telemetry
+      metrics
+  in
+  (* The artifact keeps the scheduler/bus/IO aggregate rates; the
+     per-register counters stay in the series dump, where the full
+     registry belongs. *)
+  let rate_prefixes = [ "sched."; "bus."; "io."; "trace."; "cache." ] in
+  let rates =
+    List.filter
+      (fun name ->
+        List.exists
+          (fun p ->
+            String.length name >= String.length p
+            && String.sub name 0 (String.length p) = p)
+          rate_prefixes)
+      (Devil_runtime.Telemetry.counter_names telemetry)
+    |> List.map (fun name ->
+           let points = Devil_runtime.Telemetry.counter_series telemetry name in
+           let total, last_delta =
+             match List.rev points with
+             | (p : Devil_runtime.Telemetry.counter_point) :: _ ->
+                 (p.total, p.delta)
+             | [] -> (0, 0)
+           in
+           (name, total, last_delta, float_of_int total /. float_of_int !ticks))
+  in
+  let windows =
+    List.map
+      (fun name ->
+        let last =
+          match
+            List.rev (Devil_runtime.Telemetry.hist_series telemetry name)
+          with
+          | (p : Devil_runtime.Telemetry.hist_point) :: _ -> p
+          | [] ->
+              {
+                Devil_runtime.Telemetry.h_at = 0;
+                h_count = 0;
+                h_sum = 0;
+                h_p50 = 0;
+                h_p95 = 0;
+                h_p99 = 0;
+              }
+        in
+        (name, last))
+      (Devil_runtime.Telemetry.hist_names telemetry)
+  in
+  let evictions = Devil_runtime.Telemetry.evictions telemetry in
+  (* Console summary: the dashboard's numbers, once. *)
+  Format.printf "%d tick(s), %d counter series, %d histogram series@." !ticks
+    (List.length (Devil_runtime.Telemetry.counter_names telemetry))
+    (List.length windows);
+  Format.printf "  %-36s %10s %12s %14s@." "counter" "total" "last delta"
+    "mean per tick";
+  List.iter
+    (fun (name, total, last_delta, mean) ->
+      Format.printf "  %-36s %10d %12d %14.3f@." name total last_delta mean)
+    rates;
+  Format.printf "  %-36s %8s %10s %10s %10s@." "histogram (last window)"
+    "count" "p50" "p95" "p99";
+  List.iter
+    (fun (name, (p : Devil_runtime.Telemetry.hist_point)) ->
+      Format.printf "  %-36s %8d %10d %10d %10d@." name p.h_count p.h_p50
+        p.h_p95 p.h_p99)
+    windows;
+  Format.printf "health: %s; series evictions: %d@."
+    (Devil_runtime.Health.summary report)
+    evictions;
+  (* The JSON artifact benchcheck telemetry validates. *)
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema_version\": 1,\n";
+  Buffer.add_string buf "  \"suite\": \"devil_pr10_telemetry\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"ticks\": %d,\n" !ticks);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"ring_capacity\": %d,\n"
+       (Devil_runtime.Telemetry.capacity telemetry));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"series_evictions\": %d,\n" evictions);
+  Buffer.add_string buf "  \"rates\": [\n";
+  let nr = List.length rates in
+  List.iteri
+    (fun i (name, total, last_delta, mean) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"metric\": %S, \"total\": %d, \"last_delta\": %d, \
+            \"mean_per_tick\": %.3f }%s\n"
+           name total last_delta mean
+           (if i = nr - 1 then "" else ",")))
+    rates;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"windows\": [\n";
+  let nw = List.length windows in
+  List.iteri
+    (fun i (name, (p : Devil_runtime.Telemetry.hist_point)) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"metric\": %S, \"count\": %d, \"sum\": %d, \"p50\": %d, \
+            \"p95\": %d, \"p99\": %d }%s\n"
+           name p.h_count p.h_sum p.h_p50 p.h_p95 p.h_p99
+           (if i = nw - 1 then "" else ",")))
+    windows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"health\": %s,\n"
+       (Devil_runtime.Health.to_json report));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"openmetrics\": %S\n" openmetrics);
+  Buffer.add_string buf "}\n";
+  let oc = open_out !out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "@.wrote %s@." !out;
+  (match !series_out with
+  | None -> ()
+  | Some path ->
+      Devil_runtime.Trace_export.write_file path
+        (Devil_runtime.Trace_export.series_to_jsonl telemetry);
+      Format.printf "wrote %s@." path);
+  (match !om_out with
+  | None -> ()
+  | Some path ->
+      Devil_runtime.Trace_export.write_file path openmetrics;
+      Format.printf "wrote %s@." path);
+  match !async_failures with
+  | [] -> ()
+  | fs ->
+      List.iter (Format.eprintf "soak invariant violated: %s@.") (List.rev fs);
+      exit 1
+
 (* {1 bench profile: per-workload span attribution (DESIGN.md §11)}
 
    Runs each PR-3 workload on a profiler-instrumented machine and
@@ -1824,6 +2098,7 @@ let () =
   | "explore" :: rest -> explore_cmd rest
   | "async" :: rest -> async_cmd rest
   | "latency" :: rest -> latency_cmd rest
+  | "soak" :: rest -> soak_cmd rest
   | "harness" :: rest -> harness_cmd rest
   | [] ->
       Format.printf

@@ -12,6 +12,7 @@ let verdict_label = function
   | Stalled -> "stalled"
 
 let severity = function Ok -> 0 | Degraded -> 1 | Stalled -> 2
+let verdict_severity = severity
 
 type reason = { code : string; count : int; detail : string }
 

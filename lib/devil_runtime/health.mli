@@ -31,6 +31,11 @@ type verdict = Ok | Degraded | Stalled
 val verdict_label : verdict -> string
 (** ["ok"], ["degraded"], ["stalled"]. *)
 
+val verdict_severity : verdict -> int
+(** [Ok] 0, [Degraded] 1, [Stalled] 2 — the ordering used to pick the
+    overall verdict, exposed so exporters can render the verdict as a
+    monotone gauge ({!Trace_export.to_openmetrics}'s [devil_health]). *)
+
 type reason = {
   code : string;  (** Stable machine-readable name, e.g. ["request_timeouts"]. *)
   count : int;  (** The observed count that breached the threshold. *)

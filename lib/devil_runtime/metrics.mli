@@ -105,6 +105,11 @@ val bucket_percentile :
 (** The pure estimator behind {!percentile}, usable on any bucket array
     laid out by {!bucket_of}. *)
 
+val hist_buckets : t -> string -> int array option
+(** A copy of a histogram's raw bucket counts ({!bucket_count} wide) —
+    what {!Telemetry} diffs between ticks for windowed percentiles and
+    {!Trace_export.to_openmetrics} renders as Prometheus buckets. *)
+
 val counters : t -> (string * int) list
 (** All counters, sorted by name. *)
 
@@ -115,6 +120,16 @@ val ratio : t -> hits:string -> misses:string -> float option
     [ratio m ~hits:"cache.ide.hits" ~misses:"cache.ide.misses"]. *)
 
 val reset : t -> unit
+
+val merge : t -> t -> t
+(** [merge a b] is a {e fresh} registry holding the pointwise sum of
+    both: counters add; histograms add count/sum/buckets and take the
+    min/max envelope. Neither input is touched. The fold is exact —
+    every derived statistic (percentiles, mean, {!to_json}) of the
+    merge equals what one registry fed the concatenated event stream
+    would report — and is associative and commutative with
+    [create ()] as identity, so per-shard registries can be folded in
+    any order at snapshot time (ROADMAP item 2). *)
 
 val to_json : t -> string
 (** The whole registry as a JSON object

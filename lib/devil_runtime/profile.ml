@@ -324,3 +324,74 @@ let reset t =
   t.depth <- 0;
   t.last_ns <- min_int;
   t.unbalanced <- 0
+
+(* {1 Folding}
+
+   [merge a b] is a fresh quiescent profiler whose call-path trie is
+   the recursive union of both tries (nodes matched by key path, their
+   count/total/self summed) and whose site table is the pointwise sum
+   of both tables. Summing self over the merged trie equals the sum of
+   the inputs' attributed time, and the merged roots' total equals the
+   sum of the inputs' totals — so the [attributed_ns = total_ns]
+   identity survives the fold, as do the site percentiles (same bucket
+   arithmetic as {!Metrics.merge}). Open spans are not merged: folding
+   a profiler mid-span would split a span across shards, which has no
+   meaning. *)
+
+let rec merge_node_into dst src =
+  dst.n_count <- dst.n_count + src.n_count;
+  dst.n_total_ns <- dst.n_total_ns + src.n_total_ns;
+  dst.n_self_ns <- dst.n_self_ns + src.n_self_ns;
+  Hashtbl.iter
+    (fun key child ->
+      let into =
+        match Hashtbl.find_opt dst.n_children key with
+        | Some n -> n
+        | None ->
+            let n = mk_node key in
+            Hashtbl.add dst.n_children key n;
+            n
+      in
+      merge_node_into into child)
+    src.n_children
+
+let merge_site_into dst src =
+  dst.s_count <- dst.s_count + src.s_count;
+  dst.s_total_ns <- dst.s_total_ns + src.s_total_ns;
+  dst.s_self_ns <- dst.s_self_ns + src.s_self_ns;
+  if src.s_min_ns < dst.s_min_ns then dst.s_min_ns <- src.s_min_ns;
+  if src.s_max_ns > dst.s_max_ns then dst.s_max_ns <- src.s_max_ns;
+  Array.iteri
+    (fun i v -> dst.s_buckets.(i) <- dst.s_buckets.(i) + v)
+    src.s_buckets
+
+let merge a b =
+  let t = create () in
+  let add src =
+    merge_node_into t.root src.root;
+    Hashtbl.iter
+      (fun key s ->
+        match Hashtbl.find_opt t.sites key with
+        | Some dst -> merge_site_into dst s
+        | None ->
+            Hashtbl.add t.sites key
+              {
+                s_count = s.s_count;
+                s_total_ns = s.s_total_ns;
+                s_self_ns = s.s_self_ns;
+                s_min_ns = s.s_min_ns;
+                s_max_ns = s.s_max_ns;
+                s_buckets = Array.copy s.s_buckets;
+                s_metric = s.s_metric;
+              })
+      src.sites;
+    t.unbalanced <- t.unbalanced + src.unbalanced
+  in
+  add a;
+  add b;
+  (* The roots carry per-input aggregates the trie walk never reads;
+     zero them so the merged root stays a pure anchor. *)
+  t.root.n_count <- 0;
+  t.root.n_total_ns <- 0;
+  t.root.n_self_ns <- 0;
+  t

@@ -132,3 +132,15 @@ val unbalanced_exits : t -> int
 val reset : t -> unit
 (** Drop all aggregates (not the clock, metrics link, or open-span
     bookkeeping of a quiescent profiler). *)
+
+val merge : t -> t -> t
+(** [merge a b] is a {e fresh} quiescent profiler: the call-path tries
+    united by key path (count/total/self summed per node) and the site
+    tables summed pointwise (min/max envelope, buckets added). Neither
+    input is touched; both should be quiescent ({!live_depth} 0) —
+    open spans are not carried over. The fold preserves the
+    [attributed_ns = total_ns] identity and the site percentiles, is
+    associative and commutative, and has [create ()] as identity —
+    the per-shard folding discipline of ROADMAP item 2, pinned by
+    test_telemetry's QCheck laws. The merged profiler has no metrics
+    link and the default clock. *)

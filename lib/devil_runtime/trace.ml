@@ -126,6 +126,35 @@ let clear t =
   Ring.clear t.ring;
   t.next_seq <- 0
 
+(* {1 Folding}
+
+   Per-shard traces number their events independently, so the merged
+   stream interleaves the shards by sequence number — a stable merge:
+   ties keep the left operand's events first, and each shard's own
+   order is preserved exactly. *)
+
+let merge_events a b =
+  let rec go a b acc =
+    match (a, b) with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | x :: a', y :: b' ->
+        if x.seq <= y.seq then go a' b (x :: acc) else go a b' (y :: acc)
+  in
+  go a b []
+
+let merge ?capacity a b =
+  let capacity =
+    match capacity with
+    | Some c -> c
+    | None -> max (Ring.capacity a.ring) (Ring.capacity b.ring)
+  in
+  let t = create ~capacity () in
+  List.iter (Ring.add t.ring) (merge_events (events a) (events b));
+  (* The merged clock resumes past both shards, so further [emit]s
+     cannot collide with either input's numbering. *)
+  t.next_seq <- max a.next_seq b.next_seq;
+  t
+
 let parse_env_value s =
   match String.lowercase_ascii (String.trim s) with
   | "" | "0" | "off" | "false" | "no" -> Ok None

@@ -820,6 +820,243 @@ let profile_to_speedscope ?(name = "devil profile") profile =
          ("name", String name);
        ])
 
+(* {1 OpenMetrics / Prometheus text exposition} *)
+
+(* Metric names: the registry's dotted names with every non
+   [A-Za-z0-9_] byte flattened to '_' and a "devil_" prefix, so
+   "sched.queue.completions" scrapes as
+   devil_sched_queue_completions_total. *)
+let om_name name =
+  let b = Buffer.create (String.length name + 8) in
+  Buffer.add_string b "devil_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let om_label_escape s =
+  let b = Buffer.create (String.length s + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_openmetrics ?health ?telemetry metrics =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s;
+                                   Buffer.add_char b '\n') fmt in
+  let counters = Metrics.counters metrics in
+  List.iter
+    (fun (name, v) ->
+      let n = om_name name in
+      line "# TYPE %s counter" n;
+      line "%s_total %d" n v)
+    counters;
+  (* The eviction counter is part of the contract even when the ring
+     never dropped (or no trace fed this registry): a scraper alerting
+     on it must always find the sample. *)
+  if not (List.mem_assoc "trace.dropped_events" counters) then begin
+    line "# TYPE devil_trace_dropped_events counter";
+    line "devil_trace_dropped_events_total 0"
+  end;
+  List.iter
+    (fun (name, (snap : Metrics.hist_snapshot)) ->
+      let n = om_name name in
+      let buckets =
+        match Metrics.hist_buckets metrics name with
+        | Some bs -> bs
+        | None -> Array.make Metrics.bucket_count 0
+      in
+      line "# TYPE %s histogram" n;
+      (* Cumulative buckets up to the last occupied one; the open-ended
+         tail collapses into +Inf. *)
+      let last =
+        let r = ref (-1) in
+        Array.iteri (fun i v -> if v > 0 then r := i) buckets;
+        !r
+      in
+      let cum = ref 0 in
+      for i = 0 to last do
+        cum := !cum + buckets.(i);
+        line "%s_bucket{le=\"%d\"} %d" n (Metrics.bucket_upper i) !cum
+      done;
+      line "%s_bucket{le=\"+Inf\"} %d" n snap.count;
+      line "%s_sum %d" n snap.sum;
+      line "%s_count %d" n snap.count)
+    (Metrics.histograms metrics);
+  (match telemetry with
+  | None -> ()
+  | Some tel ->
+      line "# TYPE devil_telemetry_ticks gauge";
+      line "devil_telemetry_ticks %d" (Telemetry.ticks tel);
+      line "# TYPE devil_telemetry_series_evictions counter";
+      line "devil_telemetry_series_evictions_total %d" (Telemetry.evictions tel));
+  (match health with
+  | None -> ()
+  | Some (report : Health.report) ->
+      line "# TYPE devil_health gauge";
+      line "# HELP devil_health 0 ok, 1 degraded, 2 stalled";
+      line "devil_health %d" (Health.verdict_severity report.Health.verdict);
+      List.iter
+        (fun (r : Health.reason) ->
+          line "devil_health_reason{code=\"%s\"} %d"
+            (om_label_escape r.Health.code) r.Health.count)
+        report.Health.reasons);
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+(* {1 Telemetry series <-> JSONL} *)
+
+type series_point =
+  | S_counter of { sp_tick : int; sp_metric : string; sp_total : int;
+                   sp_delta : int }
+  | S_hist of { sh_tick : int; sh_metric : string; sh_count : int;
+                sh_sum : int; sh_p50 : int; sh_p95 : int; sh_p99 : int }
+  | S_health of { sl_tick : int; sl_verdict : string; sl_summary : string }
+
+type series_file = {
+  sf_hz : float;
+  sf_ticks : int;
+  sf_capacity : int;
+  sf_evictions : int;
+  sf_points : series_point list;
+}
+
+(* The JSON layer is integer-only, so hz travels as a string
+   ("%g"-rendered) and is re-parsed on read. *)
+let series_to_jsonl telemetry =
+  let b = Buffer.create 4096 in
+  let add j =
+    Buffer.add_string b (json_to_string j);
+    Buffer.add_char b '\n'
+  in
+  add
+    (Obj
+       [
+         ("devil_series_version", Int version);
+         ("hz", String (Printf.sprintf "%g" (Telemetry.hz telemetry)));
+         ("ticks", Int (Telemetry.ticks telemetry));
+         ("capacity", Int (Telemetry.capacity telemetry));
+         ("series_evictions", Int (Telemetry.evictions telemetry));
+       ]);
+  List.iter
+    (fun name ->
+      List.iter
+        (fun (p : Telemetry.counter_point) ->
+          add
+            (Obj
+               [
+                 ("tick", Int p.Telemetry.at);
+                 ("metric", String name);
+                 ("kind", String "counter");
+                 ("total", Int p.Telemetry.total);
+                 ("delta", Int p.Telemetry.delta);
+               ]))
+        (Telemetry.counter_series telemetry name))
+    (Telemetry.counter_names telemetry);
+  List.iter
+    (fun name ->
+      List.iter
+        (fun (p : Telemetry.hist_point) ->
+          add
+            (Obj
+               [
+                 ("tick", Int p.Telemetry.h_at);
+                 ("metric", String name);
+                 ("kind", String "hist");
+                 ("count", Int p.Telemetry.h_count);
+                 ("sum", Int p.Telemetry.h_sum);
+                 ("p50", Int p.Telemetry.h_p50);
+                 ("p95", Int p.Telemetry.h_p95);
+                 ("p99", Int p.Telemetry.h_p99);
+               ]))
+        (Telemetry.hist_series telemetry name))
+    (Telemetry.hist_names telemetry);
+  List.iter
+    (fun (p : Telemetry.health_point) ->
+      add
+        (Obj
+           [
+             ("tick", Int p.Telemetry.hp_at);
+             ("kind", String "health");
+             ("verdict", String p.Telemetry.hp_verdict);
+             ("summary", String p.Telemetry.hp_summary);
+           ]))
+    (Telemetry.health_series telemetry);
+  Buffer.contents b
+
+let series_point_of_json j =
+  let* kind = as_string "kind" j in
+  match kind with
+  | "counter" ->
+      let* sp_tick = as_int "tick" j in
+      let* sp_metric = as_string "metric" j in
+      let* sp_total = as_int "total" j in
+      let* sp_delta = as_int "delta" j in
+      Ok (S_counter { sp_tick; sp_metric; sp_total; sp_delta })
+  | "hist" ->
+      let* sh_tick = as_int "tick" j in
+      let* sh_metric = as_string "metric" j in
+      let* sh_count = as_int "count" j in
+      let* sh_sum = as_int "sum" j in
+      let* sh_p50 = as_int "p50" j in
+      let* sh_p95 = as_int "p95" j in
+      let* sh_p99 = as_int "p99" j in
+      Ok (S_hist { sh_tick; sh_metric; sh_count; sh_sum; sh_p50; sh_p95;
+                   sh_p99 })
+  | "health" ->
+      let* sl_tick = as_int "tick" j in
+      let* sl_verdict = as_string "verdict" j in
+      let* sl_summary = as_string "summary" j in
+      Ok (S_health { sl_tick; sl_verdict; sl_summary })
+  | k -> Error (Printf.sprintf "unknown series point kind %S" k)
+
+let series_of_jsonl s =
+  match lines_of s with
+  | [] -> Error "empty file"
+  | first :: body ->
+      let* hdr = json_of_string first in
+      let* v = Result.map_error
+          (fun _ -> "first line is not a devil_series_version header")
+          (as_int "devil_series_version" hdr)
+      in
+      let* () =
+        if v = version then Ok ()
+        else
+          Error
+            (Printf.sprintf
+               "unsupported devil_series_version %d (this build reads version \
+                %d)" v version)
+      in
+      let* hz_s = as_string "hz" hdr in
+      let* sf_hz =
+        match float_of_string_opt hz_s with
+        | Some f -> Ok f
+        | None -> Error (Printf.sprintf "hz %S is not a number" hz_s)
+      in
+      let* sf_ticks = as_int "ticks" hdr in
+      let* sf_capacity = as_int "capacity" hdr in
+      let* sf_evictions = as_int "series_evictions" hdr in
+      let* sf_points =
+        List.fold_left
+          (fun acc line ->
+            let* acc = acc in
+            let* j = json_of_string line in
+            let* p = series_point_of_json j in
+            Ok (p :: acc))
+          (Ok []) body
+        |> Result.map List.rev
+      in
+      Ok { sf_hz; sf_ticks; sf_capacity; sf_evictions; sf_points }
+
 (* {1 Files} *)
 
 let write_file path contents =
@@ -843,3 +1080,7 @@ let events_of_file path =
 let tape_of_file path =
   let* s = read_file path in
   tape_of_jsonl s
+
+let series_of_file path =
+  let* s = read_file path in
+  series_of_jsonl s

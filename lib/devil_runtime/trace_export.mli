@@ -73,6 +73,53 @@ val transfer_of_json : json -> (Bus.transfer, string) result
 val tape_to_jsonl : Bus.tape -> string
 val tape_of_jsonl : string -> (Bus.tape, string) result
 
+(** {1 OpenMetrics}
+
+    The Prometheus text exposition format, so a registry snapshot can
+    be scraped or diffed by standard tooling. *)
+
+val to_openmetrics :
+  ?health:Health.report -> ?telemetry:Telemetry.t -> Metrics.t -> string
+(** Renders the registry: every counter as [devil_<name>_total] (dots
+    flattened to underscores) with a [# TYPE] line, every histogram as
+    cumulative [devil_<name>_bucket{le="..."}] samples over the
+    power-of-two bucket uppers plus [le="+Inf"], [_sum] and [_count].
+    [devil_trace_dropped_events_total] is always present (0 when no
+    trace fed the registry) so eviction alerts never miss their
+    sample. With [telemetry], adds [devil_telemetry_ticks] and
+    [devil_telemetry_series_evictions_total]; with [health], a
+    [devil_health] gauge (0 ok / 1 degraded / 2 stalled — see
+    {!Health.verdict_severity}) plus one
+    [devil_health_reason{code="..."}] sample per firing reason. The
+    output ends with the [# EOF] terminator. *)
+
+(** {1 Telemetry series JSONL}
+
+    Header line [{"devil_series_version":1, "hz":..., "ticks":...,
+    "capacity":..., "series_evictions":...}] followed by one JSON
+    object per retained sample point, flat across all series
+    (counters first, then histograms, then health, each grouped by
+    metric name in sorted order, points oldest first). [hz] travels as
+    a ["%g"] string because the JSON layer is integer-only. *)
+
+type series_point =
+  | S_counter of { sp_tick : int; sp_metric : string; sp_total : int;
+                   sp_delta : int }
+  | S_hist of { sh_tick : int; sh_metric : string; sh_count : int;
+                sh_sum : int; sh_p50 : int; sh_p95 : int; sh_p99 : int }
+  | S_health of { sl_tick : int; sl_verdict : string; sl_summary : string }
+
+type series_file = {
+  sf_hz : float;
+  sf_ticks : int;
+  sf_capacity : int;
+  sf_evictions : int;
+  sf_points : series_point list;  (** In file order. *)
+}
+
+val series_to_jsonl : Telemetry.t -> string
+val series_of_jsonl : string -> (series_file, string) result
+
 (** {1 Files} *)
 
 val write_file : string -> string -> unit
@@ -80,3 +127,4 @@ val write_file : string -> string -> unit
 
 val events_of_file : string -> (Trace.event list, string) result
 val tape_of_file : string -> (Bus.tape, string) result
+val series_of_file : string -> (series_file, string) result

@@ -31,6 +31,7 @@ type t = {
   rtc_dev : Instance.t;
   kbd_dev : Instance.t;
   lifecycle : Devil_runtime.Lifecycle.t option;
+  telemetry : Devil_runtime.Telemetry.t option;
   mutable sched_ : Devil_runtime.Sched.t option;
 }
 
@@ -72,7 +73,8 @@ let irq_line = function
   | _ -> None
 
 let create ?(debug = false) ?faults ?fault_seed ?trace ?metrics ?profile
-    ?interpret ?(wrap_bus = Fun.id) ?(lifecycle = false) ?lifecycle_clock () =
+    ?telemetry ?interpret ?(wrap_bus = Fun.id) ?(lifecycle = false)
+    ?lifecycle_clock () =
   (* Handles not given explicitly can still be enabled from the
      environment (DEVIL_TRACE / DEVIL_METRICS / DEVIL_PROFILE). *)
   let trace =
@@ -89,6 +91,14 @@ let create ?(debug = false) ?faults ?fault_seed ?trace ?metrics ?profile
     match profile with
     | Some _ -> profile
     | None -> Devil_runtime.Profile.from_env ?metrics ()
+  in
+  (* Telemetry samples the registry, so it only exists when one does
+     (explicit or env-enabled). *)
+  let telemetry =
+    match (telemetry, metrics) with
+    | (Some _ as t), _ -> t
+    | None, Some m -> Devil_runtime.Telemetry.from_env m
+    | None, None -> None
   in
   let space = Io_space.create () in
   let mouse = Hwsim.Busmouse.create () in
@@ -213,6 +223,7 @@ let create ?(debug = false) ?faults ?fault_seed ?trace ?metrics ?profile
       mk "kbd" (Devil_specs.Specs.i8042 ())
         [ ("data", kbd_data_base); ("ctl", kbd_ctl_base) ];
     lifecycle;
+    telemetry;
     sched_ = None;
   }
 
@@ -268,6 +279,14 @@ let sched t =
 let health ?thresholds t =
   Devil_runtime.Health.evaluate ?thresholds ?lifecycle:t.lifecycle
     ?trace:t.trace ?metrics:t.metrics ()
+
+(* The one-call sampling point workloads drop into their outer loop:
+   a no-op (and allocation-free) unless the machine carries a
+   telemetry handle. *)
+let telemetry_tick ?thresholds t =
+  match t.telemetry with
+  | None -> ()
+  | Some tel -> Devil_runtime.Telemetry.tick ~health:(health ?thresholds t) tel
 
 let reset_io_stats t = Io_space.reset_stats t.space
 let io_ops t = Io_space.io_ops t.space

@@ -43,6 +43,10 @@ type t = {
   lifecycle : Devil_runtime.Lifecycle.t option;
       (** Live request-lifecycle reconstruction, when the machine was
           built with [~lifecycle:true] and a trace. *)
+  telemetry : Devil_runtime.Telemetry.t option;
+      (** The deterministic-tick time-series sampler over
+          {!field-metrics}, when telemetry is on — advanced by
+          {!telemetry_tick}. *)
   mutable sched_ : Devil_runtime.Sched.t option;
       (** Lazily-built event loop; use {!sched}, not this field. *)
 }
@@ -120,6 +124,7 @@ val create :
   ?trace:Devil_runtime.Trace.t ->
   ?metrics:Devil_runtime.Metrics.t ->
   ?profile:Devil_runtime.Profile.t ->
+  ?telemetry:Devil_runtime.Telemetry.t ->
   ?interpret:bool ->
   ?wrap_bus:(Devil_runtime.Bus.t -> Devil_runtime.Bus.t) ->
   ?lifecycle:bool ->
@@ -158,6 +163,12 @@ val create :
     [DEVIL_PROFILE] environment variables; with none of them, the
     machine is exactly the uninstrumented one.
 
+    [telemetry] attaches a {!Devil_runtime.Telemetry} sampler over the
+    registry; when omitted but a registry exists, [DEVIL_TELEMETRY]
+    can enable one from the environment. The machine never ticks it on
+    its own — workloads call {!telemetry_tick} at their own cadence,
+    keeping the series deterministic.
+
     [lifecycle] (with a trace present) attaches a
     {!Devil_runtime.Lifecycle} reconstructor to the trace, so queued
     requests get per-stage latency accounting as they run;
@@ -175,6 +186,12 @@ val health :
     [thresholds] raises per-code tolerances, e.g. to ignore
     [trace_drops] on a machine whose retention ring is deliberately
     small. *)
+
+val telemetry_tick : ?thresholds:(string * int) list -> t -> unit
+(** Advance the machine's telemetry sampler one tick (sampling every
+    metric and the {!health} verdict). A no-op — and allocation-free —
+    on a machine without a telemetry handle, so workloads can call it
+    unconditionally in their outer loop. *)
 
 val reset_io_stats : t -> unit
 val io_ops : t -> int

@@ -180,6 +180,62 @@ let test_tracetool_unknown_kind () =
   Alcotest.(check bool) "lists the accepted families" true
     (contains (output ()) "irq")
 
+let test_tracetool_help () =
+  (* Both spellings print the usage text to stdout and exit 0 — help
+     is an answer, not an error (exit 2 stays reserved for misuse). *)
+  List.iter
+    (fun spelling ->
+      Alcotest.(check int) (spelling ^ " exits 0") 0
+        (run_tracetool [ spelling ]);
+      let out = output () in
+      Alcotest.(check bool) (spelling ^ " prints usage") true
+        (contains out "usage:");
+      (* The usage text covers the telemetry commands too. *)
+      List.iter
+        (fun cmd ->
+          Alcotest.(check bool) (spelling ^ " mentions " ^ cmd) true
+            (contains out cmd))
+        [ "top"; "series"; "--once" ])
+    [ "help"; "--help" ]
+
+let telemetry_series_file () =
+  let open Devil_runtime in
+  let m = Metrics.create () in
+  let tel = Telemetry.create ~capacity:8 m in
+  for t = 1 to 3 do
+    Metrics.incr m ~by:(2 * t) "sched.queue.completions";
+    Metrics.observe m "sched.queue.wait_ticks" (5 * t);
+    Telemetry.tick ~health:(Health.evaluate ~metrics:m ()) tel
+  done;
+  let oc = open_out_bin "cli_series.jsonl" in
+  output_string oc (Trace_export.series_to_jsonl tel);
+  close_out oc;
+  "cli_series.jsonl"
+
+let test_tracetool_top_once () =
+  let file = telemetry_series_file () in
+  Alcotest.(check int) "top --once exits 0" 0
+    (run_tracetool [ "top"; file; "--once" ]);
+  let out = output () in
+  Alcotest.(check bool) "renders the header" true
+    (contains out "tracetool top");
+  Alcotest.(check bool) "shows the hottest counter" true
+    (contains out "sched.queue.completions");
+  Alcotest.(check bool) "shows the health verdict" true (contains out "ok");
+  Alcotest.(check bool) "no eviction banner on a clean run" false
+    (contains out "RING EVICTION")
+
+let test_tracetool_series () =
+  let file = telemetry_series_file () in
+  Alcotest.(check int) "series exits 0" 0 (run_tracetool [ "series"; file ]);
+  let out = output () in
+  Alcotest.(check bool) "lists the counter series" true
+    (contains out "sched.queue.completions");
+  Alcotest.(check bool) "lists the histogram series" true
+    (contains out "sched.queue.wait_ticks");
+  Alcotest.(check int) "unreadable file is exit 2" 2
+    (run_tracetool [ "series"; "no_such_series.jsonl" ])
+
 let test_list () =
   Alcotest.(check int) "list" 0 (run [ "list" ]);
   let out = output () in
@@ -207,5 +263,8 @@ let () =
           case "--kind irq/queue filter" test_tracetool_kind_filters;
           case "every family accepted" test_tracetool_kind_families;
           case "unknown family exits 2" test_tracetool_unknown_kind;
+          case "help and --help print usage, exit 0" test_tracetool_help;
+          case "top --once renders the dashboard" test_tracetool_top_once;
+          case "series lists the dumped metrics" test_tracetool_series;
         ] );
     ]

@@ -622,6 +622,148 @@ let speedscope_cmd path =
   Printf.printf "%s: ok (%d frames, %d profile(s))\n" path n_frames
     (List.length profiles)
 
+(* {1 telemetry: the soak-series gate (DESIGN.md §16)} *)
+
+let om_valid_name s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+               | _ -> false)
+       s
+
+(* A syntax pass over the embedded Prometheus text exposition: every
+   line must be a [# TYPE]/[# HELP]/[# EOF] comment or a
+   [name{labels} value] sample, the terminator must be last. Not a
+   full OpenMetrics parser — enough to catch an exporter emitting
+   malformed names, missing values or a truncated document. *)
+let check_openmetrics text =
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+  in
+  if lines = [] then bad "openmetrics: empty document";
+  let n = List.length lines in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if line.[0] = '#' then (
+        match String.split_on_char ' ' line with
+        | [ "#"; "EOF" ] ->
+            if i <> n - 1 then
+              bad "openmetrics line %d: \"# EOF\" before end of document"
+                lineno
+        | [ "#"; "TYPE"; name; kind ] ->
+            if not (om_valid_name name) then
+              bad "openmetrics line %d: bad metric name %S" lineno name;
+            if not (List.mem kind [ "counter"; "gauge"; "histogram" ]) then
+              bad "openmetrics line %d: unknown type %S" lineno kind
+        | "#" :: "HELP" :: name :: _ :: _ ->
+            if not (om_valid_name name) then
+              bad "openmetrics line %d: bad metric name %S" lineno name
+        | _ -> bad "openmetrics line %d: malformed comment %S" lineno line)
+      else
+        match String.rindex_opt line ' ' with
+        | None -> bad "openmetrics line %d: sample has no value" lineno
+        | Some sp ->
+            let series = String.sub line 0 sp in
+            let value =
+              String.sub line (sp + 1) (String.length line - sp - 1)
+            in
+            if float_of_string_opt value = None then
+              bad "openmetrics line %d: value %S is not a number" lineno value;
+            let name =
+              match String.index_opt series '{' with
+              | None -> series
+              | Some b ->
+                  if series.[String.length series - 1] <> '}' then
+                    bad "openmetrics line %d: unterminated label set" lineno;
+                  String.sub series 0 b
+            in
+            if not (om_valid_name name) then
+              bad "openmetrics line %d: bad metric name %S" lineno name)
+    lines;
+  match List.rev lines with
+  | last :: _ when last = "# EOF" -> ()
+  | _ -> bad "openmetrics: document must end with \"# EOF\""
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let telemetry_cmd path =
+  let doc = Parse.document (read_file path) in
+  if num "schema_version" doc <> 1.0 then bad "schema_version must be 1";
+  if str "suite" doc <> "devil_pr10_telemetry" then
+    bad "suite must be \"devil_pr10_telemetry\"";
+  let ticks = num "ticks" doc in
+  if ticks < 1.0 then bad "ticks must be at least 1";
+  if num "series_evictions" doc < 0.0 then
+    bad "series_evictions must be non-negative";
+  let rates =
+    match field "rates" doc with
+    | Arr r -> r
+    | _ -> bad "field \"rates\" must be an array"
+  in
+  if rates = [] then bad "rates must be non-empty";
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let metric = str "metric" r in
+      if Hashtbl.mem seen metric then bad "duplicate rate for %S" metric;
+      Hashtbl.add seen metric ();
+      let total = num "total" r
+      and last = num "last_delta" r
+      and mean = num "mean_per_tick" r in
+      if total < 0.0 then bad "%s: total must be non-negative" metric;
+      if last < 0.0 then bad "%s: last_delta must be non-negative" metric;
+      if mean < 0.0 then bad "%s: mean_per_tick must be non-negative" metric;
+      if last > total then bad "%s: last_delta exceeds total" metric)
+    rates;
+  (* The point of a soak: the queue keeps completing work at a nonzero
+     steady-state rate. *)
+  (match
+     List.find_opt (fun r -> str "metric" r = "sched.queue.completions") rates
+   with
+  | None -> bad "missing rate for \"sched.queue.completions\""
+  | Some r ->
+      if num "mean_per_tick" r <= 0.0 then
+        bad
+          "sched.queue.completions: steady-state completion rate must be \
+           nonzero");
+  let windows =
+    match field "windows" doc with
+    | Arr w -> w
+    | _ -> bad "field \"windows\" must be an array"
+  in
+  List.iter
+    (fun w ->
+      let metric = str "metric" w in
+      let p50 = num "p50" w and p95 = num "p95" w and p99 = num "p99" w in
+      if not (p50 <= p95 && p95 <= p99) then
+        bad "%s: windowed percentiles not monotone (p50 %g, p95 %g, p99 %g)"
+          metric p50 p95 p99)
+    windows;
+  let verdict = str "verdict" (field "health" doc) in
+  if verdict <> "ok" then
+    bad "health verdict %S, a committed soak must be \"ok\"" verdict;
+  let om = str "openmetrics" doc in
+  check_openmetrics om;
+  List.iter
+    (fun needle ->
+      if not (contains_substring om needle) then
+        bad "openmetrics: missing expected sample %S" needle)
+    [
+      "devil_sched_queue_completions_total";
+      "devil_trace_dropped_events_total";
+      "devil_health ";
+      "devil_telemetry_series_evictions_total";
+    ];
+  Printf.printf
+    "%s: ok (%g ticks, %d counter rates, %d windowed histograms; health ok, \
+     openmetrics well-formed)\n"
+    path ticks (List.length rates) (List.length windows)
+
 (* {1 Entry point} *)
 
 let usage () =
@@ -633,6 +775,7 @@ let usage () =
   prerr_endline "       benchcheck latency FILE";
   prerr_endline
     "       benchcheck latency OLD.json NEW.json [--max-regression PCT]";
+  prerr_endline "       benchcheck telemetry FILE";
   exit 2
 
 let checked path f =
@@ -678,6 +821,8 @@ let () =
   | "speedscope" :: _ -> usage ()
   | [ "async"; path ] -> checked path (fun () -> async_cmd path)
   | "async" :: _ -> usage ()
+  | [ "telemetry"; path ] -> checked path (fun () -> telemetry_cmd path)
+  | "telemetry" :: _ -> usage ()
   | "latency" :: rest -> (
       let max_pct = ref 25.0 in
       let files = ref [] in

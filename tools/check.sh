@@ -141,6 +141,31 @@ DEVIL_QCHECK_COUNT=5 dune build @harness
 dune exec bench/main.exe -- harness --qcount 5 > _build/harness_smoke.out
 tail -1 _build/harness_smoke.out
 
+# Telemetry gates (ISSUE 10): the mergeable-telemetry suite must pass
+# (the tick sampler, the Metrics/Profile/Trace merge laws, the
+# OpenMetrics and series exporters, the allocation-free disabled
+# path), a 1-tick `bench soak` smoke must produce an artifact that
+# validates against the devil_pr10_telemetry schema (well-formed
+# OpenMetrics, nonzero steady-state completion rate, ok health), and
+# the dumped series must replay through both tracetool telemetry
+# commands. The committed BENCH_telemetry.json is gated too when
+# present.
+echo "== telemetry gates =="
+dune build @telemetry
+dune exec bench/main.exe -- soak --ticks 1 \
+  --out _build/bench_telemetry.json \
+  --series _build/telemetry_series.jsonl > /dev/null
+dune exec tools/benchcheck/benchcheck.exe -- telemetry \
+  _build/bench_telemetry.json
+dune exec tools/tracetool/tracetool.exe -- series \
+  _build/telemetry_series.jsonl > /dev/null
+dune exec tools/tracetool/tracetool.exe -- top \
+  _build/telemetry_series.jsonl --once > /dev/null
+echo "ok: dumped series replays through tracetool series and top"
+if [ -f BENCH_telemetry.json ]; then
+  dune exec tools/benchcheck/benchcheck.exe -- telemetry BENCH_telemetry.json
+fi
+
 if command -v ocamlformat >/dev/null 2>&1 && [ -f .ocamlformat ]; then
   echo "== ocamlformat check =="
   dune build @fmt

@@ -50,6 +50,7 @@ let die fmt = Printf.ksprintf (fun m -> prerr_endline ("tracetool: " ^ m); exit 
 let usage_text =
   "usage: tracetool COMMAND FILE... [flags]\n\
    commands:\n\
+  \  help                                        print this and exit 0\n\
   \  print    FILE                               render a JSONL trace\n\
   \  convert  FILE [-o OUT]                      JSONL -> Chrome JSON\n\
   \  filter   FILE [--dev D] [--reg R] [--kind K] [-o OUT]\n\
@@ -58,6 +59,10 @@ let usage_text =
   \  coverage FILE --spec NAME [--dev LABEL] [--min-reg PCT] [--missed]\n\
   \  lifecycle FILE [--top N] [--min-complete PCT]\n\
   \                                              queued-request arcs\n\
+  \  top      FILE [--once] [--interval SEC] [--top N]\n\
+  \                                              live series dashboard\n\
+  \  series   FILE                               validate + summarize a\n\
+  \                                              telemetry series dump\n\
    flags:\n\
   \  -o OUT          write output to OUT instead of stdout\n\
   \  --dev D         keep events of instance label D\n\
@@ -67,8 +72,11 @@ let usage_text =
   \  --spec NAME     bundled specification to cover\n\
   \  --min-reg PCT   fail (exit 1) below PCT register coverage\n\
   \  --missed        list every uncovered site\n\
-  \  --top N         stragglers listed by [lifecycle] (default 5)\n\
+  \  --top N         stragglers listed by [lifecycle], rows shown by\n\
+  \                  [top] (default 5 / 10)\n\
   \  --min-complete PCT  fail (exit 1) below PCT completed requests\n\
+  \  --once          render the [top] dashboard once and exit\n\
+  \  --interval SEC  [top] refresh period (default 1.0)\n\
    diff exit codes:\n\
   \  0  the files are identical\n\
   \  1  both readable, but they diverge (the diverging line is printed)\n\
@@ -365,25 +373,214 @@ let cmd_lifecycle file ~top ~min_complete =
     | _ -> 0
   end
 
+(* {1 Telemetry series commands} *)
+
+(* A parsed series file regrouped per metric: the dump is flat (one
+   point per line), the dashboard wants columns. *)
+type series_tables = {
+  st : Trace_export.series_file;
+  st_counters : (string * Trace_export.series_point list) list;
+      (* sorted by name; points in file order (oldest first) *)
+  st_hists : (string * Trace_export.series_point list) list;
+  st_health : Trace_export.series_point list;
+}
+
+let series_tables_of_file path =
+  match Trace_export.series_of_file path with
+  | Error why -> die "%s: %s" path why
+  | Ok st ->
+      let counters = Hashtbl.create 32 and hists = Hashtbl.create 8 in
+      let health = ref [] in
+      List.iter
+        (fun (p : Trace_export.series_point) ->
+          match p with
+          | S_counter { sp_metric; _ } ->
+              Hashtbl.replace counters sp_metric
+                (p :: (Option.value ~default:[]
+                         (Hashtbl.find_opt counters sp_metric)))
+          | S_hist { sh_metric; _ } ->
+              Hashtbl.replace hists sh_metric
+                (p :: (Option.value ~default:[]
+                         (Hashtbl.find_opt hists sh_metric)))
+          | S_health _ -> health := p :: !health)
+        st.sf_points;
+      let table tbl =
+        Hashtbl.fold (fun k ps acc -> (k, List.rev ps) :: acc) tbl []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      {
+        st;
+        st_counters = table counters;
+        st_hists = table hists;
+        st_health = List.rev !health;
+      }
+
+let last xs = match List.rev xs with [] -> None | x :: _ -> Some x
+
+(* The dashboard's eviction warning has to be loud: a ring that
+   evicted means every "windowed" number below covers less history
+   than the tick span suggests. *)
+let dropped_total tables =
+  match List.assoc_opt "trace.dropped_events" tables.st_counters with
+  | Some ps -> (
+      match last ps with
+      | Some (Trace_export.S_counter { sp_total; _ }) -> sp_total
+      | _ -> 0)
+  | None -> 0
+
+let render_top tables ~file ~rows =
+  let b = Buffer.create 2048 in
+  let line fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n')
+      fmt
+  in
+  let st = tables.st in
+  let verdict =
+    match last tables.st_health with
+    | Some (Trace_export.S_health { sl_verdict; _ }) -> sl_verdict
+    | _ -> "-"
+  in
+  line "tracetool top — %s | tick %d | %g tick/s | health %s" file st.sf_ticks
+    st.sf_hz verdict;
+  let dropped = dropped_total tables in
+  if st.sf_evictions > 0 || dropped > 0 then begin
+    line "!!! RING EVICTION: %d series point(s) evicted, %d trace event(s) \
+          dropped !!!" st.sf_evictions dropped;
+    line "!!! the window below is SHORTER than the run — raise the ring \
+          capacity !!!"
+  end;
+  let rate_rows =
+    List.filter_map
+      (fun (name, ps) ->
+        match last ps with
+        | Some (Trace_export.S_counter { sp_tick; sp_total; sp_delta; _ }) ->
+            Some (name, sp_tick, sp_total, sp_delta)
+        | _ -> None)
+      tables.st_counters
+    |> List.sort (fun (na, _, ta, da) (nb, _, tb, db) ->
+           match compare (db, tb) (da, ta) with
+           | 0 -> String.compare na nb
+           | c -> c)
+  in
+  line "";
+  line "hottest counters (by last-window delta):";
+  line "  %-40s %12s %12s %12s" "counter" "rate/s" "delta" "total";
+  List.iteri
+    (fun i (name, _, total, delta) ->
+      if i < rows then
+        line "  %-40s %12.1f %12d %12d" name
+          (float_of_int delta *. st.sf_hz)
+          delta total)
+    rate_rows;
+  let hist_rows =
+    List.filter_map
+      (fun (name, ps) ->
+        match last ps with
+        | Some (Trace_export.S_hist { sh_count; sh_p50; sh_p95; sh_p99; _ })
+          ->
+            Some (name, sh_count, sh_p50, sh_p95, sh_p99)
+        | _ -> None)
+      tables.st_hists
+  in
+  if hist_rows <> [] then begin
+    line "";
+    line "windowed latencies (last tick):";
+    line "  %-40s %8s %10s %10s %10s" "histogram" "count" "p50" "p95" "p99";
+    List.iter
+      (fun (name, count, p50, p95, p99) ->
+        line "  %-40s %8d %10d %10d %10d" name count p50 p95 p99)
+      hist_rows
+  end;
+  (match last tables.st_health with
+  | Some (Trace_export.S_health { sl_summary; _ }) ->
+      line "";
+      line "health: %s" sl_summary
+  | _ -> ());
+  Buffer.contents b
+
+let cmd_top file ~once ~interval ~rows =
+  if once then begin
+    print_string (render_top (series_tables_of_file file) ~file ~rows);
+    0
+  end
+  else
+    (* Refresh until interrupted: clear, render, sleep, re-read. *)
+    let rec loop () =
+      let tables = series_tables_of_file file in
+      print_string "\027[2J\027[H";
+      print_string (render_top tables ~file ~rows);
+      flush stdout;
+      Unix.sleepf interval;
+      loop ()
+    in
+    loop ()
+
+let cmd_series file =
+  let tables = series_tables_of_file file in
+  let st = tables.st in
+  Format.printf
+    "telemetry series %s: %d tick(s), %g tick/s, ring capacity %d, %d \
+     eviction(s)@."
+    file st.sf_ticks st.sf_hz st.sf_capacity st.sf_evictions;
+  List.iter
+    (fun (name, ps) ->
+      match (ps, last ps) with
+      | ( Trace_export.S_counter { sp_tick = first; _ } :: _,
+          Some (Trace_export.S_counter { sp_tick; sp_total; sp_delta; _ }) ) ->
+          Format.printf
+            "  counter %-40s %3d point(s), ticks %d..%d, total %d, last \
+             delta %d@."
+            name (List.length ps) first sp_tick sp_total sp_delta
+      | _ -> ())
+    tables.st_counters;
+  List.iter
+    (fun (name, ps) ->
+      match (ps, last ps) with
+      | ( Trace_export.S_hist { sh_tick = first; _ } :: _,
+          Some
+            (Trace_export.S_hist
+               { sh_tick; sh_count; sh_p50; sh_p95; sh_p99; _ }) ) ->
+          Format.printf
+            "  hist    %-40s %3d point(s), ticks %d..%d, last window: \
+             count %d p50 %d p95 %d p99 %d@."
+            name (List.length ps) first sh_tick sh_count sh_p50 sh_p95 sh_p99
+      | _ -> ())
+    tables.st_hists;
+  (match last tables.st_health with
+  | Some (Trace_export.S_health { sl_verdict; sl_summary; _ }) ->
+      Format.printf "  health  %d point(s), last verdict %s (%s)@."
+        (List.length tables.st_health)
+        sl_verdict sl_summary
+  | _ -> ());
+  0
+
 (* {1 Argument parsing} *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* Asking for help is not a usage error: print the same text on
+     stdout and exit 0, so `tracetool help | less` works and gates can
+     smoke-test the binary without tripping the exit-2 contract. *)
+  (match args with
+  | "help" :: _ | "--help" :: _ | "-h" :: _ ->
+      print_endline usage_text;
+      exit 0
+  | _ -> ());
   (* collect --opt value pairs and positionals *)
   let opts = Hashtbl.create 8 in
   let positional = ref [] in
   let rec parse = function
     | [] -> ()
-    | "--missed" :: rest ->
-        Hashtbl.replace opts "--missed" "";
+    | (("--missed" | "--once") as o) :: rest ->
+        Hashtbl.replace opts o "";
         parse rest
     | (("--dev" | "--reg" | "--kind" | "--spec" | "--min-reg" | "--top"
-       | "--min-complete" | "-o") as o)
+       | "--min-complete" | "--interval" | "-o") as o)
       :: v :: rest ->
         Hashtbl.replace opts o v;
         parse rest
     | [ (("--dev" | "--reg" | "--kind" | "--spec" | "--min-reg" | "--top"
-         | "--min-complete" | "-o") as o) ] ->
+         | "--min-complete" | "--interval" | "-o") as o) ] ->
         usage_die "option %s needs a value" o
     | o :: _ when String.length o > 1 && o.[0] = '-' ->
         usage_die "unknown option %s" o
@@ -432,7 +629,26 @@ let () =
                    try float_of_string s
                    with _ -> usage_die "--min-complete %s: not a number" s)
                  (opt "--min-complete"))
-      | ( (("print" | "convert" | "filter" | "diff" | "coverage" | "lifecycle")
+      | "top", [ f ] ->
+          cmd_top f
+            ~once:(Hashtbl.mem opts "--once")
+            ~interval:
+              (match opt "--interval" with
+              | None -> 1.0
+              | Some s -> (
+                  match float_of_string_opt s with
+                  | Some x when x > 0.0 -> x
+                  | _ -> usage_die "--interval %s: not a positive number" s))
+            ~rows:
+              (match opt "--top" with
+              | None -> 10
+              | Some s -> (
+                  match int_of_string_opt s with
+                  | Some n when n > 0 -> n
+                  | _ -> usage_die "--top %s: not a positive integer" s))
+      | "series", [ f ] -> cmd_series f
+      | ( (("print" | "convert" | "filter" | "diff" | "coverage" | "lifecycle"
+           | "top" | "series")
           as cmd),
           _ ) ->
           usage_die "%s: wrong number of file arguments (%d)" cmd
